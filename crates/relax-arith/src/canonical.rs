@@ -1,0 +1,312 @@
+//! Canonical sum-of-products normal form for [`PrimExpr`].
+//!
+//! The canonical form represents an expression as `constant + Σ coef·mono`
+//! where each monomial is a sorted multiset of atoms (variables or opaque
+//! sub-expressions such as floor divisions). Two expressions are structurally
+//! equal after canonicalization iff they are equal as polynomials over the
+//! opaque atoms, which is the workhorse behind symbolic shape equality proofs
+//! such as `2 * n == n + n` or `(n + 1) * 4 == 4 * n + 4`.
+
+use std::collections::BTreeMap;
+
+use crate::expr::{PrimExpr, Var};
+
+/// Maximum number of terms produced by product expansion before we give up
+/// and keep the product opaque. Shape expressions in practice have a handful
+/// of terms; the limit only guards against pathological inputs.
+const MAX_TERMS: usize = 128;
+
+/// One multiplicative factor inside a monomial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Atom {
+    /// A symbolic variable.
+    Var(Var),
+    /// A sub-expression the linear canonicalizer does not look into
+    /// (floor division, modulo, min, max). Stored pre-simplified.
+    Opaque(PrimExpr),
+}
+
+impl Atom {
+    fn sort_key(&self) -> (u8, u64, String) {
+        match self {
+            Atom::Var(v) => (0, v.id(), String::new()),
+            Atom::Opaque(e) => (1, 0, e.to_string()),
+        }
+    }
+
+    fn to_expr(&self) -> PrimExpr {
+        match self {
+            Atom::Var(v) => PrimExpr::Var(v.clone()),
+            Atom::Opaque(e) => e.clone(),
+        }
+    }
+}
+
+impl PartialOrd for Atom {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Atom {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+/// A sorted multiset of atoms; the empty monomial denotes the constant term.
+pub(crate) type Monomial = Vec<Atom>;
+
+/// Canonical polynomial: map from monomial to its integer coefficient.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct Canonical {
+    terms: BTreeMap<Monomial, i64>,
+}
+
+impl Canonical {
+    pub(crate) fn constant(value: i64) -> Self {
+        let mut c = Canonical::default();
+        if value != 0 {
+            c.terms.insert(Vec::new(), value);
+        }
+        c
+    }
+
+    pub(crate) fn atom(atom: Atom) -> Self {
+        let mut c = Canonical::default();
+        c.terms.insert(vec![atom], 1);
+        c
+    }
+
+    pub(crate) fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns the value if the polynomial is a bare constant.
+    pub(crate) fn as_const(&self) -> Option<i64> {
+        if self.terms.is_empty() {
+            return Some(0);
+        }
+        if self.terms.len() == 1 {
+            if let Some(v) = self.terms.get(&Vec::new()) {
+                return Some(*v);
+            }
+        }
+        None
+    }
+
+    fn add_term(&mut self, mono: Monomial, coef: i64) {
+        if coef == 0 {
+            return;
+        }
+        let entry = self.terms.entry(mono).or_insert(0);
+        *entry = entry.wrapping_add(coef);
+        if *entry == 0 {
+            // Remove cancelled terms so zero is always the empty map.
+            let key: Vec<Atom> = self
+                .terms
+                .iter()
+                .find(|(_, v)| **v == 0)
+                .map(|(k, _)| k.clone())
+                .expect("entry just set to zero");
+            self.terms.remove(&key);
+        }
+    }
+
+    pub(crate) fn add(mut self, other: &Canonical) -> Canonical {
+        for (mono, coef) in &other.terms {
+            self.add_term(mono.clone(), *coef);
+        }
+        self
+    }
+
+    pub(crate) fn negate(mut self) -> Canonical {
+        for coef in self.terms.values_mut() {
+            *coef = coef.wrapping_neg();
+        }
+        self
+    }
+
+    pub(crate) fn sub(self, other: &Canonical) -> Canonical {
+        self.add(&other.clone().negate())
+    }
+
+    /// Multiplies two polynomials, expanding the product. Returns `None` if
+    /// the expansion would exceed [`MAX_TERMS`].
+    pub(crate) fn mul(&self, other: &Canonical) -> Option<Canonical> {
+        if self.terms.len().saturating_mul(other.terms.len()) > MAX_TERMS {
+            return None;
+        }
+        let mut out = Canonical::default();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &other.terms {
+                let mut mono = m1.clone();
+                mono.extend(m2.iter().cloned());
+                mono.sort();
+                out.add_term(mono, c1.wrapping_mul(*c2));
+            }
+        }
+        Some(out)
+    }
+
+    /// Returns `Some(self / k)` if every coefficient is divisible by `k`.
+    pub(crate) fn divide_exact(&self, k: i64) -> Option<Canonical> {
+        if k == 0 {
+            return None;
+        }
+        let mut out = Canonical::default();
+        for (mono, coef) in &self.terms {
+            if coef % k != 0 {
+                return None;
+            }
+            out.add_term(mono.clone(), coef / k);
+        }
+        Some(out)
+    }
+
+    /// Splits the polynomial into `(divisible, remainder)` parts with respect
+    /// to divisor `k`: terms whose coefficient is a multiple of `k` go to the
+    /// first component (already divided by `k`), the rest to the second.
+    pub(crate) fn split_by_divisor(&self, k: i64) -> (Canonical, Canonical) {
+        let mut div = Canonical::default();
+        let mut rem = Canonical::default();
+        for (mono, coef) in &self.terms {
+            if k != 0 && coef % k == 0 {
+                div.add_term(mono.clone(), coef / k);
+            } else {
+                rem.add_term(mono.clone(), *coef);
+            }
+        }
+        (div, rem)
+    }
+
+    /// Rebuilds a [`PrimExpr`] in a deterministic order so that canonical
+    /// equality implies structural (`==`) equality of the rebuilt trees.
+    pub(crate) fn to_expr(&self) -> PrimExpr {
+        if self.terms.is_empty() {
+            return PrimExpr::Int(0);
+        }
+        let mut acc: Option<PrimExpr> = None;
+        let mut const_term: i64 = 0;
+        for (mono, coef) in &self.terms {
+            if mono.is_empty() {
+                const_term = *coef;
+                continue;
+            }
+            let mut factor: Option<PrimExpr> = None;
+            for atom in mono {
+                let e = atom.to_expr();
+                factor = Some(match factor {
+                    None => e,
+                    Some(f) => f * e,
+                });
+            }
+            let base = factor.expect("non-empty monomial");
+            let term = match *coef {
+                1 => base,
+                c => base * PrimExpr::Int(c),
+            };
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a + term,
+            });
+        }
+        match (acc, const_term) {
+            (None, c) => PrimExpr::Int(c),
+            (Some(a), 0) => a,
+            (Some(a), c) if c > 0 => a + PrimExpr::Int(c),
+            (Some(a), c) => a - PrimExpr::Int(-c),
+        }
+    }
+}
+
+/// Canonicalizes an expression whose children are already simplified.
+///
+/// `simplify_opaque` is invoked on floor-div/mod/min/max nodes so the
+/// simplifier's rewrite rules run before the node is frozen into an atom.
+pub(crate) fn canonicalize(
+    expr: &PrimExpr,
+    simplify_opaque: &dyn Fn(&PrimExpr) -> PrimExpr,
+) -> Canonical {
+    match expr {
+        PrimExpr::Int(v) => Canonical::constant(*v),
+        PrimExpr::Var(v) => Canonical::atom(Atom::Var(v.clone())),
+        PrimExpr::Add(a, b) => {
+            canonicalize(a, simplify_opaque).add(&canonicalize(b, simplify_opaque))
+        }
+        PrimExpr::Sub(a, b) => {
+            canonicalize(a, simplify_opaque).sub(&canonicalize(b, simplify_opaque))
+        }
+        PrimExpr::Mul(a, b) => {
+            let ca = canonicalize(a, simplify_opaque);
+            let cb = canonicalize(b, simplify_opaque);
+            match ca.mul(&cb) {
+                Some(c) => c,
+                None => Canonical::atom(Atom::Opaque(ca.to_expr() * cb.to_expr())),
+            }
+        }
+        PrimExpr::FloorDiv(..) | PrimExpr::FloorMod(..) | PrimExpr::Min(..) | PrimExpr::Max(..) => {
+            let simplified = simplify_opaque(expr);
+            match &simplified {
+                PrimExpr::Int(v) => Canonical::constant(*v),
+                PrimExpr::Var(v) => Canonical::atom(Atom::Var(v.clone())),
+                PrimExpr::Add(..) | PrimExpr::Sub(..) | PrimExpr::Mul(..) => {
+                    canonicalize(&simplified, simplify_opaque)
+                }
+                other => Canonical::atom(Atom::Opaque(other.clone())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_rewrite(e: &PrimExpr) -> PrimExpr {
+        e.clone()
+    }
+
+    #[test]
+    fn linear_combination_merges() {
+        let n = Var::new("n");
+        let a = PrimExpr::from(n.clone()) * 2.into();
+        let b = PrimExpr::from(n.clone()) + PrimExpr::from(n.clone());
+        assert_eq!(
+            canonicalize(&a, &no_rewrite).to_expr(),
+            canonicalize(&b, &no_rewrite).to_expr()
+        );
+    }
+
+    #[test]
+    fn product_expansion() {
+        let n = Var::new("n");
+        let a = (PrimExpr::from(n.clone()) + 1.into()) * 4.into();
+        let b = PrimExpr::from(n.clone()) * 4.into() + 4.into();
+        assert_eq!(canonicalize(&a, &no_rewrite), canonicalize(&b, &no_rewrite));
+    }
+
+    #[test]
+    fn cancellation_yields_zero() {
+        let n = Var::new("n");
+        let e = PrimExpr::from(n.clone()) - PrimExpr::from(n.clone());
+        assert!(canonicalize(&e, &no_rewrite).is_zero());
+    }
+
+    #[test]
+    fn constant_detection() {
+        let e = PrimExpr::from(3i64) * 4.into() - 5.into();
+        assert_eq!(canonicalize(&e, &no_rewrite).as_const(), Some(7));
+    }
+
+    #[test]
+    fn divide_exact() {
+        let n = Var::new("n");
+        let e = PrimExpr::from(n.clone()) * 4.into() + 8.into();
+        let c = canonicalize(&e, &no_rewrite);
+        let half = c.divide_exact(4).unwrap();
+        let expected = canonicalize(&(PrimExpr::from(n) + 2.into()), &no_rewrite);
+        assert_eq!(half, expected);
+        assert!(c.divide_exact(3).is_none());
+    }
+}

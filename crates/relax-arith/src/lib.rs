@@ -1,0 +1,41 @@
+//! Symbolic integer expressions for dynamic-shape compilation.
+//!
+//! This crate is the arithmetic substrate of the Relax reproduction: every
+//! dynamic tensor dimension in the compiler is a [`PrimExpr`] — an integer
+//! expression over symbolic [`Var`]s with `+`, `-`, `*`, floor division,
+//! floor modulo, `min`, and `max`. The compiler relies on three capabilities
+//! implemented here:
+//!
+//! 1. **Simplification** ([`simplify`]): canonicalizes expressions into a
+//!    sum-of-products normal form so that `2 * n` and `n + n` compare equal.
+//! 2. **Proofs** ([`Analyzer`]): proves equalities and inequalities between
+//!    symbolic expressions, optionally under user-declared variable bounds
+//!    (e.g. `n <= 2048` for static memory planning with shape upper bounds).
+//! 3. **Evaluation** ([`PrimExpr::eval`]): computes concrete values at
+//!    runtime once symbolic variables are bound, which the virtual machine
+//!    uses to materialize shapes.
+//!
+//! # Examples
+//!
+//! ```
+//! use relax_arith::{Analyzer, PrimExpr, Var};
+//!
+//! let n = Var::new("n");
+//! let a = PrimExpr::from(n.clone()) * 2.into();
+//! let b = PrimExpr::from(n.clone()) + n.clone().into();
+//! let mut ana = Analyzer::new();
+//! assert!(ana.prove_equal(&a, &b));
+//! ```
+
+mod analyzer;
+mod canonical;
+mod dtype;
+mod expr;
+mod simplify;
+mod subst;
+
+pub use analyzer::{Analyzer, IntBound};
+pub use dtype::{DataType, ParseDataTypeError};
+pub use expr::{EvalError, PrimExpr, Var};
+pub use simplify::simplify;
+pub use subst::{free_vars, substitute, SubstMap};

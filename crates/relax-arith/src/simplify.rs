@@ -1,0 +1,258 @@
+//! Rewrite-rule simplifier on top of the canonical normal form.
+
+use crate::analyzer::{bound_of, IntBound};
+use crate::canonical::{canonicalize, Canonical};
+use crate::expr::PrimExpr;
+use std::collections::HashMap;
+
+/// Simplifies an expression to a canonical normal form.
+///
+/// Guarantees: two expressions that are equal as polynomials over the same
+/// opaque atoms simplify to structurally identical (`==`) trees, constants
+/// fold fully, and a set of floor-div/mod/min/max rewrite rules fire (e.g.
+/// `(n * 4) // 4` simplifies to `n`, `(n * 4) % 4` to `0`).
+///
+/// # Examples
+///
+/// ```
+/// use relax_arith::{simplify, PrimExpr, Var};
+/// let n = Var::new("n");
+/// let a = simplify(&(PrimExpr::from(n.clone()) * 2.into() + 2.into()));
+/// let b = simplify(&((PrimExpr::from(n.clone()) + 1.into()) * 2.into()));
+/// assert_eq!(a, b);
+/// ```
+pub fn simplify(expr: &PrimExpr) -> PrimExpr {
+    simplify_with_bounds(expr, &HashMap::new())
+}
+
+/// Simplifies with variable bounds available, allowing bound-based
+/// resolutions of `min`/`max` (e.g. `min(n, 4096)` becomes `n` once the
+/// caller has declared `n <= 4096`).
+pub(crate) fn simplify_with_bounds(
+    expr: &PrimExpr,
+    env: &HashMap<crate::expr::Var, IntBound>,
+) -> PrimExpr {
+    let rewrite = make_rewriter(env);
+    canonicalize(expr, &rewrite).to_expr()
+}
+
+fn make_rewriter<'a>(
+    env: &'a HashMap<crate::expr::Var, IntBound>,
+) -> impl Fn(&PrimExpr) -> PrimExpr + 'a {
+    move |e: &PrimExpr| rewrite_opaque(e, env)
+}
+
+/// Applies rewrite rules to a floor-div/mod/min/max node. Children are
+/// simplified first; the result may be any expression kind.
+fn rewrite_opaque(expr: &PrimExpr, env: &HashMap<crate::expr::Var, IntBound>) -> PrimExpr {
+    match expr {
+        PrimExpr::FloorDiv(a, b) => {
+            let ca = canonicalize(a, &make_rewriter(env));
+            let cb = canonicalize(b, &make_rewriter(env));
+            rewrite_floor_div(&ca, &cb, env)
+        }
+        PrimExpr::FloorMod(a, b) => {
+            let ca = canonicalize(a, &make_rewriter(env));
+            let cb = canonicalize(b, &make_rewriter(env));
+            rewrite_floor_mod(&ca, &cb, env)
+        }
+        PrimExpr::Min(a, b) => {
+            let sa = simplify_with_bounds(a, env);
+            let sb = simplify_with_bounds(b, env);
+            if sa == sb {
+                return sa;
+            }
+            match sign_of_difference(&sa, &sb, env) {
+                Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Equal) => sa,
+                Some(std::cmp::Ordering::Greater) => sb,
+                None => PrimExpr::Min(Box::new(sa), Box::new(sb)),
+            }
+        }
+        PrimExpr::Max(a, b) => {
+            let sa = simplify_with_bounds(a, env);
+            let sb = simplify_with_bounds(b, env);
+            if sa == sb {
+                return sa;
+            }
+            match sign_of_difference(&sa, &sb, env) {
+                Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Equal) => sb,
+                Some(std::cmp::Ordering::Greater) => sa,
+                None => PrimExpr::Max(Box::new(sa), Box::new(sb)),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Determines the sign of `a - b` from bound analysis: `Less` means `a <= b`
+/// provably, `Greater` means `a >= b` provably.
+fn sign_of_difference(
+    a: &PrimExpr,
+    b: &PrimExpr,
+    env: &HashMap<crate::expr::Var, IntBound>,
+) -> Option<std::cmp::Ordering> {
+    let diff = simplify_with_bounds(&(a.clone() - b.clone()), env);
+    let bound = bound_of(&diff, env);
+    if bound.max <= 0 {
+        Some(std::cmp::Ordering::Less)
+    } else if bound.min >= 0 {
+        Some(std::cmp::Ordering::Greater)
+    } else {
+        None
+    }
+}
+
+fn rewrite_floor_div(
+    ca: &Canonical,
+    cb: &Canonical,
+    env: &HashMap<crate::expr::Var, IntBound>,
+) -> PrimExpr {
+    if let (Some(x), Some(y)) = (ca.as_const(), cb.as_const()) {
+        if y != 0 {
+            return PrimExpr::Int(x.div_euclid(y));
+        }
+    }
+    if let Some(k) = cb.as_const() {
+        if k == 1 {
+            return ca.to_expr();
+        }
+        if k > 1 {
+            // Divide-through: (k*x + k*y) // k == x + y.
+            if let Some(q) = ca.divide_exact(k) {
+                return q.to_expr();
+            }
+            // Split: (k*x + r) // k == x + r // k when 0 <= r < k provably.
+            let (div, rem) = ca.split_by_divisor(k);
+            if !div.is_zero() {
+                let rem_expr = rem.to_expr();
+                let b = bound_of(&rem_expr, env);
+                if b.min >= 0 && b.max < k {
+                    return div.to_expr();
+                }
+                if let Some(r) = rem.as_const() {
+                    // Constant remainder folds exactly even when negative.
+                    let offset = r.div_euclid(k);
+                    let leftover = r.rem_euclid(k);
+                    if leftover == 0 {
+                        return div.add(&Canonical::constant(offset)).to_expr();
+                    }
+                }
+            }
+        }
+    }
+    PrimExpr::FloorDiv(Box::new(ca.to_expr()), Box::new(cb.to_expr()))
+}
+
+fn rewrite_floor_mod(
+    ca: &Canonical,
+    cb: &Canonical,
+    env: &HashMap<crate::expr::Var, IntBound>,
+) -> PrimExpr {
+    if let (Some(x), Some(y)) = (ca.as_const(), cb.as_const()) {
+        if y != 0 {
+            return PrimExpr::Int(x.rem_euclid(y));
+        }
+    }
+    if let Some(k) = cb.as_const() {
+        if k == 1 {
+            return PrimExpr::Int(0);
+        }
+        if k > 1 {
+            if ca.divide_exact(k).is_some() {
+                return PrimExpr::Int(0);
+            }
+            let (div, rem) = ca.split_by_divisor(k);
+            if !div.is_zero() {
+                let rem_expr = rem.to_expr();
+                let b = bound_of(&rem_expr, env);
+                if b.min >= 0 && b.max < k {
+                    return rem_expr;
+                }
+                if let Some(r) = rem.as_const() {
+                    return PrimExpr::Int(r.rem_euclid(k));
+                }
+            }
+        }
+    }
+    PrimExpr::FloorMod(Box::new(ca.to_expr()), Box::new(cb.to_expr()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Var;
+
+    #[test]
+    fn constant_folding() {
+        let e = (PrimExpr::from(2i64) + 3.into()) * 4.into();
+        assert_eq!(simplify(&e), PrimExpr::Int(20));
+    }
+
+    #[test]
+    fn floordiv_rules() {
+        let n = Var::new("n");
+        let e = (PrimExpr::from(n.clone()) * 4.into()).floor_div(4.into());
+        assert_eq!(simplify(&e), PrimExpr::Var(n.clone()));
+
+        let e = (PrimExpr::from(n.clone()) * 4.into() + 8.into()).floor_div(4.into());
+        assert_eq!(
+            simplify(&e),
+            simplify(&(PrimExpr::from(n.clone()) + 2.into()))
+        );
+
+        let e = PrimExpr::from(n.clone()).floor_div(1.into());
+        assert_eq!(simplify(&e), PrimExpr::Var(n));
+    }
+
+    #[test]
+    fn floormod_rules() {
+        let n = Var::new("n");
+        let e = (PrimExpr::from(n.clone()) * 4.into()).floor_mod(4.into());
+        assert_eq!(simplify(&e), PrimExpr::Int(0));
+        let e = (PrimExpr::from(n.clone()) * 4.into() + 3.into()).floor_mod(4.into());
+        assert_eq!(simplify(&e), PrimExpr::Int(3));
+        let e = PrimExpr::from(n).floor_mod(1.into());
+        assert_eq!(simplify(&e), PrimExpr::Int(0));
+    }
+
+    #[test]
+    fn min_max_identical_operands() {
+        let n = Var::new("n");
+        let a = PrimExpr::from(n.clone()) * 2.into();
+        let b = PrimExpr::from(n.clone()) + n.clone().into();
+        assert_eq!(simplify(&a.clone().min(b.clone())), simplify(&a));
+        assert_eq!(simplify(&a.clone().max(b)), simplify(&a));
+    }
+
+    #[test]
+    fn min_max_const_resolution() {
+        assert_eq!(
+            simplify(&PrimExpr::from(3i64).min(7.into())),
+            PrimExpr::Int(3)
+        );
+        assert_eq!(
+            simplify(&PrimExpr::from(3i64).max(7.into())),
+            PrimExpr::Int(7)
+        );
+    }
+
+    #[test]
+    fn nested_normalization() {
+        let n = Var::new("n");
+        let m = Var::new("m");
+        // (n + m) * 2 - m - m == 2n
+        let e = (PrimExpr::from(n.clone()) + m.clone().into()) * 2.into()
+            - PrimExpr::from(m.clone())
+            - PrimExpr::from(m.clone());
+        assert_eq!(simplify(&e), simplify(&(PrimExpr::from(n) * 2.into())));
+    }
+
+    #[test]
+    fn opaque_divs_compare_equal_after_simplify() {
+        let n = Var::new("n");
+        let a = PrimExpr::from(n.clone()).floor_div(3.into()) * 2.into();
+        let b = PrimExpr::from(n.clone()).floor_div(3.into())
+            + PrimExpr::from(n.clone()).floor_div(3.into());
+        assert_eq!(simplify(&a), simplify(&b));
+    }
+}

@@ -1,0 +1,119 @@
+//! Variable substitution and free-variable collection.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::expr::{PrimExpr, Var};
+use crate::simplify::simplify;
+
+/// A substitution map from symbolic variables to replacement expressions.
+pub type SubstMap = HashMap<Var, PrimExpr>;
+
+/// Substitutes variables in `expr` according to `map` and simplifies the
+/// result.
+///
+/// Variables without an entry in `map` are left untouched. This is the core
+/// operation behind cross-function shape deduction: the callee's symbolic
+/// signature is instantiated with the caller's argument shapes (Figure 7 in
+/// the paper).
+///
+/// # Examples
+///
+/// ```
+/// use relax_arith::{substitute, PrimExpr, SubstMap, Var};
+/// let n = Var::new("n");
+/// let m = Var::new("m");
+/// // n * m  with  n := k + 1, m := 4   ==>   k * 4 + 4
+/// let k = Var::new("k");
+/// let mut map = SubstMap::new();
+/// map.insert(n.clone(), PrimExpr::from(k.clone()) + 1.into());
+/// map.insert(m.clone(), 4.into());
+/// let out = substitute(&(PrimExpr::from(n) * m.into()), &map);
+/// let expected = relax_arith::simplify(&(PrimExpr::from(k) * 4.into() + 4.into()));
+/// assert_eq!(out, expected);
+/// ```
+pub fn substitute(expr: &PrimExpr, map: &SubstMap) -> PrimExpr {
+    simplify(&substitute_raw(expr, map))
+}
+
+fn substitute_raw(expr: &PrimExpr, map: &SubstMap) -> PrimExpr {
+    match expr {
+        PrimExpr::Var(v) => map.get(v).cloned().unwrap_or_else(|| expr.clone()),
+        PrimExpr::Int(_) => expr.clone(),
+        PrimExpr::Add(a, b) => substitute_raw(a, map) + substitute_raw(b, map),
+        PrimExpr::Sub(a, b) => substitute_raw(a, map) - substitute_raw(b, map),
+        PrimExpr::Mul(a, b) => substitute_raw(a, map) * substitute_raw(b, map),
+        PrimExpr::FloorDiv(a, b) => substitute_raw(a, map).floor_div(substitute_raw(b, map)),
+        PrimExpr::FloorMod(a, b) => substitute_raw(a, map).floor_mod(substitute_raw(b, map)),
+        PrimExpr::Min(a, b) => substitute_raw(a, map).min(substitute_raw(b, map)),
+        PrimExpr::Max(a, b) => substitute_raw(a, map).max(substitute_raw(b, map)),
+    }
+}
+
+/// Collects the set of free symbolic variables in an expression.
+///
+/// # Examples
+///
+/// ```
+/// use relax_arith::{free_vars, PrimExpr, Var};
+/// let n = Var::new("n");
+/// let e = PrimExpr::from(n.clone()) * 4.into();
+/// assert!(free_vars(&e).contains(&n));
+/// ```
+pub fn free_vars(expr: &PrimExpr) -> HashSet<Var> {
+    let mut out = HashSet::new();
+    collect_vars(expr, &mut out);
+    out
+}
+
+/// Appends the free variables of `expr` into `out`.
+pub(crate) fn collect_vars(expr: &PrimExpr, out: &mut HashSet<Var>) {
+    match expr {
+        PrimExpr::Var(v) => {
+            out.insert(v.clone());
+        }
+        PrimExpr::Int(_) => {}
+        PrimExpr::Add(a, b)
+        | PrimExpr::Sub(a, b)
+        | PrimExpr::Mul(a, b)
+        | PrimExpr::FloorDiv(a, b)
+        | PrimExpr::FloorMod(a, b)
+        | PrimExpr::Min(a, b)
+        | PrimExpr::Max(a, b) => {
+            collect_vars(a, out);
+            collect_vars(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_simplifies() {
+        let n = Var::new("n");
+        let map: SubstMap = [(n.clone(), PrimExpr::Int(3))].into_iter().collect();
+        let e = PrimExpr::from(n) * 4.into() + 2.into();
+        assert_eq!(substitute(&e, &map), PrimExpr::Int(14));
+    }
+
+    #[test]
+    fn unmapped_vars_survive() {
+        let n = Var::new("n");
+        let m = Var::new("m");
+        let map: SubstMap = [(n.clone(), PrimExpr::Int(2))].into_iter().collect();
+        let e = PrimExpr::from(n) + m.clone().into();
+        let out = substitute(&e, &map);
+        assert_eq!(out, simplify(&(PrimExpr::from(m) + 2.into())));
+    }
+
+    #[test]
+    fn free_vars_in_nested_exprs() {
+        let n = Var::new("n");
+        let m = Var::new("m");
+        let e = (PrimExpr::from(n.clone()).floor_div(2.into())).min(PrimExpr::from(m.clone()));
+        let fv = free_vars(&e);
+        assert_eq!(fv.len(), 2);
+        assert!(fv.contains(&n) && fv.contains(&m));
+    }
+}

@@ -1,0 +1,111 @@
+//! Compiler micro-benchmarks.
+//!
+//! The headline check is `deduction_chain`: §4.1 claims forward deduction
+//! runs in time linear in the number of operations ("a full-graph forward
+//! deduction takes time linear to the number of operations"), which is
+//! what keeps per-pass re-deduction affordable. The group benches chains
+//! of 64/256/1024 operators; linearity shows as ~4x time per 4x size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use relax_arith::{Analyzer, PrimExpr, Var as SymVar};
+use relax_core::{BlockBuilder, DataType, Expr, IRModule, Op, StructInfo};
+use relax_models::llama::LlamaConfig;
+use relax_passes::{
+    annotate_compute_patterns, compile, fuse_ops, legalize_module, lower_to_vm, plan_memory,
+    CompileOptions,
+};
+
+fn chain_module(n_ops: usize) -> IRModule {
+    let mut bb = BlockBuilder::new();
+    let n = SymVar::new("n");
+    let p = bb.begin_function(
+        "main",
+        vec![(
+            "x".into(),
+            StructInfo::tensor(vec![n.into(), 64.into()], DataType::F32),
+        )],
+    );
+    bb.begin_dataflow();
+    let mut cur = p[0].clone();
+    for i in 0..n_ops {
+        let op = match i % 3 {
+            0 => Op::Relu,
+            1 => Op::Exp,
+            _ => Op::Silu,
+        };
+        cur = if i + 1 == n_ops {
+            bb.emit_output(Expr::op_call(op, vec![cur.into()])).unwrap()
+        } else {
+            bb.emit(Expr::op_call(op, vec![cur.into()])).unwrap()
+        };
+    }
+    bb.finish_function(cur.into(), None).unwrap();
+    bb.finish()
+}
+
+fn bench_arith(c: &mut Criterion) {
+    let n = SymVar::new("n");
+    let m = SymVar::new("m");
+    // (n + m) * 4 - 2m - 2m + n*0 ... a mid-sized polynomial.
+    let e = (PrimExpr::from(n.clone()) + m.clone().into()) * 4.into()
+        - PrimExpr::from(m.clone()) * 2.into()
+        - PrimExpr::from(m.clone()) * 2.into()
+        + PrimExpr::from(n.clone()).floor_div(8.into()) * 8.into();
+    c.bench_function("arith/simplify", |b| {
+        b.iter(|| relax_arith::simplify(std::hint::black_box(&e)))
+    });
+    let a1 = PrimExpr::from(n.clone()) * 2.into() + 8.into();
+    let a2 = (PrimExpr::from(n.clone()) + 4.into()) * 2.into();
+    let ana = Analyzer::new();
+    c.bench_function("arith/prove_equal", |b| {
+        b.iter(|| assert!(ana.prove_equal(std::hint::black_box(&a1), std::hint::black_box(&a2))))
+    });
+}
+
+fn bench_deduction_linearity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deduction_chain");
+    for &n_ops in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_ops), &n_ops, |b, &n| {
+            // Building the chain *is* the deduction workload: the builder
+            // deduces every binding's annotation as it is emitted.
+            b.iter(|| chain_module(std::hint::black_box(n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let cfg = LlamaConfig::tiny();
+    c.bench_function("pass/legalize+annotate+fuse", |b| {
+        b.iter_with_setup(
+            || relax_models::llama::build_decode(&cfg).unwrap().module,
+            |mut m| {
+                legalize_module(&mut m).unwrap();
+                annotate_compute_patterns(&mut m);
+                fuse_ops(&mut m);
+                m
+            },
+        )
+    });
+    c.bench_function("pass/memory_plan", |b| {
+        let mut m = relax_models::llama::build_decode(&cfg).unwrap().module;
+        legalize_module(&mut m).unwrap();
+        let exec = lower_to_vm(&m, &std::collections::HashMap::new()).unwrap();
+        let f = exec.funcs.get("decode").unwrap().clone();
+        b.iter(|| plan_memory(std::hint::black_box(&f), &std::collections::HashMap::new()))
+    });
+    c.bench_function("pass/full_pipeline_tiny_llm", |b| {
+        b.iter_with_setup(
+            || relax_models::llama::build_decode(&cfg).unwrap().module,
+            |m| compile(m, &CompileOptions::default()).unwrap(),
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_arith, bench_deduction_linearity, bench_passes
+);
+criterion_main!(benches);

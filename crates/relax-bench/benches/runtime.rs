@@ -1,0 +1,105 @@
+//! Runtime micro-benchmarks: VM decode steps on the executable tiny model
+//! and raw tensor-program interpretation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use relax_arith::{DataType, Var as SymVar};
+use relax_core::{ShapeDesc, StructInfo};
+use relax_models::llama::LlamaConfig;
+use relax_passes::{compile, CompileOptions};
+use relax_tir::{grid, interp, Buffer, NDArray, PrimFunc, Stmt, TirExpr};
+use relax_vm::{Value, Vm};
+
+fn tiny_decode_args(ir: &relax_models::llama::ModelIr, batch: usize, kv: usize) -> Vec<Value> {
+    let mut env = std::collections::HashMap::new();
+    env.insert(ir.batch.clone(), batch as i64);
+    env.insert(ir.seq.clone(), kv as i64);
+    ir.params
+        .iter()
+        .map(|(name, sinfo)| {
+            let (dims, dt) = match sinfo {
+                StructInfo::Tensor {
+                    shape: ShapeDesc::Known(d),
+                    dtype,
+                } => (
+                    d.iter()
+                        .map(|e| e.eval(&env).unwrap() as usize)
+                        .collect::<Vec<_>>(),
+                    dtype.unwrap(),
+                ),
+                _ => unreachable!(),
+            };
+            if name == "tokens" {
+                Value::Tensor(NDArray::from_i64(&dims, dt, vec![1; dims.iter().product()]).unwrap())
+            } else {
+                let n: usize = dims.iter().product();
+                Value::Tensor(
+                    NDArray::from_f64(&dims, dt, (0..n).map(|i| (i % 7) as f64 * 0.1).collect())
+                        .unwrap(),
+                )
+            }
+        })
+        .collect()
+}
+
+fn bench_vm_decode(c: &mut Criterion) {
+    let cfg = LlamaConfig::tiny();
+    let ir = relax_models::llama::build_decode(&cfg).unwrap();
+    let exec = compile(ir.module.clone(), &CompileOptions::default()).unwrap();
+    let mut vm = Vm::new(exec);
+    let args = tiny_decode_args(&ir, 2, 8);
+    c.bench_function("vm/tiny_llm_decode_step", |b| {
+        b.iter(|| vm.run("decode", std::hint::black_box(&args)).unwrap())
+    });
+}
+
+fn bench_tir_interp(c: &mut Criterion) {
+    let n = SymVar::new("n");
+    let x = Buffer::new("X", vec![n.clone().into(), 64.into()], DataType::F32);
+    let w = Buffer::new("W", vec![64.into(), 64.into()], DataType::F32);
+    let y = Buffer::new("Y", vec![n.clone().into(), 64.into()], DataType::F32);
+    let (iv, nest) = grid(&[("i", n.into()), ("j", 64.into()), ("k", 64.into())]);
+    let (i, j, k) = (iv[0].clone(), iv[1].clone(), iv[2].clone());
+    let body = nest.build(Stmt::seq(vec![
+        Stmt::IfEq {
+            lhs: k.clone().into(),
+            rhs: 0.into(),
+            then: Box::new(Stmt::store(
+                &y,
+                vec![i.clone().into(), j.clone().into()],
+                TirExpr::FloatImm(0.0),
+            )),
+        },
+        Stmt::store(
+            &y,
+            vec![i.clone().into(), j.clone().into()],
+            TirExpr::load(&y, vec![i.clone().into(), j.clone().into()])
+                + TirExpr::load(&x, vec![i.into(), k.clone().into()])
+                    * TirExpr::load(&w, vec![k.into(), j.into()]),
+        ),
+    ]));
+    let f = PrimFunc::new("mm", vec![x, w, y], 1, body);
+    let xs = NDArray::from_f64(
+        &[8, 64],
+        DataType::F32,
+        (0..512).map(|i| (i % 13) as f64).collect(),
+    )
+    .unwrap();
+    let ws = NDArray::from_f64(
+        &[64, 64],
+        DataType::F32,
+        (0..4096).map(|i| (i % 7) as f64 * 0.1).collect(),
+    )
+    .unwrap();
+    let ys = NDArray::zeros(&[8, 64], DataType::F32);
+    c.bench_function("tir/interp_matmul_8x64x64", |b| {
+        b.iter(|| interp::run(&f, &[xs.clone(), ws.clone(), ys.clone()]).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vm_decode, bench_tir_interp
+);
+criterion_main!(benches);

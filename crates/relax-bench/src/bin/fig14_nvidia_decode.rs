@@ -1,0 +1,13 @@
+//! Figure 14: per-token decode latency on NVIDIA RTX 4090 for Llama3-8B,
+//! Gemma1.1-7B and Qwen2-7B across batch sizes, comparing HF eager,
+//! HF + torch.compile, vLLM, llama.cpp, and Relax.
+
+use relax_bench::figures::{competitiveness_summary, run_decode_figure};
+use relax_sim::DeviceSpec;
+
+fn main() {
+    println!("# Figure 14: decode latency (ms/token), NVIDIA RTX 4090");
+    println!("# paper: Relax competitive across batch sizes; up to 27% decode latency reduction");
+    let results = run_decode_figure(&DeviceSpec::rtx4090());
+    competitiveness_summary(&results, 1.15);
+}

@@ -1,0 +1,11 @@
+//! Figure 15: per-token decode latency on AMD Radeon 7900 XTX.
+
+use relax_bench::figures::{competitiveness_summary, run_decode_figure};
+use relax_sim::DeviceSpec;
+
+fn main() {
+    println!("# Figure 15: decode latency (ms/token), AMD Radeon 7900 XTX");
+    println!("# paper: Relax consistently competitive; up to 1.50x at batch size 1");
+    let results = run_decode_figure(&DeviceSpec::radeon7900xtx());
+    competitiveness_summary(&results, 1.15);
+}

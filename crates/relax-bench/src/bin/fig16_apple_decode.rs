@@ -1,0 +1,12 @@
+//! Figure 16: per-token decode latency on Apple M2 Ultra (vLLM and
+//! torch.compile unsupported there; llama.cpp is the strong baseline).
+
+use relax_bench::figures::{competitiveness_summary, run_decode_figure};
+use relax_sim::DeviceSpec;
+
+fn main() {
+    println!("# Figure 16: decode latency (ms/token), Apple M2 Ultra");
+    println!("# paper: Relax competitive with hand-optimized llama.cpp on Apple GPUs");
+    let results = run_decode_figure(&DeviceSpec::apple_m2_ultra());
+    competitiveness_summary(&results, 1.15);
+}

@@ -1,0 +1,99 @@
+//! Figure 17: ablation of operator fusion, partial library dispatching and
+//! CUDA-graph offloading on Llama3-8B decode across batch sizes.
+//!
+//! Paper findings to reproduce in shape: partial library lowering
+//! contributes the most (up to 27%) at large batch sizes; fusion reduces
+//! launched kernels and memory traffic; graph capture adds ~1–2% by
+//! removing launch overhead.
+
+use relax_bench::{compile_decode, fmt_row, print_header, relax_decode_s};
+use relax_models::llama::LlamaConfig;
+use relax_passes::CompileOptions;
+use relax_sim::DeviceSpec;
+
+fn main() {
+    let cfg = LlamaConfig::llama3_8b();
+    let device = DeviceSpec::rtx4090();
+    let batches = [1i64, 4, 8, 16, 32];
+    let context = 1024i64;
+
+    println!(
+        "# Figure 17: composable-optimization ablation, {} on {device}",
+        cfg.name
+    );
+    println!("# rows are cumulative-from-full configurations; values are ms/token\n");
+
+    // Library dispatch is adaptive per batch size (generated matvec at
+    // batch 1, libraries otherwise): every configuration except
+    // "no library" compiles both variants and takes the best per batch,
+    // exactly like the end-to-end figures.
+    let adaptive = |base: CompileOptions| -> Vec<f64> {
+        let with_lib = compile_decode(&cfg, &base).expect("compile");
+        let without = compile_decode(
+            &cfg,
+            &CompileOptions {
+                dispatch_library: false,
+                ..base
+            },
+        )
+        .expect("compile");
+        batches
+            .iter()
+            .map(|&b| {
+                let a = relax_decode_s(&with_lib, &device, b, context).expect("simulate");
+                let c = relax_decode_s(&without, &device, b, context).expect("simulate");
+                a.min(c) * 1e3
+            })
+            .collect()
+    };
+    let fixed = |opts: CompileOptions| -> Vec<f64> {
+        let model = compile_decode(&cfg, &opts).expect("compile");
+        batches
+            .iter()
+            .map(|&b| relax_decode_s(&model, &device, b, context).expect("simulate") * 1e3)
+            .collect()
+    };
+
+    let table: Vec<(String, Vec<f64>)> = vec![
+        ("all opts".to_string(), adaptive(CompileOptions::default())),
+        (
+            "no capture".to_string(),
+            adaptive(CompileOptions {
+                graph_capture: false,
+                ..CompileOptions::default()
+            }),
+        ),
+        (
+            "no library".to_string(),
+            fixed(CompileOptions {
+                dispatch_library: false,
+                ..CompileOptions::default()
+            }),
+        ),
+        (
+            "no fusion".to_string(),
+            adaptive(CompileOptions {
+                fusion: false,
+                ..CompileOptions::default()
+            }),
+        ),
+        ("none".to_string(), fixed(CompileOptions::baseline())),
+    ];
+
+    print_header("config", &["b=1", "b=4", "b=8", "b=16", "b=32"]);
+    for (label, row) in &table {
+        println!(
+            "{}",
+            fmt_row(label, &row.iter().map(|v| Some(*v)).collect::<Vec<_>>())
+        );
+    }
+
+    println!("\n#### Contribution of each optimization (slowdown when removed, b=16)\n");
+    let full = table[0].1[3];
+    for (label, row) in &table[1..] {
+        let pct = (row[3] / full - 1.0) * 100.0;
+        println!("- {label}: +{pct:.1}% decode latency at b=16");
+    }
+    println!("\n# paper: library dispatch contributes most at large batches (up to 27%),");
+    println!("# fusion next (~1/5 of operators fused), CUDA graph ~1-2%.");
+}

@@ -1,0 +1,113 @@
+//! Table 2: activation memory of Llama3-8B inference with and without
+//! static memory planning, measured over successive prefills of lengths
+//! {128, 256, 512, 1024} and successive decodes at batch {1, 16, 32, 64}.
+//!
+//! This experiment is a *measurement* of the compiler's actual memory
+//! behaviour, not a performance model: the planned path sums the static
+//! storages produced by Algorithm 3 (sized with the declared upper bounds),
+//! while the unplanned path replays the allocation/free event stream of
+//! the lowered program against the runtime recycling pool.
+
+use relax_bench::{compile_decode, compile_prefill, sim_args};
+use relax_models::llama::LlamaConfig;
+use relax_passes::CompileOptions;
+use relax_sim::{simulate_with_memory, DeviceSpec, MemoryTracker};
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+fn main() {
+    let cfg = LlamaConfig::llama3_8b();
+    let device = DeviceSpec::rtx4090();
+    println!("# Table 2: activation memory (MiB) with vs without static memory planning");
+    println!(
+        "# model: {}, measured from the compiler's own allocation stream\n",
+        cfg.name
+    );
+
+    // ---- Prefill workload: successive lengths, batch 1. ----
+    let prefill_lens = [128i64, 256, 512, 1024];
+    let max_len = 1024i64;
+
+    let planned = {
+        let ir = relax_models::llama::build_prefill(&cfg).expect("build");
+        let opts = CompileOptions::default()
+            .with_bound(ir.batch.clone(), 1)
+            .with_bound(ir.seq.clone(), max_len);
+        let exec = relax_passes::compile(ir.module.clone(), &opts).expect("compile");
+        let model = relax_bench::CompiledModel { exec, ir };
+        let mut mem = MemoryTracker::new();
+        for &len in &prefill_lens {
+            let args = sim_args(&model.ir, 1, len);
+            simulate_with_memory(&model.exec, &model.ir.func, &args, &device, true, &mut mem)
+                .expect("simulate");
+        }
+        mem.total_bytes() as f64 / MIB
+    };
+    let unplanned = {
+        let opts = CompileOptions {
+            memory_plan: false,
+            graph_capture: false,
+            ..CompileOptions::default()
+        };
+        let model = compile_prefill(&cfg, &opts).expect("compile");
+        let mut mem = MemoryTracker::new();
+        for &len in &prefill_lens {
+            let args = sim_args(&model.ir, 1, len);
+            simulate_with_memory(&model.exec, &model.ir.func, &args, &device, true, &mut mem)
+                .expect("simulate");
+        }
+        mem.total_bytes() as f64 / MIB
+    };
+    println!("| Llama3-8B Prefill        |    MiB |");
+    println!("| ------------------------ | ------ |");
+    println!("| Relax w/o planning       | {unplanned:6.1} |");
+    println!("| Relax w/  planning       | {planned:6.1} |");
+    println!(
+        "| reduction                | {:5.1}% |",
+        (1.0 - planned / unplanned) * 100.0
+    );
+    println!("# paper: 192.7 MiB -> 149.7 MiB (22% reduction)\n");
+
+    // ---- Decode workload: successive batches at a fixed context. ----
+    let batches = [1i64, 16, 32, 64];
+    let context = 512i64;
+    let planned_dec = {
+        let ir = relax_models::llama::build_decode(&cfg).expect("build");
+        let opts = CompileOptions::default()
+            .with_bound(ir.batch.clone(), 64)
+            .with_bound(ir.seq.clone(), cfg.max_context);
+        let exec = relax_passes::compile(ir.module.clone(), &opts).expect("compile");
+        let model = relax_bench::CompiledModel { exec, ir };
+        let mut mem = MemoryTracker::new();
+        for &b in &batches {
+            let args = sim_args(&model.ir, b, context);
+            simulate_with_memory(&model.exec, &model.ir.func, &args, &device, true, &mut mem)
+                .expect("simulate");
+        }
+        mem.total_bytes() as f64 / MIB
+    };
+    let unplanned_dec = {
+        let opts = CompileOptions {
+            memory_plan: false,
+            graph_capture: false,
+            ..CompileOptions::default()
+        };
+        let model = compile_decode(&cfg, &opts).expect("compile");
+        let mut mem = MemoryTracker::new();
+        for &b in &batches {
+            let args = sim_args(&model.ir, b, context);
+            simulate_with_memory(&model.exec, &model.ir.func, &args, &device, true, &mut mem)
+                .expect("simulate");
+        }
+        mem.total_bytes() as f64 / MIB
+    };
+    println!("| Llama3-8B Decode         |    MiB |");
+    println!("| ------------------------ | ------ |");
+    println!("| Relax w/o planning       | {unplanned_dec:6.1} |");
+    println!("| Relax w/  planning       | {planned_dec:6.1} |");
+    println!(
+        "| reduction                | {:5.1}% |",
+        (1.0 - planned_dec / unplanned_dec) * 100.0
+    );
+    println!("# paper: 150.0 MiB -> 88.2 MiB (40% reduction)");
+}

@@ -1,0 +1,86 @@
+//! Reusable experiment drivers shared by the figure/table binaries.
+
+use relax_models::llama::LlamaConfig;
+use relax_sim::baseline::{decode_latency_s, Baseline};
+use relax_sim::DeviceSpec;
+
+use crate::{fmt_row, print_header, profile_of, RelaxAdaptive};
+
+/// The decode batch sizes of Figures 14–16.
+pub const BATCHES: [i64; 4] = [1, 4, 8, 16];
+
+/// The decode context length used for the per-token latency figures.
+pub const CONTEXT: i64 = 1024;
+
+/// Runs one decode-latency figure (Figures 14, 15, 16): per-token decode
+/// latency (ms) for each model and batch size, comparing every baseline
+/// that supports the device with the compiled Relax executable.
+///
+/// Returns, per model, the (baseline label → per-batch latencies) map in
+/// column order `HF eager, HF compile, vLLM, llama.cpp, Relax`.
+pub fn run_decode_figure(device: &DeviceSpec) -> Vec<(String, Vec<Vec<Option<f64>>>)> {
+    let models = [
+        LlamaConfig::llama3_8b(),
+        LlamaConfig::gemma_7b(),
+        LlamaConfig::qwen2_7b(),
+    ];
+    let baselines = [
+        Baseline::HfEager,
+        Baseline::HfCompile,
+        Baseline::Vllm,
+        Baseline::LlamaCpp,
+    ];
+    let mut results = Vec::new();
+    for config in &models {
+        println!("\n### {} on {device}\n", config.name);
+        print_header("system", &["b=1", "b=4", "b=8", "b=16"]);
+        let profile = profile_of(config);
+        let mut rows: Vec<Vec<Option<f64>>> = Vec::new();
+        for b in baselines {
+            let row: Vec<Option<f64>> = BATCHES
+                .iter()
+                .map(|&batch| {
+                    decode_latency_s(b, &profile, device, batch as u32, CONTEXT as u32)
+                        .map(|s| s * 1e3)
+                })
+                .collect();
+            println!("{}", fmt_row(b.label(), &row));
+            rows.push(row);
+        }
+        let relax = RelaxAdaptive::new(config).expect("compile");
+        let row: Vec<Option<f64>> = BATCHES
+            .iter()
+            .map(|&batch| Some(relax.decode_s(device, batch, CONTEXT).expect("simulate") * 1e3))
+            .collect();
+        println!("{}", fmt_row("Relax", &row));
+        rows.push(row);
+        results.push((config.name.clone(), rows));
+    }
+    results
+}
+
+/// Summarizes the figure: does Relax stay competitive (within the given
+/// factor of the best supported baseline) at every batch size?
+pub fn competitiveness_summary(results: &[(String, Vec<Vec<Option<f64>>>)], slack: f64) {
+    println!("\n#### Competitiveness check (Relax vs best baseline)\n");
+    for (model, rows) in results {
+        let relax_row = rows.last().expect("relax row");
+        for (bi, &batch) in BATCHES.iter().enumerate() {
+            let best_baseline = rows[..rows.len() - 1]
+                .iter()
+                .filter_map(|r| r[bi])
+                .fold(f64::INFINITY, f64::min);
+            let relax = relax_row[bi].expect("relax value");
+            let verdict = if relax <= best_baseline {
+                "Relax fastest"
+            } else if relax <= best_baseline * slack {
+                "competitive"
+            } else {
+                "SLOWER than expected"
+            };
+            println!(
+                "- {model} b={batch}: Relax {relax:.2} ms vs best baseline {best_baseline:.2} ms -> {verdict}"
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The Relax IR: a cross-level program abstraction with first-class
+//! symbolic shapes for end-to-end dynamic machine learning.
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! - **Structural annotations** ([`StructInfo`], Table 1): `Object`,
+//!   `Shape`, `Tensor`, `Tuple`, `Callable`, with tensor dimensions as
+//!   symbolic integer expressions.
+//! - **Dataflow blocks** ([`BindingBlock`] with [`BlockKind::Dataflow`]):
+//!   side-effect-free straight-line regions where graph rewrites are always
+//!   safe.
+//! - **Cross-level calls** ([`Expr::CallTir`], [`Expr::CallDps`], Figure
+//!   4/5): graph-level code invoking loop-level tensor programs and
+//!   external libraries in destination-passing style, carrying output
+//!   annotations and extra symbolic arguments.
+//! - **First-class symbolic shapes** with [`Expr::MatchCast`] as the
+//!   dynamic fallback (Figure 3), and **forward deduction** ([`deduce`])
+//!   that instantiates callee signatures at call sites (Figure 7).
+//! - A [`BlockBuilder`] that normalizes and deduces while constructing
+//!   programs, an operator registry ([`Op`]) with per-operator inference
+//!   and [`legalize`] rules, a well-formedness checker and a paper-style
+//!   pretty printer.
+
+mod builder;
+mod deduce;
+mod expr;
+mod module;
+mod op;
+mod parser;
+mod printer;
+mod struct_info;
+mod wellformed;
+
+pub use builder::{BlockBuilder, BuildError};
+pub use deduce::{deduce, deduce_call_signature, shape_of, DeduceError};
+pub use expr::{Binding, BindingBlock, BlockKind, Expr, Function, OpAttrs, Var};
+pub use module::IRModule;
+pub use op::{legalize, InferError, LegalizeError, Op};
+pub use parser::{parse_functions, ParseError};
+pub use printer::FunctionDisplay;
+pub use struct_info::{unify_struct_info, Compat, ShapeDesc, StructInfo};
+pub use wellformed::{assert_well_formed, check_module, WellFormedError};
+
+// Re-export the data type so downstream users rarely need relax-arith
+// directly.
+pub use relax_arith::DataType;

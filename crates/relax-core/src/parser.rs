@@ -1,0 +1,916 @@
+//! A parser for the paper-style textual form of Relax functions — the
+//! round-trip companion of the pretty printer, playing the role TVMScript
+//! plays for the upstream system.
+//!
+//! The grammar is exactly what the printer emits (Figure 4 style):
+//!
+//! ```text
+//! def main(x: Tensor((n, 128), "f32"), w: Tensor((128, 256), "f32")):
+//!   n = sym_var()
+//!   with dataflow():
+//!     lv0: Tensor((n, 256), "f32") = call_tir(mm, [x, w], Tensor((n, 256), "f32"))
+//!     lv1: Tensor((n, 256), "f32") = call_dps_library("cutlass.rms_norm", [lv0], ...)
+//!     lv2: Tensor((n, 256), "f32") = relu(lv1)
+//!   return lv2
+//! ```
+//!
+//! Symbolic variables are scoped per function: the same name always
+//! denotes the same variable, whether it first appears in a parameter
+//! annotation, a `sym_var()` declaration, or a shape expression. Constant
+//! tensors (`const(...)`) are intentionally not parseable — their payloads
+//! do not round-trip through text.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use relax_arith::{DataType, PrimExpr, Var as SymVar};
+
+use crate::expr::{Binding, BindingBlock, BlockKind, Expr, Function, OpAttrs, Var};
+use crate::module::IRModule;
+use crate::op::Op;
+use crate::struct_info::{ShapeDesc, StructInfo};
+
+/// Error raised while parsing textual Relax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one or more `def` functions, adding them to `module` (which may
+/// already hold the tensor programs the text's `call_tir`s reference).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// use relax_core::{parse_functions, IRModule};
+/// let text = r#"
+/// def id_fn(x: Tensor((n, 4), "f32")):
+///   with dataflow():
+///     lv0: Tensor((n, 4), "f32") = relu(x)
+///   return lv0
+/// "#;
+/// let mut module = IRModule::new();
+/// parse_functions(text, &mut module)?;
+/// assert!(module.function("id_fn").is_some());
+/// # Ok::<(), relax_core::ParseError>(())
+/// ```
+pub fn parse_functions(text: &str, module: &mut IRModule) -> Result<(), ParseError> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let (lineno, line) = lines[i];
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with("def ") {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected `def`, found `{trimmed}`"),
+            });
+        }
+        i = parse_function(&lines, i, module)?;
+    }
+    Ok(())
+}
+
+struct FnCtx {
+    sym_vars: HashMap<String, SymVar>,
+    vars: HashMap<String, Var>,
+}
+
+impl FnCtx {
+    fn sym(&mut self, name: &str) -> SymVar {
+        self.sym_vars
+            .entry(name.to_string())
+            .or_insert_with(|| SymVar::new(name))
+            .clone()
+    }
+}
+
+fn parse_function(
+    lines: &[(usize, &str)],
+    start: usize,
+    module: &mut IRModule,
+) -> Result<usize, ParseError> {
+    let (lineno, header) = lines[start];
+    let header = header.trim();
+    let err = |line: usize, message: String| ParseError { line, message };
+
+    // def name(params...):
+    let rest = header
+        .strip_prefix("def ")
+        .and_then(|r| r.strip_suffix("):").or_else(|| r.strip_suffix(") :")))
+        .ok_or_else(|| err(lineno, "malformed function header".to_string()))?;
+    let open = rest
+        .find('(')
+        .ok_or_else(|| err(lineno, "missing `(` in header".to_string()))?;
+    let fname = rest[..open].trim().to_string();
+    let params_src = &rest[open + 1..];
+
+    let mut ctx = FnCtx {
+        sym_vars: HashMap::new(),
+        vars: HashMap::new(),
+    };
+
+    let mut params = Vec::new();
+    for piece in split_top_level(params_src, ',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let (name, ann) = piece
+            .split_once(':')
+            .ok_or_else(|| err(lineno, format!("parameter `{piece}` missing annotation")))?;
+        let mut p = Cursor::new(ann.trim(), lineno);
+        let sinfo = parse_struct_info(&mut p, &mut ctx)?;
+        p.expect_end()?;
+        let var = Var::new(name.trim(), sinfo);
+        ctx.vars.insert(name.trim().to_string(), var.clone());
+        params.push(var);
+    }
+
+    // Body.
+    let mut blocks: Vec<BindingBlock> = Vec::new();
+    let mut current: Vec<Binding> = Vec::new();
+    let mut current_kind = BlockKind::Binding;
+    let mut ret: Option<Expr> = None;
+    let mut i = start + 1;
+    while i < lines.len() {
+        let (ln, raw) = lines[i];
+        let line = raw.trim();
+        if line.starts_with("def ") {
+            break;
+        }
+        if line.starts_with("return ") {
+            let mut p = Cursor::new(line.strip_prefix("return ").expect("prefix"), ln);
+            ret = Some(parse_expr(&mut p, &mut ctx, false)?);
+            p.expect_end()?;
+            i += 1;
+            break;
+        }
+        if line == "with dataflow():" {
+            if !current.is_empty() {
+                blocks.push(BindingBlock {
+                    kind: current_kind,
+                    bindings: std::mem::take(&mut current),
+                });
+            }
+            current_kind = BlockKind::Dataflow;
+            i += 1;
+            continue;
+        }
+        if line.contains("= sym_var()") || line.ends_with("sym_var()") {
+            // `n, m = sym_var(), sym_var()` — declare names.
+            let names = line.split('=').next().expect("lhs");
+            for name in names.split(',') {
+                ctx.sym(name.trim());
+            }
+            i += 1;
+            continue;
+        }
+        // A binding: `name: SInfo = expr` or `name = expr`.
+        let eq = find_top_level(line, '=')
+            .ok_or_else(|| err(ln, format!("expected a binding, found `{line}`")))?;
+        let (lhs, rhs) = (line[..eq].trim(), line[eq + 1..].trim());
+        let (vname, declared) = match lhs.split_once(':') {
+            Some((v, ann)) => {
+                let mut p = Cursor::new(ann.trim(), ln);
+                let sinfo = parse_struct_info(&mut p, &mut ctx)?;
+                p.expect_end()?;
+                (v.trim(), Some(sinfo))
+            }
+            None => (lhs, None),
+        };
+        let mut p = Cursor::new(rhs, ln);
+        let value = parse_expr(&mut p, &mut ctx, true)?;
+        p.expect_end()?;
+        let sinfo = match declared {
+            Some(s) => s,
+            None => crate::deduce::deduce(&value, module).map_err(|e| ParseError {
+                line: ln,
+                message: format!("cannot deduce annotation: {e}"),
+            })?,
+        };
+        let var = if current_kind == BlockKind::Dataflow {
+            Var::new_dataflow(vname, sinfo)
+        } else {
+            Var::new(vname, sinfo)
+        };
+        ctx.vars.insert(vname.to_string(), var.clone());
+        current.push(Binding { var, value });
+        i += 1;
+    }
+    if !current.is_empty() {
+        blocks.push(BindingBlock {
+            kind: current_kind,
+            bindings: current,
+        });
+    }
+    let ret = ret.ok_or_else(|| err(lineno, format!("function `{fname}` has no return")))?;
+    // Dataflow vars returned from the block must be visible: promote any
+    // returned dataflow variable to a regular one.
+    let ret_sinfo = crate::deduce::deduce(&ret, module).map_err(|e| ParseError {
+        line: lineno,
+        message: format!("cannot deduce return annotation: {e}"),
+    })?;
+    let mut func = Function {
+        params,
+        blocks,
+        ret,
+        ret_sinfo,
+        attrs: OpAttrs::new(),
+    };
+    promote_returned_vars(&mut func);
+    module.add_function(fname, func);
+    Ok(i)
+}
+
+/// Returned dataflow vars become regular vars (the printer does not record
+/// the output distinction, so the parser restores well-formedness).
+fn promote_returned_vars(func: &mut Function) {
+    let mut returned = Vec::new();
+    func.ret.collect_used_vars(&mut returned);
+    let returned: HashMap<u64, Var> = returned
+        .into_iter()
+        .filter(|v| v.is_dataflow())
+        .map(|v| {
+            let promoted = Var::new(v.name(), v.struct_info().clone());
+            (v.id(), promoted)
+        })
+        .collect();
+    if returned.is_empty() {
+        return;
+    }
+    fn swap(e: &Expr, returned: &HashMap<u64, Var>) -> Expr {
+        match e {
+            Expr::Var(v) => match returned.get(&v.id()) {
+                Some(p) => Expr::Var(p.clone()),
+                None => e.clone(),
+            },
+            Expr::Tuple(items) => Expr::Tuple(
+                items
+                    .iter()
+                    .map(|it| match it {
+                        Expr::Var(v) => match returned.get(&v.id()) {
+                            Some(p) => Expr::Var(p.clone()),
+                            None => it.clone(),
+                        },
+                        other => other.clone(),
+                    })
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+    func.ret = swap(&func.ret, &returned);
+    for block in &mut func.blocks {
+        for binding in &mut block.bindings {
+            if let Some(p) = returned.get(&binding.var.id()) {
+                binding.var = p.clone();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cursor / tokenizer utilities.
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str, line: usize) -> Self {
+        Cursor { src, pos: 0, line }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{token}` at `{}`", &self.src[self.pos..])))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.pos == self.src.len() {
+            Ok(())
+        } else {
+            Err(self.error(format!("trailing input `{}`", &self.src[self.pos..])))
+        }
+    }
+
+    fn ident(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_alphanumeric() || *c == '_' || *c == '.')
+            .last()
+            .map(|(i, c)| i + c.len_utf8())?;
+        let (word, _) = rest.split_at(end);
+        self.pos += end;
+        Some(word)
+    }
+
+    fn integer(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let negative = rest.starts_with('-');
+        let digits_start = usize::from(negative);
+        let len = rest[digits_start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .count();
+        if len == 0 {
+            return None;
+        }
+        let text = &rest[..digits_start + len];
+        let value = text.parse().ok()?;
+        self.pos += digits_start + len;
+        Some(value)
+    }
+
+    fn string_lit(&mut self) -> Result<&'a str, ParseError> {
+        self.expect("\"")?;
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .find('"')
+            .ok_or_else(|| self.error("unterminated string"))?;
+        let s = &rest[..end];
+        self.pos += end + 1;
+        Ok(s)
+    }
+}
+
+/// Splits at top-level occurrences of `sep` (ignoring nesting in brackets
+/// and strings).
+fn split_top_level(src: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut start = 0;
+    for (i, c) in src.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '(' | '[' if !in_str => depth += 1,
+            ')' | ']' if !in_str => depth -= 1,
+            c if c == sep && depth == 0 && !in_str => {
+                parts.push(&src[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&src[start..]);
+    parts
+}
+
+fn find_top_level(src: &str, needle: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for (i, c) in src.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '(' | '[' if !in_str => depth += 1,
+            ')' | ']' if !in_str => depth -= 1,
+            c if c == needle && depth == 0 && !in_str => {
+                // `==` must not match.
+                if needle == '=' {
+                    let bytes = src.as_bytes();
+                    if (i + 1 < bytes.len() && bytes[i + 1] == b'=')
+                        || (i > 0 && bytes[i - 1] == b'=')
+                    {
+                        continue;
+                    }
+                }
+                return Some(i);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Symbolic expression parsing (the printer's fully parenthesized form
+// plus bare `a + b` style).
+// ---------------------------------------------------------------------
+
+fn parse_prim_expr(p: &mut Cursor, ctx: &mut FnCtx) -> Result<PrimExpr, ParseError> {
+    parse_additive(p, ctx)
+}
+
+fn parse_additive(p: &mut Cursor, ctx: &mut FnCtx) -> Result<PrimExpr, ParseError> {
+    let mut lhs = parse_multiplicative(p, ctx)?;
+    loop {
+        if p.eat("+") {
+            let rhs = parse_multiplicative(p, ctx)?;
+            lhs = lhs + rhs;
+        } else if p.peek() == Some('-') && !p.src[p.pos..].trim_start().starts_with("->") {
+            p.expect("-")?;
+            let rhs = parse_multiplicative(p, ctx)?;
+            lhs = lhs - rhs;
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_multiplicative(p: &mut Cursor, ctx: &mut FnCtx) -> Result<PrimExpr, ParseError> {
+    let mut lhs = parse_atom(p, ctx)?;
+    loop {
+        if p.eat("//") {
+            let rhs = parse_atom(p, ctx)?;
+            lhs = lhs.floor_div(rhs);
+        } else if p.eat("*") {
+            let rhs = parse_atom(p, ctx)?;
+            lhs = lhs * rhs;
+        } else if p.eat("%") {
+            let rhs = parse_atom(p, ctx)?;
+            lhs = lhs.floor_mod(rhs);
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_atom(p: &mut Cursor, ctx: &mut FnCtx) -> Result<PrimExpr, ParseError> {
+    if p.eat("min(") {
+        let a = parse_prim_expr(p, ctx)?;
+        p.expect(",")?;
+        let b = parse_prim_expr(p, ctx)?;
+        p.expect(")")?;
+        return Ok(a.min(b));
+    }
+    if p.eat("max(") {
+        let a = parse_prim_expr(p, ctx)?;
+        p.expect(",")?;
+        let b = parse_prim_expr(p, ctx)?;
+        p.expect(")")?;
+        return Ok(a.max(b));
+    }
+    if p.eat("(") {
+        let inner = parse_prim_expr(p, ctx)?;
+        p.expect(")")?;
+        return Ok(inner);
+    }
+    if let Some(v) = p.integer() {
+        return Ok(PrimExpr::Int(v));
+    }
+    // Quoted symbolic names ("n") appear in signature positions.
+    if p.peek() == Some('"') {
+        let name = p.string_lit()?.to_string();
+        let mut inner = Cursor::new(&name, p.line);
+        let mut scratch = std::mem::take(&mut ctx.sym_vars);
+        // Parse the quoted expression with the same sym-var scope.
+        let mut sub_ctx = FnCtx {
+            sym_vars: std::mem::take(&mut scratch),
+            vars: HashMap::new(),
+        };
+        let e = parse_prim_expr(&mut inner, &mut sub_ctx)?;
+        inner.expect_end()?;
+        ctx.sym_vars = sub_ctx.sym_vars;
+        return Ok(e);
+    }
+    let name = p
+        .ident()
+        .ok_or_else(|| p.error("expected a symbolic expression"))?
+        .to_string();
+    Ok(PrimExpr::Var(ctx.sym(&name)))
+}
+
+// ---------------------------------------------------------------------
+// StructInfo parsing.
+// ---------------------------------------------------------------------
+
+fn parse_struct_info(p: &mut Cursor, ctx: &mut FnCtx) -> Result<StructInfo, ParseError> {
+    if p.eat("Object") {
+        return Ok(StructInfo::Object);
+    }
+    if p.eat("Tensor(") {
+        let sinfo = if p.eat("ndim=None") {
+            StructInfo::Tensor {
+                shape: ShapeDesc::Unknown,
+                dtype: None,
+            }
+        } else if p.eat("ndim=") {
+            let n = p.integer().ok_or_else(|| p.error("expected ndim"))? as usize;
+            StructInfo::Tensor {
+                shape: ShapeDesc::Ndim(n),
+                dtype: None,
+            }
+        } else {
+            p.expect("(")?;
+            let mut dims = Vec::new();
+            while p.peek() != Some(')') {
+                dims.push(parse_prim_expr(p, ctx)?);
+                if !p.eat(",") {
+                    break;
+                }
+            }
+            p.expect(")")?;
+            StructInfo::Tensor {
+                shape: ShapeDesc::Known(dims),
+                dtype: None,
+            }
+        };
+        let dtype = if p.eat(",") {
+            if p.eat("dtype=None") {
+                None
+            } else {
+                let s = p.string_lit()?;
+                Some(s.parse::<DataType>().map_err(|e| p.error(e.to_string()))?)
+            }
+        } else {
+            None
+        };
+        p.expect(")")?;
+        let StructInfo::Tensor { shape, .. } = sinfo else {
+            unreachable!()
+        };
+        return Ok(StructInfo::Tensor { shape, dtype });
+    }
+    if p.eat("Shape(ndim=") {
+        let n = p.integer().ok_or_else(|| p.error("expected ndim"))? as usize;
+        p.expect(")")?;
+        return Ok(StructInfo::shape_ndim(n));
+    }
+    if p.eat("Shape([") {
+        let mut dims = Vec::new();
+        while p.peek() != Some(']') {
+            dims.push(parse_prim_expr(p, ctx)?);
+            if !p.eat(",") {
+                break;
+            }
+        }
+        p.expect("])")?;
+        return Ok(StructInfo::shape(dims));
+    }
+    if p.eat("Shape") {
+        return Ok(StructInfo::Shape(ShapeDesc::Unknown));
+    }
+    if p.eat("Tuple[") {
+        let mut fields = Vec::new();
+        while p.peek() != Some(']') {
+            fields.push(parse_struct_info(p, ctx)?);
+            if !p.eat(",") {
+                break;
+            }
+        }
+        p.expect("]")?;
+        return Ok(StructInfo::Tuple(fields));
+    }
+    if p.eat("Callable([") {
+        let mut params = Vec::new();
+        while p.peek() != Some(']') {
+            params.push(parse_struct_info(p, ctx)?);
+            if !p.eat(",") {
+                break;
+            }
+        }
+        p.expect("]")?;
+        p.expect(",")?;
+        let ret = parse_struct_info(p, ctx)?;
+        p.expect(")")?;
+        return Ok(StructInfo::callable(params, ret));
+    }
+    if p.eat("Prim(") {
+        let e = parse_prim_expr(p, ctx)?;
+        p.expect(")")?;
+        return Ok(StructInfo::Prim(e));
+    }
+    Err(p.error("expected a structural annotation"))
+}
+
+// ---------------------------------------------------------------------
+// Expression parsing.
+// ---------------------------------------------------------------------
+
+fn parse_expr_list(p: &mut Cursor, ctx: &mut FnCtx, close: char) -> Result<Vec<Expr>, ParseError> {
+    let mut items = Vec::new();
+    while p.peek() != Some(close) {
+        items.push(parse_expr(p, ctx, false)?);
+        if !p.eat(",") {
+            break;
+        }
+    }
+    Ok(items)
+}
+
+fn parse_expr(p: &mut Cursor, ctx: &mut FnCtx, allow_calls: bool) -> Result<Expr, ParseError> {
+    // Tuple literal.
+    if p.peek() == Some('(') {
+        p.expect("(")?;
+        let items = parse_expr_list(p, ctx, ')')?;
+        p.expect(")")?;
+        return Ok(Expr::Tuple(items));
+    }
+    if p.eat("shape(") {
+        let mut dims = Vec::new();
+        while p.peek() != Some(')') {
+            dims.push(parse_prim_expr(p, ctx)?);
+            if !p.eat(",") {
+                break;
+            }
+        }
+        p.expect(")")?;
+        return Ok(Expr::ShapeValue(dims));
+    }
+    if p.eat("match_cast(") {
+        let value = parse_expr(p, ctx, false)?;
+        p.expect(",")?;
+        let sinfo = parse_struct_info(p, ctx)?;
+        p.expect(")")?;
+        return Ok(Expr::MatchCast {
+            value: Box::new(value),
+            sinfo,
+        });
+    }
+    if p.eat("call_tir(") {
+        let func = p
+            .ident()
+            .ok_or_else(|| p.error("expected tensor program name"))?
+            .to_string();
+        p.expect(",")?;
+        p.expect("[")?;
+        let args = parse_expr_list(p, ctx, ']')?;
+        p.expect("]")?;
+        p.expect(",")?;
+        let out_sinfo = parse_struct_info(p, ctx)?;
+        let mut sym_args = Vec::new();
+        if p.eat(", sym_args=(") {
+            while p.peek() != Some(')') {
+                sym_args.push(parse_prim_expr(p, ctx)?);
+                if !p.eat(",") {
+                    break;
+                }
+            }
+            p.expect(")")?;
+        }
+        p.expect(")")?;
+        return Ok(Expr::CallTir {
+            func,
+            args,
+            out_sinfo,
+            sym_args,
+        });
+    }
+    if p.eat("call_dps_library(") {
+        let func = p.string_lit()?.to_string();
+        p.expect(",")?;
+        p.expect("[")?;
+        let args = parse_expr_list(p, ctx, ']')?;
+        p.expect("]")?;
+        p.expect(",")?;
+        let out_sinfo = parse_struct_info(p, ctx)?;
+        p.expect(")")?;
+        return Ok(Expr::CallDps {
+            func,
+            args,
+            out_sinfo,
+        });
+    }
+    if p.eat("const(") {
+        return Err(
+            p.error("constant tensors do not round-trip through text; bind them programmatically")
+        );
+    }
+
+    let name = p
+        .ident()
+        .ok_or_else(|| p.error("expected an expression"))?
+        .to_string();
+
+    // Call syntax?
+    if (allow_calls || p.peek() == Some('(')) && p.eat("(") {
+        // Operator or subgraph call; attrs are trailing `k=v` items.
+        let mut args = Vec::new();
+        let mut attrs = OpAttrs::new();
+        while p.peek() != Some(')') {
+            // attr?
+            let save = p.pos;
+            if let Some(key) = p.ident() {
+                if p.eat("=") {
+                    let mut value = String::new();
+                    while let Some(c) = p.src[p.pos..].chars().next() {
+                        if c == ',' || c == ')' {
+                            break;
+                        }
+                        value.push(c);
+                        p.pos += c.len_utf8();
+                    }
+                    attrs.insert(key.to_string(), value.trim().to_string());
+                    if !p.eat(",") {
+                        break;
+                    }
+                    continue;
+                }
+                p.pos = save;
+            } else {
+                p.pos = save;
+            }
+            args.push(parse_expr(p, ctx, false)?);
+            if !p.eat(",") {
+                break;
+            }
+        }
+        p.expect(")")?;
+        return Ok(match Op::from_short_name(&name) {
+            Some(op) => Expr::CallOp { op, args, attrs },
+            None => Expr::CallGlobal { func: name, args },
+        });
+    }
+
+    // Variable reference (with optional tuple projection).
+    let var = ctx
+        .vars
+        .get(&name)
+        .cloned()
+        .ok_or_else(|| p.error(format!("unknown variable `{name}`")))?;
+    let mut expr = Expr::Var(var);
+    while p.eat("[") {
+        let idx = p.integer().ok_or_else(|| p.error("expected tuple index"))? as usize;
+        p.expect("]")?;
+        expr = Expr::TupleGetItem(Box::new(expr), idx);
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+
+    #[test]
+    fn parses_figure4_style_program() {
+        let text = r#"
+def main(x: Tensor((n, 128), "f32"), w: Tensor((128, 256), "f32")):
+  n = sym_var()
+  with dataflow():
+    lv0: Tensor((n, 256), "f32") = matmul(x, w)
+    lv1: Tensor((n, 256), "f32") = relu(lv0)
+  return lv1
+"#;
+        let mut module = IRModule::new();
+        parse_functions(text, &mut module).unwrap();
+        let f = module.function("main").unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.bindings().count(), 2);
+        assert!(crate::wellformed::assert_well_formed(&module).is_ok());
+        // The `n` in both annotations is the same variable.
+        let fv = f.params[0].struct_info().free_symbolic_vars();
+        assert_eq!(fv.len(), 1);
+        assert_eq!(
+            f.ret_sinfo.free_symbolic_vars(),
+            fv,
+            "return annotation shares the parameter's symbolic variable"
+        );
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        // Build programmatically, print, parse, print again: fixed point.
+        let mut bb = BlockBuilder::new();
+        let n = SymVar::new("n");
+        let p = bb.begin_function(
+            "main",
+            vec![(
+                "x".into(),
+                StructInfo::tensor(vec![n.clone().into(), 2.into(), 2.into()], DataType::F32),
+            )],
+        );
+        bb.begin_dataflow();
+        let r = bb
+            .emit(Expr::CallOp {
+                op: Op::Reshape,
+                args: vec![
+                    p[0].clone().into(),
+                    Expr::ShapeValue(vec![n.into(), 4.into()]),
+                ],
+                attrs: OpAttrs::new(),
+            })
+            .unwrap();
+        let fl = bb.emit_op(Op::Flatten, &[r]).unwrap();
+        let u = bb.emit_op(Op::Unique, &[fl]).unwrap();
+        let m = SymVar::new("m");
+        let c = bb
+            .emit_match_cast(u.into(), StructInfo::tensor(vec![m.into()], DataType::F32))
+            .unwrap();
+        let out = bb
+            .emit_output(Expr::op_call(Op::Exp, vec![c.into()]))
+            .unwrap();
+        bb.end_dataflow();
+        bb.finish_function(out.into(), None).unwrap();
+        let module = bb.finish();
+        let printed = module.to_string();
+
+        let mut reparsed = IRModule::new();
+        parse_functions(&printed, &mut reparsed).unwrap();
+        let reprinted = reparsed.to_string();
+        assert_eq!(
+            printed, reprinted,
+            "print -> parse -> print is a fixed point"
+        );
+    }
+
+    #[test]
+    fn parses_call_tir_with_sym_args() {
+        let text = r#"
+def main(x: Tensor((n, 2), "f32")):
+  n = sym_var()
+  with dataflow():
+    lv0: Tensor(((n * 2),), "f32") = call_tir(flatten, [x], Tensor(((n * 2),), "f32"), sym_args=(n))
+  return lv0
+"#;
+        let mut module = IRModule::new();
+        // Provide the tensor program so deduction/well-formedness passes.
+        let nn = SymVar::new("n");
+        let xb = relax_tir::Buffer::new("X", vec![nn.clone().into(), 2.into()], DataType::F32);
+        let ob = relax_tir::Buffer::new("O", vec![(PrimExpr::from(nn) * 2.into())], DataType::F32);
+        module.add_tir_func(relax_tir::PrimFunc::new(
+            "flatten",
+            vec![xb, ob],
+            1,
+            relax_tir::Stmt::Evaluate,
+        ));
+        parse_functions(text, &mut module).unwrap();
+        let f = module.function("main").unwrap();
+        let b = f.bindings().next().unwrap();
+        match &b.value {
+            Expr::CallTir { func, sym_args, .. } => {
+                assert_eq!(func, "flatten");
+                assert_eq!(sym_args.len(), 1);
+            }
+            other => panic!("expected call_tir, got {other:?}"),
+        }
+        assert!(crate::wellformed::assert_well_formed(&module).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "def main(x: Banana):\n  return x\n";
+        let mut module = IRModule::new();
+        let err = parse_functions(text, &mut module).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("annotation"));
+    }
+
+    #[test]
+    fn unknown_variables_are_rejected() {
+        let text = "def main(x: Tensor((4,), \"f32\")):\n  return ghost\n";
+        let mut module = IRModule::new();
+        let err = parse_functions(text, &mut module).unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Pretty printer for Relax functions in the paper's Python-like notation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::expr::{BlockKind, Expr, Function};
+
+/// Prints a function in the paper's notation (Figure 4 style).
+pub(crate) fn print_function(
+    name: &str,
+    func: &Function,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    write!(f, "def {name}(")?;
+    for (i, p) in func.params.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{}: {}", p.name(), p.struct_info())?;
+    }
+    writeln!(f, "):")?;
+
+    // Declare the symbolic variables used anywhere in the function.
+    let mut sym_names: BTreeSet<String> = BTreeSet::new();
+    for p in &func.params {
+        for v in p.struct_info().free_symbolic_vars() {
+            sym_names.insert(v.name().to_string());
+        }
+    }
+    for b in func.bindings() {
+        for v in b.var.struct_info().free_symbolic_vars() {
+            sym_names.insert(v.name().to_string());
+        }
+    }
+    if !sym_names.is_empty() {
+        let names: Vec<String> = sym_names.into_iter().collect();
+        let calls: Vec<&str> = names.iter().map(|_| "sym_var()").collect();
+        writeln!(f, "  {} = {}", names.join(", "), calls.join(", "))?;
+    }
+
+    for block in &func.blocks {
+        let indent = match block.kind {
+            BlockKind::Dataflow => {
+                writeln!(f, "  with dataflow():")?;
+                "    "
+            }
+            BlockKind::Binding => "  ",
+        };
+        for b in &block.bindings {
+            write!(f, "{indent}{}: {} = ", b.var.name(), b.var.struct_info())?;
+            print_expr(&b.value, f)?;
+            writeln!(f)?;
+        }
+    }
+    write!(f, "  return ")?;
+    print_expr(&func.ret, f)?;
+    writeln!(f)
+}
+
+fn print_expr(expr: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match expr {
+        Expr::Var(v) => write!(f, "{}", v.name()),
+        Expr::Constant(arr) => write!(f, "const(shape={:?}, \"{}\")", arr.shape(), arr.dtype()),
+        Expr::ShapeValue(dims) => {
+            write!(f, "shape(")?;
+            for (i, d) in dims.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{d}")?;
+            }
+            write!(f, ")")
+        }
+        Expr::PrimValue(e) => write!(f, "{e}"),
+        Expr::Tuple(items) => {
+            write!(f, "(")?;
+            for (i, e) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                print_expr(e, f)?;
+            }
+            write!(f, ")")
+        }
+        Expr::TupleGetItem(e, i) => {
+            print_expr(e, f)?;
+            write!(f, "[{i}]")
+        }
+        Expr::CallOp { op, args, attrs } => {
+            write!(f, "{}(", op.short_name())?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                print_expr(a, f)?;
+            }
+            for (k, v) in attrs {
+                write!(f, ", {k}={v}")?;
+            }
+            write!(f, ")")
+        }
+        Expr::CallGlobal { func, args } => {
+            write!(f, "{func}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                print_expr(a, f)?;
+            }
+            write!(f, ")")
+        }
+        Expr::CallTir {
+            func,
+            args,
+            out_sinfo,
+            sym_args,
+        } => {
+            write!(f, "call_tir({func}, [")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                print_expr(a, f)?;
+            }
+            write!(f, "], {out_sinfo}")?;
+            if !sym_args.is_empty() {
+                write!(f, ", sym_args=(")?;
+                for (i, s) in sym_args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")?;
+            }
+            write!(f, ")")
+        }
+        Expr::CallDps {
+            func,
+            args,
+            out_sinfo,
+        } => {
+            write!(f, "call_dps_library(\"{func}\", [")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                print_expr(a, f)?;
+            }
+            write!(f, "], {out_sinfo})")
+        }
+        Expr::MatchCast { value, sinfo } => {
+            write!(f, "match_cast(")?;
+            print_expr(value, f)?;
+            write!(f, ", {sinfo})")
+        }
+    }
+}
+
+/// Wrapper that displays a function with its name.
+pub struct FunctionDisplay<'a> {
+    /// Function name.
+    pub name: &'a str,
+    /// The function.
+    pub func: &'a Function,
+}
+
+impl fmt::Display for FunctionDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        print_function(self.name, self.func, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::BlockBuilder;
+    use crate::expr::Expr;
+    use crate::op::Op;
+    use crate::struct_info::StructInfo;
+    use relax_arith::{DataType, Var as SV};
+
+    #[test]
+    fn module_prints_paper_style() {
+        let mut bb = BlockBuilder::new();
+        let n = SV::new("n");
+        let params = bb.begin_function(
+            "main",
+            vec![(
+                "x".into(),
+                StructInfo::tensor(vec![n.into(), 128.into()], DataType::F32),
+            )],
+        );
+        bb.begin_dataflow();
+        let out = bb
+            .emit_output(Expr::op_call(Op::Relu, vec![params[0].clone().into()]))
+            .unwrap();
+        bb.end_dataflow();
+        bb.finish_function(out.into(), None).unwrap();
+        let text = bb.finish().to_string();
+        assert!(text.contains("def main(x: Tensor((n, 128), \"f32\")):"));
+        assert!(text.contains("n = sym_var()"));
+        assert!(text.contains("with dataflow():"));
+        assert!(text.contains("lv0: Tensor((n, 128), \"f32\") = relu(x)"));
+        assert!(text.contains("return lv0"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Well-formedness checking for Relax modules.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::expr::{BlockKind, Expr, Function, Var};
+use crate::module::IRModule;
+
+/// A well-formedness violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WellFormedError {
+    /// A variable was used before being bound.
+    UseBeforeDef {
+        /// Function name.
+        func: String,
+        /// Variable name.
+        var: String,
+    },
+    /// A dataflow-scoped variable escaped its dataflow block.
+    DataflowVarEscapes {
+        /// Function name.
+        func: String,
+        /// Variable name.
+        var: String,
+    },
+    /// A `call_tir` referenced a tensor program not in the module.
+    MissingTirFunc {
+        /// Function name.
+        func: String,
+        /// Missing tensor program name.
+        callee: String,
+    },
+    /// A subgraph call referenced a function not in the module.
+    MissingGlobal {
+        /// Function name.
+        func: String,
+        /// Missing callee name.
+        callee: String,
+    },
+    /// A `call_tir` passed a number of arguments inconsistent with the
+    /// callee's input parameters.
+    CallTirArity {
+        /// Function name.
+        func: String,
+        /// The tensor program.
+        callee: String,
+        /// Inputs expected.
+        expected: usize,
+        /// Arguments given.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormedError::UseBeforeDef { func, var } => {
+                write!(f, "{func}: variable `{var}` used before definition")
+            }
+            WellFormedError::DataflowVarEscapes { func, var } => {
+                write!(f, "{func}: dataflow variable `{var}` escapes its block")
+            }
+            WellFormedError::MissingTirFunc { func, callee } => {
+                write!(f, "{func}: call_tir target `{callee}` not in module")
+            }
+            WellFormedError::MissingGlobal { func, callee } => {
+                write!(f, "{func}: callee `{callee}` not in module")
+            }
+            WellFormedError::CallTirArity {
+                func,
+                callee,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{func}: call_tir `{callee}` expects {expected} inputs, got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WellFormedError {}
+
+/// Checks every function in the module; returns all violations found.
+pub fn check_module(module: &IRModule) -> Vec<WellFormedError> {
+    let mut errors = Vec::new();
+    for (name, func) in module.functions() {
+        check_function(name, func, module, &mut errors);
+    }
+    errors
+}
+
+/// Convenience wrapper returning `Err` on the first violation.
+///
+/// # Errors
+///
+/// Returns the first [`WellFormedError`] encountered.
+pub fn assert_well_formed(module: &IRModule) -> Result<(), WellFormedError> {
+    match check_module(module).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn check_function(
+    name: &str,
+    func: &Function,
+    module: &IRModule,
+    errors: &mut Vec<WellFormedError>,
+) {
+    let mut defined: HashSet<u64> = func.params.iter().map(Var::id).collect();
+    let mut dataflow_scope: HashSet<u64> = HashSet::new();
+
+    for block in &func.blocks {
+        let is_dataflow = block.kind == BlockKind::Dataflow;
+        if is_dataflow {
+            dataflow_scope.clear();
+        }
+        for binding in &block.bindings {
+            check_expr(
+                name,
+                &binding.value,
+                &defined,
+                &dataflow_scope,
+                is_dataflow,
+                module,
+                errors,
+            );
+            defined.insert(binding.var.id());
+            if binding.var.is_dataflow() {
+                dataflow_scope.insert(binding.var.id());
+            }
+        }
+        if is_dataflow {
+            // Variables scoped to this block may not be used later.
+            for v in &dataflow_scope.clone() {
+                defined.remove(v);
+            }
+        }
+    }
+
+    let mut used = Vec::new();
+    func.ret.collect_used_vars(&mut used);
+    for v in used {
+        if !defined.contains(&v.id()) {
+            let err = if v.is_dataflow() {
+                WellFormedError::DataflowVarEscapes {
+                    func: name.to_string(),
+                    var: v.name().to_string(),
+                }
+            } else {
+                WellFormedError::UseBeforeDef {
+                    func: name.to_string(),
+                    var: v.name().to_string(),
+                }
+            };
+            errors.push(err);
+        }
+    }
+}
+
+fn check_expr(
+    func_name: &str,
+    expr: &Expr,
+    defined: &HashSet<u64>,
+    dataflow_scope: &HashSet<u64>,
+    in_dataflow: bool,
+    module: &IRModule,
+    errors: &mut Vec<WellFormedError>,
+) {
+    let mut used = Vec::new();
+    expr.collect_used_vars(&mut used);
+    for v in used {
+        let visible =
+            defined.contains(&v.id()) || (in_dataflow && dataflow_scope.contains(&v.id()));
+        if !visible {
+            let err = if v.is_dataflow() && !in_dataflow {
+                WellFormedError::DataflowVarEscapes {
+                    func: func_name.to_string(),
+                    var: v.name().to_string(),
+                }
+            } else {
+                WellFormedError::UseBeforeDef {
+                    func: func_name.to_string(),
+                    var: v.name().to_string(),
+                }
+            };
+            errors.push(err);
+        }
+    }
+    match expr {
+        Expr::CallTir { func, args, .. } => match module.tir_func(func) {
+            None => errors.push(WellFormedError::MissingTirFunc {
+                func: func_name.to_string(),
+                callee: func.clone(),
+            }),
+            Some(prim) => {
+                // Inputs only; outputs are implicit in DPS.
+                let expected = prim.inputs().len();
+                if args.len() != expected {
+                    errors.push(WellFormedError::CallTirArity {
+                        func: func_name.to_string(),
+                        callee: func.clone(),
+                        expected,
+                        actual: args.len(),
+                    });
+                }
+            }
+        },
+        Expr::CallGlobal { func, .. } if module.function(func).is_none() => {
+            errors.push(WellFormedError::MissingGlobal {
+                func: func_name.to_string(),
+                callee: func.clone(),
+            });
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+    use crate::expr::{Binding, BindingBlock, OpAttrs};
+    use crate::op::Op;
+    use crate::struct_info::StructInfo;
+    use relax_arith::DataType;
+
+    #[test]
+    fn builder_output_is_well_formed() {
+        let mut bb = BlockBuilder::new();
+        let p = bb.begin_function(
+            "main",
+            vec![(
+                "x".into(),
+                StructInfo::tensor(vec![4.into()], DataType::F32),
+            )],
+        );
+        bb.begin_dataflow();
+        let out = bb
+            .emit_output(Expr::op_call(Op::Relu, vec![p[0].clone().into()]))
+            .unwrap();
+        bb.end_dataflow();
+        bb.finish_function(out.into(), None).unwrap();
+        let m = bb.finish();
+        assert!(check_module(&m).is_empty());
+        assert!(assert_well_formed(&m).is_ok());
+    }
+
+    #[test]
+    fn dataflow_escape_is_caught() {
+        let s = StructInfo::tensor(vec![4.into()], DataType::F32);
+        let p = Var::new("x", s.clone());
+        let lv = Var::new_dataflow("lv0", s.clone());
+        let func = Function {
+            params: vec![p.clone()],
+            blocks: vec![BindingBlock {
+                kind: BlockKind::Dataflow,
+                bindings: vec![Binding {
+                    var: lv.clone(),
+                    value: Expr::op_call(Op::Relu, vec![p.into()]),
+                }],
+            }],
+            // Returning a dataflow var outside its block is illegal.
+            ret: lv.into(),
+            ret_sinfo: s,
+            attrs: OpAttrs::new(),
+        };
+        let mut m = IRModule::new();
+        m.add_function("bad", func);
+        let errors = check_module(&m);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, WellFormedError::DataflowVarEscapes { .. })));
+    }
+
+    #[test]
+    fn missing_callees_are_caught() {
+        let s = StructInfo::tensor(vec![4.into()], DataType::F32);
+        let p = Var::new("x", s.clone());
+        let lv = Var::new("lv0", s.clone());
+        let func = Function {
+            params: vec![p.clone()],
+            blocks: vec![BindingBlock {
+                kind: BlockKind::Binding,
+                bindings: vec![Binding {
+                    var: lv.clone(),
+                    value: Expr::CallTir {
+                        func: "ghost".into(),
+                        args: vec![p.into()],
+                        out_sinfo: s.clone(),
+                        sym_args: vec![],
+                    },
+                }],
+            }],
+            ret: lv.into(),
+            ret_sinfo: s,
+            attrs: OpAttrs::new(),
+        };
+        let mut m = IRModule::new();
+        m.add_function("f", func);
+        let errors = check_module(&m);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, WellFormedError::MissingTirFunc { .. })));
+    }
+
+    #[test]
+    fn use_before_def_is_caught() {
+        let s = StructInfo::tensor(vec![4.into()], DataType::F32);
+        let ghost = Var::new("ghost", s.clone());
+        let lv = Var::new("lv0", s.clone());
+        let func = Function {
+            params: vec![],
+            blocks: vec![BindingBlock {
+                kind: BlockKind::Binding,
+                bindings: vec![Binding {
+                    var: lv.clone(),
+                    value: Expr::op_call(Op::Relu, vec![ghost.into()]),
+                }],
+            }],
+            ret: lv.into(),
+            ret_sinfo: s,
+            attrs: OpAttrs::new(),
+        };
+        let mut m = IRModule::new();
+        m.add_function("f", func);
+        assert!(matches!(
+            assert_well_formed(&m),
+            Err(WellFormedError::UseBeforeDef { .. })
+        ));
+    }
+}

@@ -1,0 +1,28 @@
+//! Model frontends for the Relax evaluation, built with an
+//! `nn.Module`-like builder on top of the Relax IR (the paper constructs
+//! its models "with a PyTorch-like `nn.Module` interface", §5.1).
+//!
+//! - [`llama`]: decoder-only transformer LLMs with KV caches, grouped-query
+//!   attention and optional 4-bit quantized weights (Llama3-8B,
+//!   Gemma1.1-7B, Qwen2-7B, Llama2-7B, Phi3-mini, RedPajama-3B presets,
+//!   plus a `tiny` configuration that executes numerically in tests);
+//! - [`whisper`]: encoder–decoder speech transformer (Whisper-large-v3
+//!   preset) with self- and cross-attention;
+//! - [`llava`]: vision encoder + projector for the LLaVA multimodal
+//!   pipeline;
+//! - [`nn`]: the builder and shared transformer components, including the
+//!   customized 4-bit quantization decode tensor program of Figure 9.
+//!
+//! Weights are function *parameters*, not constants: performance
+//! simulation needs only their shapes, while tests pass real arrays for
+//! small configurations.
+
+pub mod llama;
+pub mod llava;
+pub mod nn;
+pub mod whisper;
+
+pub use llama::LlamaConfig;
+pub use llava::LlavaConfig;
+pub use nn::{ModelBuilder, ModelError};
+pub use whisper::WhisperConfig;

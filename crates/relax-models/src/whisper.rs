@@ -1,0 +1,439 @@
+//! Whisper-style encoder–decoder speech transformer (Figure 19).
+
+use relax_arith::{DataType, PrimExpr, Var as SymVar};
+use relax_core::{Expr, IRModule, StructInfo};
+
+use crate::llama::ModelIr;
+use crate::nn::{ModelBuilder, ModelError};
+
+/// Configuration of an encoder–decoder speech model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhisperConfig {
+    /// Model name.
+    pub name: String,
+    /// Model width.
+    pub d_model: i64,
+    /// Attention heads.
+    pub n_heads: i64,
+    /// Encoder layers.
+    pub enc_layers: usize,
+    /// Decoder layers.
+    pub dec_layers: usize,
+    /// Feed-forward width.
+    pub ffn: i64,
+    /// Encoder sequence length (30 s of audio = 1500 frames).
+    pub audio_ctx: i64,
+    /// Vocabulary size.
+    pub vocab: i64,
+    /// Maximum decoded tokens.
+    pub max_tokens: i64,
+    /// Data type.
+    pub dtype: DataType,
+}
+
+impl WhisperConfig {
+    /// Whisper-large-v3.
+    pub fn large_v3() -> Self {
+        WhisperConfig {
+            name: "Whisper-large-v3".into(),
+            d_model: 1280,
+            n_heads: 20,
+            enc_layers: 32,
+            dec_layers: 32,
+            ffn: 5120,
+            audio_ctx: 1500,
+            vocab: 51_866,
+            max_tokens: 448,
+            dtype: DataType::F16,
+        }
+    }
+
+    /// A tiny configuration for numeric tests.
+    pub fn tiny() -> Self {
+        WhisperConfig {
+            name: "Whisper-tiny-test".into(),
+            d_model: 16,
+            n_heads: 2,
+            enc_layers: 2,
+            dec_layers: 2,
+            ffn: 32,
+            audio_ctx: 8,
+            vocab: 32,
+            max_tokens: 16,
+            dtype: DataType::F32,
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> i64 {
+        self.d_model / self.n_heads
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> f64 {
+        let attn = 4 * self.d_model * self.d_model;
+        let mlp = 2 * self.d_model * self.ffn;
+        let enc = (attn + mlp + 2 * self.d_model) * self.enc_layers as i64;
+        // Decoder layers have self- and cross-attention.
+        let dec = (2 * attn + mlp + 3 * self.d_model) * self.dec_layers as i64;
+        let embed = self.vocab * self.d_model;
+        (enc + dec + embed) as f64
+    }
+
+    /// Parameter bytes.
+    pub fn weight_bytes(&self) -> f64 {
+        self.param_count() * self.dtype.size_bytes() as f64
+    }
+
+    /// Encoder FLOPs for one 30-second window.
+    pub fn encoder_flops(&self) -> f64 {
+        let s = self.audio_ctx as f64;
+        let d = self.d_model as f64;
+        let layer =
+            2.0 * s * (4.0 * d * d) + 2.0 * s * (2.0 * d * self.ffn as f64) + 4.0 * s * s * d;
+        layer * self.enc_layers as f64
+    }
+
+    /// Decoder FLOPs per generated token.
+    pub fn decoder_flops_per_token(&self) -> f64 {
+        let d = self.d_model as f64;
+        let layer = 2.0 * (8.0 * d * d) + 2.0 * (2.0 * d * self.ffn as f64);
+        layer * self.dec_layers as f64 + 2.0 * d * self.vocab as f64
+    }
+}
+
+fn encoder_param_specs(config: &WhisperConfig) -> Vec<(String, StructInfo)> {
+    let d = config.d_model;
+    let dt = config.dtype;
+    let mut params = Vec::new();
+    for l in 0..config.enc_layers {
+        params.push((
+            format!("e{l}.norm1"),
+            StructInfo::tensor(vec![d.into()], dt),
+        ));
+        for w in ["wq", "wk", "wv", "wo"] {
+            params.push((
+                format!("e{l}.{w}"),
+                StructInfo::tensor(vec![d.into(), d.into()], dt),
+            ));
+        }
+        params.push((
+            format!("e{l}.norm2"),
+            StructInfo::tensor(vec![d.into()], dt),
+        ));
+        params.push((
+            format!("e{l}.w_up"),
+            StructInfo::tensor(vec![d.into(), config.ffn.into()], dt),
+        ));
+        params.push((
+            format!("e{l}.w_down"),
+            StructInfo::tensor(vec![config.ffn.into(), d.into()], dt),
+        ));
+    }
+    params
+}
+
+/// Builds the audio encoder: `(b, s_audio, d_model)` features to hidden
+/// states of the same shape (the sequence length is symbolic, so shorter
+/// audio windows reuse the same compilation).
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn build_encoder(config: &WhisperConfig) -> Result<ModelIr, ModelError> {
+    let b = SymVar::new("batch");
+    let s = SymVar::new("s_audio");
+    let d = config.d_model;
+    let nh = config.n_heads;
+    let hd = config.head_dim();
+    let scale = 1.0 / (hd as f64).sqrt();
+
+    let mut params: Vec<(String, StructInfo)> = vec![(
+        "features".to_string(),
+        StructInfo::tensor(
+            vec![b.clone().into(), s.clone().into(), d.into()],
+            config.dtype,
+        ),
+    )];
+    params.extend(encoder_param_specs(config));
+
+    let mut mb = ModelBuilder::begin(IRModule::new(), "encode", params.clone());
+    let mut x = mb.param("features")?;
+    let be: PrimExpr = b.clone().into();
+    let se: PrimExpr = s.clone().into();
+
+    for l in 0..config.enc_layers {
+        let norm1 = mb.param(&format!("e{l}.norm1"))?;
+        let hn = mb.rms_norm(x.clone(), norm1)?;
+        let q = mb.matmul(hn.clone(), mb.param(&format!("e{l}.wq"))?)?;
+        let k = mb.matmul(hn.clone(), mb.param(&format!("e{l}.wk"))?)?;
+        let v = mb.matmul(hn, mb.param(&format!("e{l}.wv"))?)?;
+        let to_heads = |mb: &mut ModelBuilder, t| -> Result<_, ModelError> {
+            let t = mb.reshape(t, vec![be.clone(), se.clone(), nh.into(), hd.into()])?;
+            mb.permute(t, &[0, 2, 1, 3])
+        };
+        let q = to_heads(&mut mb, q)?;
+        let k = to_heads(&mut mb, k)?;
+        let v = to_heads(&mut mb, v)?;
+        // Bidirectional self-attention (not causal).
+        let att = mb.attention(q, k, v, scale, false)?;
+        let att = mb.permute(att, &[0, 2, 1, 3])?;
+        let att = mb.reshape(att, vec![be.clone(), se.clone(), d.into()])?;
+        let o = mb.matmul(att, mb.param(&format!("e{l}.wo"))?)?;
+        x = mb.add(x, o)?;
+        let norm2 = mb.param(&format!("e{l}.norm2"))?;
+        let hn2 = mb.rms_norm(x.clone(), norm2)?;
+        let up = mb.matmul(hn2, mb.param(&format!("e{l}.w_up"))?)?;
+        let up = mb.gelu(up)?;
+        let down = mb.matmul(up, mb.param(&format!("e{l}.w_down"))?)?;
+        x = mb.add(x, down)?;
+    }
+    let out = mb.output(x.into())?;
+    let module = mb.finish(out.into())?;
+    Ok(ModelIr {
+        module,
+        func: "encode".into(),
+        params,
+        batch: b,
+        seq: s,
+    })
+}
+
+/// Builds the decoder step: next token + self KV caches + encoder states,
+/// returning `(logits, new self K/V caches...)`. Cross-attention keys and
+/// values are computed from the encoder states.
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn build_decoder_step(config: &WhisperConfig) -> Result<ModelIr, ModelError> {
+    let b = SymVar::new("batch");
+    let kv_len = SymVar::new("kv_len");
+    let s_audio = SymVar::new("s_audio");
+    let d = config.d_model;
+    let nh = config.n_heads;
+    let hd = config.head_dim();
+    let dt = config.dtype;
+    let scale = 1.0 / (hd as f64).sqrt();
+
+    let mut params: Vec<(String, StructInfo)> = vec![(
+        "tokens".to_string(),
+        StructInfo::tensor(vec![b.clone().into(), 1.into()], DataType::I64),
+    )];
+    for l in 0..config.dec_layers {
+        let cache = StructInfo::tensor(
+            vec![
+                b.clone().into(),
+                nh.into(),
+                kv_len.clone().into(),
+                hd.into(),
+            ],
+            dt,
+        );
+        params.push((format!("d{l}.k_cache"), cache.clone()));
+        params.push((format!("d{l}.v_cache"), cache));
+        // Cross-attention keys/values are precomputed once per utterance
+        // by `build_cross_kv` (as real Whisper deployments do).
+        let cross = StructInfo::tensor(
+            vec![
+                b.clone().into(),
+                nh.into(),
+                s_audio.clone().into(),
+                hd.into(),
+            ],
+            dt,
+        );
+        params.push((format!("d{l}.cross_k"), cross.clone()));
+        params.push((format!("d{l}.cross_v"), cross));
+    }
+    params.push((
+        "embed".to_string(),
+        StructInfo::tensor(vec![config.vocab.into(), d.into()], dt),
+    ));
+    for l in 0..config.dec_layers {
+        params.push((
+            format!("d{l}.norm1"),
+            StructInfo::tensor(vec![d.into()], dt),
+        ));
+        for w in ["wq", "wk", "wv", "wo", "cq", "co"] {
+            params.push((
+                format!("d{l}.{w}"),
+                StructInfo::tensor(vec![d.into(), d.into()], dt),
+            ));
+        }
+        params.push((
+            format!("d{l}.norm_x"),
+            StructInfo::tensor(vec![d.into()], dt),
+        ));
+        params.push((
+            format!("d{l}.norm2"),
+            StructInfo::tensor(vec![d.into()], dt),
+        ));
+        params.push((
+            format!("d{l}.w_up"),
+            StructInfo::tensor(vec![d.into(), config.ffn.into()], dt),
+        ));
+        params.push((
+            format!("d{l}.w_down"),
+            StructInfo::tensor(vec![config.ffn.into(), d.into()], dt),
+        ));
+    }
+    params.push((
+        "final_norm".to_string(),
+        StructInfo::tensor(vec![d.into()], dt),
+    ));
+
+    let mut mb = ModelBuilder::begin(IRModule::new(), "decode", params.clone());
+    let tokens = mb.param("tokens")?;
+    let embed = mb.param("embed")?;
+    let mut x = mb.take(embed.clone(), tokens)?;
+    let be: PrimExpr = b.clone().into();
+    let mut new_caches = Vec::new();
+
+    for l in 0..config.dec_layers {
+        // Causal self-attention with cache.
+        let norm1 = mb.param(&format!("d{l}.norm1"))?;
+        let hn = mb.rms_norm(x.clone(), norm1)?;
+        let q = mb.matmul(hn.clone(), mb.param(&format!("d{l}.wq"))?)?;
+        let k = mb.matmul(hn.clone(), mb.param(&format!("d{l}.wk"))?)?;
+        let v = mb.matmul(hn, mb.param(&format!("d{l}.wv"))?)?;
+        let head1 = |mb: &mut ModelBuilder, t| -> Result<_, ModelError> {
+            let t = mb.reshape(t, vec![be.clone(), 1.into(), nh.into(), hd.into()])?;
+            mb.permute(t, &[0, 2, 1, 3])
+        };
+        let q = head1(&mut mb, q)?;
+        let k = head1(&mut mb, k)?;
+        let v = head1(&mut mb, v)?;
+        let k_cache = mb.param(&format!("d{l}.k_cache"))?;
+        let v_cache = mb.param(&format!("d{l}.v_cache"))?;
+        let k_all = mb.kv_append(k_cache, k)?;
+        let v_all = mb.kv_append(v_cache, v)?;
+        new_caches.push(mb.output(k_all.clone().into())?);
+        new_caches.push(mb.output(v_all.clone().into())?);
+        let att = mb.attention(q, k_all, v_all, scale, true)?;
+        let att = mb.permute(att, &[0, 2, 1, 3])?;
+        let att = mb.reshape(att, vec![be.clone(), 1.into(), d.into()])?;
+        let o = mb.matmul(att, mb.param(&format!("d{l}.wo"))?)?;
+        x = mb.add(x, o)?;
+
+        // Cross-attention over the precomputed encoder keys/values.
+        let norm_x = mb.param(&format!("d{l}.norm_x"))?;
+        let hx = mb.rms_norm(x.clone(), norm_x)?;
+        let cq = mb.matmul(hx, mb.param(&format!("d{l}.cq"))?)?;
+        let cq = head1(&mut mb, cq)?;
+        let ck = mb.param(&format!("d{l}.cross_k"))?;
+        let cv = mb.param(&format!("d{l}.cross_v"))?;
+        let catt = mb.attention(cq, ck, cv, scale, false)?;
+        let catt = mb.permute(catt, &[0, 2, 1, 3])?;
+        let catt = mb.reshape(catt, vec![be.clone(), 1.into(), d.into()])?;
+        let co = mb.matmul(catt, mb.param(&format!("d{l}.co"))?)?;
+        x = mb.add(x, co)?;
+
+        // Feed-forward.
+        let norm2 = mb.param(&format!("d{l}.norm2"))?;
+        let hn2 = mb.rms_norm(x.clone(), norm2)?;
+        let up = mb.matmul(hn2, mb.param(&format!("d{l}.w_up"))?)?;
+        let up = mb.gelu(up)?;
+        let down = mb.matmul(up, mb.param(&format!("d{l}.w_down"))?)?;
+        x = mb.add(x, down)?;
+    }
+    let final_norm = mb.param("final_norm")?;
+    let xn = mb.rms_norm(x, final_norm)?;
+    // Tied embedding: logits = x @ embed^T.
+    let embed_t = mb.permute(embed, &[1, 0])?;
+    let logits = mb.matmul(xn, embed_t)?;
+    let logits = mb.output(logits.into())?;
+
+    let mut ret: Vec<Expr> = vec![logits.into()];
+    ret.extend(new_caches.into_iter().map(Expr::Var));
+    let module = mb.finish(Expr::Tuple(ret))?;
+    Ok(ModelIr {
+        module,
+        func: "decode".into(),
+        params,
+        batch: b,
+        seq: kv_len,
+    })
+}
+
+/// Builds the once-per-utterance cross-attention projection: encoder
+/// states to the per-layer cross keys and values consumed by
+/// [`build_decoder_step`].
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn build_cross_kv(config: &WhisperConfig) -> Result<ModelIr, ModelError> {
+    let b = SymVar::new("batch");
+    let s_audio = SymVar::new("s_audio");
+    let d = config.d_model;
+    let nh = config.n_heads;
+    let hd = config.head_dim();
+    let dt = config.dtype;
+
+    let mut params: Vec<(String, StructInfo)> = vec![(
+        "enc_states".to_string(),
+        StructInfo::tensor(vec![b.clone().into(), s_audio.clone().into(), d.into()], dt),
+    )];
+    for l in 0..config.dec_layers {
+        params.push((
+            format!("d{l}.ck"),
+            StructInfo::tensor(vec![d.into(), d.into()], dt),
+        ));
+        params.push((
+            format!("d{l}.cv"),
+            StructInfo::tensor(vec![d.into(), d.into()], dt),
+        ));
+    }
+
+    let mut mb = ModelBuilder::begin(IRModule::new(), "cross_kv", params.clone());
+    let enc = mb.param("enc_states")?;
+    let be: PrimExpr = b.clone().into();
+    let sa: PrimExpr = s_audio.clone().into();
+    let mut outs = Vec::new();
+    for l in 0..config.dec_layers {
+        let ck = mb.matmul(enc.clone(), mb.param(&format!("d{l}.ck"))?)?;
+        let cv = mb.matmul(enc.clone(), mb.param(&format!("d{l}.cv"))?)?;
+        let heads = |mb: &mut ModelBuilder, t| -> Result<_, ModelError> {
+            let t = mb.reshape(t, vec![be.clone(), sa.clone(), nh.into(), hd.into()])?;
+            mb.permute(t, &[0, 2, 1, 3])
+        };
+        let ck = heads(&mut mb, ck)?;
+        let cv = heads(&mut mb, cv)?;
+        outs.push(mb.output(ck.into())?);
+        outs.push(mb.output(cv.into())?);
+    }
+    let module = mb.finish(Expr::Tuple(outs.into_iter().map(Expr::Var).collect()))?;
+    Ok(ModelIr {
+        module,
+        func: "cross_kv".into(),
+        params,
+        batch: b,
+        seq: s_audio,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_encoder_and_decoder_are_well_formed() {
+        let c = WhisperConfig::tiny();
+        let enc = build_encoder(&c).unwrap();
+        assert!(relax_core::assert_well_formed(&enc.module).is_ok());
+        let dec = build_decoder_step(&c).unwrap();
+        assert!(relax_core::assert_well_formed(&dec.module).is_ok());
+        let cross = build_cross_kv(&c).unwrap();
+        assert!(relax_core::assert_well_formed(&cross.module).is_ok());
+    }
+
+    #[test]
+    fn large_v3_parameters_in_expected_range() {
+        let c = WhisperConfig::large_v3();
+        // Whisper-large-v3 has ~1.55B parameters.
+        let p = c.param_count();
+        assert!((1.2e9..1.9e9).contains(&p), "got {p}");
+        assert!(c.encoder_flops() > c.decoder_flops_per_token());
+    }
+}

@@ -1,0 +1,51 @@
+//! Cross-level optimization passes and the fixed-order compilation
+//! pipeline (§4).
+//!
+//! The passes operate on the cross-level [`relax_core::IRModule`] — graph
+//! functions and tensor programs together — and finally lower to the
+//! [`relax_vm::Executable`] instruction form, on which the memory-planning
+//! (Algorithm 3) and graph-capture (§4.5) passes run:
+//!
+//! | Paper section | Pass |
+//! |---|---|
+//! | §4.6 partial library lowering | [`dispatch_library`] |
+//! | §4.7 operator legalization | [`legalize_module`] |
+//! | §4.2 analysis feedback (Alg. 1) | [`annotate_compute_patterns`] |
+//! | §4.2 FuseOps (Alg. 2) | [`fuse_ops`] |
+//! | §4.2 FuseTensorIR | [`fuse_tensor_ir`] |
+//! | §4.4 workspace lifting | [`lift_tir_workspaces`] |
+//! | §4.3 memory planning (Alg. 3) | [`plan_memory`] |
+//! | §4.5 CUDA-graph-style offload | [`offload_capture`] |
+//! | §4.7 build | [`lower_to_vm`], [`compile`] |
+//!
+//! Classic graph cleanups ([`dead_code_elimination`],
+//! [`common_subexpr_elimination`], [`fold_constants`])
+//! exploit the purity guarantee of dataflow blocks.
+
+mod annotate;
+mod capture;
+mod const_fold;
+mod cse;
+mod dce;
+mod dispatch;
+mod error;
+mod fuse;
+mod legalize_pass;
+mod lower;
+mod pipeline;
+mod plan;
+mod workspace;
+
+pub use annotate::annotate_compute_patterns;
+pub use capture::offload_capture;
+pub use const_fold::fold_constants;
+pub use cse::common_subexpr_elimination;
+pub use dce::dead_code_elimination;
+pub use dispatch::{dispatch_library, DispatchRules};
+pub use error::PassError;
+pub use fuse::{fuse_ops, fuse_tensor_ir};
+pub use legalize_pass::legalize_module;
+pub use lower::lower_to_vm;
+pub use pipeline::{compile, CompileOptions};
+pub use plan::plan_memory;
+pub use workspace::lift_tir_workspaces;

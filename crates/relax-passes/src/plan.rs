@@ -1,0 +1,352 @@
+//! Dynamic shape–aware memory planning (§4.3, Algorithm 3).
+//!
+//! Operates on the lowered instruction form: every `AllocTensor` becomes a
+//! `TensorFromStorage` of a planned storage block, where reuse between two
+//! dynamic allocations is justified by *proving* their symbolic sizes
+//! equal (e.g. a `(2, n)` f32 tensor reuses the storage of an earlier,
+//! now-dead `(n, 2)` tensor because `8n == 8n`). When the user declares
+//! upper bounds for symbolic variables (e.g. a maximum context length),
+//! storages are sized to the bound and the plan becomes fully static —
+//! the prerequisite for graph capture (§4.5).
+
+use std::collections::HashMap;
+
+use relax_arith::{Analyzer, IntBound, PrimExpr, Var as SymVar};
+use relax_vm::{Instr, Reg, VmFunction};
+
+/// One planned storage block.
+#[derive(Debug, Clone)]
+struct Storage {
+    reg: Reg,
+    /// Symbolic byte size (or constant upper bound).
+    bytes: PrimExpr,
+    free: bool,
+}
+
+/// Plans memory for a lowered function under optional shape upper bounds.
+///
+/// Returns the rewritten function; `AllocStorage` instructions are placed
+/// after the parameter `MatchShape` prologue so symbolic sizes can be
+/// evaluated. The number of storages is the maximum number of
+/// simultaneously live intermediate tensors, not the total number of
+/// allocations — the Figure 10 example goes from four allocations to two
+/// storages.
+pub fn plan_memory(func: &VmFunction, bounds: &HashMap<SymVar, i64>) -> VmFunction {
+    let mut analyzer = Analyzer::new();
+    for (v, b) in bounds {
+        analyzer.bind(v.clone(), IntBound::range(0, *b));
+    }
+
+    let mut next_reg = func.num_regs;
+    let mut storages: Vec<Storage> = Vec::new();
+    // Which storage backs each tensor register.
+    let mut backing: HashMap<Reg, usize> = HashMap::new();
+    let mut rewritten: Vec<Instr> = Vec::new();
+
+    for instr in &func.instrs {
+        match instr {
+            Instr::AllocTensor { dst, shape, dtype } => {
+                // Declare every symbolic variable non-negative for bound
+                // reasoning.
+                for d in shape {
+                    for v in relax_arith::free_vars(d) {
+                        if !bounds.contains_key(&v) {
+                            analyzer.bind_shape_var(v);
+                        }
+                    }
+                }
+                let elem: PrimExpr = shape
+                    .iter()
+                    .cloned()
+                    .fold(PrimExpr::Int(1), |acc, d| acc * d);
+                let bytes_expr =
+                    analyzer.simplify(&(elem * PrimExpr::Int(dtype.size_bytes() as i64)));
+                // Prefer the static upper bound when it exists.
+                let planned_bytes = match analyzer.upper_bound(&bytes_expr) {
+                    Some(bound) => PrimExpr::Int(bound),
+                    None => bytes_expr.clone(),
+                };
+                // RequestReuseWithSymShape: a free storage with provably
+                // equal size (or, for static sizes, enough capacity).
+                let reuse = storages.iter().position(|s| {
+                    s.free
+                        && match (s.bytes.as_int(), planned_bytes.as_int()) {
+                            (Some(have), Some(need)) => have >= need,
+                            _ => analyzer.prove_equal(&s.bytes, &planned_bytes),
+                        }
+                });
+                let sidx = match reuse {
+                    Some(i) => {
+                        storages[i].free = false;
+                        i
+                    }
+                    None => {
+                        let reg = next_reg;
+                        next_reg += 1;
+                        storages.push(Storage {
+                            reg,
+                            bytes: planned_bytes,
+                            free: false,
+                        });
+                        storages.len() - 1
+                    }
+                };
+                backing.insert(*dst, sidx);
+                rewritten.push(Instr::TensorFromStorage {
+                    dst: *dst,
+                    storage: storages[sidx].reg,
+                    shape: shape.clone(),
+                    dtype: *dtype,
+                });
+            }
+            Instr::Kill { reg } => {
+                if let Some(sidx) = backing.remove(reg) {
+                    storages[sidx].free = true;
+                }
+                rewritten.push(instr.clone());
+            }
+            other => rewritten.push(other.clone()),
+        }
+    }
+
+    // Hoist each storage allocation as early as possible: right after the
+    // parameter prologue when its size is evaluable there (constant, or
+    // using only variables the parameter `MatchShape`s bind), else
+    // immediately before its first use (a `match_cast` later in the body
+    // may be what binds the storage's symbolic variables).
+    let prologue_end = rewritten
+        .iter()
+        .position(|i| !matches!(i, Instr::MatchShape { .. }))
+        .unwrap_or(rewritten.len());
+    let prologue_vars: std::collections::HashSet<SymVar> = rewritten[..prologue_end]
+        .iter()
+        .flat_map(|i| match i {
+            Instr::MatchShape { dims, .. } => dims
+                .iter()
+                .flat_map(relax_arith::free_vars)
+                .collect::<Vec<_>>(),
+            _ => Vec::new(),
+        })
+        .collect();
+    let mut instrs = rewritten;
+    for s in storages.iter().rev() {
+        let first_use = instrs
+            .iter()
+            .position(
+                |i| matches!(i, Instr::TensorFromStorage { storage, .. } if *storage == s.reg),
+            )
+            .unwrap_or(instrs.len());
+        let evaluable_at_prologue = relax_arith::free_vars(&s.bytes)
+            .into_iter()
+            .all(|v| prologue_vars.contains(&v));
+        let pos = if evaluable_at_prologue {
+            prologue_end.min(first_use)
+        } else {
+            first_use
+        };
+        instrs.insert(
+            pos,
+            Instr::AllocStorage {
+                dst: s.reg,
+                bytes: s.bytes.clone(),
+            },
+        );
+    }
+
+    VmFunction {
+        name: func.name.clone(),
+        num_params: func.num_params,
+        num_regs: next_reg,
+        instrs,
+    }
+}
+
+/// `true` if every storage in the planned function has a constant size —
+/// i.e. the plan is fully static and graph capture is legal.
+pub(crate) fn plan_is_static(func: &VmFunction) -> bool {
+    func.instrs.iter().all(|i| match i {
+        Instr::AllocStorage { bytes, .. } => bytes.is_const(),
+        Instr::AllocTensor { .. } => false,
+        _ => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_core::DataType;
+
+    /// Figure 10: four intermediates with shapes (2,n), (n,2), (n,2), (2,n)
+    /// and chained lifetimes plan into exactly two storages.
+    fn figure10_func() -> (VmFunction, SymVar) {
+        let n = SymVar::new("n");
+        let sh_a = vec![PrimExpr::Int(2), n.clone().into()];
+        let sh_b = vec![n.clone().into(), PrimExpr::Int(2)];
+        let instrs = vec![
+            Instr::MatchShape {
+                src: 0,
+                dims: sh_a.clone(),
+                ctx: "param".into(),
+            },
+            // lv0 = exp(x)
+            Instr::AllocTensor {
+                dst: 1,
+                shape: sh_a.clone(),
+                dtype: DataType::F32,
+            },
+            Instr::CallTir {
+                func: "exp".into(),
+                args: vec![0],
+                dsts: vec![1],
+                sym_args: vec![],
+            },
+            // lv1 = transpose(lv0); lv0 dies
+            Instr::AllocTensor {
+                dst: 2,
+                shape: sh_b.clone(),
+                dtype: DataType::F32,
+            },
+            Instr::CallTir {
+                func: "transpose".into(),
+                args: vec![1],
+                dsts: vec![2],
+                sym_args: vec![],
+            },
+            Instr::Kill { reg: 1 },
+            // lv2 = relu(lv1); lv1 dies
+            Instr::AllocTensor {
+                dst: 3,
+                shape: sh_b,
+                dtype: DataType::F32,
+            },
+            Instr::CallTir {
+                func: "relu".into(),
+                args: vec![2],
+                dsts: vec![3],
+                sym_args: vec![],
+            },
+            Instr::Kill { reg: 2 },
+            // lv3 = transpose(lv2); lv2 dies
+            Instr::AllocTensor {
+                dst: 4,
+                shape: sh_a,
+                dtype: DataType::F32,
+            },
+            Instr::CallTir {
+                func: "transpose".into(),
+                args: vec![3],
+                dsts: vec![4],
+                sym_args: vec![],
+            },
+            Instr::Kill { reg: 3 },
+            Instr::Ret { src: 4 },
+        ];
+        (
+            VmFunction {
+                name: "main".into(),
+                num_params: 1,
+                num_regs: 5,
+                instrs,
+            },
+            n,
+        )
+    }
+
+    #[test]
+    fn figure10_plans_two_storages() {
+        let (f, _) = figure10_func();
+        let planned = plan_memory(&f, &HashMap::new());
+        let storages: Vec<&Instr> = planned
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::AllocStorage { .. }))
+            .collect();
+        // (2,n) and (n,2) have provably equal byte sizes -> full chaining
+        // down to 2 storages.
+        assert_eq!(storages.len(), 2);
+        assert!(!planned
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::AllocTensor { .. })));
+        // Without bounds the plan is symbolic, not static.
+        assert!(!plan_is_static(&planned));
+    }
+
+    #[test]
+    fn distinct_sym_vars_do_not_share_storage() {
+        let n = SymVar::new("n");
+        let m = SymVar::new("m");
+        let instrs = vec![
+            Instr::AllocTensor {
+                dst: 0,
+                shape: vec![n.into()],
+                dtype: DataType::F32,
+            },
+            Instr::Kill { reg: 0 },
+            Instr::AllocTensor {
+                dst: 1,
+                shape: vec![m.into()],
+                dtype: DataType::F32,
+            },
+            Instr::Ret { src: 1 },
+        ];
+        let f = VmFunction {
+            name: "f".into(),
+            num_params: 0,
+            num_regs: 2,
+            instrs,
+        };
+        let planned = plan_memory(&f, &HashMap::new());
+        let storages = planned
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::AllocStorage { .. }))
+            .count();
+        assert_eq!(storages, 2);
+    }
+
+    #[test]
+    fn upper_bounds_make_the_plan_static() {
+        let (f, n) = figure10_func();
+        let bounds: HashMap<SymVar, i64> = [(n, 1024)].into_iter().collect();
+        let planned = plan_memory(&f, &bounds);
+        assert!(plan_is_static(&planned));
+        for i in &planned.instrs {
+            if let Instr::AllocStorage { bytes, .. } = i {
+                // 2 * 1024 * 4 bytes
+                assert_eq!(bytes.as_int(), Some(8192));
+            }
+        }
+    }
+
+    #[test]
+    fn static_sizes_reuse_bigger_free_blocks() {
+        let instrs = vec![
+            Instr::AllocTensor {
+                dst: 0,
+                shape: vec![100.into()],
+                dtype: DataType::F32,
+            },
+            Instr::Kill { reg: 0 },
+            Instr::AllocTensor {
+                dst: 1,
+                shape: vec![50.into()],
+                dtype: DataType::F32,
+            },
+            Instr::Ret { src: 1 },
+        ];
+        let f = VmFunction {
+            name: "f".into(),
+            num_params: 0,
+            num_regs: 2,
+            instrs,
+        };
+        let planned = plan_memory(&f, &HashMap::new());
+        let storages = planned
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::AllocStorage { .. }))
+            .count();
+        assert_eq!(storages, 1);
+    }
+}

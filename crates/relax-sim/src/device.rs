@@ -1,0 +1,260 @@
+//! Device specifications for the platforms in the paper's evaluation.
+
+use std::fmt;
+
+/// The performance envelope of a target device.
+///
+/// Peak numbers come from public spec sheets (f16 throughput where
+/// available); the efficiency factors encode how much of that peak each
+/// kind of kernel reaches — vendor libraries are highly tuned, generated
+/// kernels less so, and hand-written kernels vary by how much love a
+/// platform received (llama.cpp's Metal kernels vs. its missing Android
+/// GPU kernels, §5.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// The GPU API used on this device in the evaluation.
+    pub backend: &'static str,
+    /// Peak half-precision throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// CPU-side cost of launching one kernel, in seconds.
+    pub launch_overhead: f64,
+    /// Fraction of peak reached by vendor library kernels (cuBLAS, rocBLAS,
+    /// MPS); `None` when the platform has no mature vendor library.
+    pub lib_efficiency: Option<f64>,
+    /// Fraction of peak reached by compiler-generated kernels.
+    pub gen_efficiency: f64,
+    /// Fraction of peak bandwidth achieved by well-formed kernels.
+    pub mem_efficiency: f64,
+    /// Device memory capacity in bytes (deployment feasibility checks).
+    pub memory_capacity: u64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA RTX 4090 (Figures 14, 17, 19, 20).
+    pub fn rtx4090() -> Self {
+        DeviceSpec {
+            name: "NVIDIA RTX 4090",
+            backend: "CUDA",
+            peak_flops: 165e12,
+            mem_bandwidth: 1008e9,
+            launch_overhead: 4e-6,
+            lib_efficiency: Some(0.80),
+            gen_efficiency: 0.52,
+            mem_efficiency: 0.80,
+            memory_capacity: 24 << 30,
+        }
+    }
+
+    /// AMD Radeon 7900 XTX (Figure 15).
+    pub fn radeon7900xtx() -> Self {
+        DeviceSpec {
+            name: "AMD Radeon 7900 XTX",
+            backend: "ROCm",
+            peak_flops: 122e12,
+            mem_bandwidth: 960e9,
+            launch_overhead: 6e-6,
+            lib_efficiency: Some(0.60),
+            gen_efficiency: 0.50,
+            mem_efficiency: 0.75,
+            memory_capacity: 24 << 30,
+        }
+    }
+
+    /// Apple M2 Ultra (Figures 16, 19, 20).
+    pub fn apple_m2_ultra() -> Self {
+        DeviceSpec {
+            name: "Apple M2 Ultra",
+            backend: "Metal",
+            peak_flops: 27e12,
+            mem_bandwidth: 800e9,
+            launch_overhead: 8e-6,
+            lib_efficiency: Some(0.55),
+            gen_efficiency: 0.50,
+            mem_efficiency: 0.85,
+            memory_capacity: 192u64 << 30,
+        }
+    }
+
+    /// iPhone 14 Pro with the Apple A16 (Table 3).
+    pub fn iphone14_pro() -> Self {
+        DeviceSpec {
+            name: "iPhone 14 Pro",
+            backend: "Metal",
+            peak_flops: 2.0e12,
+            mem_bandwidth: 51e9,
+            launch_overhead: 15e-6,
+            lib_efficiency: None,
+            gen_efficiency: 0.45,
+            mem_efficiency: 0.62,
+            memory_capacity: 6u64 << 30,
+        }
+    }
+
+    /// Samsung S23 with Snapdragon 8 Gen 2 / Adreno 740 (Table 3, Fig. 18).
+    pub fn samsung_s23() -> Self {
+        DeviceSpec {
+            name: "Samsung S23",
+            backend: "OpenCL",
+            peak_flops: 3.4e12,
+            mem_bandwidth: 67e9,
+            launch_overhead: 20e-6,
+            lib_efficiency: None,
+            gen_efficiency: 0.40,
+            mem_efficiency: 0.68,
+            memory_capacity: 8u64 << 30,
+        }
+    }
+
+    /// Samsung S24 (Figure 18).
+    pub fn samsung_s24() -> Self {
+        DeviceSpec {
+            name: "Samsung S24",
+            backend: "OpenCL",
+            peak_flops: 4.2e12,
+            mem_bandwidth: 77e9,
+            launch_overhead: 18e-6,
+            lib_efficiency: None,
+            gen_efficiency: 0.42,
+            mem_efficiency: 0.68,
+            memory_capacity: 8u64 << 30,
+        }
+    }
+
+    /// The Samsung S24's CPU cluster, which is all llama.cpp can use on
+    /// Android (no GPU kernels, §5.3).
+    pub fn samsung_s24_cpu() -> Self {
+        DeviceSpec {
+            name: "Samsung S24 (CPU)",
+            backend: "CPU",
+            peak_flops: 0.25e12,
+            mem_bandwidth: 50e9,
+            launch_overhead: 0.5e-6,
+            lib_efficiency: None,
+            gen_efficiency: 0.55,
+            mem_efficiency: 0.50,
+            memory_capacity: 8u64 << 30,
+        }
+    }
+
+    /// Orange Pi 5 with the ARM Mali G610 GPU (Table 3).
+    pub fn orange_pi5() -> Self {
+        DeviceSpec {
+            name: "Orange Pi 5",
+            backend: "OpenCL",
+            peak_flops: 0.5e12,
+            mem_bandwidth: 17e9,
+            launch_overhead: 30e-6,
+            lib_efficiency: None,
+            gen_efficiency: 0.40,
+            mem_efficiency: 0.60,
+            memory_capacity: 8u64 << 30,
+        }
+    }
+
+    /// Valve Steam Deck with its RDNA2 APU via Vulkan (Table 3).
+    pub fn steam_deck() -> Self {
+        DeviceSpec {
+            name: "Steam Deck",
+            backend: "Vulkan",
+            peak_flops: 3.2e12,
+            mem_bandwidth: 88e9,
+            launch_overhead: 12e-6,
+            lib_efficiency: None,
+            gen_efficiency: 0.45,
+            mem_efficiency: 0.70,
+            memory_capacity: 16u64 << 30,
+        }
+    }
+
+    /// NVIDIA Jetson Orin developer kit (Table 3).
+    pub fn jetson_orin() -> Self {
+        DeviceSpec {
+            name: "Jetson Orin",
+            backend: "CUDA",
+            peak_flops: 10.6e12,
+            mem_bandwidth: 204e9,
+            launch_overhead: 8e-6,
+            lib_efficiency: Some(0.70),
+            gen_efficiency: 0.48,
+            mem_efficiency: 0.75,
+            memory_capacity: 32u64 << 30,
+        }
+    }
+
+    /// WebGPU in a browser on an Apple M3 Max laptop (Table 3).
+    pub fn webgpu_m3_max() -> Self {
+        DeviceSpec {
+            name: "WebGPU (M3 Max)",
+            backend: "WebGPU",
+            peak_flops: 28e12,
+            mem_bandwidth: 400e9,
+            launch_overhead: 25e-6,
+            lib_efficiency: None,
+            gen_efficiency: 0.40,
+            mem_efficiency: 0.70,
+            memory_capacity: 48u64 << 30,
+        }
+    }
+
+    /// All devices of the Table 3 "emerging platforms" study, in the
+    /// paper's row order.
+    pub fn emerging_platforms() -> Vec<DeviceSpec> {
+        vec![
+            Self::iphone14_pro(),
+            Self::samsung_s23(),
+            Self::orange_pi5(),
+            Self::steam_deck(),
+            Self::jetson_orin(),
+            Self::webgpu_m3_max(),
+        ]
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for d in [
+            DeviceSpec::rtx4090(),
+            DeviceSpec::radeon7900xtx(),
+            DeviceSpec::apple_m2_ultra(),
+            DeviceSpec::iphone14_pro(),
+            DeviceSpec::samsung_s23(),
+            DeviceSpec::samsung_s24(),
+            DeviceSpec::samsung_s24_cpu(),
+            DeviceSpec::orange_pi5(),
+            DeviceSpec::steam_deck(),
+            DeviceSpec::jetson_orin(),
+            DeviceSpec::webgpu_m3_max(),
+        ] {
+            assert!(d.peak_flops > 0.0 && d.mem_bandwidth > 0.0, "{d}");
+            assert!(d.gen_efficiency > 0.0 && d.gen_efficiency <= 1.0);
+            assert!(d.mem_efficiency > 0.0 && d.mem_efficiency <= 1.0);
+            if let Some(e) = d.lib_efficiency {
+                assert!(e > d.gen_efficiency, "{d}: libraries should beat codegen");
+            }
+            assert!(d.launch_overhead > 0.0);
+        }
+    }
+
+    #[test]
+    fn device_ordering_matches_expectations() {
+        // The desktop GPU is far faster than the phone; the phone beats the
+        // single-board computer (Table 3's throughput ordering).
+        assert!(DeviceSpec::rtx4090().peak_flops > DeviceSpec::samsung_s23().peak_flops);
+        assert!(DeviceSpec::samsung_s23().peak_flops > DeviceSpec::orange_pi5().peak_flops);
+        assert_eq!(DeviceSpec::emerging_platforms().len(), 6);
+    }
+}

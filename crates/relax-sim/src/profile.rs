@@ -1,0 +1,51 @@
+//! Analytical model profiles shared by the baseline strategies.
+
+/// The cost structure of one transformer model, used by the analytical
+/// baseline simulators (the Relax numbers instead come from dry-running
+/// the actual compiled executable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Model name, e.g. `"Llama3-8B"`.
+    pub name: String,
+    /// Total parameter bytes after the evaluated quantization.
+    pub weight_bytes: f64,
+    /// Dense FLOPs per generated token per sequence (≈ 2 × parameters).
+    pub flops_per_token: f64,
+    /// KV-cache bytes read per token per context position per sequence.
+    pub kv_bytes_per_pos: f64,
+    /// Kernels per token in a fused compilation.
+    pub kernels_fused: u32,
+    /// Kernels per token in eager per-operator execution.
+    pub kernels_eager: u32,
+    /// The model's maximum context length (static-KV baselines pay for all
+    /// of it).
+    pub max_context: u32,
+}
+
+impl Profile {
+    /// Activation + weight + KV working set at a given batch and context,
+    /// for device-fit checks.
+    pub fn working_set_bytes(&self, batch: u32, context: u32) -> f64 {
+        self.weight_bytes + self.kv_bytes_per_pos * batch as f64 * context as f64 * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_grows_with_batch_and_context() {
+        let p = Profile {
+            name: "test".into(),
+            weight_bytes: 1e9,
+            flops_per_token: 2e9,
+            kv_bytes_per_pos: 1e5,
+            kernels_fused: 100,
+            kernels_eager: 400,
+            max_context: 8192,
+        };
+        assert!(p.working_set_bytes(2, 1024) > p.working_set_bytes(1, 1024));
+        assert!(p.working_set_bytes(1, 2048) > p.working_set_bytes(1, 1024));
+    }
+}

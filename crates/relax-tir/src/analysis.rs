@@ -1,0 +1,553 @@
+//! Analyses over tensor programs: the paper's Algorithm 1 (compute-pattern
+//! classification), cost estimation for the performance simulator, and
+//! workspace detection for cross-level workspace lifting.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::str::FromStr;
+
+use relax_arith::{free_vars, simplify, Analyzer, PrimExpr, Var};
+
+use crate::buffer::{Buffer, MemScope};
+use crate::expr::TirExpr;
+use crate::func::PrimFunc;
+use crate::stmt::Stmt;
+
+/// The mathematical pattern of a tensor program, as classified by the
+/// analysis-feedback pass (Algorithm 1 in the paper). Pattern kinds drive
+/// `FuseOps`: e.g. `ElementWise` programs fuse into the back of
+/// `OutputEwiseFusible` ones (matmul + ReLU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PatternKind {
+    /// Output indices equal read indices (`C[i,j] = f(A[i,j])`).
+    ElementWise,
+    /// Reads a lower-rank slice broadcast over the output (`A[i,j] + B[j]`).
+    Broadcast,
+    /// Reads are an injective remapping of output indices (transpose,
+    /// reshape, flatten).
+    Injective,
+    /// General reduction (sum, max over an axis).
+    Reduction,
+    /// A reduction followed by element-wise epilogue opportunities: matmul,
+    /// convolution. Element-wise programs may fuse after it.
+    OutputEwiseFusible,
+    /// No structure detected; never fused.
+    Opaque,
+}
+
+impl PatternKind {
+    /// `true` if a program of this kind may be fused *into* another.
+    pub fn is_fusible_prologue(self) -> bool {
+        matches!(
+            self,
+            PatternKind::ElementWise | PatternKind::Broadcast | PatternKind::Injective
+        )
+    }
+}
+
+impl fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PatternKind::ElementWise => "ElementWise",
+            PatternKind::Broadcast => "Broadcast",
+            PatternKind::Injective => "Injective",
+            PatternKind::Reduction => "Reduction",
+            PatternKind::OutputEwiseFusible => "OutputEwiseFusible",
+            PatternKind::Opaque => "Opaque",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing an unknown pattern-kind name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternKindError(String);
+
+impl fmt::Display for ParsePatternKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown pattern kind `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParsePatternKindError {}
+
+impl FromStr for PatternKind {
+    type Err = ParsePatternKindError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "ElementWise" => PatternKind::ElementWise,
+            "Broadcast" => PatternKind::Broadcast,
+            "Injective" => PatternKind::Injective,
+            "Reduction" => PatternKind::Reduction,
+            "OutputEwiseFusible" => PatternKind::OutputEwiseFusible,
+            "Opaque" => PatternKind::Opaque,
+            other => return Err(ParsePatternKindError(other.to_string())),
+        })
+    }
+}
+
+/// Classifies a tensor program per the paper's Algorithm 1.
+///
+/// The classification inspects the read/write index structure of every
+/// store: writes must agree on a single index vector; each read is compared
+/// against it to detect element-wise, broadcast, or injective access;
+/// fused-multiply-add reductions are recognized as `OutputEwiseFusible`
+/// (matmul, convolution) and other loop-carried reductions as `Reduction`.
+///
+/// # Examples
+///
+/// ```
+/// use relax_tir::{analysis, Buffer, PrimFunc, Stmt, TirExpr, grid};
+/// use relax_arith::{DataType, Var};
+/// let n = Var::new("n");
+/// let x = Buffer::new("X", vec![n.clone().into()], DataType::F32);
+/// let y = Buffer::new("Y", vec![n.clone().into()], DataType::F32);
+/// let (iv, nest) = grid(&[("i", n.into())]);
+/// let body = nest.build(Stmt::store(
+///     &y, vec![iv[0].clone().into()],
+///     TirExpr::Max(
+///         Box::new(TirExpr::load(&x, vec![iv[0].clone().into()])),
+///         Box::new(TirExpr::FloatImm(0.0)),
+///     ),
+/// ));
+/// let relu = PrimFunc::new("relu", vec![x, y], 1, body);
+/// assert_eq!(analysis::pattern_kind(&relu), analysis::PatternKind::ElementWise);
+/// ```
+pub fn pattern_kind(func: &PrimFunc) -> PatternKind {
+    let mut writes: Vec<(Buffer, Vec<PrimExpr>)> = Vec::new();
+    let mut reads: Vec<(Buffer, Vec<PrimExpr>)> = Vec::new();
+    let out_set: HashSet<u64> = func.outputs().iter().map(Buffer::id).collect();
+    func.body().for_each_store(&mut |buf, idx, value| {
+        writes.push((buf.clone(), idx.to_vec()));
+        value.collect_reads(&mut reads);
+    });
+    if writes.is_empty() {
+        return PatternKind::Opaque;
+    }
+    // All write index vectors must be identical (after simplification).
+    let w_idx: Vec<PrimExpr> = writes[0].1.iter().map(simplify).collect();
+    for (_, idx) in &writes[1..] {
+        let simplified: Vec<PrimExpr> = idx.iter().map(simplify).collect();
+        if simplified != w_idx {
+            return PatternKind::Opaque;
+        }
+    }
+    // Only consider writes to the declared outputs for classification.
+    if !writes.iter().all(|(b, _)| out_set.contains(&b.id())) {
+        return PatternKind::Opaque;
+    }
+
+    let w_vars: HashSet<Var> = w_idx.iter().flat_map(free_vars).collect();
+    let loop_vars: HashSet<Var> = func
+        .body()
+        .loop_vars()
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
+
+    let mut kind = PatternKind::ElementWise;
+    let mut has_elem_wise = false;
+    let mut saw_read = false;
+    for (buf, r_idx) in &reads {
+        // Reads of the output itself (reduction accumulators) are handled by
+        // the reduction checks below.
+        if out_set.contains(&buf.id()) {
+            continue;
+        }
+        saw_read = true;
+        let r_idx: Vec<PrimExpr> = r_idx.iter().map(simplify).collect();
+        // A data-dependent (gather) read records no static index structure.
+        if r_idx.is_empty() && buf.ndim() > 0 {
+            kind = PatternKind::Opaque;
+            continue;
+        }
+        let read_kind = if is_element_wise(&r_idx, &w_idx) {
+            has_elem_wise = true;
+            PatternKind::ElementWise
+        } else if is_broadcast(&r_idx, &w_idx) {
+            PatternKind::Broadcast
+        } else if is_injective(&r_idx, &w_vars, &loop_vars) {
+            PatternKind::Injective
+        } else {
+            PatternKind::Opaque
+        };
+        kind = kind.max(read_kind);
+    }
+    if !saw_read {
+        // Pure fills (e.g. zeros) are injective producers.
+        kind = PatternKind::Injective;
+    }
+
+    if kind == PatternKind::Broadcast && has_elem_wise {
+        kind = PatternKind::ElementWise;
+    } else if kind == PatternKind::Opaque && is_fuse_multiply_add(func, &w_idx) {
+        kind = PatternKind::OutputEwiseFusible;
+    } else if kind == PatternKind::Opaque && has_reduction_loop(func, &w_vars) {
+        kind = PatternKind::Reduction;
+    }
+    kind
+}
+
+fn is_element_wise(r_idx: &[PrimExpr], w_idx: &[PrimExpr]) -> bool {
+    r_idx == w_idx
+}
+
+fn is_broadcast(r_idx: &[PrimExpr], w_idx: &[PrimExpr]) -> bool {
+    if r_idx.len() >= w_idx.len() {
+        return false;
+    }
+    // Order-preserving subsequence: read B[j] against write C[i, j].
+    let mut pos = 0usize;
+    for r in r_idx {
+        match w_idx[pos..].iter().position(|w| w == r) {
+            Some(offset) => pos += offset + 1,
+            None => return false,
+        }
+    }
+    true
+}
+
+fn is_injective(r_idx: &[PrimExpr], w_vars: &HashSet<Var>, loop_vars: &HashSet<Var>) -> bool {
+    // Every read coordinate is a function of the *write* iteration space
+    // only — no reduction variables involved.
+    r_idx.iter().all(|e| {
+        free_vars(e)
+            .into_iter()
+            .filter(|v| loop_vars.contains(v))
+            .all(|v| w_vars.contains(&v))
+    })
+}
+
+fn has_reduction_loop(func: &PrimFunc, w_vars: &HashSet<Var>) -> bool {
+    func.body()
+        .loop_vars()
+        .iter()
+        .any(|(v, _)| !w_vars.contains(v))
+}
+
+/// Detects the fused-multiply-add reduction pattern
+/// `Y[w] = Y[w] + f(...) * g(...)` guarded by an `if red == 0` initializer.
+fn is_fuse_multiply_add(func: &PrimFunc, w_idx: &[PrimExpr]) -> bool {
+    let out_set: HashSet<u64> = func.outputs().iter().map(Buffer::id).collect();
+    let w_vars: HashSet<Var> = w_idx.iter().flat_map(free_vars).collect();
+    if !has_reduction_loop(func, &w_vars) {
+        return false;
+    }
+    let mut found = false;
+    func.body().for_each_store(&mut |buf, idx, value| {
+        if !out_set.contains(&buf.id()) {
+            return;
+        }
+        if let TirExpr::Add(lhs, rhs) = value {
+            let self_accumulate = matches!(
+                &**lhs,
+                TirExpr::Load(b, i)
+                    if b.id() == buf.id()
+                        && i.iter().map(simplify).collect::<Vec<_>>()
+                            == idx.iter().map(simplify).collect::<Vec<_>>()
+            );
+            let is_mul = matches!(&**rhs, TirExpr::Mul(_, _));
+            if self_accumulate && is_mul {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Estimated execution cost of one invocation of a tensor program.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Arithmetic operations executed.
+    pub flops: f64,
+    /// Global-memory bytes touched (each global buffer counted once —
+    /// the traffic of a well-scheduled kernel).
+    pub bytes: f64,
+}
+
+impl Cost {
+    /// Adds two costs component-wise.
+    pub fn combine(self, other: Cost) -> Cost {
+        Cost {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+}
+
+/// Estimates the cost of `func` with symbolic dimensions bound by `env`.
+///
+/// Flops are counted as (arithmetic nodes in each store) × (trip count of
+/// its enclosing loops). Bytes count every *global*-scope buffer touched
+/// (parameters and lifted workspaces) exactly once — local buffers created
+/// by fusion are free, which is precisely the memory-traffic saving that
+/// operator fusion buys.
+pub fn cost_of(func: &PrimFunc, env: &HashMap<Var, i64>) -> Cost {
+    let mut flops = 0.0;
+    let mut touched: HashMap<u64, Buffer> = HashMap::new();
+    for p in func.params() {
+        if p.scope() == MemScope::Global {
+            touched.insert(p.id(), p.clone());
+        }
+    }
+    collect_flops(func.body(), env, 1.0, &mut flops, &mut touched);
+    let mut bytes = 0.0;
+    let analyzer = Analyzer::new();
+    for buf in touched.values() {
+        if buf.scope() != MemScope::Global {
+            continue;
+        }
+        let size = analyzer.simplify(&buf.size_bytes());
+        if let Ok(v) = size.eval(env) {
+            bytes += v.max(0) as f64;
+        }
+    }
+    Cost { flops, bytes }
+}
+
+fn collect_flops(
+    stmt: &Stmt,
+    env: &HashMap<Var, i64>,
+    trip: f64,
+    flops: &mut f64,
+    touched: &mut HashMap<u64, Buffer>,
+) {
+    match stmt {
+        Stmt::For { extent, body, .. } => {
+            let n = extent.eval(env).unwrap_or(1).max(0) as f64;
+            collect_flops(body, env, trip * n, flops, touched);
+        }
+        Stmt::Seq(stmts) => {
+            for s in stmts {
+                collect_flops(s, env, trip, flops, touched);
+            }
+        }
+        Stmt::Store { buffer, value, .. } => {
+            touched.insert(buffer.id(), buffer.clone());
+            let mut reads = Vec::new();
+            value.collect_reads(&mut reads);
+            for (b, _) in reads {
+                touched.insert(b.id(), b);
+            }
+            *flops += trip * ops_in(value);
+        }
+        Stmt::IfEq { then, .. } => collect_flops(then, env, trip, flops, touched),
+        Stmt::Alloc { buffer, body } => {
+            touched.insert(buffer.id(), buffer.clone());
+            collect_flops(body, env, trip, flops, touched);
+        }
+        Stmt::Evaluate => {}
+    }
+}
+
+fn ops_in(expr: &TirExpr) -> f64 {
+    match expr {
+        TirExpr::FloatImm(_) | TirExpr::IntImm(_) | TirExpr::Index(_) | TirExpr::Load(..) => 0.0,
+        TirExpr::Add(a, b)
+        | TirExpr::Sub(a, b)
+        | TirExpr::Mul(a, b)
+        | TirExpr::Div(a, b)
+        | TirExpr::Max(a, b)
+        | TirExpr::Min(a, b)
+        | TirExpr::Shr(a, b)
+        | TirExpr::BitAnd(a, b) => 1.0 + ops_in(a) + ops_in(b),
+        TirExpr::Exp(a) | TirExpr::Sqrt(a) | TirExpr::Tanh(a) | TirExpr::Sigmoid(a) => {
+            4.0 + ops_in(a)
+        }
+        TirExpr::Neg(a) | TirExpr::Cast(_, a) => 1.0 + ops_in(a),
+        TirExpr::Select(c, t, e) => 1.0 + ops_in(c) + ops_in(t) + ops_in(e),
+        TirExpr::IndexEq(_, _) | TirExpr::IndexLe(_, _) => 1.0,
+        TirExpr::LoadDyn(_, idx) => idx.iter().map(ops_in).sum(),
+    }
+}
+
+/// Returns the global-scope workspace buffers allocated inside `func`
+/// (candidates for cross-level workspace lifting, §4.4).
+pub fn find_workspaces(func: &PrimFunc) -> Vec<Buffer> {
+    let mut out = Vec::new();
+    func.body().for_each_alloc(&mut |b| {
+        if b.scope() == MemScope::Global {
+            out.push(b.clone());
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::grid;
+    use relax_arith::DataType;
+
+    fn unary_ew(name: &str) -> PrimFunc {
+        let n = Var::new("n");
+        let x = Buffer::new("X", vec![n.clone().into()], DataType::F32);
+        let y = Buffer::new("Y", vec![n.clone().into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.into())]);
+        let body = nest.build(Stmt::store(
+            &y,
+            vec![iv[0].clone().into()],
+            TirExpr::Exp(Box::new(TirExpr::load(&x, vec![iv[0].clone().into()]))),
+        ));
+        PrimFunc::new(name, vec![x, y], 1, body)
+    }
+
+    #[test]
+    fn elementwise_classification() {
+        assert_eq!(pattern_kind(&unary_ew("exp")), PatternKind::ElementWise);
+    }
+
+    #[test]
+    fn broadcast_and_mixed_classification() {
+        // C[i, j] = A[i, j] + B[j]  => ElementWise per the paper's fixup.
+        let (n, m) = (Var::new("n"), Var::new("m"));
+        let a = Buffer::new("A", vec![n.clone().into(), m.clone().into()], DataType::F32);
+        let b = Buffer::new("B", vec![m.clone().into()], DataType::F32);
+        let c = Buffer::new("C", vec![n.clone().into(), m.clone().into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.into()), ("j", m.into())]);
+        let (i, j) = (iv[0].clone(), iv[1].clone());
+        let body = nest.build(Stmt::store(
+            &c,
+            vec![i.clone().into(), j.clone().into()],
+            TirExpr::load(&a, vec![i.into(), j.clone().into()]) + TirExpr::load(&b, vec![j.into()]),
+        ));
+        let f = PrimFunc::new("add_bias", vec![a, b, c], 1, body);
+        assert_eq!(pattern_kind(&f), PatternKind::ElementWise);
+    }
+
+    #[test]
+    fn pure_broadcast_classification() {
+        // C[i, j] = B[j] * 2
+        let (n, m) = (Var::new("n"), Var::new("m"));
+        let b = Buffer::new("B", vec![m.clone().into()], DataType::F32);
+        let c = Buffer::new("C", vec![n.clone().into(), m.clone().into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.into()), ("j", m.into())]);
+        let body = nest.build(Stmt::store(
+            &c,
+            vec![iv[0].clone().into(), iv[1].clone().into()],
+            TirExpr::load(&b, vec![iv[1].clone().into()]) * TirExpr::FloatImm(2.0),
+        ));
+        let f = PrimFunc::new("bcast", vec![b, c], 1, body);
+        assert_eq!(pattern_kind(&f), PatternKind::Broadcast);
+    }
+
+    #[test]
+    fn transpose_is_injective() {
+        let (n, m) = (Var::new("n"), Var::new("m"));
+        let a = Buffer::new("A", vec![m.clone().into(), n.clone().into()], DataType::F32);
+        let c = Buffer::new("C", vec![n.clone().into(), m.clone().into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.into()), ("j", m.into())]);
+        let body = nest.build(Stmt::store(
+            &c,
+            vec![iv[0].clone().into(), iv[1].clone().into()],
+            TirExpr::load(&a, vec![iv[1].clone().into(), iv[0].clone().into()]),
+        ));
+        let f = PrimFunc::new("transpose", vec![a, c], 1, body);
+        assert_eq!(pattern_kind(&f), PatternKind::Injective);
+    }
+
+    fn matmul() -> PrimFunc {
+        let n = Var::new("n");
+        let x = Buffer::new("X", vec![n.clone().into(), 128.into()], DataType::F32);
+        let w = Buffer::new("W", vec![128.into(), 256.into()], DataType::F32);
+        let y = Buffer::new("Y", vec![n.clone().into(), 256.into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.into()), ("j", 256.into()), ("k", 128.into())]);
+        let (i, j, k) = (iv[0].clone(), iv[1].clone(), iv[2].clone());
+        let init = Stmt::IfEq {
+            lhs: k.clone().into(),
+            rhs: 0.into(),
+            then: Box::new(Stmt::store(
+                &y,
+                vec![i.clone().into(), j.clone().into()],
+                TirExpr::FloatImm(0.0),
+            )),
+        };
+        let update = Stmt::store(
+            &y,
+            vec![i.clone().into(), j.clone().into()],
+            TirExpr::load(&y, vec![i.clone().into(), j.clone().into()])
+                + TirExpr::load(&x, vec![i.into(), k.clone().into()])
+                    * TirExpr::load(&w, vec![k.into(), j.into()]),
+        );
+        let body = nest.build(Stmt::seq(vec![init, update]));
+        PrimFunc::new("mm", vec![x, w, y], 1, body)
+    }
+
+    #[test]
+    fn matmul_is_output_ewise_fusible() {
+        assert_eq!(pattern_kind(&matmul()), PatternKind::OutputEwiseFusible);
+    }
+
+    #[test]
+    fn sum_reduction_classification() {
+        // Y[i] = sum_k X[i, k]  (accumulate without multiply)
+        let n = Var::new("n");
+        let x = Buffer::new("X", vec![n.clone().into(), 64.into()], DataType::F32);
+        let y = Buffer::new("Y", vec![n.clone().into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.into()), ("k", 64.into())]);
+        let (i, k) = (iv[0].clone(), iv[1].clone());
+        let init = Stmt::IfEq {
+            lhs: k.clone().into(),
+            rhs: 0.into(),
+            then: Box::new(Stmt::store(
+                &y,
+                vec![i.clone().into()],
+                TirExpr::FloatImm(0.0),
+            )),
+        };
+        let update = Stmt::store(
+            &y,
+            vec![i.clone().into()],
+            TirExpr::load(&y, vec![i.clone().into()]) + TirExpr::load(&x, vec![i.into(), k.into()]),
+        );
+        let f = PrimFunc::new(
+            "sum",
+            vec![x, y],
+            1,
+            nest.build(Stmt::seq(vec![init, update])),
+        );
+        assert_eq!(pattern_kind(&f), PatternKind::Reduction);
+    }
+
+    #[test]
+    fn cost_counts_flops_and_global_bytes() {
+        let f = matmul();
+        let n_var = f.params()[0].shape()[0].as_var().unwrap().clone();
+        let env: HashMap<Var, i64> = [(n_var, 4)].into_iter().collect();
+        let c = cost_of(&f, &env);
+        // 4*256*128 iterations × 2 flops (mul + add) for the update store.
+        assert_eq!(c.flops, (4 * 256 * 128 * 2) as f64);
+        // X: 4*128*4B, W: 128*256*4B, Y: 4*256*4B
+        assert_eq!(c.bytes, (4 * 128 * 4 + 128 * 256 * 4 + 4 * 256 * 4) as f64);
+    }
+
+    #[test]
+    fn workspace_detection() {
+        let n = Var::new("n");
+        let x = Buffer::new("X", vec![n.clone().into()], DataType::F32);
+        let y = Buffer::new("Y", vec![n.clone().into()], DataType::F32);
+        let ws = Buffer::new("workspace", vec![1024.into()], DataType::F32);
+        let body = Stmt::Alloc {
+            buffer: ws.clone(),
+            body: Box::new(Stmt::Evaluate),
+        };
+        let f = PrimFunc::new("wf", vec![x, y], 1, body);
+        assert_eq!(find_workspaces(&f), vec![ws]);
+        assert!(find_workspaces(&unary_ew("e")).is_empty());
+    }
+
+    #[test]
+    fn pattern_kind_round_trips_as_attr() {
+        for k in [
+            PatternKind::ElementWise,
+            PatternKind::Broadcast,
+            PatternKind::Injective,
+            PatternKind::Reduction,
+            PatternKind::OutputEwiseFusible,
+            PatternKind::Opaque,
+        ] {
+            assert_eq!(k.to_string().parse::<PatternKind>().unwrap(), k);
+        }
+        assert!("Nope".parse::<PatternKind>().is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Helpers for constructing loop nests in the paper's `grid(...)` style.
+
+use relax_arith::{PrimExpr, Var};
+
+use crate::stmt::Stmt;
+
+/// A pending loop nest produced by [`grid`]; call [`LoopNest::build`] with
+/// the innermost body to obtain the nested [`Stmt`].
+#[derive(Debug, Clone)]
+pub struct LoopNest {
+    loops: Vec<(Var, PrimExpr)>,
+}
+
+impl LoopNest {
+    /// Wraps `body` in the loops, outermost first.
+    pub fn build(self, body: Stmt) -> Stmt {
+        let mut stmt = body;
+        for (var, extent) in self.loops.into_iter().rev() {
+            stmt = stmt.in_loop(var, extent);
+        }
+        stmt
+    }
+}
+
+/// Creates fresh loop iterators with the given names and extents, mirroring
+/// the paper's `for i, j, k in grid(n, 256, 128)` notation.
+///
+/// Returns the iterator variables and a [`LoopNest`] to wrap a body with.
+///
+/// # Examples
+///
+/// ```
+/// use relax_tir::{grid, Stmt};
+/// let (iters, nest) = grid(&[("i", 4.into()), ("j", 8.into())]);
+/// assert_eq!(iters.len(), 2);
+/// let s = nest.build(Stmt::Evaluate);
+/// assert_eq!(s.loop_vars().len(), 2);
+/// ```
+pub fn grid(dims: &[(&str, PrimExpr)]) -> (Vec<Var>, LoopNest) {
+    let mut vars = Vec::with_capacity(dims.len());
+    let mut loops = Vec::with_capacity(dims.len());
+    for (name, extent) in dims {
+        let v = Var::new(*name);
+        vars.push(v.clone());
+        loops.push((v, extent.clone()));
+    }
+    (vars, LoopNest { loops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::expr::TirExpr;
+    use relax_arith::DataType;
+
+    #[test]
+    fn grid_builds_nested_loops_in_order() {
+        let b = Buffer::new("B", vec![2.into(), 3.into()], DataType::F32);
+        let (iters, nest) = grid(&[("i", 2.into()), ("j", 3.into())]);
+        let body = nest.build(Stmt::store(
+            &b,
+            vec![iters[0].clone().into(), iters[1].clone().into()],
+            TirExpr::FloatImm(1.0),
+        ));
+        let lv = body.loop_vars();
+        assert_eq!(lv[0].0, iters[0]);
+        assert_eq!(lv[1].0, iters[1]);
+        assert_eq!(lv[0].1, PrimExpr::Int(2));
+    }
+}

@@ -1,0 +1,198 @@
+//! Destination-passing-style tensor program functions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::buffer::Buffer;
+use crate::stmt::Stmt;
+
+/// A loop-level tensor program in destination-passing style (DPS).
+///
+/// Parameters are buffers; the final `num_outputs` parameters are the
+/// destinations the function mutates, mirroring the paper's `call_tir`
+/// convention: `tir_func(*args, output, *sym_args)`. Symbolic shape
+/// variables referenced by the buffer shapes are bound at call time by
+/// unifying declared shapes with the shapes of the actual arguments.
+///
+/// `PrimFunc` is immutable and cheap to clone (reference counted); the
+/// transforms in [`crate::transform`] build new functions rather than
+/// mutating in place.
+///
+/// # Examples
+///
+/// ```
+/// use relax_tir::{Buffer, PrimFunc, Stmt, TirExpr, grid};
+/// use relax_arith::{DataType, PrimExpr, Var};
+///
+/// // Y[i] = X[i] + 1.0 over a symbolic extent n.
+/// let n = Var::new("n");
+/// let x = Buffer::new("X", vec![n.clone().into()], DataType::F32);
+/// let y = Buffer::new("Y", vec![n.clone().into()], DataType::F32);
+/// let (iters, nest) = grid(&[("i", n.into())]);
+/// let body = nest.build(Stmt::store(
+///     &y,
+///     vec![iters[0].clone().into()],
+///     TirExpr::load(&x, vec![iters[0].clone().into()]) + TirExpr::FloatImm(1.0),
+/// ));
+/// let f = PrimFunc::new("add_one", vec![x, y], 1, body);
+/// assert_eq!(f.inputs().len(), 1);
+/// assert_eq!(f.outputs().len(), 1);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct PrimFunc(Rc<PrimFuncData>);
+
+#[derive(PartialEq)]
+struct PrimFuncData {
+    name: String,
+    params: Vec<Buffer>,
+    num_outputs: usize,
+    body: Stmt,
+    attrs: BTreeMap<String, String>,
+}
+
+impl PrimFunc {
+    /// Creates a tensor program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_outputs` exceeds the parameter count.
+    pub fn new(
+        name: impl Into<String>,
+        params: Vec<Buffer>,
+        num_outputs: usize,
+        body: Stmt,
+    ) -> Self {
+        assert!(
+            num_outputs <= params.len(),
+            "num_outputs must not exceed the number of parameters"
+        );
+        PrimFunc(Rc::new(PrimFuncData {
+            name: name.into(),
+            params,
+            num_outputs,
+            body,
+            attrs: BTreeMap::new(),
+        }))
+    }
+
+    /// Returns a copy of the function with an attribute attached
+    /// (e.g. the `compute_pattern` annotation produced by analysis
+    /// feedback).
+    pub fn with_attr(&self, key: impl Into<String>, value: impl Into<String>) -> PrimFunc {
+        let mut attrs = self.0.attrs.clone();
+        attrs.insert(key.into(), value.into());
+        PrimFunc(Rc::new(PrimFuncData {
+            name: self.0.name.clone(),
+            params: self.0.params.clone(),
+            num_outputs: self.0.num_outputs,
+            body: self.0.body.clone(),
+            attrs,
+        }))
+    }
+
+    /// Returns a copy with a different name.
+    pub fn renamed(&self, name: impl Into<String>) -> PrimFunc {
+        PrimFunc(Rc::new(PrimFuncData {
+            name: name.into(),
+            params: self.0.params.clone(),
+            num_outputs: self.0.num_outputs,
+            body: self.0.body.clone(),
+            attrs: self.0.attrs.clone(),
+        }))
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.0.name
+    }
+
+    /// All buffer parameters (inputs followed by outputs).
+    pub fn params(&self) -> &[Buffer] {
+        &self.0.params
+    }
+
+    /// The input parameters.
+    pub fn inputs(&self) -> &[Buffer] {
+        &self.0.params[..self.0.params.len() - self.0.num_outputs]
+    }
+
+    /// The output (destination) parameters.
+    pub fn outputs(&self) -> &[Buffer] {
+        &self.0.params[self.0.params.len() - self.0.num_outputs..]
+    }
+
+    /// Number of output parameters.
+    pub fn num_outputs(&self) -> usize {
+        self.0.num_outputs
+    }
+
+    /// The function body.
+    pub fn body(&self) -> &Stmt {
+        &self.0.body
+    }
+
+    /// Function attributes.
+    pub fn attrs(&self) -> &BTreeMap<String, String> {
+        &self.0.attrs
+    }
+
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.0.attrs.get(key).map(String::as_str)
+    }
+}
+
+impl fmt::Debug for PrimFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PrimFunc({}, {} params, {} outputs)",
+            self.name(),
+            self.params().len(),
+            self.num_outputs()
+        )
+    }
+}
+
+impl fmt::Display for PrimFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::printer::print_func(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_arith::DataType;
+
+    fn dummy() -> PrimFunc {
+        let x = Buffer::new("X", vec![4.into()], DataType::F32);
+        let y = Buffer::new("Y", vec![4.into()], DataType::F32);
+        PrimFunc::new("f", vec![x, y], 1, Stmt::Evaluate)
+    }
+
+    #[test]
+    fn input_output_split() {
+        let f = dummy();
+        assert_eq!(f.inputs().len(), 1);
+        assert_eq!(f.outputs().len(), 1);
+        assert_eq!(f.inputs()[0].name(), "X");
+        assert_eq!(f.outputs()[0].name(), "Y");
+    }
+
+    #[test]
+    fn attrs_are_functional() {
+        let f = dummy();
+        let g = f.with_attr("compute_pattern", "ElementWise");
+        assert_eq!(f.attr("compute_pattern"), None);
+        assert_eq!(g.attr("compute_pattern"), Some("ElementWise"));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_outputs")]
+    fn too_many_outputs_panics() {
+        let x = Buffer::new("X", vec![4.into()], DataType::F32);
+        let _ = PrimFunc::new("f", vec![x], 2, Stmt::Evaluate);
+    }
+}

@@ -1,0 +1,402 @@
+//! Host tensors used by the tensor-program interpreter and the VM.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use relax_arith::DataType;
+
+use crate::expr::Scalar;
+
+/// Error produced by [`NDArray`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NDArrayError {
+    /// An index exceeded the array extent.
+    IndexOutOfBounds {
+        /// The offending flat index.
+        index: usize,
+        /// The number of elements.
+        len: usize,
+    },
+    /// Number of elements did not match the shape.
+    LengthMismatch {
+        /// Elements expected from the shape.
+        expected: usize,
+        /// Elements provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NDArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NDArrayError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for array of {len} elements")
+            }
+            NDArrayError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NDArrayError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum DataBuf {
+    F(Vec<f64>),
+    I(Vec<i64>),
+}
+
+/// A reference-counted host tensor.
+///
+/// Cloning an `NDArray` aliases the same storage — exactly the semantics of
+/// destination-passing style, where a callee writes into a caller-provided
+/// array. Use [`NDArray::deep_copy`] for a detached copy.
+///
+/// Floating-point dtypes (`f16`, `f32`) share an `f64` host representation
+/// (with `f16`/`f32` rounding applied on store); integer dtypes share `i64`.
+/// *Logical* size accounting ([`NDArray::size_bytes`]) always uses the
+/// declared [`DataType`], which is what the paper's memory experiments
+/// report.
+///
+/// # Examples
+///
+/// ```
+/// use relax_tir::NDArray;
+/// use relax_arith::DataType;
+/// let a = NDArray::zeros(&[2, 3], DataType::F16);
+/// assert_eq!(a.numel(), 6);
+/// assert_eq!(a.size_bytes(), 12); // f16 = 2 bytes per element
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct NDArray {
+    dtype: DataType,
+    shape: Vec<usize>,
+    data: Rc<RefCell<DataBuf>>,
+}
+
+impl NDArray {
+    /// Creates a zero-filled array.
+    pub fn zeros(shape: &[usize], dtype: DataType) -> Self {
+        let n: usize = shape.iter().product();
+        let data = if dtype.is_float() {
+            DataBuf::F(vec![0.0; n])
+        } else {
+            DataBuf::I(vec![0; n])
+        };
+        NDArray {
+            dtype,
+            shape: shape.to_vec(),
+            data: Rc::new(RefCell::new(data)),
+        }
+    }
+
+    /// Creates an array from `f64` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NDArrayError::LengthMismatch`] if `values.len()` does not
+    /// equal the product of `shape`.
+    pub fn from_f64(
+        shape: &[usize],
+        dtype: DataType,
+        values: Vec<f64>,
+    ) -> Result<Self, NDArrayError> {
+        let n: usize = shape.iter().product();
+        if values.len() != n {
+            return Err(NDArrayError::LengthMismatch {
+                expected: n,
+                actual: values.len(),
+            });
+        }
+        let data = if dtype.is_float() {
+            DataBuf::F(values)
+        } else {
+            DataBuf::I(values.into_iter().map(|v| v as i64).collect())
+        };
+        Ok(NDArray {
+            dtype,
+            shape: shape.to_vec(),
+            data: Rc::new(RefCell::new(data)),
+        })
+    }
+
+    /// Creates an array from `i64` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NDArrayError::LengthMismatch`] on a length/shape mismatch.
+    pub fn from_i64(
+        shape: &[usize],
+        dtype: DataType,
+        values: Vec<i64>,
+    ) -> Result<Self, NDArrayError> {
+        let n: usize = shape.iter().product();
+        if values.len() != n {
+            return Err(NDArrayError::LengthMismatch {
+                expected: n,
+                actual: values.len(),
+            });
+        }
+        let data = if dtype.is_float() {
+            DataBuf::F(values.into_iter().map(|v| v as f64).collect())
+        } else {
+            DataBuf::I(values)
+        };
+        Ok(NDArray {
+            dtype,
+            shape: shape.to_vec(),
+            data: Rc::new(RefCell::new(data)),
+        })
+    }
+
+    /// Element data type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Concrete shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Logical size in bytes under the declared data type.
+    pub fn size_bytes(&self) -> usize {
+        self.numel() * self.dtype.size_bytes()
+    }
+
+    /// Reads the element at a flat index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NDArrayError::IndexOutOfBounds`] for an invalid index.
+    pub fn get(&self, flat: usize) -> Result<Scalar, NDArrayError> {
+        let data = self.data.borrow();
+        match &*data {
+            DataBuf::F(v) => v.get(flat).map(|x| Scalar::F(*x)),
+            DataBuf::I(v) => v.get(flat).map(|x| Scalar::I(*x)),
+        }
+        .ok_or(NDArrayError::IndexOutOfBounds {
+            index: flat,
+            len: self.numel(),
+        })
+    }
+
+    /// Writes the element at a flat index, converting to the array dtype.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NDArrayError::IndexOutOfBounds`] for an invalid index.
+    pub fn set(&self, flat: usize, value: Scalar) -> Result<(), NDArrayError> {
+        let len = self.numel();
+        let mut data = self.data.borrow_mut();
+        match &mut *data {
+            DataBuf::F(v) => {
+                let slot = v
+                    .get_mut(flat)
+                    .ok_or(NDArrayError::IndexOutOfBounds { index: flat, len })?;
+                *slot = round_to_dtype(value.as_f64(), self.dtype);
+            }
+            DataBuf::I(v) => {
+                let slot = v
+                    .get_mut(flat)
+                    .ok_or(NDArrayError::IndexOutOfBounds { index: flat, len })?;
+                *slot = value.as_i64();
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts multidimensional indices to a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NDArrayError::IndexOutOfBounds`] if any coordinate exceeds
+    /// its extent or the rank differs.
+    pub fn flat_index(&self, indices: &[usize]) -> Result<usize, NDArrayError> {
+        if indices.len() != self.shape.len() {
+            return Err(NDArrayError::IndexOutOfBounds {
+                index: indices.len(),
+                len: self.shape.len(),
+            });
+        }
+        let mut flat = 0usize;
+        for (i, (&idx, &extent)) in indices.iter().zip(&self.shape).enumerate() {
+            if idx >= extent {
+                return Err(NDArrayError::IndexOutOfBounds {
+                    index: idx,
+                    len: extent.max(i),
+                });
+            }
+            flat = flat * extent + idx;
+        }
+        Ok(flat)
+    }
+
+    /// Fills the array with a constant.
+    pub fn fill(&self, value: Scalar) {
+        let mut data = self.data.borrow_mut();
+        match &mut *data {
+            DataBuf::F(v) => {
+                let x = round_to_dtype(value.as_f64(), self.dtype);
+                v.iter_mut().for_each(|s| *s = x);
+            }
+            DataBuf::I(v) => {
+                let x = value.as_i64();
+                v.iter_mut().for_each(|s| *s = x);
+            }
+        }
+    }
+
+    /// Returns a detached copy with fresh storage.
+    pub fn deep_copy(&self) -> NDArray {
+        NDArray {
+            dtype: self.dtype,
+            shape: self.shape.clone(),
+            data: Rc::new(RefCell::new(self.data.borrow().clone())),
+        }
+    }
+
+    /// Returns a view of the same storage with a different shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NDArrayError::LengthMismatch`] if the element counts differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Result<NDArray, NDArrayError> {
+        let n: usize = shape.iter().product();
+        if n != self.numel() {
+            return Err(NDArrayError::LengthMismatch {
+                expected: self.numel(),
+                actual: n,
+            });
+        }
+        Ok(NDArray {
+            dtype: self.dtype,
+            shape: shape.to_vec(),
+            data: Rc::clone(&self.data),
+        })
+    }
+
+    /// Returns `true` if `other` aliases the same storage.
+    pub fn same_storage(&self, other: &NDArray) -> bool {
+        Rc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Copies the contents to an `f64` vector.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match &*self.data.borrow() {
+            DataBuf::F(v) => v.clone(),
+            DataBuf::I(v) => v.iter().map(|x| *x as f64).collect(),
+        }
+    }
+
+    /// Copies the contents to an `i64` vector (floats truncate toward zero).
+    pub fn to_i64_vec(&self) -> Vec<i64> {
+        match &*self.data.borrow() {
+            DataBuf::F(v) => v.iter().map(|x| *x as i64).collect(),
+            DataBuf::I(v) => v.clone(),
+        }
+    }
+}
+
+/// Rounds a host `f64` to the precision of the logical float dtype.
+fn round_to_dtype(v: f64, dtype: DataType) -> f64 {
+    match dtype {
+        DataType::F32 => v as f32 as f64,
+        // Emulate f16 by quantizing the mantissa to 10 bits via f32 bit
+        // manipulation: good enough for numeric plausibility tests.
+        DataType::F16 => {
+            let f = v as f32;
+            if !f.is_finite() {
+                return f as f64;
+            }
+            let bits = f.to_bits();
+            let truncated = bits & !((1u32 << 13) - 1);
+            f32::from_bits(truncated) as f64
+        }
+        _ => v,
+    }
+}
+
+impl fmt::Debug for NDArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NDArray(shape={:?}, dtype={}, {} bytes)",
+            self.shape,
+            self.dtype,
+            self.size_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_fill() {
+        let a = NDArray::zeros(&[2, 2], DataType::F32);
+        assert_eq!(a.get(0).unwrap(), Scalar::F(0.0));
+        a.fill(Scalar::F(2.5));
+        assert_eq!(a.get(3).unwrap(), Scalar::F(2.5));
+    }
+
+    #[test]
+    fn clone_aliases_deep_copy_detaches() {
+        let a = NDArray::zeros(&[4], DataType::I64);
+        let alias = a.clone();
+        let copy = a.deep_copy();
+        a.set(0, Scalar::I(7)).unwrap();
+        assert_eq!(alias.get(0).unwrap(), Scalar::I(7));
+        assert_eq!(copy.get(0).unwrap(), Scalar::I(0));
+        assert!(a.same_storage(&alias));
+        assert!(!a.same_storage(&copy));
+    }
+
+    #[test]
+    fn flat_index_row_major() {
+        let a = NDArray::zeros(&[2, 3], DataType::F32);
+        assert_eq!(a.flat_index(&[1, 2]).unwrap(), 5);
+        assert!(a.flat_index(&[2, 0]).is_err());
+        assert!(a.flat_index(&[0]).is_err());
+    }
+
+    #[test]
+    fn logical_byte_size_uses_dtype() {
+        let a = NDArray::zeros(&[8], DataType::F16);
+        assert_eq!(a.size_bytes(), 16);
+        let b = NDArray::zeros(&[8], DataType::U32);
+        assert_eq!(b.size_bytes(), 32);
+    }
+
+    #[test]
+    fn reshape_preserves_storage() {
+        let a = NDArray::from_f64(&[2, 3], DataType::F32, vec![0., 1., 2., 3., 4., 5.]).unwrap();
+        let b = a.reshaped(&[3, 2]).unwrap();
+        assert!(a.same_storage(&b));
+        assert!(a.reshaped(&[7]).is_err());
+    }
+
+    #[test]
+    fn f16_rounding_applies_on_store() {
+        let a = NDArray::zeros(&[1], DataType::F16);
+        a.set(0, Scalar::F(1.0 + 1e-6)).unwrap();
+        // Mantissa truncated: value close to but not exactly 1 + 1e-6.
+        let v = a.get(0).unwrap().as_f64();
+        assert!((v - 1.0).abs() < 1e-3);
+        assert_ne!(v, 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn from_vec_length_validation() {
+        assert!(NDArray::from_f64(&[2, 2], DataType::F32, vec![1.0; 3]).is_err());
+        assert!(NDArray::from_i64(&[2], DataType::I64, vec![1, 2]).is_ok());
+    }
+}

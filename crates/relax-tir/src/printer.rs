@@ -1,0 +1,144 @@
+//! Pretty printer for tensor programs in the paper's Python-like notation.
+
+use std::fmt;
+
+use crate::func::PrimFunc;
+use crate::stmt::Stmt;
+
+/// Prints a tensor program in the paper's `@tensorir_function` notation.
+pub(crate) fn print_func(func: &PrimFunc, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    writeln!(f, "@tensorir_function")?;
+    write!(f, "def {}(", func.name())?;
+    for (i, p) in func.params().iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{p}")?;
+    }
+    writeln!(f, "):")?;
+    for (k, v) in func.attrs() {
+        writeln!(f, "  func_attr(\"{k}\", \"{v}\")")?;
+    }
+    print_stmt(func.body(), f, 1)
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
+    for _ in 0..level {
+        write!(f, "  ")?;
+    }
+    Ok(())
+}
+
+fn print_stmt(stmt: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
+    match stmt {
+        Stmt::For { .. } => {
+            // Collapse consecutive loops into the paper's `grid` sugar.
+            let mut vars = Vec::new();
+            let mut extents = Vec::new();
+            let mut cur = stmt;
+            while let Stmt::For { var, extent, body } = cur {
+                vars.push(var.clone());
+                extents.push(extent.clone());
+                cur = body;
+            }
+            indent(f, level)?;
+            write!(f, "for ")?;
+            for (i, v) in vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, " in grid(")?;
+            for (i, e) in extents.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+            writeln!(f, "):")?;
+            print_stmt(cur, f, level + 1)
+        }
+        Stmt::Seq(stmts) => {
+            for s in stmts {
+                print_stmt(s, f, level)?;
+            }
+            Ok(())
+        }
+        Stmt::Store {
+            buffer,
+            indices,
+            value,
+        } => {
+            indent(f, level)?;
+            write!(f, "{}[", buffer.name())?;
+            for (i, e) in indices.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+            writeln!(f, "] = {value}")
+        }
+        Stmt::IfEq { lhs, rhs, then } => {
+            indent(f, level)?;
+            writeln!(f, "if {lhs} == {rhs}:")?;
+            print_stmt(then, f, level + 1)
+        }
+        Stmt::Alloc { buffer, body } => {
+            indent(f, level)?;
+            writeln!(
+                f,
+                "{} = alloc_buffer({}, \"{}\", \"{}\")",
+                buffer.name(),
+                crate::printer::shape_str(buffer.shape()),
+                buffer.dtype(),
+                buffer.scope()
+            )?;
+            print_stmt(body, f, level)
+        }
+        Stmt::Evaluate => {
+            indent(f, level)?;
+            writeln!(f, "pass")
+        }
+    }
+}
+
+/// Formats a shape tuple like `(n, 256)`.
+pub(crate) fn shape_str(shape: &[relax_arith::PrimExpr]) -> String {
+    let dims: Vec<String> = shape.iter().map(|d| d.to_string()).collect();
+    format!("({})", dims.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::buffer::Buffer;
+    use crate::builder::grid;
+    use crate::expr::TirExpr;
+    use crate::func::PrimFunc;
+    use crate::stmt::Stmt;
+    use relax_arith::{DataType, Var};
+
+    #[test]
+    fn printed_matmul_matches_paper_style() {
+        let n = Var::new("n");
+        let x = Buffer::new("X", vec![n.clone().into(), 128.into()], DataType::F32);
+        let y = Buffer::new("Y", vec![n.clone().into(), 128.into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.into()), ("j", 128.into())]);
+        let body = nest.build(Stmt::store(
+            &y,
+            vec![iv[0].clone().into(), iv[1].clone().into()],
+            TirExpr::load(&x, vec![iv[0].clone().into(), iv[1].clone().into()]),
+        ));
+        let func =
+            PrimFunc::new("copy", vec![x, y], 1, body).with_attr("compute_pattern", "ElementWise");
+        let text = func.to_string();
+        assert!(text.contains("@tensorir_function"));
+        assert!(
+            text.contains("def copy(X: Buffer((n, 128), \"f32\"), Y: Buffer((n, 128), \"f32\")):")
+        );
+        assert!(text.contains("func_attr(\"compute_pattern\", \"ElementWise\")"));
+        assert!(text.contains("for i, j in grid(n, 128):"));
+        assert!(text.contains("Y[i, j] = X[i, j]"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Statements: loop nests, stores and local allocations.
+
+use relax_arith::{PrimExpr, Var};
+
+use crate::buffer::Buffer;
+use crate::expr::TirExpr;
+
+/// A tensor-program statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `for var in 0..extent { body }`.
+    For {
+        /// The loop variable (a symbolic integer variable).
+        var: Var,
+        /// The (possibly symbolic) trip count.
+        extent: PrimExpr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// `buffer[indices] = value`.
+    Store {
+        /// Destination buffer.
+        buffer: Buffer,
+        /// Destination indices.
+        indices: Vec<PrimExpr>,
+        /// Value to store (cast to the buffer dtype).
+        value: TirExpr,
+    },
+    /// `if lhs == rhs { then }` — used for reduction initialization
+    /// (`if k == 0 { Y[i, j] = 0 }`).
+    IfEq {
+        /// Left side of the equality guard.
+        lhs: PrimExpr,
+        /// Right side of the equality guard.
+        rhs: PrimExpr,
+        /// Statement executed when the guard holds.
+        then: Box<Stmt>,
+    },
+    /// Allocates `buffer` for the duration of `body`. Global-scope
+    /// allocations model workspaces that cross-level workspace lifting
+    /// (§4.4) hoists to the graph level.
+    Alloc {
+        /// The buffer being allocated.
+        buffer: Buffer,
+        /// Statement with the buffer in scope.
+        body: Box<Stmt>,
+    },
+    /// No operation.
+    Evaluate,
+}
+
+impl Stmt {
+    /// Wraps `self` in a loop over `var` with the given extent.
+    pub fn in_loop(self, var: Var, extent: PrimExpr) -> Stmt {
+        Stmt::For {
+            var,
+            extent,
+            body: Box::new(self),
+        }
+    }
+
+    /// Creates a store statement.
+    pub fn store(buffer: &Buffer, indices: Vec<PrimExpr>, value: TirExpr) -> Stmt {
+        Stmt::Store {
+            buffer: buffer.clone(),
+            indices,
+            value,
+        }
+    }
+
+    /// Creates a sequential composition, flattening nested sequences.
+    pub fn seq(stmts: Vec<Stmt>) -> Stmt {
+        let mut flat = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Seq(inner) => flat.extend(inner),
+                Stmt::Evaluate => {}
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().expect("length checked")
+        } else {
+            Stmt::Seq(flat)
+        }
+    }
+
+    /// Visits every store in the statement tree.
+    pub fn for_each_store(&self, f: &mut dyn FnMut(&Buffer, &[PrimExpr], &TirExpr)) {
+        match self {
+            Stmt::For { body, .. } => body.for_each_store(f),
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    s.for_each_store(f);
+                }
+            }
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+            } => f(buffer, indices, value),
+            Stmt::IfEq { then, .. } => then.for_each_store(f),
+            Stmt::Alloc { body, .. } => body.for_each_store(f),
+            Stmt::Evaluate => {}
+        }
+    }
+
+    /// Visits every allocation in the statement tree.
+    pub fn for_each_alloc(&self, f: &mut dyn FnMut(&Buffer)) {
+        match self {
+            Stmt::For { body, .. } => body.for_each_alloc(f),
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    s.for_each_alloc(f);
+                }
+            }
+            Stmt::IfEq { then, .. } => then.for_each_alloc(f),
+            Stmt::Alloc { buffer, body } => {
+                f(buffer);
+                body.for_each_alloc(f);
+            }
+            Stmt::Store { .. } | Stmt::Evaluate => {}
+        }
+    }
+
+    /// Collects the loop variables enclosing each store, outermost first.
+    pub fn loop_vars(&self) -> Vec<(Var, PrimExpr)> {
+        let mut out = Vec::new();
+        fn walk(s: &Stmt, out: &mut Vec<(Var, PrimExpr)>) {
+            match s {
+                Stmt::For { var, extent, body } => {
+                    out.push((var.clone(), extent.clone()));
+                    walk(body, out);
+                }
+                Stmt::Seq(ss) => {
+                    for s in ss {
+                        walk(s, out);
+                    }
+                }
+                Stmt::IfEq { then, .. } => walk(then, out),
+                Stmt::Alloc { body, .. } => walk(body, out),
+                Stmt::Store { .. } | Stmt::Evaluate => {}
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_arith::DataType;
+
+    #[test]
+    fn seq_flattens() {
+        let b = Buffer::new("B", vec![1.into()], DataType::F32);
+        let s1 = Stmt::store(&b, vec![0.into()], TirExpr::FloatImm(1.0));
+        let nested = Stmt::seq(vec![
+            Stmt::Seq(vec![s1.clone(), s1.clone()]),
+            Stmt::Evaluate,
+            s1.clone(),
+        ]);
+        match nested {
+            Stmt::Seq(v) => assert_eq!(v.len(), 3),
+            _ => panic!("expected Seq"),
+        }
+    }
+
+    #[test]
+    fn seq_of_one_unwraps() {
+        let b = Buffer::new("B", vec![1.into()], DataType::F32);
+        let s1 = Stmt::store(&b, vec![0.into()], TirExpr::FloatImm(1.0));
+        assert!(matches!(Stmt::seq(vec![s1]), Stmt::Store { .. }));
+    }
+
+    #[test]
+    fn visitors_reach_nested_nodes() {
+        let i = Var::new("i");
+        let b = Buffer::new("B", vec![4.into()], DataType::F32);
+        let w = Buffer::new("ws", vec![16.into()], DataType::F32);
+        let body = Stmt::Alloc {
+            buffer: w.clone(),
+            body: Box::new(
+                Stmt::store(&b, vec![i.clone().into()], TirExpr::FloatImm(0.0))
+                    .in_loop(i.clone(), 4.into()),
+            ),
+        };
+        let mut stores = 0;
+        body.for_each_store(&mut |_, _, _| stores += 1);
+        assert_eq!(stores, 1);
+        let mut allocs = Vec::new();
+        body.for_each_alloc(&mut |b| allocs.push(b.clone()));
+        assert_eq!(allocs, vec![w]);
+        assert_eq!(body.loop_vars().len(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! The Relax virtual machine: the runtime half of the AOT compilation flow
+//! (§4.7).
+//!
+//! After the optimization pipeline, a Relax program is "a program comprised
+//! mainly of low-level function calls" — this crate defines that lowered
+//! form ([`Instr`] / [`VmFunction`] / [`Executable`]), and interprets it:
+//!
+//! - **Shape heap** ([`Vm`]): runtime values of symbolic variables are
+//!   populated from input tensor shapes (`MatchShape`) and used to evaluate
+//!   symbolic expressions when allocating tensors and constructing shapes.
+//! - **Memory system** ([`memory`]): a [`memory::PooledAllocator`] for the
+//!   unplanned baseline, and planned static storage (`AllocStorage` +
+//!   `TensorFromStorage`) for the memory-planning path of Algorithm 3, with
+//!   byte-level telemetry that the Table 2 experiment reads.
+//! - **Foreign functions** ([`registry`]): generated tensor programs run on
+//!   the [`relax_tir::interp`] reference interpreter; "vendor library"
+//!   kernels and data-dependent builtins (`unique`) are native Rust.
+//! - **Graph capture** (`CaptureRegion`): the CUDA Graph model — the first
+//!   execution captures, subsequent executions replay with a single launch
+//!   overhead (§4.5).
+
+mod exec;
+pub mod memory;
+pub mod registry;
+mod value;
+mod vm;
+
+pub use exec::{Executable, Instr, Reg, VmFunction};
+pub use value::Value;
+pub use vm::{Telemetry, Vm, VmError};

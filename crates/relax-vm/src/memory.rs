@@ -1,0 +1,121 @@
+//! Runtime memory management: the pooled allocator used when static
+//! planning is disabled, and byte-accounting shared with the planned path.
+//!
+//! The Table 2 experiment compares "Relax w/o planning" (this pool) against
+//! "Relax w/ planning" (static `AllocStorage`); what it reports is the
+//! *total allocated memory* each strategy ends up holding.
+
+use std::collections::BTreeMap;
+
+/// Statistics of an allocator's behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Bytes currently handed out to live tensors.
+    pub in_use: usize,
+    /// Total bytes of distinct blocks ever allocated (pool footprint).
+    pub footprint: usize,
+    /// Peak of `in_use`.
+    pub peak_in_use: usize,
+    /// Number of fresh block allocations (pool misses).
+    pub fresh_allocations: usize,
+    /// Number of requests served by recycling an existing block.
+    pub reuses: usize,
+}
+
+/// A size-bucketed recycling pool: requests are served by the smallest free
+/// block that fits, otherwise a fresh block is allocated. This models the
+/// "runtime memory pool to recycle unused memory" baseline of §5.2.
+#[derive(Debug, Default)]
+pub struct PooledAllocator {
+    // free blocks: size -> count
+    free: BTreeMap<usize, usize>,
+    next_id: u64,
+    stats: MemoryStats,
+}
+
+impl PooledAllocator {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a block of at least `bytes`; recycles a free block when one
+    /// fits, else grows the footprint.
+    pub fn alloc(&mut self, bytes: usize) -> (u64, usize) {
+        let id = self.next_id;
+        self.next_id += 1;
+        // Smallest free block with size >= bytes.
+        let candidate = self.free.range(bytes..).next().map(|(size, _)| *size);
+        let size = match candidate {
+            Some(size) => {
+                let cnt = self.free.get_mut(&size).expect("key exists");
+                *cnt -= 1;
+                if *cnt == 0 {
+                    self.free.remove(&size);
+                }
+                self.stats.reuses += 1;
+                size
+            }
+            None => {
+                self.stats.footprint += bytes;
+                self.stats.fresh_allocations += 1;
+                bytes
+            }
+        };
+        self.stats.in_use += size;
+        self.stats.peak_in_use = self.stats.peak_in_use.max(self.stats.in_use);
+        (id, size)
+    }
+
+    /// Returns a block of the given size to the pool.
+    pub fn free(&mut self, size: usize) {
+        *self.free.entry(size).or_insert(0) += 1;
+        self.stats.in_use = self.stats.in_use.saturating_sub(size);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_then_reuse() {
+        let mut pool = PooledAllocator::new();
+        let (_, s1) = pool.alloc(100);
+        assert_eq!(s1, 100);
+        pool.free(100);
+        let (_, s2) = pool.alloc(80); // fits in the 100-byte block
+        assert_eq!(s2, 100);
+        let st = pool.stats();
+        assert_eq!(st.footprint, 100);
+        assert_eq!(st.fresh_allocations, 1);
+        assert_eq!(st.reuses, 1);
+    }
+
+    #[test]
+    fn growth_when_nothing_fits() {
+        let mut pool = PooledAllocator::new();
+        pool.alloc(64);
+        pool.free(64);
+        pool.alloc(128); // 64 does not fit
+        let st = pool.stats();
+        assert_eq!(st.footprint, 64 + 128);
+        assert_eq!(st.fresh_allocations, 2);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut pool = PooledAllocator::new();
+        pool.alloc(10);
+        pool.alloc(20);
+        pool.free(10);
+        pool.alloc(5);
+        assert_eq!(pool.stats().peak_in_use, 30);
+        assert_eq!(pool.stats().in_use, 30); // 20 + 10 (5 served by 10-block)
+    }
+}

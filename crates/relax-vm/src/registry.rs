@@ -1,0 +1,349 @@
+//! The foreign-function registry: "vendor library" kernels callable through
+//! `call_dps_library`, and value-returning runtime builtins.
+//!
+//! Library functions are supplied by a registry and linked into the final
+//! runnable module (§3.3). In this reproduction the kernels are native Rust
+//! reference implementations; the performance simulator assigns them the
+//! higher efficiency a tuned vendor kernel would have.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use relax_tir::{NDArray, Scalar};
+
+/// Error raised by a library kernel or builtin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelError {
+    /// The kernel name.
+    pub kernel: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel `{}` failed: {}", self.kernel, self.detail)
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A destination-passing library kernel: reads `inputs`, writes `outputs`.
+pub type LibKernel = fn(&[NDArray], &[NDArray]) -> Result<(), String>;
+
+/// A value-returning builtin (used for data-dependent operators whose
+/// output must be allocated by the callee, e.g. `unique`).
+pub type BuiltinFn = fn(&[NDArray]) -> Result<NDArray, String>;
+
+/// Registry of library kernels and builtins.
+#[derive(Clone)]
+pub struct Registry {
+    libs: HashMap<String, LibKernel>,
+    builtins: HashMap<String, BuiltinFn>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Registry({} libs, {} builtins)",
+            self.libs.len(),
+            self.builtins.len()
+        )
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        let mut r = Registry {
+            libs: HashMap::new(),
+            builtins: HashMap::new(),
+        };
+        r.register_lib("cublas.matmul", lib_matmul);
+        r.register_lib("cublas.matmul_relu", lib_matmul_relu);
+        r.register_lib("cutlass.rms_norm", lib_rms_norm);
+        r.register_lib("vm.builtin.kv_append", lib_kv_append);
+        r.register_builtin("builtin.unique", builtin_unique);
+        r
+    }
+}
+
+impl Registry {
+    /// Creates the default registry (cuBLAS/CUTLASS-style kernels plus the
+    /// runtime builtins).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a library kernel.
+    pub fn register_lib(&mut self, name: impl Into<String>, kernel: LibKernel) {
+        self.libs.insert(name.into(), kernel);
+    }
+
+    /// Registers (or replaces) a builtin.
+    pub fn register_builtin(&mut self, name: impl Into<String>, func: BuiltinFn) {
+        self.builtins.insert(name.into(), func);
+    }
+
+    /// `true` if a library kernel with this name exists.
+    pub fn has_lib(&self, name: &str) -> bool {
+        self.libs.contains_key(name)
+    }
+
+    /// Invokes a library kernel in destination-passing style.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] for unknown kernels or kernel failures.
+    pub fn call_lib(
+        &self,
+        name: &str,
+        inputs: &[NDArray],
+        outputs: &[NDArray],
+    ) -> Result<(), KernelError> {
+        let kernel = self.libs.get(name).ok_or_else(|| KernelError {
+            kernel: name.to_string(),
+            detail: "not registered".to_string(),
+        })?;
+        kernel(inputs, outputs).map_err(|detail| KernelError {
+            kernel: name.to_string(),
+            detail,
+        })
+    }
+
+    /// Invokes a value-returning builtin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] for unknown builtins or failures.
+    pub fn call_builtin(&self, name: &str, inputs: &[NDArray]) -> Result<NDArray, KernelError> {
+        let func = self.builtins.get(name).ok_or_else(|| KernelError {
+            kernel: name.to_string(),
+            detail: "not registered".to_string(),
+        })?;
+        func(inputs).map_err(|detail| KernelError {
+            kernel: name.to_string(),
+            detail,
+        })
+    }
+}
+
+/// `out = a @ b` with `a: [.., m, k]` and `b: [k, n]` or equal-rank batched.
+fn lib_matmul(inputs: &[NDArray], outputs: &[NDArray]) -> Result<(), String> {
+    matmul_impl(inputs, outputs, false)
+}
+
+/// Matmul with fused ReLU epilogue (the "matmul with epilogue" pattern of
+/// §4.6).
+fn lib_matmul_relu(inputs: &[NDArray], outputs: &[NDArray]) -> Result<(), String> {
+    matmul_impl(inputs, outputs, true)
+}
+
+fn matmul_impl(inputs: &[NDArray], outputs: &[NDArray], relu: bool) -> Result<(), String> {
+    let [a, b] = inputs else {
+        return Err(format!("expected 2 inputs, got {}", inputs.len()));
+    };
+    let [out] = outputs else {
+        return Err(format!("expected 1 output, got {}", outputs.len()));
+    };
+    let (ashape, bshape) = (a.shape().to_vec(), b.shape().to_vec());
+    if ashape.len() < 2 || bshape.len() < 2 {
+        return Err("matmul operands must have rank >= 2".to_string());
+    }
+    let k = ashape[ashape.len() - 1];
+    if bshape[bshape.len() - 2] != k {
+        return Err(format!(
+            "inner dimension mismatch: {k} vs {}",
+            bshape[bshape.len() - 2]
+        ));
+    }
+    let m = ashape[ashape.len() - 2];
+    let n = bshape[bshape.len() - 1];
+    let batch: usize = ashape[..ashape.len() - 2].iter().product();
+    let b_batched = bshape.len() == ashape.len();
+    let av = a.to_f64_vec();
+    let bv = b.to_f64_vec();
+    for bi in 0..batch {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    let aidx = (bi * m + i) * k + kk;
+                    let bidx = if b_batched {
+                        (bi * k + kk) * n + j
+                    } else {
+                        kk * n + j
+                    };
+                    acc += av[aidx] * bv[bidx];
+                }
+                if relu {
+                    acc = acc.max(0.0);
+                }
+                out.set((bi * m + i) * n + j, Scalar::F(acc))
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// RMS normalization over the last axis: `out = x * w / sqrt(mean(x^2) + eps)`.
+fn lib_rms_norm(inputs: &[NDArray], outputs: &[NDArray]) -> Result<(), String> {
+    let [x, w] = inputs else {
+        return Err(format!("expected 2 inputs, got {}", inputs.len()));
+    };
+    let [out] = outputs else {
+        return Err(format!("expected 1 output, got {}", outputs.len()));
+    };
+    let shape = x.shape().to_vec();
+    let d = *shape.last().ok_or("rms_norm needs rank >= 1")?;
+    let rows = x.numel() / d.max(1);
+    let xv = x.to_f64_vec();
+    let wv = w.to_f64_vec();
+    if wv.len() != d {
+        return Err(format!("weight length {} != {d}", wv.len()));
+    }
+    const EPS: f64 = 1e-5;
+    for r in 0..rows {
+        let row = &xv[r * d..(r + 1) * d];
+        let ms: f64 = row.iter().map(|v| v * v).sum::<f64>() / d as f64;
+        let denom = (ms + EPS).sqrt();
+        for (c, v) in row.iter().enumerate() {
+            out.set(r * d + c, Scalar::F(v * wv[c] / denom))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// KV-cache append along axis 2: `out[.., 0..s, ..] = cache`,
+/// `out[.., s.., ..] = new`. The runtime KV cache of real deployments
+/// appends in place into pre-allocated pages; this reference kernel copies
+/// for correctness while the performance model charges only the appended
+/// slice (see DESIGN.md).
+fn lib_kv_append(inputs: &[NDArray], outputs: &[NDArray]) -> Result<(), String> {
+    let [cache, new] = inputs else {
+        return Err(format!("expected 2 inputs, got {}", inputs.len()));
+    };
+    let [out] = outputs else {
+        return Err(format!("expected 1 output, got {}", outputs.len()));
+    };
+    let cs = cache.shape().to_vec();
+    let ns = new.shape().to_vec();
+    let os = out.shape().to_vec();
+    if cs.len() != 4 || ns.len() != 4 || os.len() != 4 {
+        return Err("kv_append expects rank-4 tensors".to_string());
+    }
+    if os[2] != cs[2] + ns[2] {
+        return Err(format!(
+            "output length {} != cache {} + new {}",
+            os[2], cs[2], ns[2]
+        ));
+    }
+    let (b, h, hd) = (os[0], os[1], os[3]);
+    if cs[0] != b || cs[1] != h || cs[3] != hd || ns[0] != b || ns[1] != h || ns[3] != hd {
+        return Err("kv_append operand shape mismatch".to_string());
+    }
+    let cv = cache.to_f64_vec();
+    let nv = new.to_f64_vec();
+    for bi in 0..b {
+        for hi in 0..h {
+            for si in 0..os[2] {
+                for di in 0..hd {
+                    let v = if si < cs[2] {
+                        cv[((bi * h + hi) * cs[2] + si) * hd + di]
+                    } else {
+                        nv[((bi * h + hi) * ns[2] + (si - cs[2])) * hd + di]
+                    };
+                    out.set(((bi * h + hi) * os[2] + si) * hd + di, Scalar::F(v))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sorted deduplication; the canonical data-dependent operator (Figure 3).
+fn builtin_unique(inputs: &[NDArray]) -> Result<NDArray, String> {
+    let [x] = inputs else {
+        return Err(format!("expected 1 input, got {}", inputs.len()));
+    };
+    let mut vals = x.to_f64_vec();
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    vals.dedup();
+    NDArray::from_f64(&[vals.len()], x.dtype(), vals).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_arith::DataType;
+
+    #[test]
+    fn matmul_kernel_matches_reference() {
+        let r = Registry::new();
+        let a = NDArray::from_f64(&[2, 3], DataType::F32, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = NDArray::from_f64(&[3, 2], DataType::F32, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let out = NDArray::zeros(&[2, 2], DataType::F32);
+        r.call_lib("cublas.matmul", &[a, b], std::slice::from_ref(&out))
+            .unwrap();
+        assert_eq!(out.to_f64_vec(), vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_relu_clamps() {
+        let r = Registry::new();
+        let a = NDArray::from_f64(&[1, 1], DataType::F32, vec![-3.0]).unwrap();
+        let b = NDArray::from_f64(&[1, 1], DataType::F32, vec![2.0]).unwrap();
+        let out = NDArray::zeros(&[1, 1], DataType::F32);
+        r.call_lib("cublas.matmul_relu", &[a, b], std::slice::from_ref(&out))
+            .unwrap();
+        assert_eq!(out.to_f64_vec(), vec![0.0]);
+    }
+
+    #[test]
+    fn batched_matmul() {
+        let r = Registry::new();
+        // 2 batches of 1x2 @ 2x1
+        let a = NDArray::from_f64(&[2, 1, 2], DataType::F32, vec![1., 2., 3., 4.]).unwrap();
+        let b = NDArray::from_f64(&[2, 2, 1], DataType::F32, vec![1., 1., 2., 2.]).unwrap();
+        let out = NDArray::zeros(&[2, 1, 1], DataType::F32);
+        r.call_lib("cublas.matmul", &[a, b], std::slice::from_ref(&out))
+            .unwrap();
+        assert_eq!(out.to_f64_vec(), vec![3., 14.]);
+    }
+
+    #[test]
+    fn unique_builtin_dedups_sorted() {
+        let r = Registry::new();
+        let x = NDArray::from_f64(&[5], DataType::F32, vec![3., 1., 3., 2., 1.]).unwrap();
+        let out = r.call_builtin("builtin.unique", &[x]).unwrap();
+        assert_eq!(out.shape(), &[3]);
+        assert_eq!(out.to_f64_vec(), vec![1., 2., 3.]);
+    }
+
+    #[test]
+    fn unknown_kernel_is_an_error() {
+        let r = Registry::new();
+        let err = r.call_lib("nope", &[], &[]).unwrap_err();
+        assert_eq!(err.kernel, "nope");
+        assert!(r.call_builtin("nope", &[]).is_err());
+        assert!(r.has_lib("cublas.matmul"));
+        assert!(!r.has_lib("nope"));
+    }
+
+    #[test]
+    fn rms_norm_kernel_matches_reference() {
+        let r = Registry::new();
+        let x = NDArray::from_f64(&[1, 4], DataType::F32, vec![1., 2., 3., 4.]).unwrap();
+        let w = NDArray::from_f64(&[4], DataType::F32, vec![1., 1., 1., 1.]).unwrap();
+        let out = NDArray::zeros(&[1, 4], DataType::F32);
+        r.call_lib("cutlass.rms_norm", &[x, w], std::slice::from_ref(&out))
+            .unwrap();
+        let denom = ((1. + 4. + 9. + 16.) / 4.0f64 + 1e-5).sqrt();
+        for (g, e) in out.to_f64_vec().iter().zip([1., 2., 3., 4.]) {
+            assert!((g - e / denom).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Runtime values held in VM registers.
+
+use std::fmt;
+
+use relax_tir::NDArray;
+
+/// A runtime value in a VM register.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// An uninitialized register.
+    None,
+    /// A tensor.
+    Tensor(NDArray),
+    /// A tuple of values.
+    Tuple(Vec<Value>),
+    /// A first-class shape value (concrete at runtime).
+    Shape(Vec<i64>),
+    /// A scalar integer.
+    Prim(i64),
+    /// A storage block produced by static memory planning.
+    Storage {
+        /// Identity assigned by the allocator.
+        id: u64,
+        /// Size in bytes.
+        bytes: usize,
+    },
+}
+
+impl Value {
+    /// Returns the tensor, if this value is one.
+    pub fn as_tensor(&self) -> Option<&NDArray> {
+        match self {
+            Value::Tensor(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the tuple fields, if this value is a tuple.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the shape dims, if this value is a shape.
+    pub fn as_shape(&self) -> Option<&[i64]> {
+        match self {
+            Value::Shape(dims) => Some(dims),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value kind for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::None => "none",
+            Value::Tensor(_) => "tensor",
+            Value::Tuple(_) => "tuple",
+            Value::Shape(_) => "shape",
+            Value::Prim(_) => "prim",
+            Value::Storage { .. } => "storage",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::None => f.write_str("none"),
+            Value::Tensor(t) => write!(f, "Tensor(shape={:?}, \"{}\")", t.shape(), t.dtype()),
+            Value::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Shape(dims) => write!(f, "shape{dims:?}"),
+            Value::Prim(v) => write!(f, "{v}"),
+            Value::Storage { id, bytes } => write!(f, "storage#{id}({bytes}B)"),
+        }
+    }
+}
+
+impl From<NDArray> for Value {
+    fn from(t: NDArray) -> Self {
+        Value::Tensor(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_arith::DataType;
+
+    #[test]
+    fn accessors() {
+        let t = NDArray::zeros(&[2], DataType::F32);
+        let v = Value::Tensor(t.clone());
+        assert!(v.as_tensor().is_some());
+        assert!(v.as_tuple().is_none());
+        assert_eq!(v.kind(), "tensor");
+        let tup = Value::Tuple(vec![v, Value::Prim(3)]);
+        assert_eq!(tup.as_tuple().unwrap().len(), 2);
+        assert_eq!(Value::Shape(vec![1, 2]).as_shape().unwrap(), &[1, 2]);
+    }
+}

@@ -1,0 +1,716 @@
+//! The virtual machine interpreter.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use relax_arith::{EvalError, PrimExpr, Var as SymVar};
+use relax_tir::interp::{self, InterpError};
+use relax_tir::NDArray;
+
+use crate::exec::{Executable, Instr, Reg, VmFunction};
+use crate::memory::{MemoryStats, PooledAllocator};
+use crate::registry::{KernelError, Registry};
+use crate::value::Value;
+
+/// Error raised during VM execution.
+#[derive(Debug)]
+pub enum VmError {
+    /// No function with the given name.
+    UnknownFunction(String),
+    /// No tensor program with the given name.
+    UnknownTir(String),
+    /// Wrong argument count for a function call.
+    ArgCount {
+        /// Function name.
+        func: String,
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        actual: usize,
+    },
+    /// A register held a value of the wrong kind.
+    TypeMismatch {
+        /// What was needed.
+        expected: &'static str,
+        /// What was found.
+        actual: &'static str,
+    },
+    /// A runtime shape check (function boundary or `match_cast`) failed.
+    ShapeCheck {
+        /// Context (which check).
+        ctx: String,
+        /// Detail.
+        detail: String,
+    },
+    /// A tensor did not fit its planned storage.
+    StorageOverflow {
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A symbolic expression could not be evaluated.
+    Eval(EvalError),
+    /// A tensor program failed.
+    Interp(InterpError),
+    /// A library kernel or builtin failed.
+    Kernel(KernelError),
+    /// Function ended without `Ret`.
+    NoReturn(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UnknownFunction(n) => write!(f, "unknown VM function `{n}`"),
+            VmError::UnknownTir(n) => write!(f, "unknown tensor program `{n}`"),
+            VmError::ArgCount {
+                func,
+                expected,
+                actual,
+            } => write!(f, "`{func}` expects {expected} args, got {actual}"),
+            VmError::TypeMismatch { expected, actual } => {
+                write!(f, "expected a {expected} value, got {actual}")
+            }
+            VmError::ShapeCheck { ctx, detail } => {
+                write!(f, "runtime shape check failed at {ctx}: {detail}")
+            }
+            VmError::StorageOverflow {
+                required,
+                available,
+            } => write!(
+                f,
+                "tensor needs {required} bytes but storage holds {available}"
+            ),
+            VmError::Eval(e) => write!(f, "shape evaluation failed: {e}"),
+            VmError::Interp(e) => write!(f, "tensor program failed: {e}"),
+            VmError::Kernel(e) => write!(f, "{e}"),
+            VmError::NoReturn(n) => write!(f, "function `{n}` ended without returning"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<EvalError> for VmError {
+    fn from(e: EvalError) -> Self {
+        VmError::Eval(e)
+    }
+}
+
+impl From<InterpError> for VmError {
+    fn from(e: InterpError) -> Self {
+        VmError::Interp(e)
+    }
+}
+
+impl From<KernelError> for VmError {
+    fn from(e: KernelError) -> Self {
+        VmError::Kernel(e)
+    }
+}
+
+/// Execution counters used by the experiments: kernel launches (for the
+/// CUDA-graph ablation), memory behaviour (Table 2) and runtime shape
+/// checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Telemetry {
+    /// Individual kernel launches charged to the device (graph replay
+    /// charges one per region).
+    pub kernel_launches: u64,
+    /// Tensor-program invocations.
+    pub tir_calls: u64,
+    /// Library kernel invocations.
+    pub lib_calls: u64,
+    /// Runtime builtin invocations.
+    pub builtin_calls: u64,
+    /// Graph-capture events (first executions of capture regions).
+    pub captures: u64,
+    /// Graph replays.
+    pub replays: u64,
+    /// Launches avoided thanks to replay.
+    pub launches_saved: u64,
+    /// Runtime shape checks executed.
+    pub shape_checks: u64,
+    /// Pooled-allocator statistics (unplanned path).
+    pub pool: MemoryStats,
+    /// Total bytes held by planned static storage.
+    pub planned_bytes: usize,
+}
+
+/// The Relax virtual machine.
+///
+/// # Examples
+///
+/// See the crate-level documentation and the `quickstart` example; a VM is
+/// normally created from the output of the compilation pipeline.
+#[derive(Debug)]
+pub struct Vm {
+    exec: Executable,
+    registry: Registry,
+    pool: PooledAllocator,
+    telemetry: Telemetry,
+    /// Capture regions that have been captured (by region id).
+    captured: std::collections::HashSet<(usize, Vec<i64>)>,
+    /// Static storages allocated once ahead of time: (func, instr idx) ->
+    /// (storage id, bytes).
+    static_storage: HashMap<(String, usize), (u64, usize)>,
+    next_storage_id: u64,
+    /// Per-kernel call counts and accumulated host execution time.
+    kernel_stats: HashMap<String, (u64, std::time::Duration)>,
+}
+
+impl Vm {
+    /// Creates a VM for an executable with the default registry.
+    pub fn new(exec: Executable) -> Self {
+        Self::with_registry(exec, Registry::new())
+    }
+
+    /// Creates a VM with a custom foreign-function registry.
+    pub fn with_registry(exec: Executable, registry: Registry) -> Self {
+        Vm {
+            exec,
+            registry,
+            pool: PooledAllocator::new(),
+            telemetry: Telemetry::default(),
+            captured: std::collections::HashSet::new(),
+            static_storage: HashMap::new(),
+            next_storage_id: 0,
+            kernel_stats: HashMap::new(),
+        }
+    }
+
+    /// Per-kernel profile: `(name, calls, total seconds)` sorted by time
+    /// descending. Times are host interpreter times — useful for finding
+    /// hot kernels, not for performance claims (use `relax-sim` for
+    /// those).
+    pub fn profile(&self) -> Vec<(String, u64, f64)> {
+        let mut rows: Vec<(String, u64, f64)> = self
+            .kernel_stats
+            .iter()
+            .map(|(k, (n, d))| (k.clone(), *n, d.as_secs_f64()))
+            .collect();
+        rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        rows
+    }
+
+    /// Current execution counters.
+    pub fn telemetry(&self) -> Telemetry {
+        let mut t = self.telemetry;
+        t.pool = self.pool.stats();
+        t.planned_bytes = self.static_storage.values().map(|(_, b)| *b).sum();
+        t
+    }
+
+    /// The executable being run.
+    pub fn executable(&self) -> &Executable {
+        &self.exec
+    }
+
+    /// Runs a function on the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`]; in particular [`VmError::ShapeCheck`] when a
+    /// `match_cast` or boundary check fails at runtime.
+    pub fn run(&mut self, func: &str, args: &[Value]) -> Result<Value, VmError> {
+        let vmf = self
+            .exec
+            .funcs
+            .get(func)
+            .cloned()
+            .ok_or_else(|| VmError::UnknownFunction(func.to_string()))?;
+        if args.len() != vmf.num_params {
+            return Err(VmError::ArgCount {
+                func: func.to_string(),
+                expected: vmf.num_params,
+                actual: args.len(),
+            });
+        }
+        let mut frame = Frame {
+            regs: vec![Value::None; vmf.num_regs],
+            heap: HashMap::new(),
+            alloc_sizes: HashMap::new(),
+        };
+        for (i, a) in args.iter().enumerate() {
+            frame.regs[i] = a.clone();
+        }
+        let result = self.exec_block(&vmf, &vmf.instrs, &mut frame, false)?;
+        // Return pool blocks still held by this invocation.
+        for (_, size) in frame.alloc_sizes.drain() {
+            self.pool.free(size);
+        }
+        result.ok_or_else(|| VmError::NoReturn(func.to_string()))
+    }
+
+    fn exec_block(
+        &mut self,
+        vmf: &VmFunction,
+        instrs: &[Instr],
+        frame: &mut Frame,
+        in_replay: bool,
+    ) -> Result<Option<Value>, VmError> {
+        for (idx, instr) in instrs.iter().enumerate() {
+            match instr {
+                Instr::AllocTensor { dst, shape, dtype } => {
+                    let dims = self.eval_dims(shape, &frame.heap)?;
+                    let bytes: usize = dims.iter().product::<usize>() * dtype.size_bytes();
+                    let (_, granted) = self.pool.alloc(bytes);
+                    frame.alloc_sizes.insert(*dst, granted);
+                    frame.regs[*dst] = Value::Tensor(NDArray::zeros(&dims, *dtype));
+                }
+                Instr::AllocStorage { dst, bytes } => {
+                    let size = bytes.eval(&frame.heap)?.max(0) as usize;
+                    let key = (vmf.name.clone(), idx);
+                    let entry = self.static_storage.entry(key).or_insert_with(|| {
+                        let id = self.next_storage_id;
+                        self.next_storage_id += 1;
+                        (id, 0)
+                    });
+                    // Grow if a larger dynamic size arrives (static plans
+                    // with upper bounds never grow).
+                    if size > entry.1 {
+                        entry.1 = size;
+                    }
+                    frame.regs[*dst] = Value::Storage {
+                        id: entry.0,
+                        bytes: entry.1,
+                    };
+                }
+                Instr::TensorFromStorage {
+                    dst,
+                    storage,
+                    shape,
+                    dtype,
+                } => {
+                    let (avail, _id) = match &frame.regs[*storage] {
+                        Value::Storage { bytes, id } => (*bytes, *id),
+                        other => {
+                            return Err(VmError::TypeMismatch {
+                                expected: "storage",
+                                actual: other.kind(),
+                            })
+                        }
+                    };
+                    let dims = self.eval_dims(shape, &frame.heap)?;
+                    let required = dims.iter().product::<usize>() * dtype.size_bytes();
+                    if required > avail {
+                        return Err(VmError::StorageOverflow {
+                            required,
+                            available: avail,
+                        });
+                    }
+                    frame.regs[*dst] = Value::Tensor(NDArray::zeros(&dims, *dtype));
+                }
+                Instr::Kill { reg } => {
+                    if let Some(size) = frame.alloc_sizes.remove(reg) {
+                        self.pool.free(size);
+                    }
+                    frame.regs[*reg] = Value::None;
+                }
+                Instr::CallTir {
+                    func,
+                    args,
+                    dsts,
+                    sym_args: _,
+                } => {
+                    let prim = self
+                        .exec
+                        .tir_funcs
+                        .get(func)
+                        .cloned()
+                        .ok_or_else(|| VmError::UnknownTir(func.clone()))?;
+                    let mut tensors = Vec::with_capacity(args.len() + dsts.len());
+                    for r in args.iter().chain(dsts) {
+                        tensors.push(frame.tensor(*r)?.clone());
+                    }
+                    let t0 = std::time::Instant::now();
+                    interp::run(&prim, &tensors)?;
+                    let entry = self
+                        .kernel_stats
+                        .entry(func.clone())
+                        .or_insert((0, std::time::Duration::ZERO));
+                    entry.0 += 1;
+                    entry.1 += t0.elapsed();
+                    self.telemetry.tir_calls += 1;
+                    if !in_replay {
+                        self.telemetry.kernel_launches += 1;
+                    } else {
+                        self.telemetry.launches_saved += 1;
+                    }
+                }
+                Instr::CallLib { func, args, dsts } => {
+                    let inputs: Result<Vec<_>, _> =
+                        args.iter().map(|r| frame.tensor(*r).cloned()).collect();
+                    let outputs: Result<Vec<_>, _> =
+                        dsts.iter().map(|r| frame.tensor(*r).cloned()).collect();
+                    let t0 = std::time::Instant::now();
+                    self.registry.call_lib(func, &inputs?, &outputs?)?;
+                    let entry = self
+                        .kernel_stats
+                        .entry(func.clone())
+                        .or_insert((0, std::time::Duration::ZERO));
+                    entry.0 += 1;
+                    entry.1 += t0.elapsed();
+                    self.telemetry.lib_calls += 1;
+                    if !in_replay {
+                        self.telemetry.kernel_launches += 1;
+                    } else {
+                        self.telemetry.launches_saved += 1;
+                    }
+                }
+                Instr::CallBuiltin { func, args, dst } => {
+                    let inputs: Result<Vec<_>, _> =
+                        args.iter().map(|r| frame.tensor(*r).cloned()).collect();
+                    let out = self.registry.call_builtin(func, &inputs?)?;
+                    self.telemetry.builtin_calls += 1;
+                    frame.regs[*dst] = Value::Tensor(out);
+                }
+                Instr::CallFunc { func, args, dst } => {
+                    let vals: Vec<Value> = args.iter().map(|r| frame.regs[*r].clone()).collect();
+                    let out = self.run(func, &vals)?;
+                    frame.regs[*dst] = out;
+                }
+                Instr::MatchShape { src, dims, ctx } => {
+                    let actual: Vec<i64> = match &frame.regs[*src] {
+                        Value::Tensor(t) => t.shape().iter().map(|&d| d as i64).collect(),
+                        Value::Shape(dims) => dims.clone(),
+                        other => {
+                            return Err(VmError::TypeMismatch {
+                                expected: "tensor or shape",
+                                actual: other.kind(),
+                            })
+                        }
+                    };
+                    self.match_shape(&actual, dims, ctx, &mut frame.heap)?;
+                }
+                Instr::LoadConst { dst, index } => {
+                    let c = self
+                        .exec
+                        .constants
+                        .get(*index)
+                        .cloned()
+                        .ok_or_else(|| VmError::UnknownFunction(format!("const[{index}]")))?;
+                    frame.regs[*dst] = Value::Tensor(c);
+                }
+                Instr::MakeTuple { dst, items } => {
+                    let vals: Vec<Value> = items.iter().map(|r| frame.regs[*r].clone()).collect();
+                    frame.regs[*dst] = Value::Tuple(vals);
+                }
+                Instr::GetItem { dst, src, index } => {
+                    let items = match &frame.regs[*src] {
+                        Value::Tuple(items) => items.clone(),
+                        other => {
+                            return Err(VmError::TypeMismatch {
+                                expected: "tuple",
+                                actual: other.kind(),
+                            })
+                        }
+                    };
+                    frame.regs[*dst] = items.get(*index).cloned().unwrap_or(Value::None);
+                }
+                Instr::MakeShape { dst, dims } => {
+                    let vals: Result<Vec<i64>, _> =
+                        dims.iter().map(|d| d.eval(&frame.heap)).collect();
+                    frame.regs[*dst] = Value::Shape(vals?);
+                }
+                Instr::Copy { dst, src } => {
+                    frame.regs[*dst] = frame.regs[*src].clone();
+                }
+                Instr::CaptureRegion { id, keys, body } => {
+                    let key_vals: Result<Vec<i64>, _> =
+                        keys.iter().map(|k| k.eval(&frame.heap)).collect();
+                    let cache_key = (*id, key_vals?);
+                    let replaying = self.captured.contains(&cache_key);
+                    if replaying {
+                        self.telemetry.replays += 1;
+                        // A replay costs a single launch for the region.
+                        self.telemetry.kernel_launches += 1;
+                    } else {
+                        self.captured.insert(cache_key);
+                        self.telemetry.captures += 1;
+                    }
+                    if let Some(v) = self.exec_block(vmf, body, frame, replaying)? {
+                        return Ok(Some(v));
+                    }
+                }
+                Instr::Ret { src } => {
+                    return Ok(Some(frame.regs[*src].clone()));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn eval_dims(
+        &self,
+        shape: &[PrimExpr],
+        heap: &HashMap<SymVar, i64>,
+    ) -> Result<Vec<usize>, VmError> {
+        shape
+            .iter()
+            .map(|d| Ok(d.eval(heap)?.max(0) as usize))
+            .collect()
+    }
+
+    fn match_shape(
+        &mut self,
+        actual_dims: &[i64],
+        dims: &[PrimExpr],
+        ctx: &str,
+        heap: &mut HashMap<SymVar, i64>,
+    ) -> Result<(), VmError> {
+        if actual_dims.len() != dims.len() {
+            return Err(VmError::ShapeCheck {
+                ctx: ctx.to_string(),
+                detail: format!(
+                    "rank mismatch: expected {}, got {}",
+                    dims.len(),
+                    actual_dims.len()
+                ),
+            });
+        }
+        for (expr, &actual) in dims.iter().zip(actual_dims) {
+            self.telemetry.shape_checks += 1;
+            match expr {
+                PrimExpr::Var(v) if !heap.contains_key(v) => {
+                    heap.insert(v.clone(), actual);
+                }
+                e => {
+                    let expected = e.eval(heap)?;
+                    if expected != actual {
+                        return Err(VmError::ShapeCheck {
+                            ctx: ctx.to_string(),
+                            detail: format!("dimension `{e}` = {expected}, runtime value {actual}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Frame {
+    regs: Vec<Value>,
+    heap: HashMap<SymVar, i64>,
+    /// Pool block sizes granted to registers (for recycling on `Kill`).
+    alloc_sizes: HashMap<Reg, usize>,
+}
+
+impl Frame {
+    fn tensor(&self, reg: Reg) -> Result<&NDArray, VmError> {
+        match &self.regs[reg] {
+            Value::Tensor(t) => Ok(t),
+            other => Err(VmError::TypeMismatch {
+                expected: "tensor",
+                actual: other.kind(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_arith::DataType;
+    use relax_tir::{grid, Buffer, PrimFunc, Stmt, TirExpr};
+
+    /// Hand-assembles: main(x: (n,)) { y = alloc (n,); relu(x) -> y; ret y }
+    fn relu_exec() -> Executable {
+        let n = SymVar::new("n");
+        let xb = Buffer::new("X", vec![n.clone().into()], DataType::F32);
+        let yb = Buffer::new("Y", vec![n.clone().into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.clone().into())]);
+        let body = nest.build(Stmt::store(
+            &yb,
+            vec![iv[0].clone().into()],
+            TirExpr::Max(
+                Box::new(TirExpr::load(&xb, vec![iv[0].clone().into()])),
+                Box::new(TirExpr::FloatImm(0.0)),
+            ),
+        ));
+        let relu = PrimFunc::new("relu", vec![xb, yb], 1, body);
+
+        let m = SymVar::new("n"); // the graph-level n
+        let mut exec = Executable::new();
+        exec.tir_funcs.insert("relu".into(), relu);
+        exec.funcs.insert(
+            "main".into(),
+            VmFunction {
+                name: "main".into(),
+                num_params: 1,
+                num_regs: 3,
+                instrs: vec![
+                    Instr::MatchShape {
+                        src: 0,
+                        dims: vec![m.clone().into()],
+                        ctx: "param x".into(),
+                    },
+                    Instr::AllocTensor {
+                        dst: 1,
+                        shape: vec![m.into()],
+                        dtype: DataType::F32,
+                    },
+                    Instr::CallTir {
+                        func: "relu".into(),
+                        args: vec![0],
+                        dsts: vec![1],
+                        sym_args: vec![],
+                    },
+                    Instr::Ret { src: 1 },
+                ],
+            },
+        );
+        exec
+    }
+
+    #[test]
+    fn end_to_end_relu() {
+        let mut vm = Vm::new(relu_exec());
+        let x = NDArray::from_f64(&[4], DataType::F32, vec![-1., 2., -3., 4.]).unwrap();
+        let out = vm.run("main", &[Value::Tensor(x)]).unwrap();
+        let t = out.as_tensor().unwrap();
+        assert_eq!(t.to_f64_vec(), vec![0., 2., 0., 4.]);
+        let tel = vm.telemetry();
+        assert_eq!(tel.kernel_launches, 1);
+        assert_eq!(tel.tir_calls, 1);
+        assert!(tel.shape_checks >= 1);
+        assert!(tel.pool.footprint >= 16);
+    }
+
+    #[test]
+    fn capture_region_replays_after_first_run() {
+        let mut exec = relu_exec();
+        // Wrap the alloc+call in a capture region.
+        let f = exec.funcs.get_mut("main").unwrap();
+        let body: Vec<Instr> = f.instrs.drain(1..3).collect();
+        f.instrs.insert(
+            1,
+            Instr::CaptureRegion {
+                id: 0,
+                keys: vec![],
+                body,
+            },
+        );
+        let mut vm = Vm::new(exec);
+        let x = NDArray::from_f64(&[2], DataType::F32, vec![1., -1.]).unwrap();
+        vm.run("main", &[Value::Tensor(x.clone())]).unwrap();
+        let t1 = vm.telemetry();
+        assert_eq!(t1.captures, 1);
+        assert_eq!(t1.replays, 0);
+        assert_eq!(t1.kernel_launches, 1);
+        let out = vm.run("main", &[Value::Tensor(x)]).unwrap();
+        assert_eq!(out.as_tensor().unwrap().to_f64_vec(), vec![1., 0.]);
+        let t2 = vm.telemetry();
+        assert_eq!(t2.replays, 1);
+        // Replay charged one launch for the whole region, and saved the
+        // individual kernel launch inside it.
+        assert_eq!(t2.kernel_launches, 2);
+        assert_eq!(t2.launches_saved, 1);
+    }
+
+    #[test]
+    fn shape_check_violation_raises() {
+        // Force a check failure: constant dim 4, runtime dim 3.
+        let n = SymVar::new("n");
+        let mut exec = relu_exec();
+        exec.funcs.get_mut("main").unwrap().instrs[0] = Instr::MatchShape {
+            src: 0,
+            dims: vec![4.into()],
+            ctx: "param x".into(),
+        };
+        // Rebind alloc to n is now unbound; replace with const too.
+        exec.funcs.get_mut("main").unwrap().instrs[1] = Instr::AllocTensor {
+            dst: 1,
+            shape: vec![4.into()],
+            dtype: DataType::F32,
+        };
+        let _ = n;
+        let mut vm = Vm::new(exec);
+        let x = NDArray::zeros(&[3], DataType::F32);
+        let err = vm.run("main", &[Value::Tensor(x)]).unwrap_err();
+        assert!(matches!(err, VmError::ShapeCheck { .. }));
+    }
+
+    #[test]
+    fn planned_storage_is_allocated_once_and_checked() {
+        let n = SymVar::new("n");
+        let mut exec = relu_exec();
+        let f = exec.funcs.get_mut("main").unwrap();
+        f.num_regs = 4;
+        f.instrs[1] = Instr::AllocStorage {
+            dst: 3,
+            bytes: 64.into(),
+        };
+        f.instrs.insert(
+            2,
+            Instr::TensorFromStorage {
+                dst: 1,
+                storage: 3,
+                shape: vec![n.into()],
+                dtype: DataType::F32,
+            },
+        );
+        // NOTE: the shape var in instrs[0] is a different identity than `n`
+        // here; rebuild MatchShape to bind our n.
+        let n2 = match &f.instrs[2] {
+            Instr::TensorFromStorage { shape, .. } => shape[0].clone(),
+            _ => unreachable!(),
+        };
+        f.instrs[0] = Instr::MatchShape {
+            src: 0,
+            dims: vec![n2],
+            ctx: "param x".into(),
+        };
+        let mut vm = Vm::new(exec);
+        let x = NDArray::from_f64(&[4], DataType::F32, vec![1., 2., 3., 4.]).unwrap();
+        vm.run("main", &[Value::Tensor(x.clone())]).unwrap();
+        vm.run("main", &[Value::Tensor(x)]).unwrap();
+        let tel = vm.telemetry();
+        // One static storage of 64 bytes, allocated once across both runs.
+        assert_eq!(tel.planned_bytes, 64);
+        // Overflow: 32 floats need 128 bytes > 64.
+        let big = NDArray::zeros(&[32], DataType::F32);
+        let err = vm.run("main", &[Value::Tensor(big)]).unwrap_err();
+        assert!(matches!(err, VmError::StorageOverflow { .. }));
+    }
+
+    #[test]
+    fn per_kernel_profile_accumulates() {
+        let mut vm = Vm::new(relu_exec());
+        let x = NDArray::from_f64(&[4], DataType::F32, vec![1., -1., 2., -2.]).unwrap();
+        vm.run("main", &[Value::Tensor(x.clone())]).unwrap();
+        vm.run("main", &[Value::Tensor(x)]).unwrap();
+        let profile = vm.profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].0, "relu");
+        assert_eq!(profile[0].1, 2);
+        assert!(profile[0].2 >= 0.0);
+    }
+
+    #[test]
+    fn builtin_unique_via_vm() {
+        let mut exec = Executable::new();
+        exec.funcs.insert(
+            "u".into(),
+            VmFunction {
+                name: "u".into(),
+                num_params: 1,
+                num_regs: 2,
+                instrs: vec![
+                    Instr::CallBuiltin {
+                        func: "builtin.unique".into(),
+                        args: vec![0],
+                        dst: 1,
+                    },
+                    Instr::Ret { src: 1 },
+                ],
+            },
+        );
+        let mut vm = Vm::new(exec);
+        let x = NDArray::from_f64(&[4], DataType::F32, vec![2., 1., 2., 1.]).unwrap();
+        let out = vm.run("u", &[Value::Tensor(x)]).unwrap();
+        assert_eq!(out.as_tensor().unwrap().shape(), &[2]);
+    }
+}

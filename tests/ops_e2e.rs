@@ -1,0 +1,298 @@
+//! Operator-level end-to-end tests: every graph operator compiled through
+//! the full pipeline and executed on the VM against plain-Rust references.
+
+use relax::core::{BlockBuilder, DataType, Expr, Op, OpAttrs, StructInfo};
+use relax::passes::{compile, CompileOptions};
+use relax::tir::NDArray;
+use relax::vm::{Value, Vm};
+use relax_arith::Var as SymVar;
+
+/// Compiles `main(x: Tensor((n, C), f32)) = op(x)` and runs it.
+fn run_unary(op: Op, attrs: OpAttrs, x: &NDArray) -> Vec<f64> {
+    let mut bb = BlockBuilder::new();
+    let n = SymVar::new("n");
+    let cols = x.shape()[1] as i64;
+    let p = bb.begin_function(
+        "main",
+        vec![(
+            "x".into(),
+            StructInfo::tensor(vec![n.into(), cols.into()], DataType::F32),
+        )],
+    );
+    bb.begin_dataflow();
+    let out = bb
+        .emit_output(Expr::CallOp {
+            op,
+            args: vec![p[0].clone().into()],
+            attrs,
+        })
+        .unwrap();
+    bb.end_dataflow();
+    bb.finish_function(out.into(), None).unwrap();
+    let exec = compile(bb.finish(), &CompileOptions::default()).unwrap();
+    let mut vm = Vm::new(exec);
+    let out = vm.run("main", &[Value::Tensor(x.clone())]).unwrap();
+    out.as_tensor().unwrap().to_f64_vec()
+}
+
+fn sample(rows: usize, cols: usize) -> NDArray {
+    NDArray::from_f64(
+        &[rows, cols],
+        DataType::F32,
+        (0..rows * cols).map(|v| (v as f64) * 0.3 - 1.1).collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn unary_elementwise_ops_match_references() {
+    let x = sample(2, 4);
+    let xv = x.to_f64_vec();
+    type Reference = Box<dyn Fn(f64) -> f64>;
+    let cases: Vec<(Op, Reference)> = vec![
+        (Op::Relu, Box::new(|v: f64| v.max(0.0))),
+        (Op::Exp, Box::new(f64::exp)),
+        (Op::Neg, Box::new(|v: f64| -v)),
+        (Op::Sigmoid, Box::new(|v: f64| 1.0 / (1.0 + (-v).exp()))),
+        (Op::Tanh, Box::new(f64::tanh)),
+        (Op::Silu, Box::new(|v: f64| v / (1.0 + (-v).exp()))),
+    ];
+    for (op, reference) in cases {
+        let got = run_unary(op, OpAttrs::new(), &x);
+        for (g, v) in got.iter().zip(&xv) {
+            let e = reference(*v);
+            assert!((g - e).abs() < 1e-4, "{op:?}: {g} vs {e}");
+        }
+    }
+}
+
+#[test]
+fn softmax_and_norms() {
+    let x = sample(3, 4);
+    let xv = x.to_f64_vec();
+    // Softmax rows sum to one and preserve ordering.
+    let got = run_unary(Op::Softmax, OpAttrs::new(), &x);
+    for r in 0..3 {
+        let row = &got[r * 4..(r + 1) * 4];
+        let sum: f64 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        for c in 0..3 {
+            assert_eq!(
+                row[c] < row[c + 1],
+                xv[r * 4 + c] < xv[r * 4 + c + 1],
+                "ordering preserved"
+            );
+        }
+    }
+    // Mean over axis 1.
+    let attrs: OpAttrs = [("axis".to_string(), "1".to_string())]
+        .into_iter()
+        .collect();
+    let means = run_unary(Op::Mean, attrs, &x);
+    for r in 0..3 {
+        let expect: f64 = xv[r * 4..(r + 1) * 4].iter().sum::<f64>() / 4.0;
+        assert!((means[r] - expect).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn slice_and_cast_compose() {
+    let mut bb = BlockBuilder::new();
+    let n = SymVar::new("n");
+    let p = bb.begin_function(
+        "main",
+        vec![(
+            "x".into(),
+            StructInfo::tensor(vec![n.into(), 6.into()], DataType::F32),
+        )],
+    );
+    bb.begin_dataflow();
+    let attrs: OpAttrs = [
+        ("axis".to_string(), "1".to_string()),
+        ("begin".to_string(), "2".to_string()),
+        ("end".to_string(), "5".to_string()),
+    ]
+    .into_iter()
+    .collect();
+    let sliced = bb
+        .emit_op_attrs(Op::Slice, vec![p[0].clone().into()], attrs)
+        .unwrap();
+    assert_eq!(
+        sliced.struct_info().tensor_dims().unwrap()[1],
+        relax_arith::PrimExpr::Int(3)
+    );
+    let cattrs: OpAttrs = [("dtype".to_string(), "f16".to_string())]
+        .into_iter()
+        .collect();
+    let cast = bb
+        .emit_op_attrs(Op::Cast, vec![sliced.into()], cattrs)
+        .unwrap();
+    assert_eq!(cast.struct_info().tensor_dtype(), Some(DataType::F16));
+    let out = bb.emit_output(Expr::Var(cast)).unwrap();
+    bb.end_dataflow();
+    bb.finish_function(out.into(), None).unwrap();
+    let exec = compile(bb.finish(), &CompileOptions::default()).unwrap();
+    let mut vm = Vm::new(exec);
+    let x = sample(2, 6);
+    let out = vm.run("main", &[Value::Tensor(x.clone())]).unwrap();
+    let t = out.as_tensor().unwrap();
+    assert_eq!(t.shape(), &[2, 3]);
+    assert_eq!(t.dtype(), DataType::F16);
+    let xv = x.to_f64_vec();
+    let got = t.to_f64_vec();
+    for r in 0..2 {
+        for c in 0..3 {
+            assert!((got[r * 3 + c] - xv[r * 6 + 2 + c]).abs() < 1e-2);
+        }
+    }
+}
+
+#[test]
+fn split_tuple_flows_through_the_vm() {
+    let mut bb = BlockBuilder::new();
+    let n = SymVar::new("n");
+    let p = bb.begin_function(
+        "main",
+        vec![(
+            "x".into(),
+            StructInfo::tensor(vec![n.into(), 4.into()], DataType::F32),
+        )],
+    );
+    bb.begin_dataflow();
+    let attrs: OpAttrs = [
+        ("axis".to_string(), "1".to_string()),
+        ("sections".to_string(), "2".to_string()),
+    ]
+    .into_iter()
+    .collect();
+    let halves = bb
+        .emit_op_attrs(Op::Split, vec![p[0].clone().into()], attrs)
+        .unwrap();
+    let a = bb
+        .emit(Expr::TupleGetItem(Box::new(halves.clone().into()), 0))
+        .unwrap();
+    let b = bb
+        .emit(Expr::TupleGetItem(Box::new(halves.into()), 1))
+        .unwrap();
+    let out = bb
+        .emit_output(Expr::op_call(Op::Add, vec![a.into(), b.into()]))
+        .unwrap();
+    bb.end_dataflow();
+    bb.finish_function(out.into(), None).unwrap();
+    let exec = compile(bb.finish(), &CompileOptions::default()).unwrap();
+    let mut vm = Vm::new(exec);
+    let x = NDArray::from_f64(&[2, 4], DataType::F32, (0..8).map(f64::from).collect()).unwrap();
+    let out = vm.run("main", &[Value::Tensor(x)]).unwrap();
+    // [0,1]+[2,3] = [2,4]; [4,5]+[6,7] = [10,12]
+    assert_eq!(
+        out.as_tensor().unwrap().to_f64_vec(),
+        vec![2., 4., 10., 12.]
+    );
+}
+
+#[test]
+fn layer_norm_through_pipeline() {
+    let mut bb = BlockBuilder::new();
+    let n = SymVar::new("n");
+    let p = bb.begin_function(
+        "main",
+        vec![
+            (
+                "x".into(),
+                StructInfo::tensor(vec![n.into(), 4.into()], DataType::F32),
+            ),
+            (
+                "g".into(),
+                StructInfo::tensor(vec![4.into()], DataType::F32),
+            ),
+            (
+                "b".into(),
+                StructInfo::tensor(vec![4.into()], DataType::F32),
+            ),
+        ],
+    );
+    bb.begin_dataflow();
+    let out = bb
+        .emit_output(Expr::op_call(
+            Op::LayerNorm,
+            vec![
+                p[0].clone().into(),
+                p[1].clone().into(),
+                p[2].clone().into(),
+            ],
+        ))
+        .unwrap();
+    bb.end_dataflow();
+    bb.finish_function(out.into(), None).unwrap();
+    let exec = compile(bb.finish(), &CompileOptions::default()).unwrap();
+    let mut vm = Vm::new(exec);
+    let x = NDArray::from_f64(&[1, 4], DataType::F32, vec![2., 4., 6., 8.]).unwrap();
+    let g = NDArray::from_f64(&[4], DataType::F32, vec![1.; 4]).unwrap();
+    let b = NDArray::from_f64(&[4], DataType::F32, vec![0.; 4]).unwrap();
+    let out = vm
+        .run(
+            "main",
+            &[Value::Tensor(x), Value::Tensor(g), Value::Tensor(b)],
+        )
+        .unwrap();
+    let got = out.as_tensor().unwrap().to_f64_vec();
+    // mean 5, var 5 -> normalized [-3,-1,1,3]/sqrt(5)
+    for (g, e) in got.iter().zip([-3.0f64, -1.0, 1.0, 3.0]) {
+        assert!((g - e / 5.0f64.sqrt()).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn take_concat_permute_flatten_chain() {
+    let mut bb = BlockBuilder::new();
+    let p = bb.begin_function(
+        "main",
+        vec![
+            (
+                "table".into(),
+                StructInfo::tensor(vec![5.into(), 3.into()], DataType::F32),
+            ),
+            (
+                "idx".into(),
+                StructInfo::tensor(vec![2.into()], DataType::I64),
+            ),
+        ],
+    );
+    bb.begin_dataflow();
+    let gathered = bb.emit_op(Op::Take, &[p[0].clone(), p[1].clone()]).unwrap();
+    let cat_attrs: OpAttrs = [("axis".to_string(), "0".to_string())]
+        .into_iter()
+        .collect();
+    let doubled = bb
+        .emit_op_attrs(
+            Op::Concat,
+            vec![gathered.clone().into(), gathered.into()],
+            cat_attrs,
+        )
+        .unwrap();
+    let perm_attrs: OpAttrs = [("axes".to_string(), "1,0".to_string())]
+        .into_iter()
+        .collect();
+    let transposed = bb
+        .emit_op_attrs(Op::Permute, vec![doubled.into()], perm_attrs)
+        .unwrap();
+    let out = bb
+        .emit_output(Expr::op_call(Op::Flatten, vec![transposed.into()]))
+        .unwrap();
+    bb.end_dataflow();
+    bb.finish_function(out.into(), None).unwrap();
+    let exec = compile(bb.finish(), &CompileOptions::default()).unwrap();
+    let mut vm = Vm::new(exec);
+    let table =
+        NDArray::from_f64(&[5, 3], DataType::F32, (0..15).map(f64::from).collect()).unwrap();
+    let idx = NDArray::from_i64(&[2], DataType::I64, vec![4, 0]).unwrap();
+    let out = vm
+        .run("main", &[Value::Tensor(table), Value::Tensor(idx)])
+        .unwrap();
+    let t = out.as_tensor().unwrap();
+    assert_eq!(t.shape(), &[12]);
+    // gathered = [[12,13,14],[0,1,2]]; doubled stacks it twice; transpose
+    // then flatten column-major-izes it.
+    let expect = vec![12., 0., 12., 0., 13., 1., 13., 1., 14., 2., 14., 2.];
+    assert_eq!(t.to_f64_vec(), expect);
+}

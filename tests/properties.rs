@@ -1,0 +1,278 @@
+//! Property-based tests over the compiler's core invariants.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use relax::core::{BlockBuilder, DataType, Expr, Op, StructInfo};
+use relax::passes::{compile, CompileOptions};
+use relax::tir::NDArray;
+use relax::vm::{Instr, Value, Vm};
+use relax_arith::{simplify, substitute, Analyzer, PrimExpr, SubstMap, Var as SymVar};
+
+// ---------------------------------------------------------------------
+// Symbolic arithmetic properties.
+// ---------------------------------------------------------------------
+
+/// Random expression over two fixed variables.
+fn arb_expr(vars: (SymVar, SymVar)) -> impl Strategy<Value = PrimExpr> {
+    let (a, b) = vars;
+    let leaf = prop_oneof![
+        (-6i64..=6).prop_map(PrimExpr::Int),
+        Just(PrimExpr::Var(a)),
+        Just(PrimExpr::Var(b)),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        (inner.clone(), inner, 0..6u8).prop_map(|(x, y, op)| match op {
+            0 => x + y,
+            1 => x - y,
+            2 => x * y,
+            3 => x.floor_div(y),
+            4 => x.floor_mod(y),
+            5 => x.min(y),
+            _ => x.max(y),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Simplification preserves evaluation wherever the original
+    /// expression evaluates (division by zero may legitimately disappear
+    /// after simplification, e.g. `0 * (x // 0)`).
+    #[test]
+    fn simplify_preserves_evaluation(
+        seedless in (1i64..50, 1i64..50).prop_flat_map(|(va, vb)| {
+            let a = SymVar::new("a");
+            let b = SymVar::new("b");
+            arb_expr((a.clone(), b.clone())).prop_map(move |e| (e, a.clone(), b.clone(), va, vb))
+        })
+    ) {
+        let (e, a, b, va, vb) = seedless;
+        let mut env = HashMap::new();
+        env.insert(a, va);
+        env.insert(b, vb);
+        if let Ok(expected) = e.eval(&env) {
+            let s = simplify(&e);
+            let got = s.eval(&env).expect("simplified form must still evaluate");
+            prop_assert_eq!(got, expected, "expr {} simplified to {}", e, s);
+        }
+    }
+
+    /// Simplification is idempotent.
+    #[test]
+    fn simplify_is_idempotent(
+        e in arb_expr((SymVar::new("a"), SymVar::new("b")))
+    ) {
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// prove_equal is sound: whenever the analyzer claims two expressions
+    /// are equal, they evaluate identically on concrete inputs.
+    #[test]
+    fn prove_equal_is_sound(
+        pair in (1i64..40, 1i64..40).prop_flat_map(|(va, vb)| {
+            let a = SymVar::new("a");
+            let b = SymVar::new("b");
+            (
+                arb_expr((a.clone(), b.clone())),
+                arb_expr((a.clone(), b.clone())),
+                Just((a, b, va, vb)),
+            )
+        })
+    ) {
+        let (e1, e2, (a, b, va, vb)) = pair;
+        let ana = Analyzer::new();
+        if ana.prove_equal(&e1, &e2) {
+            let mut env = HashMap::new();
+            env.insert(a, va);
+            env.insert(b, vb);
+            if let (Ok(x), Ok(y)) = (e1.eval(&env), e2.eval(&env)) {
+                prop_assert_eq!(x, y, "{} vs {}", e1, e2);
+            }
+            // Division-by-zero on either side: no claim to check.
+        }
+    }
+
+    /// Substitution commutes with evaluation.
+    #[test]
+    fn substitution_commutes_with_evaluation(
+        data in (1i64..30, 1i64..30).prop_flat_map(|(va, vb)| {
+            let a = SymVar::new("a");
+            let b = SymVar::new("b");
+            arb_expr((a.clone(), b.clone())).prop_map(move |e| (e, a.clone(), b.clone(), va, vb))
+        })
+    ) {
+        let (e, a, b, va, vb) = data;
+        let mut map = SubstMap::new();
+        map.insert(a.clone(), PrimExpr::Int(va));
+        map.insert(b.clone(), PrimExpr::Int(vb));
+        let mut env = HashMap::new();
+        env.insert(a, va);
+        env.insert(b, vb);
+        if let Ok(expected) = e.eval(&env) {
+            let substituted = substitute(&e, &map);
+            prop_assert_eq!(substituted.eval(&HashMap::new()).unwrap(), expected);
+        }
+    }
+
+    /// Upper bounds are conservative: evaluating under any assignment
+    /// within the declared bounds never exceeds the analyzer's bound.
+    #[test]
+    fn upper_bounds_are_conservative(
+        data in (1i64..20, 1i64..20, 1i64..20, 1i64..20).prop_flat_map(|(ba, bb, va, vb)| {
+            let a = SymVar::new("a");
+            let b = SymVar::new("b");
+            arb_expr((a.clone(), b.clone()))
+                .prop_map(move |e| (e, a.clone(), b.clone(), ba, bb, va.min(ba), vb.min(bb)))
+        })
+    ) {
+        let (e, a, b, ba, bb, va, vb) = data;
+        let mut ana = Analyzer::new();
+        ana.bind(a.clone(), relax_arith::IntBound::range(0, ba));
+        ana.bind(b.clone(), relax_arith::IntBound::range(0, bb));
+        if let Some(bound) = ana.upper_bound(&e) {
+            let mut env = HashMap::new();
+            env.insert(a, va);
+            env.insert(b, vb);
+            if let Ok(v) = e.eval(&env) {
+                prop_assert!(v <= bound, "{} = {} > bound {}", e, v, bound);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-pipeline properties on random operator chains.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ChainOp {
+    Relu,
+    Exp,
+    Silu,
+    Neg,
+    AddSelf,
+    MulSelf,
+    Matmul8,
+}
+
+fn arb_chain() -> impl Strategy<Value = Vec<ChainOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(ChainOp::Relu),
+            Just(ChainOp::Exp),
+            Just(ChainOp::Silu),
+            Just(ChainOp::Neg),
+            Just(ChainOp::AddSelf),
+            Just(ChainOp::MulSelf),
+            Just(ChainOp::Matmul8),
+        ],
+        1..8,
+    )
+}
+
+fn build_chain(ops: &[ChainOp]) -> relax::core::IRModule {
+    let mut bb = BlockBuilder::new();
+    let n = SymVar::new("n");
+    let p = bb.begin_function(
+        "main",
+        vec![
+            (
+                "x".into(),
+                StructInfo::tensor(vec![n.into(), 8.into()], DataType::F32),
+            ),
+            (
+                "w".into(),
+                StructInfo::tensor(vec![8.into(), 8.into()], DataType::F32),
+            ),
+        ],
+    );
+    bb.begin_dataflow();
+    let mut cur = p[0].clone();
+    for op in ops {
+        cur = match op {
+            ChainOp::Relu => bb.emit_op(Op::Relu, &[cur]).unwrap(),
+            ChainOp::Exp => bb.emit_op(Op::Exp, &[cur]).unwrap(),
+            ChainOp::Silu => bb.emit_op(Op::Silu, &[cur]).unwrap(),
+            ChainOp::Neg => bb.emit_op(Op::Neg, &[cur]).unwrap(),
+            ChainOp::AddSelf => bb.emit_op(Op::Add, &[cur.clone(), cur]).unwrap(),
+            ChainOp::MulSelf => bb.emit_op(Op::Mul, &[cur.clone(), cur]).unwrap(),
+            ChainOp::Matmul8 => bb.emit_op(Op::Matmul, &[cur, p[1].clone()]).unwrap(),
+        };
+    }
+    let out = bb.emit_output(Expr::Var(cur)).unwrap();
+    bb.end_dataflow();
+    bb.finish_function(out.into(), None).unwrap();
+    bb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimized pipeline computes the same values as the unoptimized
+    /// one on every random operator chain — fusion, library dispatch,
+    /// memory planning and graph capture are all semantics-preserving.
+    #[test]
+    fn optimized_pipeline_is_semantics_preserving(ops in arb_chain()) {
+        let module = build_chain(&ops);
+        let x = NDArray::from_f64(
+            &[2, 8],
+            DataType::F32,
+            (0..16).map(|v| (v as f64) / 9.0 - 0.7).collect(),
+        ).unwrap();
+        let w = NDArray::from_f64(
+            &[8, 8],
+            DataType::F32,
+            (0..64).map(|v| ((v % 9) as f64) / 9.0 - 0.4).collect(),
+        ).unwrap();
+        let args = [Value::Tensor(x), Value::Tensor(w)];
+
+        let full = compile(module.clone(), &CompileOptions::default()).unwrap();
+        let base = compile(module, &CompileOptions::baseline()).unwrap();
+        let out_full = Vm::new(full).run("main", &args).unwrap();
+        let out_base = Vm::new(base).run("main", &args).unwrap();
+        let a = out_full.as_tensor().unwrap().to_f64_vec();
+        let b = out_base.as_tensor().unwrap().to_f64_vec();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            if x.is_finite() || y.is_finite() {
+                let tol = 1e-3 * (1.0 + x.abs().max(y.abs()));
+                prop_assert!((x - y).abs() < tol, "{} vs {} (ops {:?})", x, y, ops);
+            }
+        }
+    }
+
+    /// Memory planning never uses more storages than the unplanned path
+    /// uses allocations, and eliminates every dynamic allocation.
+    #[test]
+    fn planner_reduces_allocations(ops in arb_chain()) {
+        let module = build_chain(&ops);
+        let opts_unplanned = CompileOptions {
+            memory_plan: false,
+            graph_capture: false,
+            ..CompileOptions::default()
+        };
+        let unplanned = compile(module.clone(), &opts_unplanned).unwrap();
+        let planned = compile(module, &CompileOptions::default()).unwrap();
+        let count = |exec: &relax::vm::Executable, pat: fn(&Instr) -> bool| -> usize {
+            exec.funcs.values().map(|f| {
+                fn walk(instrs: &[Instr], pat: fn(&Instr) -> bool) -> usize {
+                    instrs.iter().map(|i| match i {
+                        Instr::CaptureRegion { body, .. } => walk(body, pat),
+                        other => usize::from(pat(other)),
+                    }).sum()
+                }
+                walk(&f.instrs, pat)
+            }).sum()
+        };
+        let allocs = count(&unplanned, |i| matches!(i, Instr::AllocTensor { .. }));
+        let storages = count(&planned, |i| matches!(i, Instr::AllocStorage { .. }));
+        let leftover_dynamic = count(&planned, |i| matches!(i, Instr::AllocTensor { .. }));
+        prop_assert_eq!(leftover_dynamic, 0);
+        prop_assert!(storages <= allocs, "{} storages vs {} allocs", storages, allocs);
+    }
+}
