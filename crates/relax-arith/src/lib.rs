@@ -27,6 +27,8 @@
 //! assert!(ana.prove_equal(&a, &b));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod analyzer;
 mod canonical;
 mod dtype;

@@ -5,10 +5,12 @@
 //! deduction takes time linear to the number of operations"), which is
 //! what keeps per-pass re-deduction affordable. The group benches chains
 //! of 64/256/1024 operators; linearity shows as ~4x time per 4x size.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Plain `std::time::Instant` harness (see `relax_bench::timing`); run with
+//! `cargo bench -p relax-bench --bench compiler`.
 
 use relax_arith::{Analyzer, PrimExpr, Var as SymVar};
+use relax_bench::timing::{bench, bench_with_setup};
 use relax_core::{BlockBuilder, DataType, Expr, IRModule, Op, StructInfo};
 use relax_models::llama::LlamaConfig;
 use relax_passes::{
@@ -44,7 +46,7 @@ fn chain_module(n_ops: usize) -> IRModule {
     bb.finish()
 }
 
-fn bench_arith(c: &mut Criterion) {
+fn bench_arith() {
     let n = SymVar::new("n");
     let m = SymVar::new("m");
     // (n + m) * 4 - 2m - 2m + n*0 ... a mid-sized polynomial.
@@ -52,60 +54,57 @@ fn bench_arith(c: &mut Criterion) {
         - PrimExpr::from(m.clone()) * 2.into()
         - PrimExpr::from(m.clone()) * 2.into()
         + PrimExpr::from(n.clone()).floor_div(8.into()) * 8.into();
-    c.bench_function("arith/simplify", |b| {
-        b.iter(|| relax_arith::simplify(std::hint::black_box(&e)))
+    bench("arith/simplify", || {
+        relax_arith::simplify(std::hint::black_box(&e))
     });
     let a1 = PrimExpr::from(n.clone()) * 2.into() + 8.into();
     let a2 = (PrimExpr::from(n.clone()) + 4.into()) * 2.into();
     let ana = Analyzer::new();
-    c.bench_function("arith/prove_equal", |b| {
-        b.iter(|| assert!(ana.prove_equal(std::hint::black_box(&a1), std::hint::black_box(&a2))))
+    bench("arith/prove_equal", || {
+        assert!(ana.prove_equal(std::hint::black_box(&a1), std::hint::black_box(&a2)))
     });
 }
 
-fn bench_deduction_linearity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("deduction_chain");
+fn bench_deduction_linearity() {
     for &n_ops in &[64usize, 256, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(n_ops), &n_ops, |b, &n| {
-            // Building the chain *is* the deduction workload: the builder
-            // deduces every binding's annotation as it is emitted.
-            b.iter(|| chain_module(std::hint::black_box(n)))
+        // Building the chain *is* the deduction workload: the builder
+        // deduces every binding's annotation as it is emitted.
+        bench(&format!("deduction_chain/{n_ops}"), || {
+            chain_module(std::hint::black_box(n_ops))
         });
     }
-    group.finish();
 }
 
-fn bench_passes(c: &mut Criterion) {
+fn bench_passes() {
     let cfg = LlamaConfig::tiny();
-    c.bench_function("pass/legalize+annotate+fuse", |b| {
-        b.iter_with_setup(
-            || relax_models::llama::build_decode(&cfg).unwrap().module,
-            |mut m| {
-                legalize_module(&mut m).unwrap();
-                annotate_compute_patterns(&mut m);
-                fuse_ops(&mut m);
-                m
-            },
-        )
-    });
-    c.bench_function("pass/memory_plan", |b| {
+    bench_with_setup(
+        "pass/legalize+annotate+fuse",
+        || relax_models::llama::build_decode(&cfg).unwrap().module,
+        |mut m| {
+            legalize_module(&mut m).unwrap();
+            annotate_compute_patterns(&mut m);
+            fuse_ops(&mut m);
+            m
+        },
+    );
+    {
         let mut m = relax_models::llama::build_decode(&cfg).unwrap().module;
         legalize_module(&mut m).unwrap();
         let exec = lower_to_vm(&m, &std::collections::HashMap::new()).unwrap();
         let f = exec.funcs.get("decode").unwrap().clone();
-        b.iter(|| plan_memory(std::hint::black_box(&f), &std::collections::HashMap::new()))
-    });
-    c.bench_function("pass/full_pipeline_tiny_llm", |b| {
-        b.iter_with_setup(
-            || relax_models::llama::build_decode(&cfg).unwrap().module,
-            |m| compile(m, &CompileOptions::default()).unwrap(),
-        )
-    });
+        bench("pass/memory_plan", || {
+            plan_memory(std::hint::black_box(&f), &std::collections::HashMap::new())
+        });
+    }
+    bench_with_setup(
+        "pass/full_pipeline_tiny_llm",
+        || relax_models::llama::build_decode(&cfg).unwrap().module,
+        |m| compile(m, &CompileOptions::default()).unwrap(),
+    );
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_arith, bench_deduction_linearity, bench_passes
-);
-criterion_main!(benches);
+fn main() {
+    bench_arith();
+    bench_deduction_linearity();
+    bench_passes();
+}

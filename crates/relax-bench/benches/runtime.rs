@@ -1,9 +1,11 @@
 //! Runtime micro-benchmarks: VM decode steps on the executable tiny model
 //! and raw tensor-program interpretation.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! Plain `std::time::Instant` harness (see `relax_bench::timing`); run with
+//! `cargo bench -p relax-bench --bench runtime`.
 
 use relax_arith::{DataType, Var as SymVar};
+use relax_bench::timing::bench;
 use relax_core::{ShapeDesc, StructInfo};
 use relax_models::llama::LlamaConfig;
 use relax_passes::{compile, CompileOptions};
@@ -42,18 +44,18 @@ fn tiny_decode_args(ir: &relax_models::llama::ModelIr, batch: usize, kv: usize) 
         .collect()
 }
 
-fn bench_vm_decode(c: &mut Criterion) {
+fn bench_vm_decode() {
     let cfg = LlamaConfig::tiny();
     let ir = relax_models::llama::build_decode(&cfg).unwrap();
     let exec = compile(ir.module.clone(), &CompileOptions::default()).unwrap();
     let mut vm = Vm::new(exec);
     let args = tiny_decode_args(&ir, 2, 8);
-    c.bench_function("vm/tiny_llm_decode_step", |b| {
-        b.iter(|| vm.run("decode", std::hint::black_box(&args)).unwrap())
+    bench("vm/tiny_llm_decode_step", || {
+        vm.run("decode", std::hint::black_box(&args)).unwrap()
     });
 }
 
-fn bench_tir_interp(c: &mut Criterion) {
+fn bench_tir_interp() {
     let n = SymVar::new("n");
     let x = Buffer::new("X", vec![n.clone().into(), 64.into()], DataType::F32);
     let w = Buffer::new("W", vec![64.into(), 64.into()], DataType::F32);
@@ -92,14 +94,12 @@ fn bench_tir_interp(c: &mut Criterion) {
     )
     .unwrap();
     let ys = NDArray::zeros(&[8, 64], DataType::F32);
-    c.bench_function("tir/interp_matmul_8x64x64", |b| {
-        b.iter(|| interp::run(&f, &[xs.clone(), ws.clone(), ys.clone()]).unwrap())
+    bench("tir/interp_matmul_8x64x64", || {
+        interp::run(&f, &[xs.clone(), ws.clone(), ys.clone()]).unwrap()
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_vm_decode, bench_tir_interp
-);
-criterion_main!(benches);
+fn main() {
+    bench_vm_decode();
+    bench_tir_interp();
+}

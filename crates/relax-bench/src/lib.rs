@@ -7,6 +7,8 @@
 //! device cost model; baseline numbers come from the analytical strategy
 //! models in [`relax_sim::baseline`].
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 
 use relax_core::{ShapeDesc, StructInfo};
@@ -196,3 +198,4 @@ mod tests {
 }
 
 pub mod figures;
+pub mod timing;

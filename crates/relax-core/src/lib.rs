@@ -21,6 +21,8 @@
 //!   and [`legalize`] rules, a well-formedness checker and a paper-style
 //!   pretty printer.
 
+#![forbid(unsafe_code)]
+
 mod builder;
 mod deduce;
 mod expr;

@@ -17,6 +17,8 @@
 //! simulation needs only their shapes, while tests pass real arrays for
 //! small configurations.
 
+#![forbid(unsafe_code)]
+
 pub mod llama;
 pub mod llava;
 pub mod nn;

@@ -25,6 +25,13 @@ pub enum PassError {
         /// Detail.
         detail: String,
     },
+    /// The lowered executable failed validation (see `relax_vm::verify`).
+    Verify {
+        /// Pipeline stage after which validation ran.
+        stage: &'static str,
+        /// The violations found.
+        error: relax_vm::VerifyError,
+    },
 }
 
 impl fmt::Display for PassError {
@@ -36,6 +43,9 @@ impl fmt::Display for PassError {
             PassError::Build(e) => write!(f, "{e}"),
             PassError::WellFormed(e) => write!(f, "{e}"),
             PassError::Unsupported { pass, detail } => write!(f, "{pass}: {detail}"),
+            PassError::Verify { stage, error } => {
+                write!(f, "executable validation failed after {stage}: {error}")
+            }
         }
     }
 }

@@ -22,6 +22,8 @@
 //! [`common_subexpr_elimination`], [`fold_constants`])
 //! exploit the purity guarantee of dataflow blocks.
 
+#![forbid(unsafe_code)]
+
 mod annotate;
 mod capture;
 mod const_fold;

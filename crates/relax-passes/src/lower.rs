@@ -475,6 +475,6 @@ mod tests {
         let err = vm
             .run("main", &[Value::Tensor(x), Value::Tensor(w)])
             .unwrap_err();
-        assert!(matches!(err, relax_vm::VmError::ShapeCheck { .. }));
+        assert!(matches!(err.kind, relax_vm::VmErrorKind::ShapeCheck { .. }));
     }
 }

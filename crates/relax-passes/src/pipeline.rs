@@ -16,7 +16,7 @@ use crate::error::PassError;
 use crate::fuse::{fuse_ops, fuse_tensor_ir};
 use crate::legalize_pass::legalize_module;
 use crate::lower::lower_to_vm;
-use crate::plan::{plan_is_static, plan_memory};
+use crate::plan::plan_memory;
 use crate::workspace::lift_tir_workspaces;
 
 /// Options controlling the pipeline — each toggle corresponds to one bar
@@ -124,24 +124,30 @@ pub fn compile(module: IRModule, opts: &CompileOptions) -> Result<Executable, Pa
     dead_code_elimination(&mut m);
     let workspaces = lift_tir_workspaces(&mut m);
     let mut exec = lower_to_vm(&m, &workspaces)?;
+    verify_exec(&exec, "lowering")?;
 
     if opts.memory_plan {
-        let names: Vec<String> = exec.funcs.keys().cloned().collect();
-        for name in names {
-            let f = exec.funcs.get(&name).expect("listed");
-            let planned = plan_memory(f, &opts.shape_bounds);
-            let final_f = if opts.graph_capture && plan_is_static(&planned) {
-                offload_capture(&planned).0
-            } else if opts.graph_capture {
-                // Dynamic plans can still capture per shape signature.
-                offload_capture(&planned).0
-            } else {
-                planned
-            };
-            exec.funcs.insert(name, final_f);
+        for f in exec.funcs.values_mut() {
+            *f = plan_memory(f, &opts.shape_bounds);
+        }
+        verify_exec(&exec, "memory planning")?;
+        if opts.graph_capture {
+            // Capture applies to static and dynamic plans alike — dynamic
+            // plans capture per shape signature.
+            for f in exec.funcs.values_mut() {
+                *f = offload_capture(f).0;
+            }
+            verify_exec(&exec, "graph capture")?;
         }
     }
     Ok(exec)
+}
+
+/// Runs the executable validator after a lowering stage, converting its
+/// violations into a [`PassError::Verify`].
+fn verify_exec(exec: &Executable, stage: &'static str) -> Result<(), PassError> {
+    relax_vm::verify(exec, &relax_vm::registry::Registry::new())
+        .map_err(|error| PassError::Verify { stage, error })
 }
 
 #[cfg(test)]

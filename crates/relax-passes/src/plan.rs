@@ -163,6 +163,7 @@ pub fn plan_memory(func: &VmFunction, bounds: &HashMap<SymVar, i64>) -> VmFuncti
 
 /// `true` if every storage in the planned function has a constant size —
 /// i.e. the plan is fully static and graph capture is legal.
+#[cfg(test)]
 pub(crate) fn plan_is_static(func: &VmFunction) -> bool {
     func.instrs.iter().all(|i| match i {
         Instr::AllocStorage { bytes, .. } => bytes.is_const(),

@@ -65,6 +65,16 @@ pub enum SimError {
     Type(String),
     /// A runtime shape check would fail.
     ShapeCheck(String),
+    /// An allocation would exceed the device's memory capacity (checked
+    /// when a [`MemoryTracker`] is attached — deployment feasibility).
+    OutOfMemory {
+        /// Bytes the allocation needs.
+        required: usize,
+        /// Bytes already held (pool in-use plus planned storage).
+        in_use: usize,
+        /// The device's capacity in bytes.
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -74,6 +84,15 @@ impl fmt::Display for SimError {
             SimError::Eval(e) => write!(f, "shape evaluation failed: {e}"),
             SimError::Type(d) => write!(f, "type mismatch: {d}"),
             SimError::ShapeCheck(d) => write!(f, "shape check failed: {d}"),
+            SimError::OutOfMemory {
+                required,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "allocation of {required} bytes exceeds device memory \
+                 ({in_use} in use of {capacity})"
+            ),
         }
     }
 }
@@ -183,6 +202,20 @@ impl MemoryTracker {
     /// Total activation bytes currently attributed (planned + pool).
     pub fn total_bytes(&self) -> usize {
         self.planned_bytes() + self.pool_footprint()
+    }
+
+    /// Fails when allocating `required` more bytes would exceed the
+    /// device's memory capacity.
+    fn check_capacity(&self, device: &DeviceSpec, required: usize) -> Result<(), SimError> {
+        let in_use = self.pool.stats().in_use + self.planned_bytes();
+        if (in_use + required) as u64 > device.memory_capacity {
+            return Err(SimError::OutOfMemory {
+                required,
+                in_use,
+                capacity: device.memory_capacity,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -308,7 +341,9 @@ fn exec_instrs(
                 };
                 if let Some(mem) = memory.as_deref_mut() {
                     if !mem.escaping.contains(dst) {
-                        let (_, size) = mem.pool.alloc(val.byte_size() as usize);
+                        let bytes = val.byte_size() as usize;
+                        mem.check_capacity(device, bytes)?;
+                        let (_, size) = mem.pool.alloc(bytes);
                         granted.insert(*dst, size);
                     }
                 }
@@ -327,6 +362,10 @@ fn exec_instrs(
                 let b = bytes.eval(heap).unwrap_or(0).max(0) as usize;
                 if let Some(mem) = memory.as_deref_mut() {
                     if !mem.escaping.contains(dst) {
+                        let current = mem.planned.get(&idx).copied().unwrap_or(0);
+                        // Only the growth beyond the site's recorded
+                        // maximum is new memory.
+                        mem.check_capacity(device, b.saturating_sub(current))?;
                         let entry = mem.planned.entry(idx).or_insert(0);
                         *entry = (*entry).max(b);
                     }
@@ -862,5 +901,91 @@ mod memory_tracker_tests {
         }
         // The site records its maximum across runs: 64 * 4 bytes.
         assert_eq!(mem.planned_bytes(), 256);
+    }
+
+    fn tiny_device(capacity: u64) -> DeviceSpec {
+        DeviceSpec {
+            memory_capacity: capacity,
+            ..DeviceSpec::rtx4090()
+        }
+    }
+
+    #[test]
+    fn allocations_beyond_device_capacity_fail() {
+        let exec = exec_with(
+            vec![
+                Instr::AllocTensor {
+                    dst: 0,
+                    shape: vec![64.into()],
+                    dtype: DataType::F32,
+                },
+                Instr::MakeShape {
+                    dst: 1,
+                    dims: vec![],
+                },
+                Instr::Kill { reg: 0 },
+                Instr::Ret { src: 1 },
+            ],
+            2,
+        );
+        let device = tiny_device(128); // 64 f32s need 256 bytes
+        let mut mem = MemoryTracker::new();
+        let err = simulate_with_memory(&exec, "f", &[], &device, true, &mut mem).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::OutOfMemory {
+                    required: 256,
+                    capacity: 128,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // The same workload fits a larger device.
+        let device = tiny_device(1024);
+        let mut mem = MemoryTracker::new();
+        simulate_with_memory(&exec, "f", &[], &device, true, &mut mem).unwrap();
+    }
+
+    #[test]
+    fn planned_storage_growth_is_capacity_checked() {
+        let n = SymVar::new("n");
+        let exec = exec_with(
+            vec![
+                Instr::MatchShape {
+                    src: 0,
+                    dims: vec![n.clone().into()],
+                    ctx: "p".into(),
+                },
+                Instr::AllocStorage {
+                    dst: 1,
+                    bytes: relax_arith::PrimExpr::from(n) * 4.into(),
+                },
+                Instr::MakeShape {
+                    dst: 2,
+                    dims: vec![],
+                },
+                Instr::Ret { src: 2 },
+            ],
+            3,
+        );
+        let mut exec = exec;
+        exec.funcs.get_mut("f").unwrap().num_params = 1;
+        let device = tiny_device(100);
+        let mut mem = MemoryTracker::new();
+        // 8 * 4 = 32 bytes fits.
+        simulate_with_memory(&exec, "f", &[SimValue::Shape(vec![8])], &device, true, &mut mem)
+            .unwrap();
+        // Growing the same site to 64 * 4 = 256 bytes does not: only the
+        // growth (256 - 32) is charged, but it still exceeds 100.
+        let err =
+            simulate_with_memory(&exec, "f", &[SimValue::Shape(vec![64])], &device, true, &mut mem)
+                .unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }), "{err}");
+        // Re-running the small shape still works: the tracker was not
+        // corrupted by the failure.
+        simulate_with_memory(&exec, "f", &[SimValue::Shape(vec![8])], &device, true, &mut mem)
+            .unwrap();
     }
 }

@@ -20,6 +20,8 @@
 //! comparison systems (HF eager / torch.compile, vLLM, llama.cpp) built
 //! from the same model [`Profile`].
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 mod cost;
 mod device;

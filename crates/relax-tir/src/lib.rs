@@ -19,6 +19,8 @@
 //!   programs on host [`NDArray`]s, binding symbolic shape variables by
 //!   unification against the actual argument shapes.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 mod buffer;
 mod builder;

@@ -1,0 +1,172 @@
+//! Deterministic fault injection for the VM.
+//!
+//! Robustness claims are only as good as the error paths that back them,
+//! and error paths are exactly the code that ordinary test workloads never
+//! execute. This module lets a test (or a chaos-testing harness) schedule
+//! failures at precise points of an execution: *the Nth allocation*, *the
+//! Nth kernel call*, or *the Nth runtime shape check* across the lifetime
+//! of a [`crate::Vm`]. Injection is fully deterministic — the same plan
+//! against the same executable and inputs fails at the same instruction —
+//! so every test failure reproduces.
+//!
+//! Injected faults surface as ordinary [`crate::VmError`]s (an allocation
+//! fault becomes `StorageOverflow`, a kernel fault `Kernel`, a shape-check
+//! fault `ShapeCheck`), carrying the same frame trace real failures would,
+//! which is what makes them usable for exercising recovery logic end to
+//! end.
+
+use std::fmt;
+
+/// A point in VM execution where a fault can be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Memory allocation: `AllocTensor`, `AllocStorage` growth, and
+    /// overflow-fallback pool allocations.
+    Alloc,
+    /// Kernel invocation: `CallTir`, `CallLib` and `CallBuiltin`.
+    Kernel,
+    /// A runtime shape check (`MatchShape` instruction).
+    ShapeCheck,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Alloc => f.write_str("allocation"),
+            FaultSite::Kernel => f.write_str("kernel call"),
+            FaultSite::ShapeCheck => f.write_str("shape check"),
+        }
+    }
+}
+
+/// A schedule of faults to inject: pairs of (site, 1-based occurrence
+/// index). Counters span the VM's lifetime, not a single `run` call, so a
+/// plan can target "the third allocation of the second run".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    scheduled: Vec<(FaultSite, u64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a failure of the `nth` (1-based) event at `site`.
+    pub fn fail_at(mut self, site: FaultSite, nth: u64) -> Self {
+        self.scheduled.push((site, nth.max(1)));
+        self
+    }
+
+    /// Schedules the `nth` allocation to fail.
+    pub fn fail_alloc(self, nth: u64) -> Self {
+        self.fail_at(FaultSite::Alloc, nth)
+    }
+
+    /// Schedules the `nth` kernel call to fail.
+    pub fn fail_kernel(self, nth: u64) -> Self {
+        self.fail_at(FaultSite::Kernel, nth)
+    }
+
+    /// Schedules the `nth` runtime shape check to fail.
+    pub fn fail_shape_check(self, nth: u64) -> Self {
+        self.fail_at(FaultSite::ShapeCheck, nth)
+    }
+
+    /// `true` if the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty()
+    }
+}
+
+/// Executes a [`FaultPlan`]: counts events per site and reports when a
+/// scheduled fault fires. Each scheduled fault fires exactly once.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Events seen so far per site, indexed by [`FaultInjector::slot`].
+    counts: [u64; 3],
+    /// Which scheduled entries have already fired.
+    fired: Vec<bool>,
+}
+
+impl FaultInjector {
+    /// Creates an injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let fired = vec![false; plan.scheduled.len()];
+        FaultInjector {
+            plan,
+            counts: [0; 3],
+            fired,
+        }
+    }
+
+    fn slot(site: FaultSite) -> usize {
+        match site {
+            FaultSite::Alloc => 0,
+            FaultSite::Kernel => 1,
+            FaultSite::ShapeCheck => 2,
+        }
+    }
+
+    /// Records one event at `site`; returns `true` when a scheduled fault
+    /// fires on this event.
+    pub fn on_event(&mut self, site: FaultSite) -> bool {
+        let slot = Self::slot(site);
+        self.counts[slot] += 1;
+        let count = self.counts[slot];
+        let mut fire = false;
+        for (i, (s, nth)) in self.plan.scheduled.iter().enumerate() {
+            if *s == site && *nth == count && !self.fired[i] {
+                self.fired[i] = true;
+                fire = true;
+            }
+        }
+        fire
+    }
+
+    /// Number of events observed at a site so far.
+    pub fn events(&self, site: FaultSite) -> u64 {
+        self.counts[Self::slot(site)]
+    }
+
+    /// `true` once every scheduled fault has fired.
+    pub fn exhausted(&self) -> bool {
+        self.fired.iter().all(|f| *f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_at_the_scheduled_event() {
+        let mut inj = FaultInjector::new(FaultPlan::new().fail_alloc(3));
+        assert!(!inj.on_event(FaultSite::Alloc)); // 1st
+        assert!(!inj.on_event(FaultSite::Kernel)); // other site
+        assert!(!inj.on_event(FaultSite::Alloc)); // 2nd
+        assert!(inj.on_event(FaultSite::Alloc)); // 3rd fires
+        assert!(!inj.on_event(FaultSite::Alloc)); // does not re-fire
+        assert!(inj.exhausted());
+        assert_eq!(inj.events(FaultSite::Alloc), 4);
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let mut inj =
+            FaultInjector::new(FaultPlan::new().fail_kernel(1).fail_shape_check(2));
+        assert!(inj.on_event(FaultSite::Kernel));
+        assert!(!inj.on_event(FaultSite::ShapeCheck));
+        assert!(!inj.on_event(FaultSite::Alloc));
+        assert!(inj.on_event(FaultSite::ShapeCheck));
+        assert!(inj.exhausted());
+    }
+
+    #[test]
+    fn zeroth_occurrence_clamps_to_first() {
+        let mut inj = FaultInjector::new(FaultPlan::new().fail_at(FaultSite::Alloc, 0));
+        assert!(inj.on_event(FaultSite::Alloc));
+    }
+}

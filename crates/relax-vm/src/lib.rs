@@ -19,12 +19,18 @@
 //!   execution captures, subsequent executions replay with a single launch
 //!   overhead (§4.5).
 
+#![forbid(unsafe_code)]
+
 mod exec;
+pub mod fault;
 pub mod memory;
 pub mod registry;
 mod value;
+pub mod verify;
 mod vm;
 
 pub use exec::{Executable, Instr, Reg, VmFunction};
+pub use fault::{FaultPlan, FaultSite};
 pub use value::Value;
-pub use vm::{Telemetry, Vm, VmError};
+pub use verify::{verify, VerifyError, Violation};
+pub use vm::{FrameEntry, Telemetry, Vm, VmError, VmErrorKind};

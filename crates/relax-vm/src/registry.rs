@@ -40,6 +40,11 @@ pub type BuiltinFn = fn(&[NDArray]) -> Result<NDArray, String>;
 pub struct Registry {
     libs: HashMap<String, LibKernel>,
     builtins: HashMap<String, BuiltinFn>,
+    /// Declared (inputs, outputs) arity per library kernel, used by the
+    /// executable validator ([`crate::verify`]).
+    lib_sigs: HashMap<String, (usize, usize)>,
+    /// Declared input arity per builtin.
+    builtin_sigs: HashMap<String, usize>,
 }
 
 impl fmt::Debug for Registry {
@@ -58,12 +63,14 @@ impl Default for Registry {
         let mut r = Registry {
             libs: HashMap::new(),
             builtins: HashMap::new(),
+            lib_sigs: HashMap::new(),
+            builtin_sigs: HashMap::new(),
         };
-        r.register_lib("cublas.matmul", lib_matmul);
-        r.register_lib("cublas.matmul_relu", lib_matmul_relu);
-        r.register_lib("cutlass.rms_norm", lib_rms_norm);
-        r.register_lib("vm.builtin.kv_append", lib_kv_append);
-        r.register_builtin("builtin.unique", builtin_unique);
+        r.register_lib_with_signature("cublas.matmul", lib_matmul, 2, 1);
+        r.register_lib_with_signature("cublas.matmul_relu", lib_matmul_relu, 2, 1);
+        r.register_lib_with_signature("cutlass.rms_norm", lib_rms_norm, 2, 1);
+        r.register_lib_with_signature("vm.builtin.kv_append", lib_kv_append, 2, 1);
+        r.register_builtin_with_signature("builtin.unique", builtin_unique, 1);
         r
     }
 }
@@ -75,9 +82,25 @@ impl Registry {
         Self::default()
     }
 
-    /// Registers (or replaces) a library kernel.
+    /// Registers (or replaces) a library kernel. Without a declared
+    /// signature the validator skips arity checks for it; prefer
+    /// [`Registry::register_lib_with_signature`].
     pub fn register_lib(&mut self, name: impl Into<String>, kernel: LibKernel) {
         self.libs.insert(name.into(), kernel);
+    }
+
+    /// Registers a library kernel along with its destination-passing
+    /// signature: `inputs` argument tensors, `outputs` result tensors.
+    pub fn register_lib_with_signature(
+        &mut self,
+        name: impl Into<String>,
+        kernel: LibKernel,
+        inputs: usize,
+        outputs: usize,
+    ) {
+        let name = name.into();
+        self.lib_sigs.insert(name.clone(), (inputs, outputs));
+        self.libs.insert(name, kernel);
     }
 
     /// Registers (or replaces) a builtin.
@@ -85,9 +108,36 @@ impl Registry {
         self.builtins.insert(name.into(), func);
     }
 
+    /// Registers a builtin along with its input arity.
+    pub fn register_builtin_with_signature(
+        &mut self,
+        name: impl Into<String>,
+        func: BuiltinFn,
+        inputs: usize,
+    ) {
+        let name = name.into();
+        self.builtin_sigs.insert(name.clone(), inputs);
+        self.builtins.insert(name, func);
+    }
+
     /// `true` if a library kernel with this name exists.
     pub fn has_lib(&self, name: &str) -> bool {
         self.libs.contains_key(name)
+    }
+
+    /// `true` if a builtin with this name exists.
+    pub fn has_builtin(&self, name: &str) -> bool {
+        self.builtins.contains_key(name)
+    }
+
+    /// Declared (inputs, outputs) arity of a library kernel, if known.
+    pub fn lib_signature(&self, name: &str) -> Option<(usize, usize)> {
+        self.lib_sigs.get(name).copied()
+    }
+
+    /// Declared input arity of a builtin, if known.
+    pub fn builtin_signature(&self, name: &str) -> Option<usize> {
+        self.builtin_sigs.get(name).copied()
     }
 
     /// Invokes a library kernel in destination-passing style.

@@ -8,13 +8,15 @@ use relax_tir::interp::{self, InterpError};
 use relax_tir::NDArray;
 
 use crate::exec::{Executable, Instr, Reg, VmFunction};
+use crate::fault::{FaultInjector, FaultPlan, FaultSite};
 use crate::memory::{MemoryStats, PooledAllocator};
 use crate::registry::{KernelError, Registry};
 use crate::value::Value;
 
-/// Error raised during VM execution.
+/// What went wrong during VM execution (the error taxonomy; see
+/// DESIGN.md "Robustness & error taxonomy").
 #[derive(Debug)]
-pub enum VmError {
+pub enum VmErrorKind {
     /// No function with the given name.
     UnknownFunction(String),
     /// No tensor program with the given name.
@@ -42,7 +44,9 @@ pub enum VmError {
         /// Detail.
         detail: String,
     },
-    /// A tensor did not fit its planned storage.
+    /// A tensor did not fit its planned storage (strict mode or memory
+    /// capacity exhausted; in the default configuration a planned-storage
+    /// overflow degrades to the pooled allocator instead).
     StorageOverflow {
         /// Bytes required.
         required: usize,
@@ -59,60 +63,128 @@ pub enum VmError {
     NoReturn(String),
 }
 
-impl fmt::Display for VmError {
+impl fmt::Display for VmErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VmError::UnknownFunction(n) => write!(f, "unknown VM function `{n}`"),
-            VmError::UnknownTir(n) => write!(f, "unknown tensor program `{n}`"),
-            VmError::ArgCount {
+            VmErrorKind::UnknownFunction(n) => write!(f, "unknown VM function `{n}`"),
+            VmErrorKind::UnknownTir(n) => write!(f, "unknown tensor program `{n}`"),
+            VmErrorKind::ArgCount {
                 func,
                 expected,
                 actual,
             } => write!(f, "`{func}` expects {expected} args, got {actual}"),
-            VmError::TypeMismatch { expected, actual } => {
+            VmErrorKind::TypeMismatch { expected, actual } => {
                 write!(f, "expected a {expected} value, got {actual}")
             }
-            VmError::ShapeCheck { ctx, detail } => {
+            VmErrorKind::ShapeCheck { ctx, detail } => {
                 write!(f, "runtime shape check failed at {ctx}: {detail}")
             }
-            VmError::StorageOverflow {
+            VmErrorKind::StorageOverflow {
                 required,
                 available,
             } => write!(
                 f,
                 "tensor needs {required} bytes but storage holds {available}"
             ),
-            VmError::Eval(e) => write!(f, "shape evaluation failed: {e}"),
-            VmError::Interp(e) => write!(f, "tensor program failed: {e}"),
-            VmError::Kernel(e) => write!(f, "{e}"),
-            VmError::NoReturn(n) => write!(f, "function `{n}` ended without returning"),
+            VmErrorKind::Eval(e) => write!(f, "shape evaluation failed: {e}"),
+            VmErrorKind::Interp(e) => write!(f, "tensor program failed: {e}"),
+            VmErrorKind::Kernel(e) => write!(f, "{e}"),
+            VmErrorKind::NoReturn(n) => write!(f, "function `{n}` ended without returning"),
         }
+    }
+}
+
+/// One frame of error provenance: which function, which program counter,
+/// and the rendered instruction that was executing when the error crossed
+/// this frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameEntry {
+    /// The VM function.
+    pub func: String,
+    /// Instruction index within its block (capture-region bodies count
+    /// from zero).
+    pub pc: usize,
+    /// The instruction, rendered.
+    pub instr: String,
+}
+
+impl fmt::Display for FrameEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at {}[pc {}]: {}", self.func, self.pc, self.instr)
+    }
+}
+
+/// Error raised during VM execution: the failure [`VmErrorKind`] plus a
+/// frame trace recording where it happened, innermost frame first.
+///
+/// The trace is what turns "tensor program failed" into an actionable
+/// report: the exact instruction, its index, and the chain of VM calls
+/// that reached it.
+#[derive(Debug)]
+pub struct VmError {
+    /// What failed.
+    pub kind: VmErrorKind,
+    /// Provenance frames, innermost first.
+    pub trace: Vec<FrameEntry>,
+}
+
+impl VmError {
+    /// Creates an error with an empty trace (frames are appended as it
+    /// propagates out of the interpreter loop).
+    pub fn new(kind: VmErrorKind) -> Self {
+        VmError {
+            kind,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The innermost frame, if the error was raised while executing an
+    /// instruction.
+    pub fn origin(&self) -> Option<&FrameEntry> {
+        self.trace.first()
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        for frame in &self.trace {
+            write!(f, "\n  {frame}")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for VmError {}
 
+impl From<VmErrorKind> for VmError {
+    fn from(kind: VmErrorKind) -> Self {
+        VmError::new(kind)
+    }
+}
+
 impl From<EvalError> for VmError {
     fn from(e: EvalError) -> Self {
-        VmError::Eval(e)
+        VmError::new(VmErrorKind::Eval(e))
     }
 }
 
 impl From<InterpError> for VmError {
     fn from(e: InterpError) -> Self {
-        VmError::Interp(e)
+        VmError::new(VmErrorKind::Interp(e))
     }
 }
 
 impl From<KernelError> for VmError {
     fn from(e: KernelError) -> Self {
-        VmError::Kernel(e)
+        VmError::new(VmErrorKind::Kernel(e))
     }
 }
 
 /// Execution counters used by the experiments: kernel launches (for the
-/// CUDA-graph ablation), memory behaviour (Table 2) and runtime shape
-/// checks.
+/// CUDA-graph ablation), memory behaviour (Table 2), runtime shape
+/// checks, and the robustness counters (fallbacks, injected faults,
+/// recoveries).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Telemetry {
     /// Individual kernel launches charged to the device (graph replay
@@ -136,6 +208,14 @@ pub struct Telemetry {
     pub pool: MemoryStats,
     /// Total bytes held by planned static storage.
     pub planned_bytes: usize,
+    /// Planned-storage overflows that degraded to the pooled allocator
+    /// instead of failing the run.
+    pub fallback_allocs: u64,
+    /// Faults injected by the fault-injection harness.
+    pub faults_injected: u64,
+    /// Successful runs completed immediately after a failed run — the
+    /// observable form of the "clean state after error" guarantee.
+    pub recoveries: u64,
 }
 
 /// The Relax virtual machine.
@@ -158,6 +238,15 @@ pub struct Vm {
     next_storage_id: u64,
     /// Per-kernel call counts and accumulated host execution time.
     kernel_stats: HashMap<String, (u64, std::time::Duration)>,
+    /// Scheduled fault injection (tests and chaos harnesses).
+    fault: Option<FaultInjector>,
+    /// Device memory capacity in bytes; allocations beyond it fail.
+    memory_capacity: Option<u64>,
+    /// When set, a planned-storage overflow is an error instead of
+    /// degrading to the pooled allocator.
+    strict_storage: bool,
+    /// The previous `run` failed; the next success counts as a recovery.
+    poisoned: bool,
 }
 
 impl Vm {
@@ -177,7 +266,42 @@ impl Vm {
             static_storage: HashMap::new(),
             next_storage_id: 0,
             kernel_stats: HashMap::new(),
+            fault: None,
+            memory_capacity: None,
+            strict_storage: false,
+            poisoned: false,
         }
+    }
+
+    /// Schedules deterministic fault injection (see [`crate::fault`]).
+    /// Replaces any previously installed plan; counters restart.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_faults(&mut self) {
+        self.fault = None;
+    }
+
+    /// Limits total runtime memory (pooled in-use plus planned storage) to
+    /// `bytes`, as a device memory capacity would (see
+    /// `relax_sim::DeviceSpec::memory_capacity`). `None` removes the
+    /// limit.
+    pub fn set_memory_capacity(&mut self, bytes: Option<u64>) {
+        self.memory_capacity = bytes;
+    }
+
+    /// Controls overflow behaviour of planned storage: strict mode fails
+    /// with [`VmErrorKind::StorageOverflow`]; the default degrades to the
+    /// pooled allocator and counts
+    /// [`Telemetry::fallback_allocs`].
+    pub fn set_strict_storage(&mut self, strict: bool) {
+        self.strict_storage = strict;
     }
 
     /// Per-kernel profile: `(name, calls, total seconds)` sorted by time
@@ -198,7 +322,7 @@ impl Vm {
     pub fn telemetry(&self) -> Telemetry {
         let mut t = self.telemetry;
         t.pool = self.pool.stats();
-        t.planned_bytes = self.static_storage.values().map(|(_, b)| *b).sum();
+        t.planned_bytes = self.planned_total();
         t
     }
 
@@ -209,23 +333,61 @@ impl Vm {
 
     /// Runs a function on the given arguments.
     ///
+    /// After an error the VM remains in a clean, reusable state: pool
+    /// blocks held by the failed invocation are returned, and a
+    /// subsequent successful `run` counts as a
+    /// [`Telemetry::recoveries`].
+    ///
     /// # Errors
     ///
-    /// Any [`VmError`]; in particular [`VmError::ShapeCheck`] when a
-    /// `match_cast` or boundary check fails at runtime.
+    /// Any [`VmError`]; in particular a `ShapeCheck` kind when a
+    /// `match_cast` or boundary check fails at runtime. Errors carry a
+    /// frame trace (function, pc, instruction).
     pub fn run(&mut self, func: &str, args: &[Value]) -> Result<Value, VmError> {
+        let result = self.run_inner(func, args);
+        match &result {
+            Ok(_) => {
+                if self.poisoned {
+                    self.poisoned = false;
+                    self.telemetry.recoveries += 1;
+                }
+            }
+            Err(_) => self.poisoned = true,
+        }
+        result
+    }
+
+    fn run_inner(&mut self, func: &str, args: &[Value]) -> Result<Value, VmError> {
         let vmf = self
             .exec
             .funcs
             .get(func)
             .cloned()
-            .ok_or_else(|| VmError::UnknownFunction(func.to_string()))?;
+            .ok_or_else(|| VmError::new(VmErrorKind::UnknownFunction(func.to_string())))?;
         if args.len() != vmf.num_params {
-            return Err(VmError::ArgCount {
+            let mut e = VmError::new(VmErrorKind::ArgCount {
                 func: func.to_string(),
                 expected: vmf.num_params,
                 actual: args.len(),
             });
+            e.trace.push(FrameEntry {
+                func: func.to_string(),
+                pc: 0,
+                instr: "<function entry>".to_string(),
+            });
+            return Err(e);
+        }
+        if vmf.num_params > vmf.num_regs {
+            let mut e = VmError::new(VmErrorKind::TypeMismatch {
+                expected: "a frame with registers for every parameter",
+                actual: "out-of-range register",
+            });
+            e.trace.push(FrameEntry {
+                func: func.to_string(),
+                pc: 0,
+                instr: "<function entry>".to_string(),
+            });
+            return Err(e);
         }
         let mut frame = Frame {
             regs: vec![Value::None; vmf.num_regs],
@@ -235,12 +397,64 @@ impl Vm {
         for (i, a) in args.iter().enumerate() {
             frame.regs[i] = a.clone();
         }
-        let result = self.exec_block(&vmf, &vmf.instrs, &mut frame, false)?;
-        // Return pool blocks still held by this invocation.
+        let result = self.exec_block(&vmf, &vmf.instrs, &mut frame, false);
+        // Return pool blocks still held by this invocation — on success
+        // *and* on error, so a failed run cannot leak pool memory.
         for (_, size) in frame.alloc_sizes.drain() {
             self.pool.free(size);
         }
-        result.ok_or_else(|| VmError::NoReturn(func.to_string()))
+        match result? {
+            Some(v) => Ok(v),
+            None => {
+                let mut e = VmError::new(VmErrorKind::NoReturn(func.to_string()));
+                e.trace.push(FrameEntry {
+                    func: func.to_string(),
+                    pc: vmf.instrs.len(),
+                    instr: "<end of function>".to_string(),
+                });
+                Err(e)
+            }
+        }
+    }
+
+    /// Records a fault-site event; `true` when a scheduled fault fires.
+    fn fault_fires(&mut self, site: FaultSite) -> bool {
+        if let Some(inj) = &mut self.fault {
+            if inj.on_event(site) {
+                self.telemetry.faults_injected += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total bytes held by planned static storage.
+    fn planned_total(&self) -> usize {
+        self.static_storage.values().map(|(_, b)| *b).sum()
+    }
+
+    /// Allocates `bytes` from the pool, honouring the fault schedule and
+    /// the configured memory capacity. Returns the granted block size.
+    fn runtime_alloc(&mut self, bytes: usize) -> Result<usize, VmError> {
+        if self.fault_fires(FaultSite::Alloc) {
+            return Err(VmErrorKind::StorageOverflow {
+                required: bytes,
+                available: 0,
+            }
+            .into());
+        }
+        if let Some(cap) = self.memory_capacity {
+            let used = (self.pool.stats().in_use + self.planned_total()) as u64;
+            if used + bytes as u64 > cap {
+                return Err(VmErrorKind::StorageOverflow {
+                    required: bytes,
+                    available: cap.saturating_sub(used) as usize,
+                }
+                .into());
+            }
+        }
+        let (_, granted) = self.pool.alloc(bytes);
+        Ok(granted)
     }
 
     fn exec_block(
@@ -251,192 +465,279 @@ impl Vm {
         in_replay: bool,
     ) -> Result<Option<Value>, VmError> {
         for (idx, instr) in instrs.iter().enumerate() {
-            match instr {
-                Instr::AllocTensor { dst, shape, dtype } => {
-                    let dims = self.eval_dims(shape, &frame.heap)?;
-                    let bytes: usize = dims.iter().product::<usize>() * dtype.size_bytes();
-                    let (_, granted) = self.pool.alloc(bytes);
-                    frame.alloc_sizes.insert(*dst, granted);
-                    frame.regs[*dst] = Value::Tensor(NDArray::zeros(&dims, *dtype));
-                }
-                Instr::AllocStorage { dst, bytes } => {
-                    let size = bytes.eval(&frame.heap)?.max(0) as usize;
-                    let key = (vmf.name.clone(), idx);
-                    let entry = self.static_storage.entry(key).or_insert_with(|| {
-                        let id = self.next_storage_id;
-                        self.next_storage_id += 1;
-                        (id, 0)
+            let flow = self
+                .exec_instr(vmf, idx, instr, frame, in_replay)
+                .map_err(|mut e| {
+                    e.trace.push(FrameEntry {
+                        func: vmf.name.clone(),
+                        pc: idx,
+                        instr: render_instr(instr),
                     });
-                    // Grow if a larger dynamic size arrives (static plans
-                    // with upper bounds never grow).
-                    if size > entry.1 {
-                        entry.1 = size;
-                    }
-                    frame.regs[*dst] = Value::Storage {
-                        id: entry.0,
-                        bytes: entry.1,
-                    };
+                    e
+                })?;
+            if let Some(v) = flow {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn exec_instr(
+        &mut self,
+        vmf: &VmFunction,
+        idx: usize,
+        instr: &Instr,
+        frame: &mut Frame,
+        in_replay: bool,
+    ) -> Result<Option<Value>, VmError> {
+        match instr {
+            Instr::AllocTensor { dst, shape, dtype } => {
+                let dims = self.eval_dims(shape, &frame.heap)?;
+                let bytes: usize = dims.iter().product::<usize>() * dtype.size_bytes();
+                let granted = self.runtime_alloc(bytes)?;
+                if let Some(old) = frame.alloc_sizes.insert(*dst, granted) {
+                    self.pool.free(old);
                 }
-                Instr::TensorFromStorage {
-                    dst,
-                    storage,
-                    shape,
-                    dtype,
-                } => {
-                    let (avail, _id) = match &frame.regs[*storage] {
-                        Value::Storage { bytes, id } => (*bytes, *id),
-                        other => {
-                            return Err(VmError::TypeMismatch {
-                                expected: "storage",
-                                actual: other.kind(),
-                            })
+                frame.set(*dst, Value::Tensor(NDArray::zeros(&dims, *dtype)))?;
+            }
+            Instr::AllocStorage { dst, bytes } => {
+                let size = bytes.eval(&frame.heap)?.max(0) as usize;
+                if self.fault_fires(FaultSite::Alloc) {
+                    return Err(VmErrorKind::StorageOverflow {
+                        required: size,
+                        available: 0,
+                    }
+                    .into());
+                }
+                let key = (vmf.name.clone(), idx);
+                let current = self.static_storage.get(&key).map(|(_, b)| *b);
+                // Grow if a larger dynamic size arrives (static plans with
+                // upper bounds never grow) — the growth is charged against
+                // the memory capacity like any other allocation.
+                if size > current.unwrap_or(0) {
+                    if let Some(cap) = self.memory_capacity {
+                        let extra = (size - current.unwrap_or(0)) as u64;
+                        let used = (self.pool.stats().in_use + self.planned_total()) as u64;
+                        if used + extra > cap {
+                            return Err(VmErrorKind::StorageOverflow {
+                                required: size,
+                                available: cap.saturating_sub(used) as usize,
+                            }
+                            .into());
                         }
-                    };
-                    let dims = self.eval_dims(shape, &frame.heap)?;
-                    let required = dims.iter().product::<usize>() * dtype.size_bytes();
-                    if required > avail {
-                        return Err(VmError::StorageOverflow {
+                    }
+                }
+                let entry = self.static_storage.entry(key).or_insert_with(|| {
+                    let id = self.next_storage_id;
+                    self.next_storage_id += 1;
+                    (id, 0)
+                });
+                if size > entry.1 {
+                    entry.1 = size;
+                }
+                let v = Value::Storage {
+                    id: entry.0,
+                    bytes: entry.1,
+                };
+                frame.set(*dst, v)?;
+            }
+            Instr::TensorFromStorage {
+                dst,
+                storage,
+                shape,
+                dtype,
+            } => {
+                let avail = match frame.get(*storage)? {
+                    Value::Storage { bytes, .. } => *bytes,
+                    other => {
+                        return Err(VmErrorKind::TypeMismatch {
+                            expected: "storage",
+                            actual: other.kind(),
+                        }
+                        .into())
+                    }
+                };
+                let dims = self.eval_dims(shape, &frame.heap)?;
+                let required = dims.iter().product::<usize>() * dtype.size_bytes();
+                if required > avail {
+                    if self.strict_storage {
+                        return Err(VmErrorKind::StorageOverflow {
                             required,
                             available: avail,
-                        });
-                    }
-                    frame.regs[*dst] = Value::Tensor(NDArray::zeros(&dims, *dtype));
-                }
-                Instr::Kill { reg } => {
-                    if let Some(size) = frame.alloc_sizes.remove(reg) {
-                        self.pool.free(size);
-                    }
-                    frame.regs[*reg] = Value::None;
-                }
-                Instr::CallTir {
-                    func,
-                    args,
-                    dsts,
-                    sym_args: _,
-                } => {
-                    let prim = self
-                        .exec
-                        .tir_funcs
-                        .get(func)
-                        .cloned()
-                        .ok_or_else(|| VmError::UnknownTir(func.clone()))?;
-                    let mut tensors = Vec::with_capacity(args.len() + dsts.len());
-                    for r in args.iter().chain(dsts) {
-                        tensors.push(frame.tensor(*r)?.clone());
-                    }
-                    let t0 = std::time::Instant::now();
-                    interp::run(&prim, &tensors)?;
-                    let entry = self
-                        .kernel_stats
-                        .entry(func.clone())
-                        .or_insert((0, std::time::Duration::ZERO));
-                    entry.0 += 1;
-                    entry.1 += t0.elapsed();
-                    self.telemetry.tir_calls += 1;
-                    if !in_replay {
-                        self.telemetry.kernel_launches += 1;
-                    } else {
-                        self.telemetry.launches_saved += 1;
-                    }
-                }
-                Instr::CallLib { func, args, dsts } => {
-                    let inputs: Result<Vec<_>, _> =
-                        args.iter().map(|r| frame.tensor(*r).cloned()).collect();
-                    let outputs: Result<Vec<_>, _> =
-                        dsts.iter().map(|r| frame.tensor(*r).cloned()).collect();
-                    let t0 = std::time::Instant::now();
-                    self.registry.call_lib(func, &inputs?, &outputs?)?;
-                    let entry = self
-                        .kernel_stats
-                        .entry(func.clone())
-                        .or_insert((0, std::time::Duration::ZERO));
-                    entry.0 += 1;
-                    entry.1 += t0.elapsed();
-                    self.telemetry.lib_calls += 1;
-                    if !in_replay {
-                        self.telemetry.kernel_launches += 1;
-                    } else {
-                        self.telemetry.launches_saved += 1;
-                    }
-                }
-                Instr::CallBuiltin { func, args, dst } => {
-                    let inputs: Result<Vec<_>, _> =
-                        args.iter().map(|r| frame.tensor(*r).cloned()).collect();
-                    let out = self.registry.call_builtin(func, &inputs?)?;
-                    self.telemetry.builtin_calls += 1;
-                    frame.regs[*dst] = Value::Tensor(out);
-                }
-                Instr::CallFunc { func, args, dst } => {
-                    let vals: Vec<Value> = args.iter().map(|r| frame.regs[*r].clone()).collect();
-                    let out = self.run(func, &vals)?;
-                    frame.regs[*dst] = out;
-                }
-                Instr::MatchShape { src, dims, ctx } => {
-                    let actual: Vec<i64> = match &frame.regs[*src] {
-                        Value::Tensor(t) => t.shape().iter().map(|&d| d as i64).collect(),
-                        Value::Shape(dims) => dims.clone(),
-                        other => {
-                            return Err(VmError::TypeMismatch {
-                                expected: "tensor or shape",
-                                actual: other.kind(),
-                            })
                         }
-                    };
-                    self.match_shape(&actual, dims, ctx, &mut frame.heap)?;
+                        .into());
+                    }
+                    // Graceful degradation (§4.3): the runtime shape
+                    // exceeded its declared upper bound. Instead of
+                    // failing the run, take the tensor from the pooled
+                    // allocator — the unplanned path — and count it.
+                    let granted = self.runtime_alloc(required)?;
+                    if let Some(old) = frame.alloc_sizes.insert(*dst, granted) {
+                        self.pool.free(old);
+                    }
+                    self.telemetry.fallback_allocs += 1;
                 }
-                Instr::LoadConst { dst, index } => {
-                    let c = self
-                        .exec
-                        .constants
-                        .get(*index)
-                        .cloned()
-                        .ok_or_else(|| VmError::UnknownFunction(format!("const[{index}]")))?;
-                    frame.regs[*dst] = Value::Tensor(c);
+                frame.set(*dst, Value::Tensor(NDArray::zeros(&dims, *dtype)))?;
+            }
+            Instr::Kill { reg } => {
+                if let Some(size) = frame.alloc_sizes.remove(reg) {
+                    self.pool.free(size);
                 }
-                Instr::MakeTuple { dst, items } => {
-                    let vals: Vec<Value> = items.iter().map(|r| frame.regs[*r].clone()).collect();
-                    frame.regs[*dst] = Value::Tuple(vals);
+                frame.set(*reg, Value::None)?;
+            }
+            Instr::CallTir {
+                func,
+                args,
+                dsts,
+                sym_args: _,
+            } => {
+                let prim = self
+                    .exec
+                    .tir_funcs
+                    .get(func)
+                    .cloned()
+                    .ok_or_else(|| VmError::new(VmErrorKind::UnknownTir(func.clone())))?;
+                if self.fault_fires(FaultSite::Kernel) {
+                    return Err(injected_kernel_fault(func));
                 }
-                Instr::GetItem { dst, src, index } => {
-                    let items = match &frame.regs[*src] {
-                        Value::Tuple(items) => items.clone(),
-                        other => {
-                            return Err(VmError::TypeMismatch {
-                                expected: "tuple",
-                                actual: other.kind(),
-                            })
+                let mut tensors = Vec::with_capacity(args.len() + dsts.len());
+                for r in args.iter().chain(dsts) {
+                    tensors.push(frame.tensor(*r)?.clone());
+                }
+                let t0 = std::time::Instant::now();
+                interp::run(&prim, &tensors)?;
+                let entry = self
+                    .kernel_stats
+                    .entry(func.clone())
+                    .or_insert((0, std::time::Duration::ZERO));
+                entry.0 += 1;
+                entry.1 += t0.elapsed();
+                self.telemetry.tir_calls += 1;
+                if !in_replay {
+                    self.telemetry.kernel_launches += 1;
+                } else {
+                    self.telemetry.launches_saved += 1;
+                }
+            }
+            Instr::CallLib { func, args, dsts } => {
+                if self.fault_fires(FaultSite::Kernel) {
+                    return Err(injected_kernel_fault(func));
+                }
+                let inputs: Result<Vec<_>, _> =
+                    args.iter().map(|r| frame.tensor(*r).cloned()).collect();
+                let outputs: Result<Vec<_>, _> =
+                    dsts.iter().map(|r| frame.tensor(*r).cloned()).collect();
+                let t0 = std::time::Instant::now();
+                self.registry.call_lib(func, &inputs?, &outputs?)?;
+                let entry = self
+                    .kernel_stats
+                    .entry(func.clone())
+                    .or_insert((0, std::time::Duration::ZERO));
+                entry.0 += 1;
+                entry.1 += t0.elapsed();
+                self.telemetry.lib_calls += 1;
+                if !in_replay {
+                    self.telemetry.kernel_launches += 1;
+                } else {
+                    self.telemetry.launches_saved += 1;
+                }
+            }
+            Instr::CallBuiltin { func, args, dst } => {
+                if self.fault_fires(FaultSite::Kernel) {
+                    return Err(injected_kernel_fault(func));
+                }
+                let inputs: Result<Vec<_>, _> =
+                    args.iter().map(|r| frame.tensor(*r).cloned()).collect();
+                let out = self.registry.call_builtin(func, &inputs?)?;
+                self.telemetry.builtin_calls += 1;
+                frame.set(*dst, Value::Tensor(out))?;
+            }
+            Instr::CallFunc { func, args, dst } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for r in args {
+                    vals.push(frame.get(*r)?.clone());
+                }
+                let out = self.run_inner(func, &vals)?;
+                frame.set(*dst, out)?;
+            }
+            Instr::MatchShape { src, dims, ctx } => {
+                if self.fault_fires(FaultSite::ShapeCheck) {
+                    return Err(VmErrorKind::ShapeCheck {
+                        ctx: ctx.clone(),
+                        detail: "injected fault".to_string(),
+                    }
+                    .into());
+                }
+                let actual: Vec<i64> = match frame.get(*src)? {
+                    Value::Tensor(t) => t.shape().iter().map(|&d| d as i64).collect(),
+                    Value::Shape(dims) => dims.clone(),
+                    other => {
+                        return Err(VmErrorKind::TypeMismatch {
+                            expected: "tensor or shape",
+                            actual: other.kind(),
                         }
-                    };
-                    frame.regs[*dst] = items.get(*index).cloned().unwrap_or(Value::None);
-                }
-                Instr::MakeShape { dst, dims } => {
-                    let vals: Result<Vec<i64>, _> =
-                        dims.iter().map(|d| d.eval(&frame.heap)).collect();
-                    frame.regs[*dst] = Value::Shape(vals?);
-                }
-                Instr::Copy { dst, src } => {
-                    frame.regs[*dst] = frame.regs[*src].clone();
-                }
-                Instr::CaptureRegion { id, keys, body } => {
-                    let key_vals: Result<Vec<i64>, _> =
-                        keys.iter().map(|k| k.eval(&frame.heap)).collect();
-                    let cache_key = (*id, key_vals?);
-                    let replaying = self.captured.contains(&cache_key);
-                    if replaying {
-                        self.telemetry.replays += 1;
-                        // A replay costs a single launch for the region.
-                        self.telemetry.kernel_launches += 1;
-                    } else {
-                        self.captured.insert(cache_key);
-                        self.telemetry.captures += 1;
+                        .into())
                     }
-                    if let Some(v) = self.exec_block(vmf, body, frame, replaying)? {
-                        return Ok(Some(v));
+                };
+                self.match_shape(&actual, dims, ctx, &mut frame.heap)?;
+            }
+            Instr::LoadConst { dst, index } => {
+                let c = self.exec.constants.get(*index).cloned().ok_or_else(|| {
+                    VmError::new(VmErrorKind::TypeMismatch {
+                        expected: "a constant-pool entry",
+                        actual: "out-of-range constant index",
+                    })
+                })?;
+                frame.set(*dst, Value::Tensor(c))?;
+            }
+            Instr::MakeTuple { dst, items } => {
+                let mut vals = Vec::with_capacity(items.len());
+                for r in items {
+                    vals.push(frame.get(*r)?.clone());
+                }
+                frame.set(*dst, Value::Tuple(vals))?;
+            }
+            Instr::GetItem { dst, src, index } => {
+                let items = match frame.get(*src)? {
+                    Value::Tuple(items) => items.clone(),
+                    other => {
+                        return Err(VmErrorKind::TypeMismatch {
+                            expected: "tuple",
+                            actual: other.kind(),
+                        }
+                        .into())
                     }
+                };
+                frame.set(*dst, items.get(*index).cloned().unwrap_or(Value::None))?;
+            }
+            Instr::MakeShape { dst, dims } => {
+                let vals: Result<Vec<i64>, EvalError> =
+                    dims.iter().map(|d| d.eval(&frame.heap)).collect();
+                frame.set(*dst, Value::Shape(vals?))?;
+            }
+            Instr::Copy { dst, src } => {
+                let v = frame.get(*src)?.clone();
+                frame.set(*dst, v)?;
+            }
+            Instr::CaptureRegion { id, keys, body } => {
+                let key_vals: Result<Vec<i64>, EvalError> =
+                    keys.iter().map(|k| k.eval(&frame.heap)).collect();
+                let cache_key = (*id, key_vals?);
+                let replaying = self.captured.contains(&cache_key);
+                if replaying {
+                    self.telemetry.replays += 1;
+                    // A replay costs a single launch for the region.
+                    self.telemetry.kernel_launches += 1;
+                } else {
+                    self.captured.insert(cache_key);
+                    self.telemetry.captures += 1;
                 }
-                Instr::Ret { src } => {
-                    return Ok(Some(frame.regs[*src].clone()));
+                if let Some(v) = self.exec_block(vmf, body, frame, replaying)? {
+                    return Ok(Some(v));
                 }
+            }
+            Instr::Ret { src } => {
+                return Ok(Some(frame.get(*src)?.clone()));
             }
         }
         Ok(None)
@@ -461,14 +762,15 @@ impl Vm {
         heap: &mut HashMap<SymVar, i64>,
     ) -> Result<(), VmError> {
         if actual_dims.len() != dims.len() {
-            return Err(VmError::ShapeCheck {
+            return Err(VmErrorKind::ShapeCheck {
                 ctx: ctx.to_string(),
                 detail: format!(
                     "rank mismatch: expected {}, got {}",
                     dims.len(),
                     actual_dims.len()
                 ),
-            });
+            }
+            .into());
         }
         for (expr, &actual) in dims.iter().zip(actual_dims) {
             self.telemetry.shape_checks += 1;
@@ -479,15 +781,36 @@ impl Vm {
                 e => {
                     let expected = e.eval(heap)?;
                     if expected != actual {
-                        return Err(VmError::ShapeCheck {
+                        return Err(VmErrorKind::ShapeCheck {
                             ctx: ctx.to_string(),
                             detail: format!("dimension `{e}` = {expected}, runtime value {actual}"),
-                        });
+                        }
+                        .into());
                     }
                 }
             }
         }
         Ok(())
+    }
+}
+
+/// An injected kernel failure, attributed to the faulting kernel.
+fn injected_kernel_fault(kernel: &str) -> VmError {
+    VmErrorKind::Kernel(KernelError {
+        kernel: kernel.to_string(),
+        detail: "injected fault".to_string(),
+    })
+    .into()
+}
+
+/// Renders an instruction for a frame-trace entry. Capture regions print
+/// a one-line summary instead of their whole body.
+fn render_instr(instr: &Instr) -> String {
+    match instr {
+        Instr::CaptureRegion { id, body, .. } => {
+            format!("capture_region #{id} {{ {} instrs }}", body.len())
+        }
+        other => other.to_string(),
     }
 }
 
@@ -498,14 +821,34 @@ struct Frame {
     alloc_sizes: HashMap<Reg, usize>,
 }
 
+const OUT_OF_RANGE: VmErrorKind = VmErrorKind::TypeMismatch {
+    expected: "a value in a frame register",
+    actual: "out-of-range register",
+};
+
 impl Frame {
+    fn get(&self, reg: Reg) -> Result<&Value, VmError> {
+        self.regs.get(reg).ok_or_else(|| VmError::new(OUT_OF_RANGE))
+    }
+
+    fn set(&mut self, reg: Reg, v: Value) -> Result<(), VmError> {
+        match self.regs.get_mut(reg) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(VmError::new(OUT_OF_RANGE)),
+        }
+    }
+
     fn tensor(&self, reg: Reg) -> Result<&NDArray, VmError> {
-        match &self.regs[reg] {
+        match self.get(reg)? {
             Value::Tensor(t) => Ok(t),
-            other => Err(VmError::TypeMismatch {
+            other => Err(VmErrorKind::TypeMismatch {
                 expected: "tensor",
                 actual: other.kind(),
-            }),
+            }
+            .into()),
         }
     }
 }
@@ -611,7 +954,7 @@ mod tests {
     }
 
     #[test]
-    fn shape_check_violation_raises() {
+    fn shape_check_violation_raises_with_trace() {
         // Force a check failure: constant dim 4, runtime dim 3.
         let n = SymVar::new("n");
         let mut exec = relu_exec();
@@ -630,7 +973,13 @@ mod tests {
         let mut vm = Vm::new(exec);
         let x = NDArray::zeros(&[3], DataType::F32);
         let err = vm.run("main", &[Value::Tensor(x)]).unwrap_err();
-        assert!(matches!(err, VmError::ShapeCheck { .. }));
+        assert!(matches!(err.kind, VmErrorKind::ShapeCheck { .. }));
+        // Provenance: function, pc and rendered instruction.
+        let origin = err.origin().expect("frame trace");
+        assert_eq!(origin.func, "main");
+        assert_eq!(origin.pc, 0);
+        assert!(origin.instr.contains("match_shape"), "{}", origin.instr);
+        assert!(err.to_string().contains("at main[pc 0]"));
     }
 
     #[test]
@@ -664,16 +1013,29 @@ mod tests {
             ctx: "param x".into(),
         };
         let mut vm = Vm::new(exec);
+        vm.set_strict_storage(true);
         let x = NDArray::from_f64(&[4], DataType::F32, vec![1., 2., 3., 4.]).unwrap();
         vm.run("main", &[Value::Tensor(x.clone())]).unwrap();
         vm.run("main", &[Value::Tensor(x)]).unwrap();
         let tel = vm.telemetry();
         // One static storage of 64 bytes, allocated once across both runs.
         assert_eq!(tel.planned_bytes, 64);
-        // Overflow: 32 floats need 128 bytes > 64.
+        // Overflow: 32 floats need 128 bytes > 64 — an error in strict
+        // mode.
         let big = NDArray::zeros(&[32], DataType::F32);
-        let err = vm.run("main", &[Value::Tensor(big)]).unwrap_err();
-        assert!(matches!(err, VmError::StorageOverflow { .. }));
+        let err = vm.run("main", &[Value::Tensor(big.clone())]).unwrap_err();
+        assert!(matches!(err.kind, VmErrorKind::StorageOverflow { .. }));
+
+        // Default mode: the same overflow degrades to the pooled
+        // allocator and the run completes.
+        vm.set_strict_storage(false);
+        let out = vm.run("main", &[Value::Tensor(big)]).unwrap();
+        assert_eq!(out.as_tensor().unwrap().shape(), &[32]);
+        let tel = vm.telemetry();
+        assert_eq!(tel.fallback_allocs, 1);
+        // The failed strict run left a clean state; this success after an
+        // error counts as a recovery.
+        assert_eq!(tel.recoveries, 1);
     }
 
     #[test]
@@ -712,5 +1074,54 @@ mod tests {
         let x = NDArray::from_f64(&[4], DataType::F32, vec![2., 1., 2., 1.]).unwrap();
         let out = vm.run("u", &[Value::Tensor(x)]).unwrap();
         assert_eq!(out.as_tensor().unwrap().shape(), &[2]);
+    }
+
+    #[test]
+    fn injected_alloc_fault_fails_then_recovers() {
+        let mut vm = Vm::new(relu_exec());
+        vm.inject_faults(FaultPlan::new().fail_alloc(1));
+        let x = NDArray::from_f64(&[2], DataType::F32, vec![1., -1.]).unwrap();
+        let err = vm.run("main", &[Value::Tensor(x.clone())]).unwrap_err();
+        assert!(matches!(err.kind, VmErrorKind::StorageOverflow { .. }));
+        assert_eq!(err.origin().unwrap().pc, 1);
+        // The failed run returned its pool blocks.
+        assert_eq!(vm.telemetry().pool.in_use, 0);
+        assert_eq!(vm.telemetry().faults_injected, 1);
+        // The schedule is exhausted: the next run succeeds and counts as
+        // a recovery.
+        let out = vm.run("main", &[Value::Tensor(x)]).unwrap();
+        assert_eq!(out.as_tensor().unwrap().to_f64_vec(), vec![1., 0.]);
+        assert_eq!(vm.telemetry().recoveries, 1);
+    }
+
+    #[test]
+    fn memory_capacity_bounds_the_pool() {
+        let mut vm = Vm::new(relu_exec());
+        vm.set_memory_capacity(Some(8)); // two f32s
+        let small = NDArray::from_f64(&[2], DataType::F32, vec![1., -1.]).unwrap();
+        vm.run("main", &[Value::Tensor(small)]).unwrap();
+        let big = NDArray::zeros(&[64], DataType::F32);
+        let err = vm.run("main", &[Value::Tensor(big)]).unwrap_err();
+        match err.kind {
+            VmErrorKind::StorageOverflow {
+                required,
+                available,
+            } => {
+                assert_eq!(required, 256);
+                assert!(available <= 8);
+            }
+            other => panic!("expected StorageOverflow, got {other}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_register_index_is_an_error_not_a_panic() {
+        let mut exec = relu_exec();
+        exec.funcs.get_mut("main").unwrap().instrs[3] = Instr::Ret { src: 99 };
+        let mut vm = Vm::new(exec);
+        let x = NDArray::from_f64(&[2], DataType::F32, vec![1., -1.]).unwrap();
+        let err = vm.run("main", &[Value::Tensor(x)]).unwrap_err();
+        assert!(matches!(err.kind, VmErrorKind::TypeMismatch { .. }));
+        assert_eq!(err.origin().unwrap().pc, 3);
     }
 }

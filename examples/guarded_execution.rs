@@ -1,0 +1,96 @@
+//! Guarded execution: executable validation, frame-traced errors, fault
+//! injection, and graceful degradation.
+//!
+//! ```sh
+//! cargo run --example guarded_execution
+//! ```
+
+use relax::core::{BlockBuilder, DataType, Expr, Op, StructInfo};
+use relax::passes::{compile, CompileOptions};
+use relax::tir::NDArray;
+use relax::vm::registry::Registry;
+use relax::vm::{verify, FaultPlan, Instr, Value, Vm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // main(x: (n, 8), w: (8, 8)) = relu(x @ w)
+    let mut bb = BlockBuilder::new();
+    let n = relax::arith::Var::new("n");
+    let p = bb.begin_function(
+        "main",
+        vec![
+            (
+                "x".into(),
+                StructInfo::tensor(vec![n.clone().into(), 8.into()], DataType::F32),
+            ),
+            (
+                "w".into(),
+                StructInfo::tensor(vec![8.into(), 8.into()], DataType::F32),
+            ),
+        ],
+    );
+    bb.begin_dataflow();
+    let mm = bb.emit_op(Op::Matmul, &[p[0].clone(), p[1].clone()])?;
+    let out = bb.emit_output(Expr::op_call(Op::Relu, vec![mm.into()]))?;
+    bb.end_dataflow();
+    bb.finish_function(out.into(), None)?;
+    let module = bb.finish();
+
+    // 1. The pipeline self-validates after lowering, memory planning and
+    //    graph capture; the final artifact passes a standalone check too.
+    let opts = CompileOptions {
+        graph_capture: false,
+        ..CompileOptions::default()
+    }
+    .with_bound(n, 4);
+    let exec = compile(module, &opts)?;
+    verify(&exec, &Registry::new())?;
+    println!("[validate] pipeline output passes the executable validator");
+
+    // 2. Hand-corrupt the executable: strip the match_shape prologue, so
+    //    the symbolic batch size is never bound. The validator names the
+    //    violated rule and the offending instruction.
+    let mut bad = exec.clone();
+    let f = bad.funcs.get_mut("main").unwrap();
+    f.instrs.retain(|i| !matches!(i, Instr::MatchShape { .. }));
+    let err = verify(&bad, &Registry::new()).unwrap_err();
+    println!("[validate] corrupted copy rejected: {err}");
+
+    // 3. Deterministic fault injection: the second kernel launch fails.
+    //    The error carries a frame trace, and the VM stays reusable — the
+    //    next clean run counts as a recovery.
+    let mut vm = Vm::new(exec);
+    let x = NDArray::from_f64(
+        &[2, 8],
+        DataType::F32,
+        (0..16).map(|v| v as f64 / 8.0 - 1.0).collect(),
+    )?;
+    let w = NDArray::from_f64(
+        &[8, 8],
+        DataType::F32,
+        (0..64).map(|v| (v % 5) as f64 / 5.0 - 0.4).collect(),
+    )?;
+    let args = vec![Value::Tensor(x), Value::Tensor(w)];
+    vm.inject_faults(FaultPlan::new().fail_kernel(1));
+    let err = vm.run("main", &args).unwrap_err();
+    println!("[fault]    injected kernel fault: {err}");
+    vm.clear_faults();
+    vm.run("main", &args)?;
+    println!(
+        "[recover]  clean run after the fault; recoveries = {}",
+        vm.telemetry().recoveries
+    );
+
+    // 4. Graceful degradation: the plan above is sized for n <= 4. A batch
+    //    of 32 exceeds every planned storage block, and the VM falls back
+    //    to the pooled allocator instead of failing.
+    let x_big = NDArray::zeros(&[32, 8], DataType::F32);
+    let w2 = NDArray::zeros(&[8, 8], DataType::F32);
+    let y = vm.run("main", &[Value::Tensor(x_big), Value::Tensor(w2)])?;
+    println!(
+        "[degrade]  n=32 under an n<=4 plan -> output {:?}, fallback_allocs = {}",
+        y.as_tensor().unwrap().shape(),
+        vm.telemetry().fallback_allocs
+    );
+
+    Ok(())
+}

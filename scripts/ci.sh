@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The full offline CI gate: release build, workspace tests, and rustdoc,
+# all with warnings denied. No network access is required — the workspace
+# has zero external dependencies (see README "Offline-build policy").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-D warnings"
+export RUSTDOCFLAGS="-D warnings"
+
+echo "==> checking #![forbid(unsafe_code)] in every crate root"
+missing=0
+for lib in src/lib.rs crates/*/src/lib.rs; do
+    if ! grep -q '^#!\[forbid(unsafe_code)\]' "$lib"; then
+        echo "MISSING forbid(unsafe_code): $lib"
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ]
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo doc --workspace --no-deps"
+cargo doc --workspace --no-deps -q
+
+echo "CI gate passed."

@@ -34,6 +34,8 @@
 //! # let _ = BlockBuilder::new();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use relax_arith as arith;
 pub use relax_core as core;
 pub use relax_models as models;

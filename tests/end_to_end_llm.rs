@@ -8,7 +8,7 @@ use relax::core::{DataType, ShapeDesc, StructInfo};
 use relax::models::llama::{build_decode, build_prefill, LlamaConfig, ModelIr};
 use relax::passes::{compile, CompileOptions};
 use relax::tir::NDArray;
-use relax::vm::{Value, Vm, VmError};
+use relax::vm::{Value, Vm, VmErrorKind};
 
 fn random_arr(shape: &[usize], dtype: DataType, seed: &mut u64) -> NDArray {
     let n: usize = shape.iter().product();
@@ -221,7 +221,10 @@ fn boundary_checks_catch_inconsistent_caches() {
     args[3] = Value::Tensor(NDArray::zeros(&dims, dt));
     let err = vm.run("decode", &args).unwrap_err();
     assert!(
-        matches!(err, VmError::ShapeCheck { .. } | VmError::Interp(_)),
+        matches!(
+            err.kind,
+            VmErrorKind::ShapeCheck { .. } | VmErrorKind::Interp(_)
+        ),
         "got {err}"
     );
 }

@@ -1,8 +1,11 @@
-//! Property-based tests over the compiler's core invariants.
+//! Property-style tests over the compiler's core invariants.
+//!
+//! These were originally `proptest` properties; to keep the workspace
+//! building fully offline they are now deterministic seeded-generator
+//! loops over the same input distributions. Every case that fails prints
+//! the seed that produced it, so failures reproduce exactly.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use relax::core::{BlockBuilder, DataType, Expr, Op, StructInfo};
 use relax::passes::{compile, CompileOptions};
@@ -11,135 +14,170 @@ use relax::vm::{Instr, Value, Vm};
 use relax_arith::{simplify, substitute, Analyzer, PrimExpr, SubstMap, Var as SymVar};
 
 // ---------------------------------------------------------------------
+// Deterministic generator (in-repo xorshift PRNG; no external deps).
+// ---------------------------------------------------------------------
+
+/// Small xorshift64* PRNG: deterministic, seed-reproducible.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+}
+
+/// Random expression over two fixed variables, depth-bounded (mirrors the
+/// old proptest `arb_expr` strategy).
+fn gen_expr(rng: &mut XorShift, a: &SymVar, b: &SymVar, depth: u32) -> PrimExpr {
+    if depth == 0 || rng.range(0, 3) == 0 {
+        return match rng.range(0, 3) {
+            0 => PrimExpr::Int(rng.range(-6, 7)),
+            1 => PrimExpr::Var(a.clone()),
+            _ => PrimExpr::Var(b.clone()),
+        };
+    }
+    let x = gen_expr(rng, a, b, depth - 1);
+    let y = gen_expr(rng, a, b, depth - 1);
+    match rng.range(0, 7) {
+        0 => x + y,
+        1 => x - y,
+        2 => x * y,
+        3 => x.floor_div(y),
+        4 => x.floor_mod(y),
+        5 => x.min(y),
+        _ => x.max(y),
+    }
+}
+
+// ---------------------------------------------------------------------
 // Symbolic arithmetic properties.
 // ---------------------------------------------------------------------
 
-/// Random expression over two fixed variables.
-fn arb_expr(vars: (SymVar, SymVar)) -> impl Strategy<Value = PrimExpr> {
-    let (a, b) = vars;
-    let leaf = prop_oneof![
-        (-6i64..=6).prop_map(PrimExpr::Int),
-        Just(PrimExpr::Var(a)),
-        Just(PrimExpr::Var(b)),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        (inner.clone(), inner, 0..6u8).prop_map(|(x, y, op)| match op {
-            0 => x + y,
-            1 => x - y,
-            2 => x * y,
-            3 => x.floor_div(y),
-            4 => x.floor_mod(y),
-            5 => x.min(y),
-            _ => x.max(y),
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Simplification preserves evaluation wherever the original
-    /// expression evaluates (division by zero may legitimately disappear
-    /// after simplification, e.g. `0 * (x // 0)`).
-    #[test]
-    fn simplify_preserves_evaluation(
-        seedless in (1i64..50, 1i64..50).prop_flat_map(|(va, vb)| {
-            let a = SymVar::new("a");
-            let b = SymVar::new("b");
-            arb_expr((a.clone(), b.clone())).prop_map(move |e| (e, a.clone(), b.clone(), va, vb))
-        })
-    ) {
-        let (e, a, b, va, vb) = seedless;
+/// Simplification preserves evaluation wherever the original expression
+/// evaluates (division by zero may legitimately disappear after
+/// simplification, e.g. `0 * (x // 0)`).
+#[test]
+fn simplify_preserves_evaluation() {
+    let a = SymVar::new("a");
+    let b = SymVar::new("b");
+    for seed in 0..256u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let va = rng.range(1, 50);
+        let vb = rng.range(1, 50);
+        let e = gen_expr(&mut rng, &a, &b, 4);
         let mut env = HashMap::new();
-        env.insert(a, va);
-        env.insert(b, vb);
+        env.insert(a.clone(), va);
+        env.insert(b.clone(), vb);
         if let Ok(expected) = e.eval(&env) {
             let s = simplify(&e);
             let got = s.eval(&env).expect("simplified form must still evaluate");
-            prop_assert_eq!(got, expected, "expr {} simplified to {}", e, s);
+            assert_eq!(got, expected, "seed {seed}: expr {e} simplified to {s}");
         }
     }
+}
 
-    /// Simplification is idempotent.
-    #[test]
-    fn simplify_is_idempotent(
-        e in arb_expr((SymVar::new("a"), SymVar::new("b")))
-    ) {
+/// Simplification is idempotent.
+#[test]
+fn simplify_is_idempotent() {
+    let a = SymVar::new("a");
+    let b = SymVar::new("b");
+    for seed in 0..256u64 {
+        let mut rng = XorShift::new(seed + 0x1000);
+        let e = gen_expr(&mut rng, &a, &b, 4);
         let once = simplify(&e);
         let twice = simplify(&once);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "seed {seed}: expr {e}");
     }
+}
 
-    /// prove_equal is sound: whenever the analyzer claims two expressions
-    /// are equal, they evaluate identically on concrete inputs.
-    #[test]
-    fn prove_equal_is_sound(
-        pair in (1i64..40, 1i64..40).prop_flat_map(|(va, vb)| {
-            let a = SymVar::new("a");
-            let b = SymVar::new("b");
-            (
-                arb_expr((a.clone(), b.clone())),
-                arb_expr((a.clone(), b.clone())),
-                Just((a, b, va, vb)),
-            )
-        })
-    ) {
-        let (e1, e2, (a, b, va, vb)) = pair;
-        let ana = Analyzer::new();
+/// prove_equal is sound: whenever the analyzer claims two expressions are
+/// equal, they evaluate identically on concrete inputs.
+#[test]
+fn prove_equal_is_sound() {
+    let a = SymVar::new("a");
+    let b = SymVar::new("b");
+    let ana = Analyzer::new();
+    for seed in 0..256u64 {
+        let mut rng = XorShift::new(seed + 0x2000);
+        let va = rng.range(1, 40);
+        let vb = rng.range(1, 40);
+        let e1 = gen_expr(&mut rng, &a, &b, 4);
+        let e2 = gen_expr(&mut rng, &a, &b, 4);
         if ana.prove_equal(&e1, &e2) {
             let mut env = HashMap::new();
-            env.insert(a, va);
-            env.insert(b, vb);
+            env.insert(a.clone(), va);
+            env.insert(b.clone(), vb);
             if let (Ok(x), Ok(y)) = (e1.eval(&env), e2.eval(&env)) {
-                prop_assert_eq!(x, y, "{} vs {}", e1, e2);
+                assert_eq!(x, y, "seed {seed}: {e1} vs {e2}");
             }
             // Division-by-zero on either side: no claim to check.
         }
     }
+}
 
-    /// Substitution commutes with evaluation.
-    #[test]
-    fn substitution_commutes_with_evaluation(
-        data in (1i64..30, 1i64..30).prop_flat_map(|(va, vb)| {
-            let a = SymVar::new("a");
-            let b = SymVar::new("b");
-            arb_expr((a.clone(), b.clone())).prop_map(move |e| (e, a.clone(), b.clone(), va, vb))
-        })
-    ) {
-        let (e, a, b, va, vb) = data;
+/// Substitution commutes with evaluation.
+#[test]
+fn substitution_commutes_with_evaluation() {
+    let a = SymVar::new("a");
+    let b = SymVar::new("b");
+    for seed in 0..256u64 {
+        let mut rng = XorShift::new(seed + 0x3000);
+        let va = rng.range(1, 30);
+        let vb = rng.range(1, 30);
+        let e = gen_expr(&mut rng, &a, &b, 4);
         let mut map = SubstMap::new();
         map.insert(a.clone(), PrimExpr::Int(va));
         map.insert(b.clone(), PrimExpr::Int(vb));
         let mut env = HashMap::new();
-        env.insert(a, va);
-        env.insert(b, vb);
+        env.insert(a.clone(), va);
+        env.insert(b.clone(), vb);
         if let Ok(expected) = e.eval(&env) {
             let substituted = substitute(&e, &map);
-            prop_assert_eq!(substituted.eval(&HashMap::new()).unwrap(), expected);
+            assert_eq!(
+                substituted.eval(&HashMap::new()).unwrap(),
+                expected,
+                "seed {seed}: expr {e}"
+            );
         }
     }
+}
 
-    /// Upper bounds are conservative: evaluating under any assignment
-    /// within the declared bounds never exceeds the analyzer's bound.
-    #[test]
-    fn upper_bounds_are_conservative(
-        data in (1i64..20, 1i64..20, 1i64..20, 1i64..20).prop_flat_map(|(ba, bb, va, vb)| {
-            let a = SymVar::new("a");
-            let b = SymVar::new("b");
-            arb_expr((a.clone(), b.clone()))
-                .prop_map(move |e| (e, a.clone(), b.clone(), ba, bb, va.min(ba), vb.min(bb)))
-        })
-    ) {
-        let (e, a, b, ba, bb, va, vb) = data;
+/// Upper bounds are conservative: evaluating under any assignment within
+/// the declared bounds never exceeds the analyzer's bound.
+#[test]
+fn upper_bounds_are_conservative() {
+    let a = SymVar::new("a");
+    let b = SymVar::new("b");
+    for seed in 0..256u64 {
+        let mut rng = XorShift::new(seed + 0x4000);
+        let ba = rng.range(1, 20);
+        let bb = rng.range(1, 20);
+        let va = rng.range(1, 20).min(ba);
+        let vb = rng.range(1, 20).min(bb);
+        let e = gen_expr(&mut rng, &a, &b, 4);
         let mut ana = Analyzer::new();
         ana.bind(a.clone(), relax_arith::IntBound::range(0, ba));
         ana.bind(b.clone(), relax_arith::IntBound::range(0, bb));
         if let Some(bound) = ana.upper_bound(&e) {
             let mut env = HashMap::new();
-            env.insert(a, va);
-            env.insert(b, vb);
+            env.insert(a.clone(), va);
+            env.insert(b.clone(), vb);
             if let Ok(v) = e.eval(&env) {
-                prop_assert!(v <= bound, "{} = {} > bound {}", e, v, bound);
+                assert!(v <= bound, "seed {seed}: {e} = {v} > bound {bound}");
             }
         }
     }
@@ -160,19 +198,19 @@ enum ChainOp {
     Matmul8,
 }
 
-fn arb_chain() -> impl Strategy<Value = Vec<ChainOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            Just(ChainOp::Relu),
-            Just(ChainOp::Exp),
-            Just(ChainOp::Silu),
-            Just(ChainOp::Neg),
-            Just(ChainOp::AddSelf),
-            Just(ChainOp::MulSelf),
-            Just(ChainOp::Matmul8),
-        ],
-        1..8,
-    )
+fn gen_chain(rng: &mut XorShift) -> Vec<ChainOp> {
+    let len = rng.range(1, 8) as usize;
+    (0..len)
+        .map(|_| match rng.range(0, 7) {
+            0 => ChainOp::Relu,
+            1 => ChainOp::Exp,
+            2 => ChainOp::Silu,
+            3 => ChainOp::Neg,
+            4 => ChainOp::AddSelf,
+            5 => ChainOp::MulSelf,
+            _ => ChainOp::Matmul8,
+        })
+        .collect()
 }
 
 fn build_chain(ops: &[ChainOp]) -> relax::core::IRModule {
@@ -210,25 +248,27 @@ fn build_chain(ops: &[ChainOp]) -> relax::core::IRModule {
     bb.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The optimized pipeline computes the same values as the unoptimized
-    /// one on every random operator chain — fusion, library dispatch,
-    /// memory planning and graph capture are all semantics-preserving.
-    #[test]
-    fn optimized_pipeline_is_semantics_preserving(ops in arb_chain()) {
+/// The optimized pipeline computes the same values as the unoptimized one
+/// on every random operator chain — fusion, library dispatch, memory
+/// planning and graph capture are all semantics-preserving.
+#[test]
+fn optimized_pipeline_is_semantics_preserving() {
+    for seed in 0..24u64 {
+        let mut rng = XorShift::new(seed + 0x5000);
+        let ops = gen_chain(&mut rng);
         let module = build_chain(&ops);
         let x = NDArray::from_f64(
             &[2, 8],
             DataType::F32,
             (0..16).map(|v| (v as f64) / 9.0 - 0.7).collect(),
-        ).unwrap();
+        )
+        .unwrap();
         let w = NDArray::from_f64(
             &[8, 8],
             DataType::F32,
             (0..64).map(|v| ((v % 9) as f64) / 9.0 - 0.4).collect(),
-        ).unwrap();
+        )
+        .unwrap();
         let args = [Value::Tensor(x), Value::Tensor(w)];
 
         let full = compile(module.clone(), &CompileOptions::default()).unwrap();
@@ -237,19 +277,26 @@ proptest! {
         let out_base = Vm::new(base).run("main", &args).unwrap();
         let a = out_full.as_tensor().unwrap().to_f64_vec();
         let b = out_base.as_tensor().unwrap().to_f64_vec();
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             if x.is_finite() || y.is_finite() {
                 let tol = 1e-3 * (1.0 + x.abs().max(y.abs()));
-                prop_assert!((x - y).abs() < tol, "{} vs {} (ops {:?})", x, y, ops);
+                assert!(
+                    (x - y).abs() < tol,
+                    "seed {seed}: {x} vs {y} (ops {ops:?})"
+                );
             }
         }
     }
+}
 
-    /// Memory planning never uses more storages than the unplanned path
-    /// uses allocations, and eliminates every dynamic allocation.
-    #[test]
-    fn planner_reduces_allocations(ops in arb_chain()) {
+/// Memory planning never uses more storages than the unplanned path uses
+/// allocations, and eliminates every dynamic allocation.
+#[test]
+fn planner_reduces_allocations() {
+    for seed in 0..24u64 {
+        let mut rng = XorShift::new(seed + 0x6000);
+        let ops = gen_chain(&mut rng);
         let module = build_chain(&ops);
         let opts_unplanned = CompileOptions {
             memory_plan: false,
@@ -259,20 +306,29 @@ proptest! {
         let unplanned = compile(module.clone(), &opts_unplanned).unwrap();
         let planned = compile(module, &CompileOptions::default()).unwrap();
         let count = |exec: &relax::vm::Executable, pat: fn(&Instr) -> bool| -> usize {
-            exec.funcs.values().map(|f| {
-                fn walk(instrs: &[Instr], pat: fn(&Instr) -> bool) -> usize {
-                    instrs.iter().map(|i| match i {
-                        Instr::CaptureRegion { body, .. } => walk(body, pat),
-                        other => usize::from(pat(other)),
-                    }).sum()
-                }
-                walk(&f.instrs, pat)
-            }).sum()
+            exec.funcs
+                .values()
+                .map(|f| {
+                    fn walk(instrs: &[Instr], pat: fn(&Instr) -> bool) -> usize {
+                        instrs
+                            .iter()
+                            .map(|i| match i {
+                                Instr::CaptureRegion { body, .. } => walk(body, pat),
+                                other => usize::from(pat(other)),
+                            })
+                            .sum()
+                    }
+                    walk(&f.instrs, pat)
+                })
+                .sum()
         };
         let allocs = count(&unplanned, |i| matches!(i, Instr::AllocTensor { .. }));
         let storages = count(&planned, |i| matches!(i, Instr::AllocStorage { .. }));
         let leftover_dynamic = count(&planned, |i| matches!(i, Instr::AllocTensor { .. }));
-        prop_assert_eq!(leftover_dynamic, 0);
-        prop_assert!(storages <= allocs, "{} storages vs {} allocs", storages, allocs);
+        assert_eq!(leftover_dynamic, 0, "seed {seed}");
+        assert!(
+            storages <= allocs,
+            "seed {seed}: {storages} storages vs {allocs} allocs"
+        );
     }
 }
