@@ -1,15 +1,17 @@
 //! Runtime micro-benchmarks: VM decode steps on the executable tiny model
-//! and raw tensor-program interpretation.
+//! and raw tensor-program execution, comparing the reference interpreter
+//! against shape-specialized kernel plans (serial and multi-threaded).
 //!
 //! Plain `std::time::Instant` harness (see `relax_bench::timing`); run with
-//! `cargo bench -p relax-bench --bench runtime`.
+//! `cargo bench -p relax-bench --bench runtime`. Writes the medians to
+//! `BENCH_runtime.json` at the repository root.
 
 use relax_arith::{DataType, Var as SymVar};
 use relax_bench::timing::bench;
 use relax_core::{ShapeDesc, StructInfo};
 use relax_models::llama::LlamaConfig;
 use relax_passes::{compile, CompileOptions};
-use relax_tir::{grid, interp, Buffer, NDArray, PrimFunc, Stmt, TirExpr};
+use relax_tir::{grid, interp, plan, Buffer, NDArray, PrimFunc, Stmt, TirExpr};
 use relax_vm::{Value, Vm};
 
 fn tiny_decode_args(ir: &relax_models::llama::ModelIr, batch: usize, kv: usize) -> Vec<Value> {
@@ -44,18 +46,59 @@ fn tiny_decode_args(ir: &relax_models::llama::ModelIr, batch: usize, kv: usize) 
         .collect()
 }
 
-fn bench_vm_decode() {
+/// The default pipeline's decode step (library dispatch on): the numbers
+/// the other figures quote.
+fn bench_vm_decode(rows: &mut Vec<(String, f64)>) {
     let cfg = LlamaConfig::tiny();
     let ir = relax_models::llama::build_decode(&cfg).unwrap();
     let exec = compile(ir.module.clone(), &CompileOptions::default()).unwrap();
     let mut vm = Vm::new(exec);
     let args = tiny_decode_args(&ir, 2, 8);
-    bench("vm/tiny_llm_decode_step", || {
+    let m = bench("vm/tiny_llm_decode_step", || {
         vm.run("decode", std::hint::black_box(&args)).unwrap()
     });
+    rows.push(("vm/tiny_llm_decode_step".into(), m));
 }
 
-fn bench_tir_interp() {
+/// The decode loop with every kernel generated (no library dispatch), run
+/// three ways: reference interpreter (plan cache disabled), warm kernel
+/// plans on one thread, and warm plans chunked across 4 threads.
+///
+/// Returns `(interp_ns, plan_ns, plan4_ns)`.
+fn bench_vm_decode_plan_modes(rows: &mut Vec<(String, f64)>) -> (f64, f64, f64) {
+    let cfg = LlamaConfig::tiny();
+    let ir = relax_models::llama::build_decode(&cfg).unwrap();
+    let opts = CompileOptions {
+        dispatch_library: false,
+        ..CompileOptions::default()
+    };
+    let exec = compile(ir.module.clone(), &opts).unwrap();
+    let args = tiny_decode_args(&ir, 2, 8);
+
+    let mut vm = Vm::new(exec.clone());
+    vm.set_plan_cache_capacity(0); // pure interpreter — the pre-plan path
+    let interp_ns = bench("vm/decode_gen_kernels/interp", || {
+        vm.run("decode", std::hint::black_box(&args)).unwrap()
+    });
+
+    let mut vm = Vm::new(exec.clone());
+    let plan_ns = bench("vm/decode_gen_kernels/plan", || {
+        vm.run("decode", std::hint::black_box(&args)).unwrap()
+    });
+
+    let mut vm = Vm::new(exec);
+    vm.set_parallelism(4);
+    let plan4_ns = bench("vm/decode_gen_kernels/plan_par4", || {
+        vm.run("decode", std::hint::black_box(&args)).unwrap()
+    });
+
+    rows.push(("vm/decode_gen_kernels/interp".into(), interp_ns));
+    rows.push(("vm/decode_gen_kernels/plan".into(), plan_ns));
+    rows.push(("vm/decode_gen_kernels/plan_par4".into(), plan4_ns));
+    (interp_ns, plan_ns, plan4_ns)
+}
+
+fn matmul_func() -> PrimFunc {
     let n = SymVar::new("n");
     let x = Buffer::new("X", vec![n.clone().into(), 64.into()], DataType::F32);
     let w = Buffer::new("W", vec![64.into(), 64.into()], DataType::F32);
@@ -80,7 +123,13 @@ fn bench_tir_interp() {
                     * TirExpr::load(&w, vec![k.into(), j.into()]),
         ),
     ]));
-    let f = PrimFunc::new("mm", vec![x, w, y], 1, body);
+    PrimFunc::new("mm", vec![x, w, y], 1, body)
+}
+
+/// Raw symbolic-batch matmul: reference interpreter vs compiled plan,
+/// serial and on 4 threads.
+fn bench_tir_matmul(rows: &mut Vec<(String, f64)>) {
+    let f = matmul_func();
     let xs = NDArray::from_f64(
         &[8, 64],
         DataType::F32,
@@ -94,12 +143,106 @@ fn bench_tir_interp() {
     )
     .unwrap();
     let ys = NDArray::zeros(&[8, 64], DataType::F32);
-    bench("tir/interp_matmul_8x64x64", || {
-        interp::run(&f, &[xs.clone(), ws.clone(), ys.clone()]).unwrap()
+    let args = [xs, ws, ys];
+
+    let m = bench("tir/matmul_8x64x64/interp", || {
+        interp::run(&f, std::hint::black_box(&args)).unwrap()
     });
+    rows.push(("tir/matmul_8x64x64/interp".into(), m));
+
+    let shapes: Vec<Vec<usize>> = args.iter().map(|a| a.shape().to_vec()).collect();
+    let compiled = plan::compile(&f, &shapes).unwrap();
+    let m = bench("tir/matmul_8x64x64/plan", || {
+        compiled.run(std::hint::black_box(&args), 1).unwrap()
+    });
+    rows.push(("tir/matmul_8x64x64/plan".into(), m));
+    let m = bench("tir/matmul_8x64x64/plan_par4", || {
+        compiled.run(std::hint::black_box(&args), 4).unwrap()
+    });
+    rows.push(("tir/matmul_8x64x64/plan_par4".into(), m));
+}
+
+/// A larger matmul (96×96×96) where the per-chunk work is big enough for
+/// thread chunking to pay for itself. Returns `(plan_ns, plan4_ns)`.
+fn bench_tir_matmul_large(rows: &mut Vec<(String, f64)>) -> (f64, f64) {
+    let f = matmul_func();
+    let xs = NDArray::from_f64(
+        &[96, 64],
+        DataType::F32,
+        (0..96 * 64).map(|i| (i % 13) as f64).collect(),
+    )
+    .unwrap();
+    let ws = NDArray::from_f64(
+        &[64, 64],
+        DataType::F32,
+        (0..4096).map(|i| (i % 7) as f64 * 0.1).collect(),
+    )
+    .unwrap();
+    let ys = NDArray::zeros(&[96, 64], DataType::F32);
+    let args = [xs, ws, ys];
+    let shapes: Vec<Vec<usize>> = args.iter().map(|a| a.shape().to_vec()).collect();
+    let compiled = plan::compile(&f, &shapes).unwrap();
+    let plan_ns = bench("tir/matmul_96x64x64/plan", || {
+        compiled.run(std::hint::black_box(&args), 1).unwrap()
+    });
+    rows.push(("tir/matmul_96x64x64/plan".into(), plan_ns));
+    let plan4_ns = bench("tir/matmul_96x64x64/plan_par4", || {
+        compiled.run(std::hint::black_box(&args), 4).unwrap()
+    });
+    rows.push(("tir/matmul_96x64x64/plan_par4".into(), plan4_ns));
+    (plan_ns, plan4_ns)
+}
+
+/// Serializes results as JSON by hand — the workspace has no serde.
+fn write_json(rows: &[(String, f64)], speedups: &[(&str, f64)]) {
+    // Thread-scaling rows only make sense relative to the host's actual
+    // core count (a 1-core CI box cannot show a parallel win).
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!("{{\n  \"host_threads\": {host_threads},\n  \"results\": [\n");
+    for (i, (name, ns)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ns\": {ns:.1}}}{sep}\n"
+        ));
+    }
+    out.push_str("  ],\n  \"speedup\": {\n");
+    for (i, (name, x)) in speedups.iter().enumerate() {
+        let sep = if i + 1 < speedups.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {x:.2}{sep}\n"));
+    }
+    out.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    std::fs::write(path, out).expect("write BENCH_runtime.json");
+    println!("wrote {path}");
 }
 
 fn main() {
-    bench_vm_decode();
-    bench_tir_interp();
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    bench_vm_decode(&mut rows);
+    let (interp_ns, plan_ns, plan4_ns) = bench_vm_decode_plan_modes(&mut rows);
+    bench_tir_matmul(&mut rows);
+    let (big_plan, big_par4) = bench_tir_matmul_large(&mut rows);
+
+    let mm_interp = rows
+        .iter()
+        .find(|(n, _)| n == "tir/matmul_8x64x64/interp")
+        .map(|(_, v)| *v)
+        .unwrap();
+    let mm_plan = rows
+        .iter()
+        .find(|(n, _)| n == "tir/matmul_8x64x64/plan")
+        .map(|(_, v)| *v)
+        .unwrap();
+    let speedups = [
+        ("decode_plan_vs_interp", interp_ns / plan_ns),
+        ("decode_plan4_vs_plan1", plan_ns / plan4_ns),
+        ("matmul_plan_vs_interp", mm_interp / mm_plan),
+        ("matmul_large_par4_vs_plan1", big_plan / big_par4),
+    ];
+    for (name, x) in &speedups {
+        println!("{name:<40} {x:>11.2}x");
+    }
+    write_json(&rows, &speedups);
 }

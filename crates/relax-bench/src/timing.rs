@@ -6,6 +6,9 @@
 //! iteration. Numbers are indicative, not statistically rigorous — the
 //! performance claims of the reproduction come from `relax-sim`, not from
 //! host wall clock.
+//!
+//! Set `RELAX_BENCH_FAST=1` to shrink batch counts and targets for CI
+//! smoke runs, where only "it runs and produces output" matters.
 
 use std::time::{Duration, Instant};
 
@@ -14,24 +17,48 @@ const BATCHES: usize = 15;
 /// Target wall time per batch, used to size iteration counts.
 const BATCH_TARGET: Duration = Duration::from_millis(20);
 
-/// Times `f`, printing `name ... median ns/iter (iters)` criterion-style.
+/// `true` when `RELAX_BENCH_FAST` is set: smoke-test sizing for CI.
+pub fn fast_mode() -> bool {
+    std::env::var_os("RELAX_BENCH_FAST").is_some()
+}
+
+fn batches() -> usize {
+    if fast_mode() {
+        3
+    } else {
+        BATCHES
+    }
+}
+
+fn batch_target() -> Duration {
+    if fast_mode() {
+        Duration::from_millis(2)
+    } else {
+        BATCH_TARGET
+    }
+}
+
+/// Times `f`, printing `name ... median ns/iter (iters)` criterion-style,
+/// and returns the median ns/iter so callers can compute speedups or emit
+/// machine-readable reports.
 ///
 /// The closure's return value is passed through [`std::hint::black_box`]
 /// so the work cannot be optimized away.
-pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> f64 {
     // Calibration: how many iterations fill one batch?
     let t0 = Instant::now();
     std::hint::black_box(f());
     let once = t0.elapsed().max(Duration::from_nanos(1));
-    let iters = (BATCH_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+    let iters = (batch_target().as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
 
     // Warm-up batch.
     for _ in 0..iters {
         std::hint::black_box(f());
     }
 
-    let mut per_iter: Vec<f64> = Vec::with_capacity(BATCHES);
-    for _ in 0..BATCHES {
+    let n_batches = batches();
+    let mut per_iter: Vec<f64> = Vec::with_capacity(n_batches);
+    for _ in 0..n_batches {
         let start = Instant::now();
         for _ in 0..iters {
             std::hint::black_box(f());
@@ -41,15 +68,22 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let median = per_iter[per_iter.len() / 2];
     println!("{name:<40} {median:>12.0} ns/iter  ({iters} iters/batch)");
+    median
 }
 
 /// Like [`bench()`], but rebuilds the input with `setup` outside the timed
-/// region before each measured call (for consuming workloads).
-pub fn bench_with_setup<S, T>(name: &str, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> T) {
-    let mut per_iter: Vec<f64> = Vec::with_capacity(BATCHES);
+/// region before each measured call (for consuming workloads). Returns the
+/// median ns per call.
+pub fn bench_with_setup<S, T>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) -> f64 {
+    let n_batches = batches();
+    let mut per_iter: Vec<f64> = Vec::with_capacity(n_batches);
     // One warm-up call.
     std::hint::black_box(f(setup()));
-    for _ in 0..BATCHES {
+    for _ in 0..n_batches {
         let input = setup();
         let start = Instant::now();
         std::hint::black_box(f(input));
@@ -58,6 +92,7 @@ pub fn bench_with_setup<S, T>(name: &str, mut setup: impl FnMut() -> S, mut f: i
     per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let median = per_iter[per_iter.len() / 2];
     println!("{name:<40} {median:>12.0} ns/iter  (1 iter/batch)");
+    median
 }
 
 #[cfg(test)]
@@ -65,8 +100,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_runs_and_does_not_panic() {
-        bench("smoke/add", || std::hint::black_box(1u64) + 1);
-        bench_with_setup("smoke/vec", || vec![1u8; 16], |v| v.len());
+    fn bench_runs_and_returns_positive_median() {
+        let m = bench("smoke/add", || std::hint::black_box(1u64) + 1);
+        assert!(m > 0.0);
+        let m = bench_with_setup("smoke/vec", || vec![1u8; 16], |v| v.len());
+        assert!(m > 0.0);
     }
 }

@@ -200,6 +200,17 @@ impl DeviceSpec {
         }
     }
 
+    /// Host-side cost of compiling one shape-specialized kernel plan, in
+    /// seconds. Plans are compiled once per `(function, shapes)` key and
+    /// cached, so this is charged only on first sight of a shape — the
+    /// per-launch cost after that is just `launch_overhead`. Modeled as a
+    /// fixed multiple of the launch overhead: lowering a loop nest is a
+    /// couple of orders of magnitude more host work than enqueuing a
+    /// pre-built kernel, on every platform.
+    pub fn plan_compile_overhead(&self) -> f64 {
+        50.0 * self.launch_overhead
+    }
+
     /// All devices of the Table 3 "emerging platforms" study, in the
     /// paper's row order.
     pub fn emerging_platforms() -> Vec<DeviceSpec> {

@@ -122,6 +122,12 @@ pub struct SimReport {
     pub flops: f64,
     /// Total global-memory bytes moved.
     pub bytes: f64,
+    /// Shape-specialized kernel plans compiled (cold runs only: the first
+    /// launch of each `(function, shapes)` key pays one compilation; the
+    /// warm steady state reuses the runtime's plan cache).
+    pub plan_compiles: u64,
+    /// Host time spent compiling kernel plans.
+    pub compile_s: f64,
 }
 
 impl SimReport {
@@ -134,9 +140,16 @@ impl SimReport {
     fn recompute_total(&mut self) {
         // Launches enqueue asynchronously: the device is the bottleneck
         // unless the CPU cannot keep the queue fed (launch-bound regime).
+        // Plan compilation is serial host work and hides behind nothing.
         let hidden = self.kernel_s.max(self.launch_s);
         let overlap_tax = Self::LAUNCH_VISIBLE_FRACTION * self.kernel_s.min(self.launch_s);
-        self.total_s = hidden + overlap_tax;
+        self.total_s = hidden + overlap_tax + self.compile_s;
+    }
+
+    fn add_plan_compile(&mut self, device: &DeviceSpec) {
+        self.plan_compiles += 1;
+        self.compile_s += device.plan_compile_overhead();
+        self.recompute_total();
     }
 
     fn add_kernel(
@@ -238,7 +251,8 @@ pub fn simulate(
     warm: bool,
 ) -> Result<SimReport, SimError> {
     let mut report = SimReport::default();
-    simulate_into(exec, func, args, device, warm, &mut report, &mut None)?;
+    let mut seen = std::collections::HashSet::new();
+    simulate_into(exec, func, args, device, warm, &mut report, &mut None, &mut seen)?;
     Ok(report)
 }
 
@@ -260,10 +274,15 @@ pub fn simulate_with_memory(
 ) -> Result<SimReport, SimError> {
     let mut report = SimReport::default();
     let mut mem = Some(memory);
-    simulate_into_mem(exec, func, args, device, warm, &mut report, &mut mem)?;
+    let mut seen = std::collections::HashSet::new();
+    simulate_into_mem(exec, func, args, device, warm, &mut report, &mut mem, &mut seen)?;
     Ok(report)
 }
 
+/// Plan-cache keys already charged for compilation during this dry run.
+type SeenPlans = std::collections::HashSet<(String, Vec<Vec<usize>>)>;
+
+#[allow(clippy::too_many_arguments)]
 fn simulate_into(
     exec: &Executable,
     func: &str,
@@ -272,10 +291,12 @@ fn simulate_into(
     warm: bool,
     report: &mut SimReport,
     memory: &mut Option<&mut MemoryTracker>,
+    seen: &mut SeenPlans,
 ) -> Result<SimValue, SimError> {
-    simulate_into_mem(exec, func, args, device, warm, report, memory)
+    simulate_into_mem(exec, func, args, device, warm, report, memory, seen)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate_into_mem(
     exec: &Executable,
     func: &str,
@@ -284,6 +305,7 @@ fn simulate_into_mem(
     warm: bool,
     report: &mut SimReport,
     memory: &mut Option<&mut MemoryTracker>,
+    seen: &mut SeenPlans,
 ) -> Result<SimValue, SimError> {
     let vmf: &VmFunction = exec
         .funcs
@@ -309,6 +331,7 @@ fn simulate_into_mem(
         false,
         memory,
         &mut granted,
+        seen,
     )?;
     if let Some(mem) = memory.as_deref_mut() {
         for (_, size) in granted.drain() {
@@ -330,6 +353,7 @@ fn exec_instrs(
     in_replay: bool,
     memory: &mut Option<&mut MemoryTracker>,
     granted: &mut HashMap<usize, usize>,
+    seen: &mut SeenPlans,
 ) -> Result<Option<SimValue>, SimError> {
     for (idx, instr) in instrs.iter().enumerate() {
         match instr {
@@ -404,6 +428,13 @@ fn exec_instrs(
                 bind_shapes_dims(prim.params(), &shapes, &mut env)
                     .map_err(|e| SimError::ShapeCheck(e.to_string()))?;
                 let cost = relax_tir::analysis::cost_of(prim, &env);
+                // A cold run pays one plan compilation per distinct
+                // (function, shapes) key — the VM's shape-keyed cache
+                // amortizes everything after that. The warm steady state
+                // launches straight from the cache.
+                if !warm && seen.insert((func.clone(), shapes.clone())) {
+                    report.add_plan_compile(device);
+                }
                 report.add_kernel(
                     device,
                     KernelClass::Generated,
@@ -429,7 +460,8 @@ fn exec_instrs(
             }
             Instr::CallFunc { func, args, dst } => {
                 let vals: Vec<SimValue> = args.iter().map(|r| regs[*r].clone()).collect();
-                regs[*dst] = simulate_into(exec, func, &vals, device, warm, report, memory)?;
+                regs[*dst] =
+                    simulate_into(exec, func, &vals, device, warm, report, memory, seen)?;
             }
             Instr::MatchShape { src, dims, ctx } => {
                 let actual: Vec<i64> = match &regs[*src] {
@@ -493,7 +525,7 @@ fn exec_instrs(
                     // still execute on-device.
                     report.add_launch(device);
                     if let Some(v) = exec_instrs(
-                        exec, device, warm, body, regs, heap, report, true, memory, granted,
+                        exec, device, warm, body, regs, heap, report, true, memory, granted, seen,
                     )? {
                         return Ok(Some(v));
                     }
@@ -504,7 +536,7 @@ fn exec_instrs(
                     report.launch_s += 4.0 * device.launch_overhead;
                     report.recompute_total();
                     if let Some(v) = exec_instrs(
-                        exec, device, warm, body, regs, heap, report, false, memory, granted,
+                        exec, device, warm, body, regs, heap, report, false, memory, granted, seen,
                     )? {
                         return Ok(Some(v));
                     }
@@ -702,6 +734,31 @@ mod tests {
         assert_eq!(r8.flops, (8 * 64 * 64 * 2) as f64);
         assert!(r8.total_s >= r1.total_s);
         assert!(r1.total_s > 0.0);
+    }
+
+    #[test]
+    fn cold_run_charges_one_compile_per_shape_warm_charges_none() {
+        let n = SymVar::new("n");
+        let mut exec = mm_exec(&n);
+        // Launch the same kernel twice at the same shape: one compile.
+        let f = exec.funcs.get_mut("main").unwrap();
+        let call = f.instrs[2].clone();
+        f.instrs.insert(2, call);
+        let dev = DeviceSpec::rtx4090();
+        let args = [
+            SimValue::tensor(vec![4, 64], DataType::F32),
+            SimValue::tensor(vec![64, 64], DataType::F32),
+        ];
+        let cold = simulate(&exec, "main", &args, &dev, false).unwrap();
+        let warm = simulate(&exec, "main", &args, &dev, true).unwrap();
+        assert_eq!(cold.kernels, 2);
+        assert_eq!(cold.plan_compiles, 1);
+        assert_eq!(cold.compile_s, dev.plan_compile_overhead());
+        // The cached steady state launches straight from the plan cache.
+        assert_eq!(warm.plan_compiles, 0);
+        assert_eq!(warm.compile_s, 0.0);
+        assert_eq!(warm.kernel_s, cold.kernel_s);
+        assert!(warm.total_s < cold.total_s);
     }
 
     #[test]

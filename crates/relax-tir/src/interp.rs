@@ -163,12 +163,31 @@ pub fn bind_shapes_dims(
 /// Solves `expr(v) == target` for `v` assuming `expr` is affine in `v`
 /// (probing at `v = 0` and `v = 1`); verifies the solution before returning
 /// it, so non-affine expressions simply fail to solve.
-fn solve_linear_dim(expr: &PrimExpr, v: &Var, target: i64, env: &HashMap<Var, i64>) -> Option<i64> {
-    let mut probe = env.clone();
-    probe.insert(v.clone(), 0);
-    let b = expr.eval(&probe).ok()?;
-    probe.insert(v.clone(), 1);
-    let a = expr.eval(&probe).ok()? - b;
+///
+/// The probe binding is written into `env` itself (the caller guarantees `v`
+/// is unbound on entry) and removed before returning, avoiding a clone of
+/// the whole environment per solved dimension.
+fn solve_linear_dim(
+    expr: &PrimExpr,
+    v: &Var,
+    target: i64,
+    env: &mut HashMap<Var, i64>,
+) -> Option<i64> {
+    let result = solve_linear_probe(expr, v, target, env);
+    env.remove(v);
+    result
+}
+
+fn solve_linear_probe(
+    expr: &PrimExpr,
+    v: &Var,
+    target: i64,
+    env: &mut HashMap<Var, i64>,
+) -> Option<i64> {
+    env.insert(v.clone(), 0);
+    let b = expr.eval(env).ok()?;
+    env.insert(v.clone(), 1);
+    let a = expr.eval(env).ok()? - b;
     if a == 0 {
         return (b == target).then_some(0);
     }
@@ -179,8 +198,8 @@ fn solve_linear_dim(expr: &PrimExpr, v: &Var, target: i64, env: &HashMap<Var, i6
     if candidate < 0 {
         return None;
     }
-    probe.insert(v.clone(), candidate);
-    (expr.eval(&probe).ok()? == target).then_some(candidate)
+    env.insert(v.clone(), candidate);
+    (expr.eval(env).ok()? == target).then_some(candidate)
 }
 
 /// Executes a tensor program on the given arguments (inputs then outputs),
@@ -406,7 +425,11 @@ impl Context {
     }
 }
 
-fn binop(a: Scalar, b: Scalar, ff: fn(f64, f64) -> f64, fi: fn(i64, i64) -> i64) -> Scalar {
+/// Applies the interpreter's numeric promotion rule: `I op I` stays integer
+/// (with the given wrapping op), anything else promotes to `f64`. Shared
+/// with the compiled kernel plans (`crate::plan`) so both paths are
+/// bit-identical by construction.
+pub(crate) fn binop(a: Scalar, b: Scalar, ff: fn(f64, f64) -> f64, fi: fn(i64, i64) -> i64) -> Scalar {
     match (a, b) {
         (Scalar::I(x), Scalar::I(y)) => Scalar::I(fi(x, y)),
         _ => Scalar::F(ff(a.as_f64(), b.as_f64())),

@@ -28,6 +28,7 @@ mod expr;
 mod func;
 pub mod interp;
 mod ndarray;
+pub mod plan;
 mod printer;
 mod stmt;
 pub mod transform;
@@ -37,4 +38,5 @@ pub use builder::{grid, LoopNest};
 pub use expr::{Scalar, TirExpr};
 pub use func::PrimFunc;
 pub use ndarray::{NDArray, NDArrayError};
+pub use plan::{KernelPlan, PlanError};
 pub use stmt::Stmt;

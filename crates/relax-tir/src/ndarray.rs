@@ -1,8 +1,7 @@
 //! Host tensors used by the tensor-program interpreter and the VM.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use relax_arith::DataType;
 
@@ -42,8 +41,13 @@ impl fmt::Display for NDArrayError {
 
 impl std::error::Error for NDArrayError {}
 
+/// The shared element storage behind an [`NDArray`].
+///
+/// Floating dtypes share one `f64` host representation, integer dtypes share
+/// `i64`. Kept `pub(crate)` so the compiled kernel plans (`crate::plan`) can
+/// execute directly against the raw slices without per-element locking.
 #[derive(Debug, Clone, PartialEq)]
-enum DataBuf {
+pub(crate) enum DataBuf {
     F(Vec<f64>),
     I(Vec<i64>),
 }
@@ -53,6 +57,11 @@ enum DataBuf {
 /// Cloning an `NDArray` aliases the same storage — exactly the semantics of
 /// destination-passing style, where a callee writes into a caller-provided
 /// array. Use [`NDArray::deep_copy`] for a detached copy.
+///
+/// Storage lives behind `Arc<RwLock<..>>` so compiled kernel plans can hand
+/// disjoint chunks of one buffer to scoped worker threads (see
+/// `crate::plan`); single-threaded accessors take an uncontended lock per
+/// call.
 ///
 /// Floating-point dtypes (`f16`, `f32`) share an `f64` host representation
 /// (with `f16`/`f32` rounding applied on store); integer dtypes share `i64`.
@@ -69,11 +78,25 @@ enum DataBuf {
 /// assert_eq!(a.numel(), 6);
 /// assert_eq!(a.size_bytes(), 12); // f16 = 2 bytes per element
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct NDArray {
     dtype: DataType,
     shape: Vec<usize>,
-    data: Rc<RefCell<DataBuf>>,
+    data: Arc<RwLock<DataBuf>>,
+}
+
+impl PartialEq for NDArray {
+    fn eq(&self, other: &Self) -> bool {
+        if self.dtype != other.dtype || self.shape != other.shape {
+            return false;
+        }
+        // Same storage ⇒ same contents; also avoids taking the same lock
+        // twice. Distinct storages are compared under two separate locks.
+        if Arc::ptr_eq(&self.data, &other.data) {
+            return true;
+        }
+        *self.read_buf() == *other.read_buf()
+    }
 }
 
 impl NDArray {
@@ -88,7 +111,7 @@ impl NDArray {
         NDArray {
             dtype,
             shape: shape.to_vec(),
-            data: Rc::new(RefCell::new(data)),
+            data: Arc::new(RwLock::new(data)),
         }
     }
 
@@ -118,7 +141,7 @@ impl NDArray {
         Ok(NDArray {
             dtype,
             shape: shape.to_vec(),
-            data: Rc::new(RefCell::new(data)),
+            data: Arc::new(RwLock::new(data)),
         })
     }
 
@@ -147,8 +170,26 @@ impl NDArray {
         Ok(NDArray {
             dtype,
             shape: shape.to_vec(),
-            data: Rc::new(RefCell::new(data)),
+            data: Arc::new(RwLock::new(data)),
         })
+    }
+
+    /// Locks the storage for reading, recovering from poisoning (worker
+    /// threads never hold the lock across a panic boundary, but recovery
+    /// keeps the accessor total).
+    pub(crate) fn read_buf(&self) -> RwLockReadGuard<'_, DataBuf> {
+        self.data.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Locks the storage for writing. See [`NDArray::read_buf`].
+    pub(crate) fn write_buf(&self) -> RwLockWriteGuard<'_, DataBuf> {
+        self.data.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A stable identity for the underlying storage, used to detect argument
+    /// aliasing when launching compiled kernel plans.
+    pub(crate) fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
     }
 
     /// Element data type.
@@ -177,8 +218,7 @@ impl NDArray {
     ///
     /// Returns [`NDArrayError::IndexOutOfBounds`] for an invalid index.
     pub fn get(&self, flat: usize) -> Result<Scalar, NDArrayError> {
-        let data = self.data.borrow();
-        match &*data {
+        match &*self.read_buf() {
             DataBuf::F(v) => v.get(flat).map(|x| Scalar::F(*x)),
             DataBuf::I(v) => v.get(flat).map(|x| Scalar::I(*x)),
         }
@@ -195,8 +235,7 @@ impl NDArray {
     /// Returns [`NDArrayError::IndexOutOfBounds`] for an invalid index.
     pub fn set(&self, flat: usize, value: Scalar) -> Result<(), NDArrayError> {
         let len = self.numel();
-        let mut data = self.data.borrow_mut();
-        match &mut *data {
+        match &mut *self.write_buf() {
             DataBuf::F(v) => {
                 let slot = v
                     .get_mut(flat)
@@ -241,8 +280,7 @@ impl NDArray {
 
     /// Fills the array with a constant.
     pub fn fill(&self, value: Scalar) {
-        let mut data = self.data.borrow_mut();
-        match &mut *data {
+        match &mut *self.write_buf() {
             DataBuf::F(v) => {
                 let x = round_to_dtype(value.as_f64(), self.dtype);
                 v.iter_mut().for_each(|s| *s = x);
@@ -259,7 +297,7 @@ impl NDArray {
         NDArray {
             dtype: self.dtype,
             shape: self.shape.clone(),
-            data: Rc::new(RefCell::new(self.data.borrow().clone())),
+            data: Arc::new(RwLock::new(self.read_buf().clone())),
         }
     }
 
@@ -279,18 +317,18 @@ impl NDArray {
         Ok(NDArray {
             dtype: self.dtype,
             shape: shape.to_vec(),
-            data: Rc::clone(&self.data),
+            data: Arc::clone(&self.data),
         })
     }
 
     /// Returns `true` if `other` aliases the same storage.
     pub fn same_storage(&self, other: &NDArray) -> bool {
-        Rc::ptr_eq(&self.data, &other.data)
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     /// Copies the contents to an `f64` vector.
     pub fn to_f64_vec(&self) -> Vec<f64> {
-        match &*self.data.borrow() {
+        match &*self.read_buf() {
             DataBuf::F(v) => v.clone(),
             DataBuf::I(v) => v.iter().map(|x| *x as f64).collect(),
         }
@@ -298,7 +336,7 @@ impl NDArray {
 
     /// Copies the contents to an `i64` vector (floats truncate toward zero).
     pub fn to_i64_vec(&self) -> Vec<i64> {
-        match &*self.data.borrow() {
+        match &*self.read_buf() {
             DataBuf::F(v) => v.iter().map(|x| *x as i64).collect(),
             DataBuf::I(v) => v.clone(),
         }
@@ -306,7 +344,7 @@ impl NDArray {
 }
 
 /// Rounds a host `f64` to the precision of the logical float dtype.
-fn round_to_dtype(v: f64, dtype: DataType) -> f64 {
+pub(crate) fn round_to_dtype(v: f64, dtype: DataType) -> f64 {
     match dtype {
         DataType::F32 => v as f32 as f64,
         // Emulate f16 by quantizing the mantissa to 10 bits via f32 bit
@@ -398,5 +436,23 @@ mod tests {
     fn from_vec_length_validation() {
         assert!(NDArray::from_f64(&[2, 2], DataType::F32, vec![1.0; 3]).is_err());
         assert!(NDArray::from_i64(&[2], DataType::I64, vec![1, 2]).is_ok());
+    }
+
+    #[test]
+    fn storage_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NDArray>();
+    }
+
+    #[test]
+    fn equality_compares_contents_and_shape() {
+        let a = NDArray::from_f64(&[2], DataType::F32, vec![1.0, 2.0]).unwrap();
+        let b = NDArray::from_f64(&[2], DataType::F32, vec![1.0, 2.0]).unwrap();
+        let c = NDArray::from_f64(&[2], DataType::F32, vec![1.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, a.clone()); // aliasing short-circuit
+        let d = NDArray::from_f64(&[1, 2], DataType::F32, vec![1.0, 2.0]).unwrap();
+        assert_ne!(a, d);
     }
 }

@@ -1,0 +1,1807 @@
+//! Shape-specialized kernel plans: compiled tensor programs.
+//!
+//! The reference interpreter ([`crate::interp`]) re-walks the `Stmt` /
+//! [`TirExpr`] tree and re-evaluates symbolic [`PrimExpr`] indices against a
+//! `HashMap` environment on every element of every launch. This module
+//! performs that work **once per concrete shape**: [`compile`] lowers a
+//! [`PrimFunc`] plus a concrete shape binding into a flat, allocation-free
+//! [`KernelPlan`] —
+//!
+//! - loops with precomputed extents (affine in the enclosing loop counters),
+//! - buffer accesses reduced to a single base-offset + stride affine form
+//!   when the indices are affine and provably in bounds (non-affine or
+//!   unprovable indices fall back to a per-dimension checked slot),
+//! - scalar expression trees flattened into a register-style op tape
+//!   (`Select` compiles to conditional jumps, preserving the interpreter's
+//!   lazy evaluation),
+//! - `Alloc` scratch buffers preallocated per launch and re-zeroed at the
+//!   allocation point.
+//!
+//! Anything the planner cannot express returns
+//! [`PlanError::Unsupported`] and the caller falls back to the reference
+//! interpreter, so the plan path never changes observable behavior — it is
+//! bit-identical by construction (the tape reuses the interpreter's
+//! [`Scalar`] promotion rules) and the fallback covers the rest.
+//!
+//! On top of the flat representation, [`KernelPlan::run`] executes the
+//! outermost parallelizable loop data-parallel with `std::thread::scope`:
+//! compile-time analysis proves that every access to a written buffer stays
+//! inside the slice owned by one outer iteration, so each worker receives a
+//! disjoint `split_at_mut` chunk of the output storage — no `unsafe`, no
+//! locks in the element loop, and bit-identical results because no value
+//! crosses a chunk boundary.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::RwLockReadGuard;
+
+use relax_arith::{DataType, EvalError, PrimExpr, Var};
+
+use crate::expr::{Scalar, TirExpr};
+use crate::func::PrimFunc;
+use crate::interp::{self, InterpError};
+use crate::ndarray::{round_to_dtype, DataBuf, NDArray};
+use crate::stmt::Stmt;
+
+/// Error raised while compiling a kernel plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The function uses a construct the planner does not model; callers
+    /// should fall back to the reference interpreter.
+    Unsupported(String),
+    /// Binding the concrete shapes against the declared symbolic shapes
+    /// failed — the interpreter would fail identically, so callers should
+    /// surface this error as-is.
+    Interp(InterpError),
+}
+
+impl PlanError {
+    fn unsupported(reason: impl Into<String>) -> PlanError {
+        PlanError::Unsupported(reason.into())
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Unsupported(r) => write!(f, "kernel not plannable: {r}"),
+            PlanError::Interp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+// ---------------------------------------------------------------------------
+// Index expressions
+// ---------------------------------------------------------------------------
+
+/// An affine combination of loop counters: `base + Σ coeff·iter[slot]`.
+///
+/// Terms are sorted by slot, merged, and non-zero, so the representation is
+/// canonical. Arithmetic wraps exactly like [`PrimExpr::eval`].
+#[derive(Debug, Clone, PartialEq)]
+struct Affine {
+    base: i64,
+    terms: Vec<(usize, i64)>,
+}
+
+impl Affine {
+    fn constant(base: i64) -> Affine {
+        Affine {
+            base,
+            terms: Vec::new(),
+        }
+    }
+
+    fn iter(slot: usize) -> Affine {
+        Affine {
+            base: 0,
+            terms: vec![(slot, 1)],
+        }
+    }
+
+    fn as_const(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.base)
+    }
+
+    /// `self + k·other`, merging duplicate terms.
+    fn add_scaled(&self, other: &Affine, k: i64) -> Affine {
+        let mut terms = self.terms.clone();
+        for &(slot, coeff) in &other.terms {
+            let kc = coeff.wrapping_mul(k);
+            if let Some(t) = terms.iter_mut().find(|t| t.0 == slot) {
+                t.1 = t.1.wrapping_add(kc);
+            } else {
+                terms.push((slot, kc));
+            }
+        }
+        terms.retain(|t| t.1 != 0);
+        terms.sort_unstable_by_key(|t| t.0);
+        Affine {
+            base: self.base.wrapping_add(other.base.wrapping_mul(k)),
+            terms,
+        }
+    }
+
+    fn scale(&self, k: i64) -> Affine {
+        Affine::constant(0).add_scaled(self, k)
+    }
+
+    fn coeff(&self, slot: usize) -> i64 {
+        self.terms
+            .iter()
+            .find(|t| t.0 == slot)
+            .map(|t| t.1)
+            .unwrap_or(0)
+    }
+
+    /// The affine with the `slot` term removed.
+    fn without(&self, slot: usize) -> Affine {
+        Affine {
+            base: self.base,
+            terms: self
+                .terms
+                .iter()
+                .copied()
+                .filter(|t| t.0 != slot)
+                .collect(),
+        }
+    }
+
+    fn eval(&self, iters: &[i64]) -> i64 {
+        let mut v = self.base;
+        for &(slot, coeff) in &self.terms {
+            v = v.wrapping_add(coeff.wrapping_mul(iters[slot]));
+        }
+        v
+    }
+
+    /// Conservative `[min, max]` over iteration spaces `0..iter_max[slot]`,
+    /// or `None` if an extent is unknown or the bound overflows (in which
+    /// case the caller keeps runtime checks).
+    fn range(&self, iter_max: &[Option<i64>]) -> Option<(i64, i64)> {
+        let (mut lo, mut hi) = (self.base, self.base);
+        for &(slot, coeff) in &self.terms {
+            let m = (*iter_max.get(slot)?)?;
+            let top = coeff.checked_mul((m - 1).max(0))?;
+            if coeff >= 0 {
+                hi = hi.checked_add(top)?;
+            } else {
+                lo = lo.checked_add(top)?;
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+/// A lowered index expression: affine fast path, or a residual tree for
+/// non-affine arithmetic (`//`, `%`, `min`, `max` over loop counters),
+/// evaluated with exactly the semantics of [`PrimExpr::eval`] but against a
+/// flat counter array instead of a hash map.
+#[derive(Debug, Clone)]
+enum IdxExpr {
+    Aff(Affine),
+    Add(Box<IdxExpr>, Box<IdxExpr>),
+    Sub(Box<IdxExpr>, Box<IdxExpr>),
+    Mul(Box<IdxExpr>, Box<IdxExpr>),
+    FloorDiv(Box<IdxExpr>, Box<IdxExpr>),
+    FloorMod(Box<IdxExpr>, Box<IdxExpr>),
+    Min(Box<IdxExpr>, Box<IdxExpr>),
+    Max(Box<IdxExpr>, Box<IdxExpr>),
+}
+
+impl IdxExpr {
+    fn as_affine(&self) -> Option<&Affine> {
+        match self {
+            IdxExpr::Aff(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn eval(&self, iters: &[i64]) -> Result<i64, EvalError> {
+        Ok(match self {
+            IdxExpr::Aff(a) => a.eval(iters),
+            IdxExpr::Add(a, b) => a.eval(iters)?.wrapping_add(b.eval(iters)?),
+            IdxExpr::Sub(a, b) => a.eval(iters)?.wrapping_sub(b.eval(iters)?),
+            IdxExpr::Mul(a, b) => a.eval(iters)?.wrapping_mul(b.eval(iters)?),
+            IdxExpr::FloorDiv(a, b) => {
+                let (a, b) = (a.eval(iters)?, b.eval(iters)?);
+                if b == 0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                a.div_euclid(b)
+            }
+            IdxExpr::FloorMod(a, b) => {
+                let (a, b) = (a.eval(iters)?, b.eval(iters)?);
+                if b == 0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                a.rem_euclid(b)
+            }
+            IdxExpr::Min(a, b) => a.eval(iters)?.min(b.eval(iters)?),
+            IdxExpr::Max(a, b) => a.eval(iters)?.max(b.eval(iters)?),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Buffer accesses
+// ---------------------------------------------------------------------------
+
+/// A lowered buffer access.
+#[derive(Debug, Clone)]
+enum Access {
+    /// Every index was affine and provably in bounds: a single flat
+    /// row-major offset, no runtime checks.
+    Flat(Affine),
+    /// Per-dimension expressions with the interpreter's negative-index and
+    /// bounds checks applied at run time.
+    Checked(Vec<IdxExpr>),
+}
+
+// ---------------------------------------------------------------------------
+// The scalar op tape
+// ---------------------------------------------------------------------------
+
+type Reg = u16;
+
+/// One op of the flattened scalar expression tape. `dst` is the register
+/// written (ignored by jumps).
+#[derive(Debug, Clone)]
+struct TapeOp {
+    dst: Reg,
+    op: Op,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    ConstF(f64),
+    ConstI(i64),
+    Idx(IdxExpr),
+    Load { buf: usize, access: Access },
+    LoadDyn { buf: usize, idx_regs: Vec<Reg> },
+    Add(Reg, Reg),
+    Sub(Reg, Reg),
+    Mul(Reg, Reg),
+    Div(Reg, Reg),
+    Max(Reg, Reg),
+    Min(Reg, Reg),
+    Shr(Reg, Reg),
+    BitAnd(Reg, Reg),
+    Exp(Reg),
+    Sqrt(Reg),
+    Tanh(Reg),
+    Sigmoid(Reg),
+    Neg(Reg),
+    CastF(Reg),
+    CastI(Reg),
+    IdxEq(IdxExpr, IdxExpr),
+    IdxLe(IdxExpr, IdxExpr),
+    Copy(Reg),
+    Jump(usize),
+    JumpIfZero(Reg, usize),
+}
+
+// ---------------------------------------------------------------------------
+// Plan statements and the plan itself
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PStmt {
+    Loop {
+        iter: usize,
+        extent: IdxExpr,
+        body: Vec<PStmt>,
+    },
+    IfEq {
+        lhs: IdxExpr,
+        rhs: IdxExpr,
+        then: Vec<PStmt>,
+    },
+    Store {
+        tape: Vec<TapeOp>,
+        result: Reg,
+        buf: usize,
+        access: Access,
+        /// The *declared* dtype of the destination buffer — store values
+        /// are cast to its representation class before rounding to the
+        /// actual array dtype, mirroring the interpreter.
+        dtype: DataType,
+    },
+    /// Re-zeroes a scratch buffer (emitted at each `Alloc` point).
+    ZeroScratch { buf: usize },
+}
+
+/// A buffer slot in the plan: a parameter or a scratch allocation, with
+/// fully concrete dimensions.
+#[derive(Debug, Clone)]
+struct BufDecl {
+    dims: Vec<usize>,
+    numel: usize,
+    dtype: DataType,
+    /// `Some(i)` for the i-th parameter; `None` for scratch.
+    param: Option<usize>,
+}
+
+/// Chunking metadata for a top-level loop proven data-parallel.
+#[derive(Debug, Clone)]
+struct ParInfo {
+    /// Concrete trip count.
+    extent: i64,
+    /// `(buffer slot, flat elements owned per outer iteration)` for every
+    /// buffer written inside the loop.
+    writes: Vec<(usize, usize)>,
+}
+
+/// A compiled, shape-specialized tensor program.
+///
+/// Fully owned (no `Rc`-backed IR nodes inside), hence `Send + Sync`:
+/// worker threads can execute chunks of it directly.
+#[derive(Debug, Clone)]
+pub struct KernelPlan {
+    body: Vec<(PStmt, Option<ParInfo>)>,
+    bufs: Vec<BufDecl>,
+    written: Vec<bool>,
+    num_params: usize,
+    num_iters: usize,
+    num_regs: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Lowers `func` with the given concrete argument shapes into a
+/// [`KernelPlan`].
+///
+/// # Errors
+///
+/// [`PlanError::Interp`] if the shapes contradict the declared symbolic
+/// shapes (the interpreter would fail identically);
+/// [`PlanError::Unsupported`] if the function uses constructs the planner
+/// does not model (callers fall back to the interpreter).
+pub fn compile(func: &PrimFunc, shapes: &[Vec<usize>]) -> Result<KernelPlan, PlanError> {
+    let mut env = HashMap::new();
+    interp::bind_shapes_dims(func.params(), shapes, &mut env).map_err(PlanError::Interp)?;
+
+    let mut c = Compiler {
+        env,
+        bufs: Vec::new(),
+        buf_slot: HashMap::new(),
+        written: Vec::new(),
+        iter_max: Vec::new(),
+        iter_slot: HashMap::new(),
+        num_regs: 0,
+    };
+    for (i, p) in func.params().iter().enumerate() {
+        let dims = shapes[i].clone();
+        let numel: usize = dims.iter().product();
+        let slot = c.bufs.len();
+        if c.buf_slot.insert(p.id(), slot).is_some() {
+            return Err(PlanError::unsupported("duplicate parameter buffer"));
+        }
+        c.bufs.push(BufDecl {
+            dims,
+            numel,
+            dtype: p.dtype(),
+            param: Some(i),
+        });
+        c.written.push(false);
+    }
+
+    let mut body = Vec::new();
+    c.lower_stmt(func.body(), &mut body)?;
+
+    let annotated = body
+        .into_iter()
+        .map(|s| {
+            let par = c.analyze_parallel(&s);
+            (s, par)
+        })
+        .collect();
+    Ok(KernelPlan {
+        body: annotated,
+        num_params: func.params().len(),
+        num_iters: c.iter_max.len(),
+        num_regs: c.num_regs,
+        bufs: c.bufs,
+        written: c.written,
+    })
+}
+
+struct Compiler {
+    /// Concrete bindings of the shape variables.
+    env: HashMap<Var, i64>,
+    bufs: Vec<BufDecl>,
+    buf_slot: HashMap<u64, usize>,
+    written: Vec<bool>,
+    /// Conservative max trip count per iter slot (`None` = unknown).
+    iter_max: Vec<Option<i64>>,
+    /// Active loop variables.
+    iter_slot: HashMap<Var, usize>,
+    num_regs: usize,
+}
+
+impl Compiler {
+    fn lower_stmt(&mut self, s: &Stmt, out: &mut Vec<PStmt>) -> Result<(), PlanError> {
+        match s {
+            Stmt::For { var, extent, body } => {
+                let ext = self.lower_prim(extent)?;
+                let max = match &ext {
+                    IdxExpr::Aff(a) => a.range(&self.iter_max).map(|(_, hi)| hi),
+                    _ => None,
+                };
+                let slot = self.iter_max.len();
+                self.iter_max.push(max);
+                if self.iter_slot.insert(var.clone(), slot).is_some() {
+                    return Err(PlanError::unsupported("shadowed loop variable"));
+                }
+                let mut inner = Vec::new();
+                let r = self.lower_stmt(body, &mut inner);
+                self.iter_slot.remove(var);
+                r?;
+                out.push(PStmt::Loop {
+                    iter: slot,
+                    extent: ext,
+                    body: inner,
+                });
+                Ok(())
+            }
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    self.lower_stmt(s, out)?;
+                }
+                Ok(())
+            }
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+            } => {
+                let mut tape = Vec::new();
+                let mut next: Reg = 0;
+                let result = self.compile_expr(value, &mut tape, &mut next)?;
+                let buf = *self
+                    .buf_slot
+                    .get(&buffer.id())
+                    .ok_or_else(|| PlanError::unsupported("store to unbound buffer"))?;
+                let access = self.lower_access(buf, indices)?;
+                self.written[buf] = true;
+                self.num_regs = self.num_regs.max(next as usize);
+                out.push(PStmt::Store {
+                    tape,
+                    result,
+                    buf,
+                    access,
+                    dtype: buffer.dtype(),
+                });
+                Ok(())
+            }
+            Stmt::IfEq { lhs, rhs, then } => {
+                let lhs = self.lower_prim(lhs)?;
+                let rhs = self.lower_prim(rhs)?;
+                let mut inner = Vec::new();
+                self.lower_stmt(then, &mut inner)?;
+                out.push(PStmt::IfEq {
+                    lhs,
+                    rhs,
+                    then: inner,
+                });
+                Ok(())
+            }
+            Stmt::Alloc { buffer, body } => {
+                let mut dims = Vec::with_capacity(buffer.ndim());
+                for d in buffer.shape() {
+                    let v = self
+                        .lower_prim(d)?
+                        .as_affine()
+                        .and_then(Affine::as_const)
+                        .ok_or_else(|| {
+                            PlanError::unsupported("scratch extent not a compile-time constant")
+                        })?;
+                    if v < 0 {
+                        return Err(PlanError::unsupported("negative scratch extent"));
+                    }
+                    dims.push(v as usize);
+                }
+                let numel: usize = dims.iter().product();
+                let slot = self.bufs.len();
+                if self.buf_slot.insert(buffer.id(), slot).is_some() {
+                    return Err(PlanError::unsupported("shadowed scratch buffer"));
+                }
+                self.bufs.push(BufDecl {
+                    dims,
+                    numel,
+                    dtype: buffer.dtype(),
+                    param: None,
+                });
+                self.written.push(true);
+                out.push(PStmt::ZeroScratch { buf: slot });
+                let r = self.lower_stmt(body, out);
+                self.buf_slot.remove(&buffer.id());
+                r
+            }
+            Stmt::Evaluate => Ok(()),
+        }
+    }
+
+    fn lower_prim(&self, e: &PrimExpr) -> Result<IdxExpr, PlanError> {
+        use IdxExpr::*;
+        Ok(match e {
+            PrimExpr::Var(v) => {
+                if let Some(&c) = self.env.get(v) {
+                    Aff(Affine::constant(c))
+                } else if let Some(&s) = self.iter_slot.get(v) {
+                    Aff(Affine::iter(s))
+                } else {
+                    return Err(PlanError::unsupported(format!(
+                        "unbound symbolic variable `{}` in index",
+                        v.name()
+                    )));
+                }
+            }
+            PrimExpr::Int(v) => Aff(Affine::constant(*v)),
+            PrimExpr::Add(a, b) => {
+                let (a, b) = (self.lower_prim(a)?, self.lower_prim(b)?);
+                match (a.as_affine(), b.as_affine()) {
+                    (Some(x), Some(y)) => Aff(x.add_scaled(y, 1)),
+                    _ => Add(Box::new(a), Box::new(b)),
+                }
+            }
+            PrimExpr::Sub(a, b) => {
+                let (a, b) = (self.lower_prim(a)?, self.lower_prim(b)?);
+                match (a.as_affine(), b.as_affine()) {
+                    (Some(x), Some(y)) => Aff(x.add_scaled(y, -1)),
+                    _ => Sub(Box::new(a), Box::new(b)),
+                }
+            }
+            PrimExpr::Mul(a, b) => {
+                let (a, b) = (self.lower_prim(a)?, self.lower_prim(b)?);
+                match (a.as_affine(), b.as_affine()) {
+                    (Some(x), Some(y)) => {
+                        if let Some(k) = y.as_const() {
+                            Aff(x.scale(k))
+                        } else if let Some(k) = x.as_const() {
+                            Aff(y.scale(k))
+                        } else {
+                            Mul(Box::new(a), Box::new(b))
+                        }
+                    }
+                    _ => Mul(Box::new(a), Box::new(b)),
+                }
+            }
+            PrimExpr::FloorDiv(a, b) => {
+                let (a, b) = (self.lower_prim(a)?, self.lower_prim(b)?);
+                match (const_of(&a), const_of(&b)) {
+                    (Some(x), Some(y)) if y != 0 => Aff(Affine::constant(x.div_euclid(y))),
+                    _ => FloorDiv(Box::new(a), Box::new(b)),
+                }
+            }
+            PrimExpr::FloorMod(a, b) => {
+                let (a, b) = (self.lower_prim(a)?, self.lower_prim(b)?);
+                match (const_of(&a), const_of(&b)) {
+                    (Some(x), Some(y)) if y != 0 => Aff(Affine::constant(x.rem_euclid(y))),
+                    _ => FloorMod(Box::new(a), Box::new(b)),
+                }
+            }
+            PrimExpr::Min(a, b) => {
+                let (a, b) = (self.lower_prim(a)?, self.lower_prim(b)?);
+                match (const_of(&a), const_of(&b)) {
+                    (Some(x), Some(y)) => Aff(Affine::constant(x.min(y))),
+                    _ => Min(Box::new(a), Box::new(b)),
+                }
+            }
+            PrimExpr::Max(a, b) => {
+                let (a, b) = (self.lower_prim(a)?, self.lower_prim(b)?);
+                match (const_of(&a), const_of(&b)) {
+                    (Some(x), Some(y)) => Aff(Affine::constant(x.max(y))),
+                    _ => Max(Box::new(a), Box::new(b)),
+                }
+            }
+        })
+    }
+
+    /// Lowers a multi-dimensional access into [`Access`]: the flat affine
+    /// fast path requires every dimension affine *and* provably in bounds
+    /// (the interpreter checks every dimension, so collapsing to a flat
+    /// offset is only sound once the checks are proven redundant).
+    fn lower_access(&self, buf: usize, indices: &[PrimExpr]) -> Result<Access, PlanError> {
+        let decl = &self.bufs[buf];
+        if indices.len() != decl.dims.len() {
+            return Err(PlanError::unsupported("access rank mismatch"));
+        }
+        let lowered: Vec<IdxExpr> = indices
+            .iter()
+            .map(|e| self.lower_prim(e))
+            .collect::<Result<_, _>>()?;
+        let mut flat = Affine::constant(0);
+        let mut provable = true;
+        for (idx, &extent) in lowered.iter().zip(&decl.dims) {
+            let Some(aff) = idx.as_affine() else {
+                provable = false;
+                break;
+            };
+            let in_bounds = aff
+                .range(&self.iter_max)
+                .is_some_and(|(lo, hi)| lo >= 0 && hi < extent as i64);
+            if !in_bounds {
+                provable = false;
+                break;
+            }
+            flat = flat.scale(extent as i64).add_scaled(aff, 1);
+        }
+        if provable {
+            Ok(Access::Flat(flat))
+        } else {
+            Ok(Access::Checked(lowered))
+        }
+    }
+
+    fn compile_expr(
+        &self,
+        e: &TirExpr,
+        tape: &mut Vec<TapeOp>,
+        next: &mut Reg,
+    ) -> Result<Reg, PlanError> {
+        let alloc = |next: &mut Reg| -> Result<Reg, PlanError> {
+            let r = *next;
+            *next = next
+                .checked_add(1)
+                .ok_or_else(|| PlanError::unsupported("expression too large"))?;
+            Ok(r)
+        };
+        let emit = |tape: &mut Vec<TapeOp>, next: &mut Reg, op: Op| -> Result<Reg, PlanError> {
+            let dst = alloc(next)?;
+            tape.push(TapeOp { dst, op });
+            Ok(dst)
+        };
+        Ok(match e {
+            TirExpr::FloatImm(v) => emit(tape, next, Op::ConstF(*v))?,
+            TirExpr::IntImm(v) => emit(tape, next, Op::ConstI(*v))?,
+            TirExpr::Index(p) => {
+                let idx = self.lower_prim(p)?;
+                emit(tape, next, Op::Idx(idx))?
+            }
+            TirExpr::Load(buffer, indices) => {
+                let buf = *self
+                    .buf_slot
+                    .get(&buffer.id())
+                    .ok_or_else(|| PlanError::unsupported("load from unbound buffer"))?;
+                let access = self.lower_access(buf, indices)?;
+                emit(tape, next, Op::Load { buf, access })?
+            }
+            TirExpr::LoadDyn(buffer, indices) => {
+                let buf = *self
+                    .buf_slot
+                    .get(&buffer.id())
+                    .ok_or_else(|| PlanError::unsupported("load from unbound buffer"))?;
+                if indices.len() != self.bufs[buf].dims.len() {
+                    return Err(PlanError::unsupported("dynamic access rank mismatch"));
+                }
+                let mut idx_regs = Vec::with_capacity(indices.len());
+                for idx in indices {
+                    idx_regs.push(self.compile_expr(idx, tape, next)?);
+                }
+                emit(tape, next, Op::LoadDyn { buf, idx_regs })?
+            }
+            TirExpr::Add(a, b) => {
+                let (ra, rb) = (
+                    self.compile_expr(a, tape, next)?,
+                    self.compile_expr(b, tape, next)?,
+                );
+                emit(tape, next, Op::Add(ra, rb))?
+            }
+            TirExpr::Sub(a, b) => {
+                let (ra, rb) = (
+                    self.compile_expr(a, tape, next)?,
+                    self.compile_expr(b, tape, next)?,
+                );
+                emit(tape, next, Op::Sub(ra, rb))?
+            }
+            TirExpr::Mul(a, b) => {
+                let (ra, rb) = (
+                    self.compile_expr(a, tape, next)?,
+                    self.compile_expr(b, tape, next)?,
+                );
+                emit(tape, next, Op::Mul(ra, rb))?
+            }
+            TirExpr::Div(a, b) => {
+                let (ra, rb) = (
+                    self.compile_expr(a, tape, next)?,
+                    self.compile_expr(b, tape, next)?,
+                );
+                emit(tape, next, Op::Div(ra, rb))?
+            }
+            TirExpr::Max(a, b) => {
+                let (ra, rb) = (
+                    self.compile_expr(a, tape, next)?,
+                    self.compile_expr(b, tape, next)?,
+                );
+                emit(tape, next, Op::Max(ra, rb))?
+            }
+            TirExpr::Min(a, b) => {
+                let (ra, rb) = (
+                    self.compile_expr(a, tape, next)?,
+                    self.compile_expr(b, tape, next)?,
+                );
+                emit(tape, next, Op::Min(ra, rb))?
+            }
+            TirExpr::Shr(a, b) => {
+                let (ra, rb) = (
+                    self.compile_expr(a, tape, next)?,
+                    self.compile_expr(b, tape, next)?,
+                );
+                emit(tape, next, Op::Shr(ra, rb))?
+            }
+            TirExpr::BitAnd(a, b) => {
+                let (ra, rb) = (
+                    self.compile_expr(a, tape, next)?,
+                    self.compile_expr(b, tape, next)?,
+                );
+                emit(tape, next, Op::BitAnd(ra, rb))?
+            }
+            TirExpr::Exp(a) => {
+                let r = self.compile_expr(a, tape, next)?;
+                emit(tape, next, Op::Exp(r))?
+            }
+            TirExpr::Sqrt(a) => {
+                let r = self.compile_expr(a, tape, next)?;
+                emit(tape, next, Op::Sqrt(r))?
+            }
+            TirExpr::Tanh(a) => {
+                let r = self.compile_expr(a, tape, next)?;
+                emit(tape, next, Op::Tanh(r))?
+            }
+            TirExpr::Sigmoid(a) => {
+                let r = self.compile_expr(a, tape, next)?;
+                emit(tape, next, Op::Sigmoid(r))?
+            }
+            TirExpr::Neg(a) => {
+                let r = self.compile_expr(a, tape, next)?;
+                emit(tape, next, Op::Neg(r))?
+            }
+            TirExpr::Cast(dt, a) => {
+                let r = self.compile_expr(a, tape, next)?;
+                let op = if dt.is_float() {
+                    Op::CastF(r)
+                } else {
+                    Op::CastI(r)
+                };
+                emit(tape, next, op)?
+            }
+            TirExpr::IndexEq(a, b) => {
+                let (a, b) = (self.lower_prim(a)?, self.lower_prim(b)?);
+                emit(tape, next, Op::IdxEq(a, b))?
+            }
+            TirExpr::IndexLe(a, b) => {
+                let (a, b) = (self.lower_prim(a)?, self.lower_prim(b)?);
+                emit(tape, next, Op::IdxLe(a, b))?
+            }
+            // `Select` keeps the interpreter's lazy evaluation: only the
+            // taken branch executes, so branch-local errors (e.g. division
+            // by zero) surface identically.
+            TirExpr::Select(c, t, e) => {
+                let rc = self.compile_expr(c, tape, next)?;
+                let dst = alloc(next)?;
+                let jz = tape.len();
+                tape.push(TapeOp {
+                    dst: 0,
+                    op: Op::JumpIfZero(rc, 0),
+                });
+                let rt = self.compile_expr(t, tape, next)?;
+                tape.push(TapeOp {
+                    dst,
+                    op: Op::Copy(rt),
+                });
+                let jend = tape.len();
+                tape.push(TapeOp {
+                    dst: 0,
+                    op: Op::Jump(0),
+                });
+                let else_at = tape.len();
+                if let Op::JumpIfZero(_, t) = &mut tape[jz].op {
+                    *t = else_at;
+                }
+                let re = self.compile_expr(e, tape, next)?;
+                tape.push(TapeOp {
+                    dst,
+                    op: Op::Copy(re),
+                });
+                let end_at = tape.len();
+                if let Op::Jump(t) = &mut tape[jend].op {
+                    *t = end_at;
+                }
+                dst
+            }
+        })
+    }
+
+    // -- parallel-safety analysis ------------------------------------------
+
+    /// Decides whether a top-level loop can be chunked across threads: the
+    /// trip count must be a compile-time constant and every access (store
+    /// *or* load) touching a buffer written inside the loop must be a
+    /// proven-in-bounds flat affine whose outer-iteration stride `c`
+    /// satisfies `flat = c·i + r` with `0 <= r < c`. Then iteration `i`
+    /// only ever touches `[c·i, c·(i+1))` of each written buffer, chunks
+    /// are disjoint, and parallel execution is bitwise equal to serial.
+    fn analyze_parallel(&self, s: &PStmt) -> Option<ParInfo> {
+        let PStmt::Loop { iter, extent, body } = s else {
+            return None;
+        };
+        let n = extent.as_affine()?.as_const()?;
+        if n < 2 {
+            return None;
+        }
+        let mut scan = ParScan::default();
+        scan_stmts(body, &mut scan);
+        if scan.zeroes {
+            return None;
+        }
+        let written: HashSet<usize> = scan.stores.iter().map(|(b, _)| *b).collect();
+        if scan.dyn_bufs.iter().any(|b| written.contains(b)) {
+            return None;
+        }
+        let mut stride: HashMap<usize, i64> = HashMap::new();
+        for (buf, access) in scan.stores.iter().chain(&scan.loads) {
+            if !written.contains(buf) {
+                continue;
+            }
+            let Access::Flat(aff) = access else {
+                return None;
+            };
+            let c = aff.coeff(*iter);
+            if c <= 0 {
+                return None;
+            }
+            match stride.get(buf) {
+                Some(&prev) if prev != c => return None,
+                _ => {
+                    stride.insert(*buf, c);
+                }
+            }
+            let (lo, hi) = aff.without(*iter).range(&self.iter_max)?;
+            if lo < 0 || hi >= c {
+                return None;
+            }
+        }
+        if stride.is_empty() {
+            // A loop that writes nothing has no work worth chunking.
+            return None;
+        }
+        Some(ParInfo {
+            extent: n,
+            writes: stride.into_iter().map(|(b, c)| (b, c as usize)).collect(),
+        })
+    }
+}
+
+fn const_of(e: &IdxExpr) -> Option<i64> {
+    e.as_affine().and_then(Affine::as_const)
+}
+
+#[derive(Default)]
+struct ParScan {
+    stores: Vec<(usize, Access)>,
+    loads: Vec<(usize, Access)>,
+    dyn_bufs: Vec<usize>,
+    zeroes: bool,
+}
+
+fn scan_stmts(stmts: &[PStmt], scan: &mut ParScan) {
+    for s in stmts {
+        match s {
+            PStmt::Loop { body, .. } => scan_stmts(body, scan),
+            PStmt::IfEq { then, .. } => scan_stmts(then, scan),
+            PStmt::ZeroScratch { .. } => scan.zeroes = true,
+            PStmt::Store {
+                tape, buf, access, ..
+            } => {
+                scan.stores.push((*buf, access.clone()));
+                for op in tape {
+                    match &op.op {
+                        Op::Load { buf, access } => scan.loads.push((*buf, access.clone())),
+                        Op::LoadDyn { buf, .. } => scan.dyn_bufs.push(*buf),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// A borrowed window into one unique storage: read-only or writable, float
+/// or integer representation. `rebase` is the absolute flat offset of the
+/// window's first element (non-zero only for parallel chunks).
+enum ViewData<'a> {
+    RF(&'a [f64]),
+    RI(&'a [i64]),
+    WF(&'a mut [f64]),
+    WI(&'a mut [i64]),
+}
+
+struct StorageView<'a> {
+    data: ViewData<'a>,
+    rebase: usize,
+    /// The *actual* dtype of the bound array (store rounding), which can
+    /// differ from the declared buffer dtype.
+    dtype: DataType,
+}
+
+impl StorageView<'_> {
+    fn read(&self, flat: usize) -> Option<Scalar> {
+        let i = flat.checked_sub(self.rebase)?;
+        match &self.data {
+            ViewData::RF(s) => s.get(i).map(|v| Scalar::F(*v)),
+            ViewData::RI(s) => s.get(i).map(|v| Scalar::I(*v)),
+            ViewData::WF(s) => s.get(i).map(|v| Scalar::F(*v)),
+            ViewData::WI(s) => s.get(i).map(|v| Scalar::I(*v)),
+        }
+    }
+
+    fn write(&mut self, flat: usize, v: Scalar) -> Option<()> {
+        let i = flat.checked_sub(self.rebase)?;
+        match &mut self.data {
+            ViewData::WF(s) => {
+                *s.get_mut(i)? = round_to_dtype(v.as_f64(), self.dtype);
+                Some(())
+            }
+            ViewData::WI(s) => {
+                *s.get_mut(i)? = v.as_i64();
+                Some(())
+            }
+            _ => None,
+        }
+    }
+
+    fn zero(&mut self) {
+        match &mut self.data {
+            ViewData::WF(s) => s.iter_mut().for_each(|v| *v = 0.0),
+            ViewData::WI(s) => s.iter_mut().for_each(|v| *v = 0),
+            _ => {}
+        }
+    }
+}
+
+/// Launch-time context shared by the serial machine and the workers.
+struct RunCtx<'p> {
+    plan: &'p KernelPlan,
+    /// Buffer slot → unique storage index (launch-dependent: clones alias).
+    storage_of: &'p [usize],
+}
+
+fn oob(index: usize, len: usize) -> InterpError {
+    InterpError::Array(crate::ndarray::NDArrayError::IndexOutOfBounds { index, len })
+}
+
+/// The register machine walking a plan: flat counters instead of a hash-map
+/// environment, a register file instead of tree recursion, and direct slice
+/// access instead of per-element locking.
+struct Machine<'a> {
+    views: Vec<StorageView<'a>>,
+    iters: Vec<i64>,
+    regs: Vec<Scalar>,
+}
+
+impl Machine<'_> {
+    fn exec(&mut self, ctx: &RunCtx, s: &PStmt) -> Result<(), InterpError> {
+        match s {
+            PStmt::Loop { iter, extent, body } => {
+                let n = extent.eval(&self.iters)?;
+                for i in 0..n.max(0) {
+                    self.iters[*iter] = i;
+                    for st in body {
+                        self.exec(ctx, st)?;
+                    }
+                }
+                Ok(())
+            }
+            PStmt::IfEq { lhs, rhs, then } => {
+                if lhs.eval(&self.iters)? == rhs.eval(&self.iters)? {
+                    for st in then {
+                        self.exec(ctx, st)?;
+                    }
+                }
+                Ok(())
+            }
+            PStmt::ZeroScratch { buf } => {
+                self.views[ctx.storage_of[*buf]].zero();
+                Ok(())
+            }
+            PStmt::Store {
+                tape,
+                result,
+                buf,
+                access,
+                dtype,
+            } => {
+                self.eval_tape(ctx, tape)?;
+                let v = self.regs[*result as usize].cast(*dtype);
+                let flat = self.resolve(ctx, *buf, access)?;
+                let numel = ctx.plan.bufs[*buf].numel;
+                self.views[ctx.storage_of[*buf]]
+                    .write(flat, v)
+                    .ok_or_else(|| oob(flat, numel))
+            }
+        }
+    }
+
+    /// Resolves an access to an absolute flat offset. `Flat` accesses were
+    /// proven in bounds at compile time; `Checked` accesses replicate the
+    /// interpreter's negative-index and per-dimension bounds checks (and
+    /// their exact error values).
+    fn resolve(&self, ctx: &RunCtx, buf: usize, access: &Access) -> Result<usize, InterpError> {
+        match access {
+            Access::Flat(aff) => {
+                let v = aff.eval(&self.iters);
+                if v < 0 {
+                    return Err(InterpError::NegativeIndex(v));
+                }
+                Ok(v as usize)
+            }
+            Access::Checked(idxs) => {
+                let dims = &ctx.plan.bufs[buf].dims;
+                let mut concrete = Vec::with_capacity(idxs.len());
+                for e in idxs {
+                    let v = e.eval(&self.iters)?;
+                    if v < 0 {
+                        return Err(InterpError::NegativeIndex(v));
+                    }
+                    concrete.push(v as usize);
+                }
+                flat_of(&concrete, dims)
+            }
+        }
+    }
+
+    fn eval_tape(&mut self, ctx: &RunCtx, tape: &[TapeOp]) -> Result<(), InterpError> {
+        let mut pc = 0usize;
+        while pc < tape.len() {
+            let TapeOp { dst, op } = &tape[pc];
+            let dst = *dst as usize;
+            match op {
+                Op::Jump(t) => {
+                    pc = *t;
+                    continue;
+                }
+                Op::JumpIfZero(c, t) => {
+                    if self.regs[*c as usize].as_i64() == 0 {
+                        pc = *t;
+                        continue;
+                    }
+                }
+                Op::ConstF(v) => self.regs[dst] = Scalar::F(*v),
+                Op::ConstI(v) => self.regs[dst] = Scalar::I(*v),
+                Op::Idx(e) => self.regs[dst] = Scalar::I(e.eval(&self.iters)?),
+                Op::Load { buf, access } => {
+                    let flat = self.resolve(ctx, *buf, access)?;
+                    let numel = ctx.plan.bufs[*buf].numel;
+                    self.regs[dst] = self.views[ctx.storage_of[*buf]]
+                        .read(flat)
+                        .ok_or_else(|| oob(flat, numel))?;
+                }
+                Op::LoadDyn { buf, idx_regs } => {
+                    let mut concrete = Vec::with_capacity(idx_regs.len());
+                    for r in idx_regs {
+                        let v = self.regs[*r as usize].as_i64();
+                        if v < 0 {
+                            return Err(InterpError::NegativeIndex(v));
+                        }
+                        concrete.push(v as usize);
+                    }
+                    let flat = flat_of(&concrete, &ctx.plan.bufs[*buf].dims)?;
+                    let numel = ctx.plan.bufs[*buf].numel;
+                    self.regs[dst] = self.views[ctx.storage_of[*buf]]
+                        .read(flat)
+                        .ok_or_else(|| oob(flat, numel))?;
+                }
+                Op::Add(a, b) => {
+                    self.regs[dst] = interp::binop(
+                        self.regs[*a as usize],
+                        self.regs[*b as usize],
+                        |x, y| x + y,
+                        |x, y| x.wrapping_add(y),
+                    )
+                }
+                Op::Sub(a, b) => {
+                    self.regs[dst] = interp::binop(
+                        self.regs[*a as usize],
+                        self.regs[*b as usize],
+                        |x, y| x - y,
+                        |x, y| x.wrapping_sub(y),
+                    )
+                }
+                Op::Mul(a, b) => {
+                    self.regs[dst] = interp::binop(
+                        self.regs[*a as usize],
+                        self.regs[*b as usize],
+                        |x, y| x * y,
+                        |x, y| x.wrapping_mul(y),
+                    )
+                }
+                Op::Div(a, b) => {
+                    let (x, y) = (self.regs[*a as usize], self.regs[*b as usize]);
+                    self.regs[dst] = match (x, y) {
+                        (Scalar::I(x), Scalar::I(y)) => {
+                            if y == 0 {
+                                return Err(InterpError::Eval(EvalError::DivisionByZero));
+                            }
+                            Scalar::I(x.div_euclid(y))
+                        }
+                        _ => Scalar::F(x.as_f64() / y.as_f64()),
+                    };
+                }
+                Op::Max(a, b) => {
+                    self.regs[dst] = interp::binop(
+                        self.regs[*a as usize],
+                        self.regs[*b as usize],
+                        f64::max,
+                        i64::max,
+                    )
+                }
+                Op::Min(a, b) => {
+                    self.regs[dst] = interp::binop(
+                        self.regs[*a as usize],
+                        self.regs[*b as usize],
+                        f64::min,
+                        i64::min,
+                    )
+                }
+                Op::Shr(a, b) => {
+                    let (x, y) = (
+                        self.regs[*a as usize].as_i64(),
+                        self.regs[*b as usize].as_i64(),
+                    );
+                    self.regs[dst] = Scalar::I(((x as u64) >> (y as u64 & 63)) as i64);
+                }
+                Op::BitAnd(a, b) => {
+                    self.regs[dst] = Scalar::I(
+                        self.regs[*a as usize].as_i64() & self.regs[*b as usize].as_i64(),
+                    );
+                }
+                Op::Exp(a) => self.regs[dst] = Scalar::F(self.regs[*a as usize].as_f64().exp()),
+                Op::Sqrt(a) => self.regs[dst] = Scalar::F(self.regs[*a as usize].as_f64().sqrt()),
+                Op::Tanh(a) => self.regs[dst] = Scalar::F(self.regs[*a as usize].as_f64().tanh()),
+                Op::Sigmoid(a) => {
+                    let v = self.regs[*a as usize].as_f64();
+                    self.regs[dst] = Scalar::F(1.0 / (1.0 + (-v).exp()));
+                }
+                Op::Neg(a) => {
+                    self.regs[dst] = match self.regs[*a as usize] {
+                        Scalar::F(v) => Scalar::F(-v),
+                        Scalar::I(v) => Scalar::I(v.wrapping_neg()),
+                    };
+                }
+                Op::CastF(a) => self.regs[dst] = Scalar::F(self.regs[*a as usize].as_f64()),
+                Op::CastI(a) => self.regs[dst] = Scalar::I(self.regs[*a as usize].as_i64()),
+                Op::IdxEq(a, b) => {
+                    self.regs[dst] =
+                        Scalar::I((a.eval(&self.iters)? == b.eval(&self.iters)?) as i64)
+                }
+                Op::IdxLe(a, b) => {
+                    self.regs[dst] =
+                        Scalar::I((a.eval(&self.iters)? <= b.eval(&self.iters)?) as i64)
+                }
+                Op::Copy(a) => self.regs[dst] = self.regs[*a as usize],
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Row-major flat offset with the interpreter's exact bounds-error values.
+fn flat_of(indices: &[usize], dims: &[usize]) -> Result<usize, InterpError> {
+    if indices.len() != dims.len() {
+        return Err(oob(indices.len(), dims.len()));
+    }
+    let mut flat = 0usize;
+    for (i, (&idx, &extent)) in indices.iter().zip(dims).enumerate() {
+        if idx >= extent {
+            return Err(oob(idx, extent.max(i)));
+        }
+        flat = flat * extent + idx;
+    }
+    Ok(flat)
+}
+
+impl KernelPlan {
+    /// `true` if at least one top-level loop was proven safe to chunk
+    /// across worker threads.
+    pub fn parallelizable(&self) -> bool {
+        self.body.iter().any(|(_, p)| p.is_some())
+    }
+
+    /// Executes the plan on `args` (inputs then outputs, the calling
+    /// convention of [`interp::run`]), chunking parallelizable loops over
+    /// at most `threads` workers (`<= 1` runs serial). If launch-time
+    /// argument aliasing invalidates the compile-time disjointness proof,
+    /// the whole launch silently degrades to serial.
+    ///
+    /// # Errors
+    ///
+    /// The same errors, with the same payloads, as the reference
+    /// interpreter on the same arguments.
+    pub fn run(&self, args: &[NDArray], threads: usize) -> Result<(), InterpError> {
+        if args.len() != self.num_params {
+            return Err(InterpError::ArgCountMismatch {
+                expected: self.num_params,
+                actual: args.len(),
+            });
+        }
+        for decl in &self.bufs {
+            if let Some(p) = decl.param {
+                if args[p].shape() != decl.dims.as_slice() {
+                    return Err(InterpError::ShapeMismatch {
+                        buffer: format!("arg{p}"),
+                        detail: format!(
+                            "plan specialized for {:?}, argument has {:?}",
+                            decl.dims,
+                            args[p].shape()
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Bind buffer slots to unique storages. Cloned arguments alias one
+        // storage; aliasing voids the per-slot disjointness analysis, so it
+        // forces serial execution below.
+        let mut storage_of = vec![usize::MAX; self.bufs.len()];
+        let mut param_storages: Vec<&NDArray> = Vec::new();
+        let mut by_id: HashMap<usize, usize> = HashMap::new();
+        let mut aliased = false;
+        for (slot, decl) in self.bufs.iter().enumerate() {
+            if let Some(p) = decl.param {
+                let arr = &args[p];
+                if let Some(&s) = by_id.get(&arr.storage_id()) {
+                    aliased = true;
+                    storage_of[slot] = s;
+                } else {
+                    let s = param_storages.len();
+                    param_storages.push(arr);
+                    by_id.insert(arr.storage_id(), s);
+                    storage_of[slot] = s;
+                }
+            }
+        }
+        let num_param_storages = param_storages.len();
+        let mut scratch: Vec<DataBuf> = Vec::new();
+        let mut scratch_dtypes: Vec<DataType> = Vec::new();
+        for (slot, decl) in self.bufs.iter().enumerate() {
+            if decl.param.is_none() {
+                storage_of[slot] = num_param_storages + scratch.len();
+                scratch.push(if decl.dtype.is_float() {
+                    DataBuf::F(vec![0.0; decl.numel])
+                } else {
+                    DataBuf::I(vec![0; decl.numel])
+                });
+                scratch_dtypes.push(decl.dtype);
+            }
+        }
+        let num_storages = num_param_storages + scratch.len();
+        let mut storage_written = vec![false; num_storages];
+        for (slot, &w) in self.written.iter().enumerate() {
+            if w {
+                storage_written[storage_of[slot]] = true;
+            }
+        }
+
+        // One lock per unique storage — write lock iff the plan stores to
+        // it. Each distinct `RwLock` is taken exactly once, so acquisition
+        // order cannot deadlock.
+        let mut wguards = Vec::new();
+        let mut wstor = Vec::new();
+        let mut rguards: Vec<RwLockReadGuard<'_, DataBuf>> = Vec::new();
+        let mut rstor = Vec::new();
+        for (s, arr) in param_storages.iter().enumerate() {
+            if storage_written[s] {
+                wguards.push(arr.write_buf());
+                wstor.push(s);
+            } else {
+                rguards.push(arr.read_buf());
+                rstor.push(s);
+            }
+        }
+
+        let mut slots: Vec<Option<StorageView<'_>>> = (0..num_storages).map(|_| None).collect();
+        for (g, s) in wguards.iter_mut().zip(&wstor) {
+            let data = match &mut **g {
+                DataBuf::F(v) => ViewData::WF(v.as_mut_slice()),
+                DataBuf::I(v) => ViewData::WI(v.as_mut_slice()),
+            };
+            slots[*s] = Some(StorageView {
+                data,
+                rebase: 0,
+                dtype: param_storages[*s].dtype(),
+            });
+        }
+        for (g, s) in rguards.iter().zip(&rstor) {
+            let data = match &**g {
+                DataBuf::F(v) => ViewData::RF(v.as_slice()),
+                DataBuf::I(v) => ViewData::RI(v.as_slice()),
+            };
+            slots[*s] = Some(StorageView {
+                data,
+                rebase: 0,
+                dtype: param_storages[*s].dtype(),
+            });
+        }
+        for (k, db) in scratch.iter_mut().enumerate() {
+            let data = match db {
+                DataBuf::F(v) => ViewData::WF(v.as_mut_slice()),
+                DataBuf::I(v) => ViewData::WI(v.as_mut_slice()),
+            };
+            slots[num_param_storages + k] = Some(StorageView {
+                data,
+                rebase: 0,
+                dtype: scratch_dtypes[k],
+            });
+        }
+        let views: Vec<StorageView<'_>> = slots
+            .into_iter()
+            .map(|v| v.expect("every storage bound"))
+            .collect();
+
+        let ctx = RunCtx {
+            plan: self,
+            storage_of: &storage_of,
+        };
+        let mut m = Machine {
+            views,
+            iters: vec![0; self.num_iters],
+            regs: vec![Scalar::I(0); self.num_regs],
+        };
+        for (stmt, par) in &self.body {
+            match (stmt, par) {
+                (PStmt::Loop { iter, body, .. }, Some(p)) if threads > 1 && !aliased => {
+                    run_parallel(&ctx, &mut m, *iter, body, p, threads)?;
+                }
+                _ => m.exec(&ctx, stmt)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splits `sl` at absolute offsets `bounds[t]·c` (clamped to the slice) —
+/// one disjoint chunk per worker, tagged with its rebase offset. The last
+/// chunk absorbs any tail the loop never touches.
+fn chunk_mut<'b, T>(sl: &'b mut [T], bounds: &[usize], c: usize) -> Vec<(usize, &'b mut [T])> {
+    let len = sl.len();
+    let mut cuts: Vec<usize> = bounds
+        .iter()
+        .map(|b| b.saturating_mul(c).min(len))
+        .collect();
+    if let Some(last) = cuts.last_mut() {
+        *last = len;
+    }
+    let mut out = Vec::with_capacity(cuts.len().saturating_sub(1));
+    let mut rest = sl;
+    let mut pos = 0usize;
+    for t in 0..cuts.len().saturating_sub(1) {
+        let end = cuts[t + 1];
+        let (head, tail) = rest.split_at_mut(end - pos);
+        out.push((cuts[t], head));
+        rest = tail;
+        pos = end;
+    }
+    out
+}
+
+/// Re-views the master machine's storages for a chunked loop: written
+/// storages are split into disjoint per-worker windows, everything else is
+/// reborrowed shared; then `std::thread::scope` runs one contiguous range
+/// of outer iterations per worker. Safety and bit-equality rest entirely on
+/// the compile-time proof in [`Compiler::analyze_parallel`] — no `unsafe`,
+/// and no worker ever reads another worker's window.
+fn run_parallel<'p>(
+    ctx: &RunCtx<'p>,
+    m: &mut Machine<'_>,
+    iter: usize,
+    body: &[PStmt],
+    par: &ParInfo,
+    threads: usize,
+) -> Result<(), InterpError> {
+    let n = par.extent as usize;
+    let t_count = threads.min(n).max(1);
+    let bounds: Vec<usize> = (0..=t_count).map(|t| n * t / t_count).collect();
+    let mut stride: HashMap<usize, usize> = HashMap::new();
+    for &(buf, c) in &par.writes {
+        stride.insert(ctx.storage_of[buf], c);
+    }
+
+    enum ParView<'b> {
+        SharedF(&'b [f64]),
+        SharedI(&'b [i64]),
+        ChunksF(Vec<(usize, &'b mut [f64])>),
+        ChunksI(Vec<(usize, &'b mut [i64])>),
+    }
+
+    let dtypes: Vec<DataType> = m.views.iter().map(|v| v.dtype).collect();
+    let mut pviews: Vec<ParView<'_>> = Vec::with_capacity(m.views.len());
+    for (s, view) in m.views.iter_mut().enumerate() {
+        match stride.get(&s) {
+            Some(&c) => match &mut view.data {
+                ViewData::WF(sl) => pviews.push(ParView::ChunksF(chunk_mut(sl, &bounds, c))),
+                ViewData::WI(sl) => pviews.push(ParView::ChunksI(chunk_mut(sl, &bounds, c))),
+                // A written storage always holds a write view (locks were
+                // acquired from the same `written` table the analysis used).
+                ViewData::RF(sl) => pviews.push(ParView::SharedF(sl)),
+                ViewData::RI(sl) => pviews.push(ParView::SharedI(sl)),
+            },
+            None => pviews.push(match &view.data {
+                ViewData::RF(sl) => ParView::SharedF(sl),
+                ViewData::RI(sl) => ParView::SharedI(sl),
+                ViewData::WF(sl) => ParView::SharedF(&sl[..]),
+                ViewData::WI(sl) => ParView::SharedI(&sl[..]),
+            }),
+        }
+    }
+
+    let mut thread_views: Vec<Vec<StorageView<'_>>> = (0..t_count)
+        .map(|_| Vec::with_capacity(pviews.len()))
+        .collect();
+    for (s, pv) in pviews.into_iter().enumerate() {
+        let dtype = dtypes[s];
+        match pv {
+            ParView::SharedF(sl) => {
+                for tv in &mut thread_views {
+                    tv.push(StorageView {
+                        data: ViewData::RF(sl),
+                        rebase: 0,
+                        dtype,
+                    });
+                }
+            }
+            ParView::SharedI(sl) => {
+                for tv in &mut thread_views {
+                    tv.push(StorageView {
+                        data: ViewData::RI(sl),
+                        rebase: 0,
+                        dtype,
+                    });
+                }
+            }
+            ParView::ChunksF(cs) => {
+                for (t, (rebase, chunk)) in cs.into_iter().enumerate() {
+                    thread_views[t].push(StorageView {
+                        data: ViewData::WF(chunk),
+                        rebase,
+                        dtype,
+                    });
+                }
+            }
+            ParView::ChunksI(cs) => {
+                for (t, (rebase, chunk)) in cs.into_iter().enumerate() {
+                    thread_views[t].push(StorageView {
+                        data: ViewData::WI(chunk),
+                        rebase,
+                        dtype,
+                    });
+                }
+            }
+        }
+    }
+
+    let results: Vec<Result<(), InterpError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = thread_views
+            .into_iter()
+            .enumerate()
+            .map(|(t, views)| {
+                let (lo, hi) = (bounds[t] as i64, bounds[t + 1] as i64);
+                scope.spawn(move || -> Result<(), InterpError> {
+                    let mut worker = Machine {
+                        views,
+                        iters: vec![0; ctx.plan.num_iters],
+                        regs: vec![Scalar::I(0); ctx.plan.num_regs],
+                    };
+                    for i in lo..hi {
+                        worker.iters[iter] = i;
+                        for st in body {
+                            worker.exec(ctx, st)?;
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    for r in results {
+        r?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::builder::grid;
+
+    /// Symbolic-batch matmul with `IfEq` reduction init (Figure 4 shape).
+    fn matmul_func(k: i64, m: i64) -> PrimFunc {
+        let n = Var::new("n");
+        let x = Buffer::new("X", vec![n.clone().into(), k.into()], DataType::F32);
+        let w = Buffer::new("W", vec![k.into(), m.into()], DataType::F32);
+        let y = Buffer::new("Y", vec![n.clone().into(), m.into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.into()), ("j", m.into()), ("k", k.into())]);
+        let (i, j, kk) = (iv[0].clone(), iv[1].clone(), iv[2].clone());
+        let init = Stmt::IfEq {
+            lhs: kk.clone().into(),
+            rhs: 0.into(),
+            then: Box::new(Stmt::store(
+                &y,
+                vec![i.clone().into(), j.clone().into()],
+                TirExpr::FloatImm(0.0),
+            )),
+        };
+        let update = Stmt::store(
+            &y,
+            vec![i.clone().into(), j.clone().into()],
+            TirExpr::load(&y, vec![i.clone().into(), j.clone().into()])
+                + TirExpr::load(&x, vec![i.into(), kk.clone().into()])
+                    * TirExpr::load(&w, vec![kk.into(), j.into()]),
+        );
+        PrimFunc::new("mm", vec![x, w, y], 1, nest.build(Stmt::seq(vec![init, update])))
+    }
+
+    fn mm_args(n: usize, k: usize, m: usize) -> Vec<NDArray> {
+        let x = NDArray::from_f64(
+            &[n, k],
+            DataType::F32,
+            (0..n * k).map(|i| (i % 13) as f64 * 0.25).collect(),
+        )
+        .unwrap();
+        let w = NDArray::from_f64(
+            &[k, m],
+            DataType::F32,
+            (0..k * m).map(|i| (i % 7) as f64 * 0.5 - 1.0).collect(),
+        )
+        .unwrap();
+        let y = NDArray::zeros(&[n, m], DataType::F32);
+        vec![x, w, y]
+    }
+
+    #[test]
+    fn matmul_plan_matches_interpreter() {
+        let f = matmul_func(5, 6);
+        let shapes = vec![vec![4, 5], vec![5, 6], vec![4, 6]];
+        let plan = compile(&f, &shapes).unwrap();
+        assert!(plan.parallelizable());
+
+        let args = mm_args(4, 5, 6);
+        let reference = mm_args(4, 5, 6);
+        interp::run(&f, &reference).unwrap();
+        plan.run(&args, 1).unwrap();
+        assert_eq!(args[2].to_f64_vec(), reference[2].to_f64_vec());
+
+        let par_args = mm_args(4, 5, 6);
+        plan.run(&par_args, 3).unwrap();
+        assert_eq!(par_args[2].to_f64_vec(), reference[2].to_f64_vec());
+    }
+
+    #[test]
+    fn aliased_arguments_still_run_correctly() {
+        // out aliases the input: plan must fall back to serial and match
+        // the interpreter exactly.
+        let n = Var::new("n");
+        let x = Buffer::new("X", vec![n.clone().into()], DataType::F32);
+        let y = Buffer::new("Y", vec![n.clone().into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.into())]);
+        let body = nest.build(Stmt::store(
+            &y,
+            vec![iv[0].clone().into()],
+            TirExpr::load(&x, vec![iv[0].clone().into()]) * TirExpr::FloatImm(2.0),
+        ));
+        let f = PrimFunc::new("double", vec![x, y], 1, body);
+        let plan = compile(&f, &[vec![8], vec![8]]).unwrap();
+
+        let a = NDArray::from_f64(&[8], DataType::F32, (0..8).map(|v| v as f64).collect()).unwrap();
+        let alias = a.clone();
+        plan.run(&[a.clone(), alias], 4).unwrap();
+
+        let b = NDArray::from_f64(&[8], DataType::F32, (0..8).map(|v| v as f64).collect()).unwrap();
+        let b_alias = b.clone();
+        interp::run(&f, &[b.clone(), b_alias]).unwrap();
+        assert_eq!(a.to_f64_vec(), b.to_f64_vec());
+    }
+
+    #[test]
+    fn scratch_alloc_matches_interpreter() {
+        let n = Var::new("n");
+        let x = Buffer::new("X", vec![n.clone().into()], DataType::F32);
+        let out = Buffer::new("O", vec![n.clone().into()], DataType::F32);
+        let ws = Buffer::new("ws", vec![16.into()], DataType::F32);
+        let (iv1, nest1) = grid(&[("i", 16.into())]);
+        let fill = nest1.build(Stmt::store(
+            &ws,
+            vec![iv1[0].clone().into()],
+            TirExpr::Index(iv1[0].clone().into()) * TirExpr::IntImm(3),
+        ));
+        let (iv2, nest2) = grid(&[("i", n.clone().into())]);
+        let copy = nest2.build(Stmt::store(
+            &out,
+            vec![iv2[0].clone().into()],
+            TirExpr::load(&x, vec![iv2[0].clone().into()])
+                + TirExpr::load(&ws, vec![PrimExpr::from(iv2[0].clone()).floor_mod(16.into())]),
+        ));
+        let body = Stmt::Alloc {
+            buffer: ws,
+            body: Box::new(Stmt::seq(vec![fill, copy])),
+        };
+        let f = PrimFunc::new("ws_add", vec![x, out], 1, body);
+        let plan = compile(&f, &[vec![20], vec![20]]).unwrap();
+
+        let mk = || {
+            (
+                NDArray::from_f64(&[20], DataType::F32, (0..20).map(|v| v as f64 * 0.5).collect())
+                    .unwrap(),
+                NDArray::zeros(&[20], DataType::F32),
+            )
+        };
+        let (x1, o1) = mk();
+        plan.run(&[x1, o1.clone()], 1).unwrap();
+        let (x2, o2) = mk();
+        interp::run(&f, &[x2, o2.clone()]).unwrap();
+        assert_eq!(o1.to_f64_vec(), o2.to_f64_vec());
+    }
+
+    #[test]
+    fn non_affine_store_uses_checked_access_and_matches() {
+        // O[i*i mod n] — `i*i` is not affine, exercising the checked slot.
+        let x = Buffer::new("X", vec![5.into()], DataType::F32);
+        let y = Buffer::new("Y", vec![5.into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", 5.into())]);
+        let i = iv[0].clone();
+        let sq = PrimExpr::from(i.clone()) * PrimExpr::from(i.clone());
+        let body = nest.build(Stmt::store(
+            &y,
+            vec![sq.floor_mod(5.into())],
+            TirExpr::load(&x, vec![i.into()]),
+        ));
+        let f = PrimFunc::new("scatter_sq", vec![x, y], 1, body);
+        let plan = compile(&f, &[vec![5], vec![5]]).unwrap();
+        assert!(!plan.parallelizable());
+
+        let mk = || {
+            (
+                NDArray::from_f64(&[5], DataType::F32, vec![1., 2., 3., 4., 5.]).unwrap(),
+                NDArray::zeros(&[5], DataType::F32),
+            )
+        };
+        let (x1, y1) = mk();
+        plan.run(&[x1, y1.clone()], 1).unwrap();
+        let (x2, y2) = mk();
+        interp::run(&f, &[x2, y2.clone()]).unwrap();
+        assert_eq!(y1.to_f64_vec(), y2.to_f64_vec());
+    }
+
+    #[test]
+    fn gather_loaddyn_matches_and_blocks_parallel_writes() {
+        // O[i] = T[I[i]] — dynamic read of a *read-only* table is fine for
+        // parallelism; the outer store is affine.
+        let tbl = Buffer::new("T", vec![4.into()], DataType::F32);
+        let idx = Buffer::new("I", vec![6.into()], DataType::I64);
+        let out = Buffer::new("O", vec![6.into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", 6.into())]);
+        let i = iv[0].clone();
+        let body = nest.build(Stmt::store(
+            &out,
+            vec![i.clone().into()],
+            TirExpr::LoadDyn(
+                tbl.clone(),
+                vec![TirExpr::load(&idx, vec![i.into()])],
+            ),
+        ));
+        let f = PrimFunc::new("gather", vec![tbl, idx, out], 1, body);
+        let plan = compile(&f, &[vec![4], vec![6], vec![6]]).unwrap();
+        assert!(plan.parallelizable());
+
+        let mk = || {
+            (
+                NDArray::from_f64(&[4], DataType::F32, vec![10., 20., 30., 40.]).unwrap(),
+                NDArray::from_i64(&[6], DataType::I64, vec![3, 0, 2, 1, 3, 0]).unwrap(),
+                NDArray::zeros(&[6], DataType::F32),
+            )
+        };
+        let (t1, i1, o1) = mk();
+        plan.run(&[t1, i1, o1.clone()], 3).unwrap();
+        let (t2, i2, o2) = mk();
+        interp::run(&f, &[t2, i2, o2.clone()]).unwrap();
+        assert_eq!(o1.to_f64_vec(), o2.to_f64_vec());
+    }
+
+    #[test]
+    fn out_of_bounds_errors_match_interpreter() {
+        // Store past the end: plan and interpreter must raise the same
+        // error payload.
+        let x = Buffer::new("X", vec![4.into()], DataType::F32);
+        let y = Buffer::new("Y", vec![4.into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", 4.into())]);
+        let i = iv[0].clone();
+        let body = nest.build(Stmt::store(
+            &y,
+            vec![PrimExpr::from(i.clone()) + 2.into()],
+            TirExpr::load(&x, vec![i.into()]),
+        ));
+        let f = PrimFunc::new("shift", vec![x, y], 1, body);
+        let plan = compile(&f, &[vec![4], vec![4]]).unwrap();
+        let mk = || {
+            (
+                NDArray::zeros(&[4], DataType::F32),
+                NDArray::zeros(&[4], DataType::F32),
+            )
+        };
+        let (x1, y1) = mk();
+        let e1 = plan.run(&[x1, y1], 1).unwrap_err();
+        let (x2, y2) = mk();
+        let e2 = interp::run(&f, &[x2, y2]).unwrap_err();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn unbound_extent_is_unsupported() {
+        let x = Buffer::new("X", vec![4.into()], DataType::F32);
+        let free = Var::new("free");
+        let (iv, nest) = grid(&[("i", free.into())]);
+        let body = nest.build(Stmt::store(
+            &x,
+            vec![iv[0].clone().into()],
+            TirExpr::FloatImm(1.0),
+        ));
+        let f = PrimFunc::new("bad", vec![x], 1, body);
+        assert!(matches!(
+            compile(&f, &[vec![4]]),
+            Err(PlanError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn shape_contradiction_is_interp_error() {
+        let f = matmul_func(3, 4);
+        let err = compile(&f, &[vec![2, 9], vec![3, 4], vec![2, 4]]).unwrap_err();
+        assert!(matches!(err, PlanError::Interp(InterpError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn triangular_loop_matches_interpreter() {
+        // Causal-style: O[i, j] only written for j <= i (inner extent i+1),
+        // with a mask select — exercises iter-dependent extents and jumps.
+        let o = Buffer::new("O", vec![6.into(), 6.into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", 6.into())]);
+        let i = iv[0].clone();
+        let j = Var::new("j");
+        let inner = Stmt::store(
+            &o,
+            vec![i.clone().into(), j.clone().into()],
+            TirExpr::Select(
+                Box::new(TirExpr::IndexLe(j.clone().into(), i.clone().into())),
+                Box::new(
+                    TirExpr::Index(PrimExpr::from(i.clone()) + PrimExpr::from(j.clone()))
+                        * TirExpr::FloatImm(0.5),
+                ),
+                Box::new(TirExpr::FloatImm(-1.0)),
+            ),
+        )
+        .in_loop(j, PrimExpr::from(i) + 1.into());
+        let f = PrimFunc::new("tri", vec![o.clone()], 1, nest.build(inner));
+        let plan = compile(&f, &[vec![6, 6]]).unwrap();
+        assert!(plan.parallelizable());
+
+        let o1 = NDArray::zeros(&[6, 6], DataType::F32);
+        plan.run(&[o1.clone()], 4).unwrap();
+        let o2 = NDArray::zeros(&[6, 6], DataType::F32);
+        interp::run(&f, &[o2.clone()]).unwrap();
+        assert_eq!(o1.to_f64_vec(), o2.to_f64_vec());
+    }
+}

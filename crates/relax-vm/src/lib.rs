@@ -24,6 +24,7 @@
 mod exec;
 pub mod fault;
 pub mod memory;
+mod plan_cache;
 pub mod registry;
 mod value;
 pub mod verify;
@@ -33,4 +34,4 @@ pub use exec::{Executable, Instr, Reg, VmFunction};
 pub use fault::{FaultPlan, FaultSite};
 pub use value::Value;
 pub use verify::{verify, VerifyError, Violation};
-pub use vm::{FrameEntry, Telemetry, Vm, VmError, VmErrorKind};
+pub use vm::{FrameEntry, KernelStat, Telemetry, Vm, VmError, VmErrorKind};

@@ -1,0 +1,156 @@
+//! Shape-keyed LRU cache of compiled kernel plans.
+//!
+//! `CallTir` launches are keyed by `(function name, concrete argument
+//! dims)`; the first launch of a key pays one plan compilation, every
+//! subsequent launch at the same shapes reuses the cached
+//! [`KernelPlan`]. Functions the planner cannot express are cached as
+//! [`CachedPlan::Unplannable`] so the interpreter fallback does not
+//! recompile (and re-fail) per launch. Eviction is least-recently-used via
+//! a monotonic touch tick.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use relax_tir::KernelPlan;
+
+/// Default number of `(function, shapes)` specializations kept.
+pub(crate) const DEFAULT_CAPACITY: usize = 64;
+
+/// A cache entry: a compiled plan, or a negative result.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedPlan {
+    Ready(Rc<KernelPlan>),
+    Unplannable,
+}
+
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<(String, Vec<Vec<usize>>), (u64, CachedPlan)>,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+    pub(crate) evictions: u64,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// `false` means planning is disabled entirely (capacity 0).
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Changes the capacity, evicting least-recently-used entries if the
+    /// cache is now over budget.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.entries.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// Looks up `(func, shapes)`, counting a hit or a miss and refreshing
+    /// recency on hit.
+    pub(crate) fn lookup(&mut self, func: &str, shapes: &[Vec<usize>]) -> Option<CachedPlan> {
+        if !self.enabled() {
+            return None;
+        }
+        self.tick += 1;
+        let key = (func.to_string(), shapes.to_vec());
+        match self.entries.get_mut(&key) {
+            Some((touched, plan)) => {
+                *touched = self.tick;
+                self.hits += 1;
+                Some(plan.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly compiled (or refused) plan, evicting the
+    /// least-recently-used entry when full.
+    pub(crate) fn insert(&mut self, func: &str, shapes: &[Vec<usize>], plan: CachedPlan) {
+        if !self.enabled() {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.tick += 1;
+        self.entries
+            .insert((func.to_string(), shapes.to_vec()), (self.tick, plan));
+    }
+
+    fn evict_lru(&mut self) {
+        let oldest = self
+            .entries
+            .iter()
+            .min_by_key(|(_, (touched, _))| *touched)
+            .map(|(k, _)| k.clone());
+        if let Some(k) = oldest {
+            self.entries.remove(&k);
+            self.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut c = PlanCache::new(2);
+        c.insert("a", &[vec![1]], CachedPlan::Unplannable);
+        c.insert("b", &[vec![1]], CachedPlan::Unplannable);
+        assert!(c.lookup("a", &[vec![1]]).is_some()); // refresh a
+        c.insert("c", &[vec![1]], CachedPlan::Unplannable); // evicts b
+        assert_eq!(c.evictions, 1);
+        assert!(c.lookup("a", &[vec![1]]).is_some());
+        assert!(c.lookup("b", &[vec![1]]).is_none());
+        assert!(c.lookup("c", &[vec![1]]).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = PlanCache::new(0);
+        assert!(!c.enabled());
+        c.insert("a", &[vec![1]], CachedPlan::Unplannable);
+        assert!(c.lookup("a", &[vec![1]]).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.misses, 0); // disabled lookups are not counted
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let mut c = PlanCache::new(4);
+        for name in ["a", "b", "c", "d"] {
+            c.insert(name, &[vec![2, 2]], CachedPlan::Unplannable);
+        }
+        c.set_capacity(1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions, 3);
+    }
+}

@@ -5,11 +5,12 @@ use std::fmt;
 
 use relax_arith::{EvalError, PrimExpr, Var as SymVar};
 use relax_tir::interp::{self, InterpError};
-use relax_tir::NDArray;
+use relax_tir::{NDArray, PlanError};
 
 use crate::exec::{Executable, Instr, Reg, VmFunction};
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
 use crate::memory::{MemoryStats, PooledAllocator};
+use crate::plan_cache::{CachedPlan, PlanCache, DEFAULT_CAPACITY};
 use crate::registry::{KernelError, Registry};
 use crate::value::Value;
 
@@ -216,6 +217,34 @@ pub struct Telemetry {
     /// Successful runs completed immediately after a failed run — the
     /// observable form of the "clean state after error" guarantee.
     pub recoveries: u64,
+    /// Kernel-plan cache hits: `CallTir` launches that reused a compiled
+    /// plan for their exact (function, shapes) key.
+    pub plan_cache_hits: u64,
+    /// Kernel-plan cache misses (each triggers one plan compilation).
+    pub plan_cache_misses: u64,
+    /// Plans evicted from the cache (least recently used first).
+    pub plan_cache_evictions: u64,
+    /// Kernel plans compiled (shape-specialized lowerings of tensor
+    /// programs).
+    pub plan_compiles: u64,
+    /// `CallTir` launches executed by the reference interpreter because
+    /// the tensor program is outside the planner's supported subset.
+    pub plan_fallbacks: u64,
+}
+
+/// Per-kernel execution statistics, split into plan-compile time (paid
+/// once per (function, shapes) specialization) and run time (paid per
+/// launch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Launches of this kernel.
+    pub calls: u64,
+    /// Accumulated host execution time across launches.
+    pub run_time: std::time::Duration,
+    /// Shape-specialized plan compilations for this kernel.
+    pub plan_compiles: u64,
+    /// Accumulated plan-compilation time.
+    pub compile_time: std::time::Duration,
 }
 
 /// The Relax virtual machine.
@@ -236,8 +265,12 @@ pub struct Vm {
     /// (storage id, bytes).
     static_storage: HashMap<(String, usize), (u64, usize)>,
     next_storage_id: u64,
-    /// Per-kernel call counts and accumulated host execution time.
-    kernel_stats: HashMap<String, (u64, std::time::Duration)>,
+    /// Per-kernel launch counts and compile/run time split.
+    kernel_stats: HashMap<String, KernelStat>,
+    /// Shape-keyed LRU cache of compiled kernel plans.
+    plan_cache: PlanCache,
+    /// Worker threads for parallelizable kernel plans (1 = serial).
+    parallelism: usize,
     /// Scheduled fault injection (tests and chaos harnesses).
     fault: Option<FaultInjector>,
     /// Device memory capacity in bytes; allocations beyond it fail.
@@ -266,6 +299,8 @@ impl Vm {
             static_storage: HashMap::new(),
             next_storage_id: 0,
             kernel_stats: HashMap::new(),
+            plan_cache: PlanCache::new(DEFAULT_CAPACITY),
+            parallelism: 1,
             fault: None,
             memory_capacity: None,
             strict_storage: false,
@@ -312,10 +347,44 @@ impl Vm {
         let mut rows: Vec<(String, u64, f64)> = self
             .kernel_stats
             .iter()
-            .map(|(k, (n, d))| (k.clone(), *n, d.as_secs_f64()))
+            .map(|(k, s)| (k.clone(), s.calls, s.run_time.as_secs_f64()))
             .collect();
         rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
         rows
+    }
+
+    /// Per-kernel statistics with the compile-vs-run time split (see
+    /// [`KernelStat`]). Plan compilations are charged to the kernel they
+    /// specialize.
+    pub fn kernel_stats(&self) -> &HashMap<String, KernelStat> {
+        &self.kernel_stats
+    }
+
+    /// Sets how many `(function, shapes)` kernel-plan specializations the
+    /// VM keeps (LRU eviction beyond that). `0` disables planning
+    /// entirely: every `CallTir` launch runs on the reference
+    /// interpreter. The default is 64.
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.plan_cache.set_capacity(capacity);
+    }
+
+    /// Current plan-cache capacity.
+    pub fn plan_cache_capacity(&self) -> usize {
+        self.plan_cache.capacity()
+    }
+
+    /// Number of plans (and negative entries) currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Sets the number of worker threads used to execute parallelizable
+    /// kernel plans. `1` (the default) runs serially on the calling
+    /// thread; values above 1 chunk the outermost parallelizable loop
+    /// across scoped threads. Chunks never share output elements, so
+    /// results are bit-identical at any thread count.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
     }
 
     /// Current execution counters.
@@ -323,6 +392,9 @@ impl Vm {
         let mut t = self.telemetry;
         t.pool = self.pool.stats();
         t.planned_bytes = self.planned_total();
+        t.plan_cache_hits = self.plan_cache.hits;
+        t.plan_cache_misses = self.plan_cache.misses;
+        t.plan_cache_evictions = self.plan_cache.evictions;
         t
     }
 
@@ -591,12 +663,9 @@ impl Vm {
                 dsts,
                 sym_args: _,
             } => {
-                let prim = self
-                    .exec
-                    .tir_funcs
-                    .get(func)
-                    .cloned()
-                    .ok_or_else(|| VmError::new(VmErrorKind::UnknownTir(func.clone())))?;
+                if !self.exec.tir_funcs.contains_key(func) {
+                    return Err(VmError::new(VmErrorKind::UnknownTir(func.clone())));
+                }
                 if self.fault_fires(FaultSite::Kernel) {
                     return Err(injected_kernel_fault(func));
                 }
@@ -604,14 +673,52 @@ impl Vm {
                 for r in args.iter().chain(dsts) {
                     tensors.push(frame.tensor(*r)?.clone());
                 }
+                let shapes: Vec<Vec<usize>> =
+                    tensors.iter().map(|t| t.shape().to_vec()).collect();
+                // Resolve a shape-specialized plan through the LRU cache;
+                // a miss compiles once and is charged separately from run
+                // time. Capacity 0 disables planning entirely.
+                let cached = if self.plan_cache.enabled() {
+                    match self.plan_cache.lookup(func, &shapes) {
+                        Some(c) => Some(c),
+                        None => {
+                            let t0 = std::time::Instant::now();
+                            let compiled =
+                                relax_tir::plan::compile(&self.exec.tir_funcs[func], &shapes);
+                            let dt = t0.elapsed();
+                            let stat = self.kernel_stats.entry(func.clone()).or_default();
+                            stat.plan_compiles += 1;
+                            stat.compile_time += dt;
+                            self.telemetry.plan_compiles += 1;
+                            let entry = match compiled {
+                                Ok(plan) => CachedPlan::Ready(std::rc::Rc::new(plan)),
+                                Err(PlanError::Unsupported(_)) => CachedPlan::Unplannable,
+                                Err(PlanError::Interp(e)) => return Err(e.into()),
+                            };
+                            self.plan_cache.insert(func, &shapes, entry.clone());
+                            Some(entry)
+                        }
+                    }
+                } else {
+                    None
+                };
                 let t0 = std::time::Instant::now();
-                interp::run(&prim, &tensors)?;
-                let entry = self
-                    .kernel_stats
-                    .entry(func.clone())
-                    .or_insert((0, std::time::Duration::ZERO));
-                entry.0 += 1;
-                entry.1 += t0.elapsed();
+                match cached {
+                    Some(CachedPlan::Ready(plan)) => {
+                        plan.run(&tensors, self.parallelism)?;
+                    }
+                    Some(CachedPlan::Unplannable) => {
+                        self.telemetry.plan_fallbacks += 1;
+                        interp::run(&self.exec.tir_funcs[func], &tensors)?;
+                    }
+                    None => {
+                        interp::run(&self.exec.tir_funcs[func], &tensors)?;
+                    }
+                }
+                let dt = t0.elapsed();
+                let stat = self.kernel_stats.entry(func.clone()).or_default();
+                stat.calls += 1;
+                stat.run_time += dt;
                 self.telemetry.tir_calls += 1;
                 if !in_replay {
                     self.telemetry.kernel_launches += 1;
@@ -629,12 +736,9 @@ impl Vm {
                     dsts.iter().map(|r| frame.tensor(*r).cloned()).collect();
                 let t0 = std::time::Instant::now();
                 self.registry.call_lib(func, &inputs?, &outputs?)?;
-                let entry = self
-                    .kernel_stats
-                    .entry(func.clone())
-                    .or_insert((0, std::time::Duration::ZERO));
-                entry.0 += 1;
-                entry.1 += t0.elapsed();
+                let stat = self.kernel_stats.entry(func.clone()).or_default();
+                stat.calls += 1;
+                stat.run_time += t0.elapsed();
                 self.telemetry.lib_calls += 1;
                 if !in_replay {
                     self.telemetry.kernel_launches += 1;
@@ -920,6 +1024,85 @@ mod tests {
         assert_eq!(tel.tir_calls, 1);
         assert!(tel.shape_checks >= 1);
         assert!(tel.pool.footprint >= 16);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_shape() {
+        let mut vm = Vm::new(relu_exec());
+        let x = NDArray::from_f64(&[4], DataType::F32, vec![-1., 2., -3., 4.]).unwrap();
+        vm.run("main", &[Value::Tensor(x.clone())]).unwrap();
+        let out = vm.run("main", &[Value::Tensor(x)]).unwrap();
+        assert_eq!(out.as_tensor().unwrap().to_f64_vec(), vec![0., 2., 0., 4.]);
+        let tel = vm.telemetry();
+        assert_eq!(tel.plan_cache_misses, 1);
+        assert_eq!(tel.plan_cache_hits, 1);
+        assert_eq!(tel.plan_compiles, 1);
+        assert_eq!(tel.plan_fallbacks, 0);
+        let stat = vm.kernel_stats()["relu"];
+        assert_eq!(stat.calls, 2);
+        assert_eq!(stat.plan_compiles, 1);
+        assert!(stat.compile_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn plan_cache_misses_on_new_shape() {
+        let mut vm = Vm::new(relu_exec());
+        for n in [4usize, 8, 4, 8] {
+            let x = NDArray::zeros(&[n], DataType::F32);
+            vm.run("main", &[Value::Tensor(x)]).unwrap();
+        }
+        let tel = vm.telemetry();
+        // One compile per distinct shape; repeats hit.
+        assert_eq!(tel.plan_cache_misses, 2);
+        assert_eq!(tel.plan_cache_hits, 2);
+        assert_eq!(tel.plan_compiles, 2);
+        assert_eq!(vm.plan_cache_len(), 2);
+    }
+
+    #[test]
+    fn plan_cache_evicts_lru_when_over_capacity() {
+        let mut vm = Vm::new(relu_exec());
+        vm.set_plan_cache_capacity(1);
+        for n in [4usize, 8, 4] {
+            let x = NDArray::zeros(&[n], DataType::F32);
+            vm.run("main", &[Value::Tensor(x)]).unwrap();
+        }
+        let tel = vm.telemetry();
+        // Each shape change evicts the previous single entry, so the
+        // third run (shape 4 again) must recompile.
+        assert_eq!(tel.plan_cache_misses, 3);
+        assert_eq!(tel.plan_cache_evictions, 2);
+        assert_eq!(tel.plan_compiles, 3);
+        assert_eq!(vm.plan_cache_len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_planning() {
+        let mut vm = Vm::new(relu_exec());
+        vm.set_plan_cache_capacity(0);
+        let x = NDArray::from_f64(&[3], DataType::F32, vec![-5., 0., 5.]).unwrap();
+        let out = vm.run("main", &[Value::Tensor(x)]).unwrap();
+        assert_eq!(out.as_tensor().unwrap().to_f64_vec(), vec![0., 0., 5.]);
+        let tel = vm.telemetry();
+        assert_eq!(tel.plan_compiles, 0);
+        assert_eq!(tel.plan_cache_misses, 0);
+        assert_eq!(tel.plan_fallbacks, 0);
+        assert_eq!(tel.tir_calls, 1);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial() {
+        let data: Vec<f64> = (0..1024).map(|i| (i as f64) - 512.0).collect();
+        let x = NDArray::from_f64(&[1024], DataType::F32, data).unwrap();
+        let mut serial = Vm::new(relu_exec());
+        let a = serial.run("main", &[Value::Tensor(x.clone())]).unwrap();
+        let mut parallel = Vm::new(relu_exec());
+        parallel.set_parallelism(4);
+        let b = parallel.run("main", &[Value::Tensor(x)]).unwrap();
+        assert_eq!(
+            a.as_tensor().unwrap().to_f64_vec(),
+            b.as_tensor().unwrap().to_f64_vec()
+        );
     }
 
     #[test]

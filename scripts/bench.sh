@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the runtime micro-benchmarks and writes BENCH_runtime.json at the
+# repository root (median ns/iter per benchmark plus interpreter-vs-plan
+# and 1-vs-N-thread speedups).
+#
+# Usage: scripts/bench.sh [--fast]
+#   --fast   smoke sizing (RELAX_BENCH_FAST=1): a few small batches, for CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--fast" ]; then
+    export RELAX_BENCH_FAST=1
+fi
+
+cargo bench -p relax-bench --bench runtime
+echo "==> BENCH_runtime.json"
+cat BENCH_runtime.json

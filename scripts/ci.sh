@@ -27,4 +27,8 @@ cargo test --workspace -q
 echo "==> cargo doc --workspace --no-deps"
 cargo doc --workspace --no-deps -q
 
+echo "==> runtime bench smoke (RELAX_BENCH_FAST)"
+scripts/bench.sh --fast >/dev/null
+test -s BENCH_runtime.json
+
 echo "CI gate passed."
