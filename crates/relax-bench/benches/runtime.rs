@@ -10,7 +10,7 @@ use relax_arith::{DataType, Var as SymVar};
 use relax_bench::timing::bench;
 use relax_core::{ShapeDesc, StructInfo};
 use relax_models::llama::LlamaConfig;
-use relax_passes::{compile, CompileOptions};
+use relax_passes::{compile, compile_with_report, CompileOptions, PassRecord};
 use relax_tir::{grid, interp, plan, Buffer, NDArray, PrimFunc, Stmt, TirExpr};
 use relax_vm::{Value, Vm};
 
@@ -193,8 +193,17 @@ fn bench_tir_matmul_large(rows: &mut Vec<(String, f64)>) -> (f64, f64) {
     (plan_ns, plan4_ns)
 }
 
+/// One full-pipeline compile of the tiny decode module, reporting where
+/// the compile time goes pass by pass.
+fn compile_pass_rows() -> Vec<PassRecord> {
+    let cfg = LlamaConfig::tiny();
+    let ir = relax_models::llama::build_decode(&cfg).unwrap();
+    let (_, report) = compile_with_report(ir.module, &CompileOptions::default()).unwrap();
+    report.passes
+}
+
 /// Serializes results as JSON by hand — the workspace has no serde.
-fn write_json(rows: &[(String, f64)], speedups: &[(&str, f64)]) {
+fn write_json(rows: &[(String, f64)], speedups: &[(&str, f64)], passes: &[PassRecord]) {
     // Thread-scaling rows only make sense relative to the host's actual
     // core count (a 1-core CI box cannot show a parallel win).
     let host_threads = std::thread::available_parallelism()
@@ -205,6 +214,17 @@ fn write_json(rows: &[(String, f64)], speedups: &[(&str, f64)]) {
         let sep = if i + 1 < rows.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"name\": \"{name}\", \"median_ns\": {ns:.1}}}{sep}\n"
+        ));
+    }
+    out.push_str("  ],\n  \"compile_passes\": [\n");
+    for (i, p) in passes.iter().enumerate() {
+        let sep = if i + 1 < passes.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"stage\": \"{:?}\", \"wall_ns\": {}, \"changed\": {}}}{sep}\n",
+            p.name,
+            p.stage,
+            p.wall.as_nanos(),
+            p.changed
         ));
     }
     out.push_str("  ],\n  \"speedup\": {\n");
@@ -244,5 +264,14 @@ fn main() {
     for (name, x) in &speedups {
         println!("{name:<40} {x:>11.2}x");
     }
-    write_json(&rows, &speedups);
+    let passes = compile_pass_rows();
+    for p in &passes {
+        println!(
+            "compile/{:<32} {:>8} ns  changed={}",
+            p.name,
+            p.wall.as_nanos(),
+            p.changed
+        );
+    }
+    write_json(&rows, &speedups, &passes);
 }

@@ -9,18 +9,44 @@ use relax_tir::analysis;
 pub const COMPUTE_PATTERN_ATTR: &str = "compute_pattern";
 
 /// Annotates every tensor program in the module with its compute pattern.
+/// Returns the number of programs whose recorded pattern changed (newly
+/// annotated or reclassified).
 ///
 /// This is the *analysis feedback* optimization pattern: instead of
 /// manually annotating properties on every high-level operator, the
 /// compiler derives them from the loop structure of the tensor programs —
 /// which also covers customized programs (like quantization decode) that
 /// have no graph-level operator at all.
-pub fn annotate_compute_patterns(module: &mut IRModule) {
+pub fn annotate_compute_patterns(module: &mut IRModule) -> usize {
     let names: Vec<String> = module.tir_funcs().map(|(n, _)| n.clone()).collect();
+    let mut updated = 0;
     for name in names {
         let func = module.tir_func(&name).expect("name just listed").clone();
-        let kind = analysis::pattern_kind(&func);
-        module.set_tir_func(name, func.with_attr(COMPUTE_PATTERN_ATTR, kind.to_string()));
+        let kind = analysis::pattern_kind(&func).to_string();
+        if func.attr(COMPUTE_PATTERN_ATTR) == Some(kind.as_str()) {
+            continue;
+        }
+        module.set_tir_func(name, func.with_attr(COMPUTE_PATTERN_ATTR, kind));
+        updated += 1;
+    }
+    updated
+}
+
+/// [`crate::ModulePass`] adapter for [`annotate_compute_patterns`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnnotatePatterns;
+
+impl crate::ModulePass for AnnotatePatterns {
+    fn name(&self) -> &str {
+        "annotate_patterns"
+    }
+
+    fn run_on_module(
+        &mut self,
+        module: &mut IRModule,
+        _ctx: &mut crate::PassContext,
+    ) -> Result<bool, crate::PassError> {
+        Ok(annotate_compute_patterns(module) > 0)
     }
 }
 

@@ -143,6 +143,34 @@ pub fn dispatch_library(module: &mut IRModule, rules: &DispatchRules) -> usize {
     dispatched
 }
 
+/// [`crate::ModulePass`] adapter for [`dispatch_library`] with a fixed
+/// rule set.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchLibrary {
+    rules: DispatchRules,
+}
+
+impl DispatchLibrary {
+    /// A dispatch pass applying `rules`.
+    pub fn new(rules: DispatchRules) -> Self {
+        DispatchLibrary { rules }
+    }
+}
+
+impl crate::ModulePass for DispatchLibrary {
+    fn name(&self) -> &str {
+        "dispatch_library"
+    }
+
+    fn run_on_module(
+        &mut self,
+        module: &mut IRModule,
+        _ctx: &mut crate::PassContext,
+    ) -> Result<bool, crate::PassError> {
+        Ok(dispatch_library(module, &self.rules) > 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,14 @@ pub enum PassError {
     Build(BuildError),
     /// The input module is not well formed.
     WellFormed(WellFormedError),
+    /// A module pass produced a malformed module (caught by
+    /// `VerifyLevel::All` inter-pass checking).
+    WellFormedAfter {
+        /// The pass that ran immediately before the check.
+        pass: String,
+        /// The violation found.
+        error: WellFormedError,
+    },
     /// Lowering encountered an unsupported construct.
     Unsupported {
         /// Which pass.
@@ -27,8 +35,8 @@ pub enum PassError {
     },
     /// The lowered executable failed validation (see `relax_vm::verify`).
     Verify {
-        /// Pipeline stage after which validation ran.
-        stage: &'static str,
+        /// Pipeline stage or pass after which validation ran.
+        stage: String,
         /// The violations found.
         error: relax_vm::VerifyError,
     },
@@ -42,6 +50,9 @@ impl fmt::Display for PassError {
             PassError::Transform(e) => write!(f, "{e}"),
             PassError::Build(e) => write!(f, "{e}"),
             PassError::WellFormed(e) => write!(f, "{e}"),
+            PassError::WellFormedAfter { pass, error } => {
+                write!(f, "module malformed after pass `{pass}`: {error}")
+            }
             PassError::Unsupported { pass, detail } => write!(f, "{pass}: {detail}"),
             PassError::Verify { stage, error } => {
                 write!(f, "executable validation failed after {stage}: {error}")

@@ -6,6 +6,7 @@ use relax_core::{deduce, legalize, Expr, IRModule, LegalizeError, Op};
 use crate::error::PassError;
 
 /// Lowers all graph-level operator calls in the module to `call_tir`.
+/// Returns the number of call sites legalized.
 ///
 /// Data-dependent operators with no loop-level implementation
 /// ([`Op::Unique`]) are left in place; [`crate::lower_to_vm`] lowers them
@@ -17,7 +18,8 @@ use crate::error::PassError;
 ///
 /// Fails when a tensor program cannot be generated (coarse shapes reaching
 /// an operator that needs them).
-pub fn legalize_module(module: &mut IRModule) -> Result<(), PassError> {
+pub fn legalize_module(module: &mut IRModule) -> Result<usize, PassError> {
+    let mut legalized = 0;
     for fname in module.function_names() {
         let mut func = match module.function(&fname) {
             Some(f) => f.clone(),
@@ -70,13 +72,32 @@ pub fn legalize_module(module: &mut IRModule) -> Result<(), PassError> {
                     sym_args,
                 };
                 changed = true;
+                legalized += 1;
             }
         }
         if changed {
             module.add_function(fname, func);
         }
     }
-    Ok(())
+    Ok(legalized)
+}
+
+/// [`crate::ModulePass`] adapter for [`legalize_module`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Legalize;
+
+impl crate::ModulePass for Legalize {
+    fn name(&self) -> &str {
+        "legalize"
+    }
+
+    fn run_on_module(
+        &mut self,
+        module: &mut IRModule,
+        _ctx: &mut crate::PassContext,
+    ) -> Result<bool, crate::PassError> {
+        Ok(legalize_module(module)? > 0)
+    }
 }
 
 #[cfg(test)]

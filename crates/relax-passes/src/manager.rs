@@ -1,0 +1,612 @@
+//! The unified pass infrastructure: a two-stage [`PassManager`] driving
+//! every optimization over a shared [`PassContext`].
+//!
+//! The pipeline used to be a hard-coded call chain; this module turns it
+//! into data. Passes come in two stages matching the two IRs of the
+//! compilation flow:
+//!
+//! - [`ModulePass`]: rewrites the cross-level [`IRModule`] (cleanups,
+//!   dispatch, legalization, fusion, workspace lifting).
+//! - [`ExecPass`]: rewrites the lowered [`Executable`] (memory planning,
+//!   graph capture).
+//!
+//! Between the stages the manager runs the fixed lowering step
+//! ([`crate::lower_to_vm`]). Around every pass it provides, via the
+//! [`PassContext`]:
+//!
+//! - **Telemetry**: per-pass wall time and a changed-the-IR bit, collected
+//!   into a [`CompileReport`].
+//! - **Invariant checking**: `relax_core::assert_well_formed` after module
+//!   passes and `relax_vm::verify` after exec passes, gated by
+//!   [`VerifyLevel`] so the default build stays fast. The verifier
+//!   [`relax_vm::registry::Registry`] is built once per context (and is
+//!   injectable, so validation matches the VM that will actually run the
+//!   executable).
+//! - **IR dumping**: pretty-printed before/after snapshots of passes whose
+//!   name matches the `RELAX_DUMP_IR` glob list (e.g.
+//!   `RELAX_DUMP_IR='fuse*'`), sent to stderr or to a programmatic sink.
+//!
+//! [`Fixpoint`] composes module passes into a combinator that iterates
+//! until no member reports a change (with an iteration cap), replacing the
+//! old fixed number of cleanup repetitions.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use relax_core::IRModule;
+use relax_vm::registry::Registry;
+use relax_vm::Executable;
+
+use crate::error::PassError;
+use crate::workspace::LiftedWorkspaces;
+
+/// How much invariant checking the manager performs between passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum VerifyLevel {
+    /// No checking at all (trusted inputs, fastest builds).
+    Off,
+    /// Check at stage boundaries only: the input module must be well
+    /// formed, and the executable is verified after lowering and after
+    /// every exec pass. This matches the historical pipeline and is the
+    /// default.
+    #[default]
+    Boundaries,
+    /// Additionally re-check module well-formedness after every module
+    /// pass — catches a pass that corrupts the IR right where it happened.
+    All,
+}
+
+/// Which stage a pass (or the lowering step) ran in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassStage {
+    /// Operated on the [`IRModule`].
+    Module,
+    /// The fixed module→executable lowering step.
+    Lower,
+    /// Operated on the [`Executable`].
+    Exec,
+}
+
+/// Telemetry for one executed pass.
+#[derive(Debug, Clone)]
+pub struct PassRecord {
+    /// Pass name (as reported by the pass itself).
+    pub name: String,
+    /// Stage the pass ran in.
+    pub stage: PassStage,
+    /// Wall-clock time spent inside the pass (excludes verification and
+    /// dumping overhead).
+    pub wall: Duration,
+    /// Whether the pass reported changing the IR.
+    pub changed: bool,
+}
+
+/// Telemetry for one [`Fixpoint`] combinator execution.
+#[derive(Debug, Clone)]
+pub struct FixpointRecord {
+    /// Combinator name.
+    pub name: String,
+    /// Number of iterations executed (1 = already clean).
+    pub iterations: usize,
+    /// `false` when the iteration cap fired before quiescence.
+    pub converged: bool,
+}
+
+/// Per-compilation telemetry returned by
+/// [`crate::compile_with_report`]: one timed entry per executed pass, in
+/// execution order, plus fixpoint convergence data.
+#[derive(Debug, Clone, Default)]
+pub struct CompileReport {
+    /// Every executed pass, in order (fixpoint members appear once per
+    /// iteration).
+    pub passes: Vec<PassRecord>,
+    /// One entry per executed [`Fixpoint`] combinator.
+    pub fixpoints: Vec<FixpointRecord>,
+    /// End-to-end wall time of the whole pipeline run.
+    pub total: Duration,
+}
+
+impl CompileReport {
+    /// The executed pass names, in order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Total time attributed to passes (as opposed to verification,
+    /// dumping, and manager overhead).
+    pub fn pass_time(&self) -> Duration {
+        self.passes.iter().map(|p| p.wall).sum()
+    }
+}
+
+impl std::fmt::Display for CompileReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "compile report ({:.3} ms total):", ms(self.total))?;
+        for p in &self.passes {
+            writeln!(
+                f,
+                "  {:<24} {:>9.3} ms  {}",
+                p.name,
+                ms(p.wall),
+                if p.changed { "changed" } else { "-" }
+            )?;
+        }
+        for fx in &self.fixpoints {
+            writeln!(
+                f,
+                "  fixpoint {:<15} {} iteration(s){}",
+                fx.name,
+                fx.iterations,
+                if fx.converged { "" } else { " (cap hit)" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// A before/after IR snapshot emitted by the dump hooks.
+#[derive(Debug, Clone)]
+pub struct DumpEvent {
+    /// The pass the snapshot brackets.
+    pub pass: String,
+    /// `"before"` or `"after"`.
+    pub when: &'static str,
+    /// Pretty-printed IR (module text for module passes, VM function
+    /// listings for the lowering step and exec passes).
+    pub text: String,
+}
+
+/// Programmatic receiver for [`DumpEvent`]s.
+pub type DumpSink = Box<dyn FnMut(&DumpEvent)>;
+
+/// Shared state threaded through every pass execution.
+///
+/// Owns the verification [`Registry`] (constructed once, not per
+/// verification call), the dump configuration, the collected
+/// [`CompileReport`], and cross-pass side data (lifted workspaces).
+pub struct PassContext {
+    /// Invariant-checking level.
+    pub verify: VerifyLevel,
+    registry: Registry,
+    dump_globs: Vec<String>,
+    dump_sink: Option<DumpSink>,
+    report: CompileReport,
+    /// Workspace buffers lifted by [`crate::lift_tir_workspaces`];
+    /// consumed by the lowering step.
+    pub(crate) workspaces: HashMap<String, LiftedWorkspaces>,
+}
+
+impl Default for PassContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for PassContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassContext")
+            .field("verify", &self.verify)
+            .field("registry", &self.registry)
+            .field("dump_globs", &self.dump_globs)
+            .field("has_sink", &self.dump_sink.is_some())
+            .finish()
+    }
+}
+
+impl PassContext {
+    /// A context with the default registry, default verification, and the
+    /// dump filter taken from the `RELAX_DUMP_IR` environment variable
+    /// (comma-separated pass-name globs, `*` and `?` wildcards).
+    pub fn new() -> Self {
+        let dump_globs = std::env::var("RELAX_DUMP_IR")
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default();
+        PassContext {
+            verify: VerifyLevel::default(),
+            registry: Registry::new(),
+            dump_globs,
+            dump_sink: None,
+            report: CompileReport::default(),
+            workspaces: HashMap::new(),
+        }
+    }
+
+    /// Uses a custom foreign-function registry for executable validation
+    /// (pass the registry of the [`relax_vm::Vm`] that will run the
+    /// executable, see [`relax_vm::Vm::with_registry`]).
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Sets the invariant-checking level.
+    pub fn with_verify_level(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
+        self
+    }
+
+    /// Replaces the dump filter (overrides `RELAX_DUMP_IR`).
+    pub fn with_dump_globs(mut self, globs: Vec<String>) -> Self {
+        self.dump_globs = globs;
+        self
+    }
+
+    /// Routes dump events to `sink` instead of stderr.
+    pub fn with_dump_sink(mut self, sink: DumpSink) -> Self {
+        self.dump_sink = Some(sink);
+        self
+    }
+
+    /// The registry used for executable validation.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The telemetry collected so far.
+    pub fn report(&self) -> &CompileReport {
+        &self.report
+    }
+
+    /// Takes the collected telemetry out of the context, leaving it empty.
+    pub fn take_report(&mut self) -> CompileReport {
+        std::mem::take(&mut self.report)
+    }
+
+    fn should_dump(&self, pass: &str) -> bool {
+        self.dump_globs.iter().any(|g| glob_match(g, pass))
+    }
+
+    fn dump(&mut self, pass: &str, when: &'static str, text: String) {
+        let event = DumpEvent {
+            pass: pass.to_string(),
+            when,
+            text,
+        };
+        match &mut self.dump_sink {
+            Some(sink) => sink(&event),
+            None => eprintln!(
+                "=== RELAX_DUMP_IR [{} {}] ===\n{}",
+                event.pass, event.when, event.text
+            ),
+        }
+    }
+
+    fn record(&mut self, name: &str, stage: PassStage, wall: Duration, changed: bool) {
+        self.report.passes.push(PassRecord {
+            name: name.to_string(),
+            stage,
+            wall,
+            changed,
+        });
+    }
+}
+
+/// Matches `pattern` against `name` with `*` (any substring) and `?`
+/// (any single byte) wildcards.
+pub(crate) fn glob_match(pattern: &str, name: &str) -> bool {
+    fn go(p: &[u8], n: &[u8]) -> bool {
+        match (p.first(), n.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => go(&p[1..], n) || (!n.is_empty() && go(p, &n[1..])),
+            (Some(b'?'), Some(_)) => go(&p[1..], &n[1..]),
+            (Some(c), Some(d)) if c == d => go(&p[1..], &n[1..]),
+            _ => false,
+        }
+    }
+    go(pattern.as_bytes(), name.as_bytes())
+}
+
+/// A pass over the cross-level [`IRModule`] (the first stage).
+pub trait ModulePass {
+    /// Stable pass name (used for telemetry, dumps, and verify errors).
+    fn name(&self) -> &str;
+
+    /// Rewrites the module, returning whether anything changed.
+    ///
+    /// # Errors
+    ///
+    /// Pass-specific failures, propagated as [`PassError`].
+    fn run_on_module(
+        &mut self,
+        module: &mut IRModule,
+        ctx: &mut PassContext,
+    ) -> Result<bool, PassError>;
+
+    /// `true` for combinators that delegate to member passes. Groups get
+    /// no [`PassRecord`] of their own — their members are recorded
+    /// individually, so a group record would double-count wall time.
+    fn is_group(&self) -> bool {
+        false
+    }
+}
+
+/// A pass over the lowered [`Executable`] (the second stage).
+pub trait ExecPass {
+    /// Stable pass name (used for telemetry, dumps, and verify errors).
+    fn name(&self) -> &str;
+
+    /// Rewrites the executable, returning whether anything changed.
+    ///
+    /// # Errors
+    ///
+    /// Pass-specific failures, propagated as [`PassError`].
+    fn run_on_exec(
+        &mut self,
+        exec: &mut Executable,
+        ctx: &mut PassContext,
+    ) -> Result<bool, PassError>;
+}
+
+/// Iterates a group of module passes until none of them reports a change,
+/// or the iteration cap fires.
+///
+/// An already-clean module therefore costs exactly one iteration. Each
+/// member execution gets its own [`PassRecord`]; the combinator itself
+/// contributes a [`FixpointRecord`].
+pub struct Fixpoint {
+    name: String,
+    passes: Vec<Box<dyn ModulePass>>,
+    max_iterations: usize,
+}
+
+/// Default iteration cap for [`Fixpoint`] — generous: the cleanup passes
+/// converge in two or three iterations on real modules.
+pub const FIXPOINT_DEFAULT_CAP: usize = 10;
+
+impl Fixpoint {
+    /// A fixpoint combinator over `passes` with the default iteration cap.
+    pub fn new(name: impl Into<String>, passes: Vec<Box<dyn ModulePass>>) -> Self {
+        Fixpoint {
+            name: name.into(),
+            passes,
+            max_iterations: FIXPOINT_DEFAULT_CAP,
+        }
+    }
+
+    /// Overrides the iteration cap (must be ≥ 1).
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.max_iterations = cap.max(1);
+        self
+    }
+}
+
+impl ModulePass for Fixpoint {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run_on_module(
+        &mut self,
+        module: &mut IRModule,
+        ctx: &mut PassContext,
+    ) -> Result<bool, PassError> {
+        let mut iterations = 0;
+        let mut any_changed = false;
+        let mut converged = false;
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let mut changed = false;
+            for pass in &mut self.passes {
+                changed |= run_instrumented_module_pass(pass.as_mut(), module, ctx)?;
+            }
+            any_changed |= changed;
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        ctx.report.fixpoints.push(FixpointRecord {
+            name: self.name.clone(),
+            iterations,
+            converged,
+        });
+        Ok(any_changed)
+    }
+
+    fn is_group(&self) -> bool {
+        true
+    }
+}
+
+/// Runs one module pass with dumping, timing, telemetry, and (at
+/// [`VerifyLevel::All`]) post-pass well-formedness checking.
+fn run_instrumented_module_pass(
+    pass: &mut dyn ModulePass,
+    module: &mut IRModule,
+    ctx: &mut PassContext,
+) -> Result<bool, PassError> {
+    let name = pass.name().to_string();
+    let dumping = ctx.should_dump(&name);
+    if dumping {
+        let text = module.to_string();
+        ctx.dump(&name, "before", text);
+    }
+    let start = Instant::now();
+    let changed = pass.run_on_module(module, ctx)?;
+    let wall = start.elapsed();
+    if !pass.is_group() {
+        ctx.record(&name, PassStage::Module, wall, changed);
+    }
+    if dumping {
+        let text = module.to_string();
+        ctx.dump(&name, "after", text);
+    }
+    if ctx.verify >= VerifyLevel::All {
+        relax_core::assert_well_formed(module).map_err(|error| PassError::WellFormedAfter {
+            pass: name,
+            error,
+        })?;
+    }
+    Ok(changed)
+}
+
+/// Runs one exec pass with dumping, timing, telemetry, and (at
+/// [`VerifyLevel::Boundaries`] and above) post-pass executable
+/// verification against the context's registry.
+fn run_instrumented_exec_pass(
+    pass: &mut dyn ExecPass,
+    exec: &mut Executable,
+    ctx: &mut PassContext,
+) -> Result<bool, PassError> {
+    let name = pass.name().to_string();
+    let dumping = ctx.should_dump(&name);
+    if dumping {
+        let text = exec_text(exec);
+        ctx.dump(&name, "before", text);
+    }
+    let start = Instant::now();
+    let changed = pass.run_on_exec(exec, ctx)?;
+    let wall = start.elapsed();
+    ctx.record(&name, PassStage::Exec, wall, changed);
+    if dumping {
+        let text = exec_text(exec);
+        ctx.dump(&name, "after", text);
+    }
+    if ctx.verify >= VerifyLevel::Boundaries {
+        relax_vm::verify(exec, ctx.registry()).map_err(|error| PassError::Verify {
+            stage: name,
+            error,
+        })?;
+    }
+    Ok(changed)
+}
+
+/// Pretty-prints the VM functions of an executable for dump events.
+fn exec_text(exec: &Executable) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for func in exec.funcs.values() {
+        let _ = writeln!(out, "{func}");
+    }
+    out
+}
+
+/// A two-stage pass pipeline: module passes, the fixed lowering step,
+/// exec passes.
+#[derive(Default)]
+pub struct PassManager {
+    module_passes: Vec<Box<dyn ModulePass>>,
+    exec_passes: Vec<Box<dyn ExecPass>>,
+}
+
+impl PassManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a module-stage pass (builder style).
+    pub fn with_module_pass(mut self, pass: impl ModulePass + 'static) -> Self {
+        self.module_passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends an exec-stage pass (builder style).
+    pub fn with_exec_pass(mut self, pass: impl ExecPass + 'static) -> Self {
+        self.exec_passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends a module-stage pass.
+    pub fn add_module_pass(&mut self, pass: impl ModulePass + 'static) {
+        self.module_passes.push(Box::new(pass));
+    }
+
+    /// Appends an exec-stage pass.
+    pub fn add_exec_pass(&mut self, pass: impl ExecPass + 'static) {
+        self.exec_passes.push(Box::new(pass));
+    }
+
+    /// The names of the registered passes, module stage then exec stage
+    /// (the lowering step is implicit between them).
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.module_passes
+            .iter()
+            .map(|p| p.name())
+            .chain(self.exec_passes.iter().map(|p| p.name()))
+            .collect()
+    }
+
+    /// Runs the full pipeline: module passes, lowering, exec passes.
+    /// Telemetry accumulates into `ctx`; retrieve it with
+    /// [`PassContext::take_report`].
+    ///
+    /// # Errors
+    ///
+    /// The first pass or verification failure.
+    pub fn run(
+        &mut self,
+        module: IRModule,
+        ctx: &mut PassContext,
+    ) -> Result<Executable, PassError> {
+        let total_start = Instant::now();
+        let mut m = module;
+        if ctx.verify >= VerifyLevel::Boundaries {
+            relax_core::assert_well_formed(&m)?;
+        }
+        for pass in &mut self.module_passes {
+            run_instrumented_module_pass(pass.as_mut(), &mut m, ctx)?;
+        }
+
+        // The fixed stage transition: lower the module to VM instructions,
+        // consuming the workspace map produced by the module stage.
+        let name = "lower_to_vm";
+        let dumping = ctx.should_dump(name);
+        if dumping {
+            ctx.dump(name, "before", m.to_string());
+        }
+        let start = Instant::now();
+        let workspaces = std::mem::take(&mut ctx.workspaces);
+        let mut exec = crate::lower::lower_to_vm(&m, &workspaces)?;
+        ctx.record(name, PassStage::Lower, start.elapsed(), true);
+        if dumping {
+            ctx.dump(name, "after", exec_text(&exec));
+        }
+        if ctx.verify >= VerifyLevel::Boundaries {
+            relax_vm::verify(&exec, ctx.registry()).map_err(|error| PassError::Verify {
+                stage: name.to_string(),
+                error,
+            })?;
+        }
+
+        for pass in &mut self.exec_passes {
+            run_instrumented_exec_pass(pass.as_mut(), &mut exec, ctx)?;
+        }
+        ctx.report.total += total_start.elapsed();
+        Ok(exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_matching() {
+        assert!(glob_match("fuse*", "fuse_ops"));
+        assert!(glob_match("fuse*", "fuse_tensor_ir"));
+        assert!(!glob_match("fuse*", "const_fold"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("d?e", "dce"));
+        assert!(!glob_match("d?e", "dice"));
+        assert!(glob_match("cse", "cse"));
+        assert!(!glob_match("cse", "cse2"));
+        assert!(glob_match("*plan*", "memory_plan"));
+    }
+
+    #[test]
+    fn verify_levels_are_ordered() {
+        assert!(VerifyLevel::Off < VerifyLevel::Boundaries);
+        assert!(VerifyLevel::Boundaries < VerifyLevel::All);
+        assert_eq!(VerifyLevel::default(), VerifyLevel::Boundaries);
+    }
+}

@@ -1,4 +1,5 @@
-//! The fixed-order optimization and lowering pipeline (§4.7, Figure 13).
+//! The default optimization and lowering pipeline (§4.7, Figure 13),
+//! built on the unified [`PassManager`] infrastructure.
 
 use std::collections::HashMap;
 
@@ -6,18 +7,18 @@ use relax_arith::Var as SymVar;
 use relax_core::IRModule;
 use relax_vm::Executable;
 
-use crate::annotate::annotate_compute_patterns;
-use crate::capture::offload_capture;
-use crate::const_fold::fold_constants;
-use crate::cse::common_subexpr_elimination;
-use crate::dce::dead_code_elimination;
-use crate::dispatch::{dispatch_library, DispatchRules};
+use crate::annotate::AnnotatePatterns;
+use crate::capture::GraphCapture;
+use crate::const_fold::ConstFold;
+use crate::cse::Cse;
+use crate::dce::Dce;
+use crate::dispatch::{DispatchLibrary, DispatchRules};
 use crate::error::PassError;
-use crate::fuse::{fuse_ops, fuse_tensor_ir};
-use crate::legalize_pass::legalize_module;
-use crate::lower::lower_to_vm;
-use crate::plan::plan_memory;
-use crate::workspace::lift_tir_workspaces;
+use crate::fuse::{FuseOps, FuseTensorIr};
+use crate::legalize_pass::Legalize;
+use crate::manager::{CompileReport, Fixpoint, ModulePass, PassContext, PassManager};
+use crate::plan::MemoryPlan;
+use crate::workspace::WorkspaceLift;
 
 /// Options controlling the pipeline — each toggle corresponds to one bar
 /// of the paper's Figure 17 ablation.
@@ -104,50 +105,79 @@ impl CompileOptions {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn compile(module: IRModule, opts: &CompileOptions) -> Result<Executable, PassError> {
-    let mut m = module;
-    relax_core::assert_well_formed(&m)?;
+    compile_with_report(module, opts).map(|(exec, _)| exec)
+}
 
-    fold_constants(&mut m);
-    common_subexpr_elimination(&mut m);
-    dead_code_elimination(&mut m);
+/// Like [`compile`], additionally returning the per-pass telemetry
+/// collected during the run (see [`CompileReport`]).
+///
+/// # Errors
+///
+/// Propagates the first pass failure.
+pub fn compile_with_report(
+    module: IRModule,
+    opts: &CompileOptions,
+) -> Result<(Executable, CompileReport), PassError> {
+    let mut ctx = PassContext::new();
+    let exec = compile_with_context(module, opts, &mut ctx)?;
+    Ok((exec, ctx.take_report()))
+}
+
+/// Like [`compile`], but running inside a caller-provided [`PassContext`]
+/// — use this to inject a custom verification registry (matching the VM
+/// the executable will run on), raise the
+/// [`VerifyLevel`](crate::VerifyLevel), or attach a dump sink. Telemetry
+/// accumulates into `ctx`.
+///
+/// # Errors
+///
+/// Propagates the first pass failure.
+pub fn compile_with_context(
+    module: IRModule,
+    opts: &CompileOptions,
+    ctx: &mut PassContext,
+) -> Result<Executable, PassError> {
+    default_manager(opts).run(module, ctx)
+}
+
+/// The cleanup trio as a fixpoint combinator: constant folding can expose
+/// new common subexpressions, CSE can orphan bindings, DCE can expose
+/// nothing new — iterate until quiescent.
+fn cleanup_fixpoint() -> Fixpoint {
+    let passes: Vec<Box<dyn ModulePass>> = vec![
+        Box::new(ConstFold),
+        Box::new(Cse),
+        Box::new(Dce),
+    ];
+    Fixpoint::new("cleanup", passes)
+}
+
+/// Builds the default two-stage pipeline for `opts` — each toggle gates
+/// the passes of one bar of the paper's Figure 17 ablation.
+pub fn default_manager(opts: &CompileOptions) -> PassManager {
+    let mut pm = PassManager::new().with_module_pass(cleanup_fixpoint());
     if opts.dispatch_library {
-        dispatch_library(&mut m, &opts.dispatch_rules);
-        dead_code_elimination(&mut m);
+        pm.add_module_pass(DispatchLibrary::new(opts.dispatch_rules.clone()));
+        pm.add_module_pass(cleanup_fixpoint());
     }
-    legalize_module(&mut m)?;
-    annotate_compute_patterns(&mut m);
+    pm.add_module_pass(Legalize);
+    pm.add_module_pass(AnnotatePatterns);
     if opts.fusion {
-        fuse_ops(&mut m);
-        fuse_tensor_ir(&mut m)?;
-        annotate_compute_patterns(&mut m);
+        pm.add_module_pass(FuseOps);
+        pm.add_module_pass(FuseTensorIr);
+        pm.add_module_pass(AnnotatePatterns);
     }
-    dead_code_elimination(&mut m);
-    let workspaces = lift_tir_workspaces(&mut m);
-    let mut exec = lower_to_vm(&m, &workspaces)?;
-    verify_exec(&exec, "lowering")?;
-
+    pm.add_module_pass(cleanup_fixpoint());
+    pm.add_module_pass(WorkspaceLift);
     if opts.memory_plan {
-        for f in exec.funcs.values_mut() {
-            *f = plan_memory(f, &opts.shape_bounds);
-        }
-        verify_exec(&exec, "memory planning")?;
+        pm.add_exec_pass(MemoryPlan::new(opts.shape_bounds.clone()));
         if opts.graph_capture {
             // Capture applies to static and dynamic plans alike — dynamic
             // plans capture per shape signature.
-            for f in exec.funcs.values_mut() {
-                *f = offload_capture(f).0;
-            }
-            verify_exec(&exec, "graph capture")?;
+            pm.add_exec_pass(GraphCapture);
         }
     }
-    Ok(exec)
-}
-
-/// Runs the executable validator after a lowering stage, converting its
-/// violations into a [`PassError::Verify`].
-fn verify_exec(exec: &Executable, stage: &'static str) -> Result<(), PassError> {
-    relax_vm::verify(exec, &relax_vm::registry::Registry::new())
-        .map_err(|error| PassError::Verify { stage, error })
+    pm
 }
 
 #[cfg(test)]

@@ -37,6 +37,6 @@ pub use buffer::{Buffer, MemScope};
 pub use builder::{grid, LoopNest};
 pub use expr::{Scalar, TirExpr};
 pub use func::PrimFunc;
-pub use ndarray::{NDArray, NDArrayError};
+pub use ndarray::{round_to_dtype, NDArray, NDArrayError};
 pub use plan::{KernelPlan, PlanError};
 pub use stmt::Stmt;

@@ -343,8 +343,11 @@ impl NDArray {
     }
 }
 
-/// Rounds a host `f64` to the precision of the logical float dtype.
-pub(crate) fn round_to_dtype(v: f64, dtype: DataType) -> f64 {
+/// Rounds a host `f64` to the precision of the logical float dtype — the
+/// rounding [`NDArray::set`] applies on every store. Reference library
+/// kernels use it to emulate destination-dtype accumulation so their
+/// results stay bit-identical to generated tensor programs.
+pub fn round_to_dtype(v: f64, dtype: DataType) -> f64 {
     match dtype {
         DataType::F32 => v as f32 as f64,
         // Emulate f16 by quantizing the mantissa to 10 bits via f32 bit

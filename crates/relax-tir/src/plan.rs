@@ -1799,9 +1799,9 @@ mod tests {
         assert!(plan.parallelizable());
 
         let o1 = NDArray::zeros(&[6, 6], DataType::F32);
-        plan.run(&[o1.clone()], 4).unwrap();
+        plan.run(std::slice::from_ref(&o1), 4).unwrap();
         let o2 = NDArray::zeros(&[6, 6], DataType::F32);
-        interp::run(&f, &[o2.clone()]).unwrap();
+        interp::run(&f, std::slice::from_ref(&o2)).unwrap();
         assert_eq!(o1.to_f64_vec(), o2.to_f64_vec());
     }
 }

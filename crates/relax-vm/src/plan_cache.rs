@@ -23,11 +23,14 @@ pub(crate) enum CachedPlan {
     Unplannable,
 }
 
+/// Cache key: `(function name, concrete argument dims)`.
+type PlanKey = (String, Vec<Vec<usize>>);
+
 #[derive(Debug)]
 pub(crate) struct PlanCache {
     capacity: usize,
     tick: u64,
-    entries: HashMap<(String, Vec<Vec<usize>>), (u64, CachedPlan)>,
+    entries: HashMap<PlanKey, (u64, CachedPlan)>,
     pub(crate) hits: u64,
     pub(crate) misses: u64,
     pub(crate) evictions: u64,

@@ -213,6 +213,11 @@ fn matmul_impl(inputs: &[NDArray], outputs: &[NDArray], relu: bool) -> Result<()
     let b_batched = bshape.len() == ashape.len();
     let av = a.to_f64_vec();
     let bv = b.to_f64_vec();
+    // Accumulate with per-step destination-dtype rounding, exactly like
+    // the generated tensor program (which accumulates through the f32
+    // output buffer) — keeps library and codegen paths bit-identical, so
+    // the pipeline ablations can assert exact output equality.
+    let out_dt = out.dtype();
     for bi in 0..batch {
         for i in 0..m {
             for j in 0..n {
@@ -224,7 +229,7 @@ fn matmul_impl(inputs: &[NDArray], outputs: &[NDArray], relu: bool) -> Result<()
                     } else {
                         kk * n + j
                     };
-                    acc += av[aidx] * bv[bidx];
+                    acc = relax_tir::round_to_dtype(acc + av[aidx] * bv[bidx], out_dt);
                 }
                 if relu {
                     acc = acc.max(0.0);
@@ -256,7 +261,14 @@ fn lib_rms_norm(inputs: &[NDArray], outputs: &[NDArray]) -> Result<(), String> {
     const EPS: f64 = 1e-5;
     for r in 0..rows {
         let row = &xv[r * d..(r + 1) * d];
-        let ms: f64 = row.iter().map(|v| v * v).sum::<f64>() / d as f64;
+        // The generated program accumulates the squared sum through an
+        // f32 local buffer and divides by `d` cast to f32 — mirror both
+        // so this kernel stays bit-identical to the codegen path.
+        let mut sq_sum = 0.0;
+        for v in row {
+            sq_sum = relax_tir::round_to_dtype(sq_sum + v * v, relax_arith::DataType::F32);
+        }
+        let ms = sq_sum / (d as f32 as f64);
         let denom = (ms + EPS).sqrt();
         for (c, v) in row.iter().enumerate() {
             out.set(r * d + c, Scalar::F(v * wv[c] / denom))

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs the runtime micro-benchmarks and writes BENCH_runtime.json at the
 # repository root (median ns/iter per benchmark plus interpreter-vs-plan
-# and 1-vs-N-thread speedups).
+# and 1-vs-N-thread speedups). The JSON also carries a "compile_passes"
+# section: per-pass wall time and changed flags for one full default
+# compile of the tiny decode module, from `compile_with_report`.
 #
 # Usage: scripts/bench.sh [--fast]
 #   --fast   smoke sizing (RELAX_BENCH_FAST=1): a few small batches, for CI.

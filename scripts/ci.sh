@@ -18,6 +18,9 @@ for lib in src/lib.rs crates/*/src/lib.rs; do
 done
 [ "$missing" -eq 0 ]
 
+echo "==> cargo clippy --workspace --all-targets"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
