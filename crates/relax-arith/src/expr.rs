@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(0);
@@ -23,7 +23,7 @@ static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(0);
 /// assert_ne!(a, Var::new("n"));
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Var(Rc<VarData>);
+pub struct Var(Arc<VarData>);
 
 #[derive(PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct VarData {
@@ -34,7 +34,7 @@ struct VarData {
 impl Var {
     /// Creates a fresh symbolic variable with the given display name.
     pub fn new(name: impl Into<String>) -> Self {
-        Var(Rc::new(VarData {
+        Var(Arc::new(VarData {
             id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
             name: name.into(),
         }))

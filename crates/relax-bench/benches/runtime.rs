@@ -1,16 +1,19 @@
-//! Runtime micro-benchmarks: VM decode steps on the executable tiny model
-//! and raw tensor-program execution, comparing the reference interpreter
-//! against shape-specialized kernel plans (serial and multi-threaded).
+//! Runtime micro-benchmarks: VM decode steps on the executable tiny model,
+//! raw tensor-program execution comparing the reference interpreter
+//! against shape-specialized kernel plans (serial and multi-threaded), and
+//! serving throughput through the `relax-serve` worker pool (1 vs 4
+//! workers, shared vs private plan cache).
 //!
 //! Plain `std::time::Instant` harness (see `relax_bench::timing`); run with
 //! `cargo bench -p relax-bench --bench runtime`. Writes the medians to
 //! `BENCH_runtime.json` at the repository root.
 
 use relax_arith::{DataType, Var as SymVar};
-use relax_bench::timing::bench;
+use relax_bench::timing::{bench, fast_mode};
 use relax_core::{ShapeDesc, StructInfo};
 use relax_models::llama::LlamaConfig;
 use relax_passes::{compile, compile_with_report, CompileOptions, PassRecord};
+use relax_serve::{ServeConfig, ServeEngine};
 use relax_tir::{grid, interp, plan, Buffer, NDArray, PrimFunc, Stmt, TirExpr};
 use relax_vm::{Value, Vm};
 
@@ -193,6 +196,95 @@ fn bench_tir_matmul_large(rows: &mut Vec<(String, f64)>) -> (f64, f64) {
     (plan_ns, plan4_ns)
 }
 
+/// One serving configuration measured to steady state.
+struct ServingRow {
+    name: String,
+    workers: usize,
+    shared_cache: bool,
+    /// Best wall time for one full wave of `requests` submissions, ns.
+    total_ns: f64,
+    ns_per_req: f64,
+    /// Sum of kernel-plan compilations across all workers.
+    plan_compiles: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Distinct plan keys resident at shutdown.
+    cold_keys: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+}
+
+/// Pushes `requests` tiny-decode submissions (two interleaved shape
+/// signatures) through a fresh engine, `repeats` waves, and keeps the
+/// best wall time. The report from shutdown supplies the cache and
+/// latency columns.
+fn serve_run(name: &str, workers: usize, shared_cache: bool, requests: usize) -> ServingRow {
+    let ir = relax_models::llama::build_decode(&LlamaConfig::tiny()).unwrap();
+    let exec = compile(ir.module.clone(), &CompileOptions::default()).unwrap();
+    let arg_sets = [tiny_decode_args(&ir, 1, 4), tiny_decode_args(&ir, 2, 8)];
+
+    let engine = ServeEngine::new(
+        exec,
+        ServeConfig {
+            workers,
+            queue_capacity: requests + 1,
+            shared_plan_cache: shared_cache,
+            ..ServeConfig::default()
+        },
+    );
+    let repeats = if fast_mode() { 2 } else { 5 };
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = std::time::Instant::now();
+        let tickets: Vec<_> = (0..requests)
+            .map(|i| {
+                engine
+                    .submit("decode", &arg_sets[i % arg_sets.len()])
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        best_ns = best_ns.min(start.elapsed().as_nanos() as f64);
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.stats.failed, 0);
+    let ns_per_req = best_ns / requests as f64;
+    println!("{name:<40} {ns_per_req:>12.0} ns/req  ({requests} reqs/wave)");
+    ServingRow {
+        name: name.to_string(),
+        workers,
+        shared_cache,
+        total_ns: best_ns,
+        ns_per_req,
+        plan_compiles: report.total_plan_compiles(),
+        cache_hits: report.stats.plan_cache.hits,
+        cache_misses: report.stats.plan_cache.misses,
+        cold_keys: report.stats.plan_cache.len as u64,
+        p50_ns: report.stats.latency.p50_ns,
+        p95_ns: report.stats.latency.p95_ns,
+        p99_ns: report.stats.latency.p99_ns,
+    }
+}
+
+/// Serving throughput: the same decode workload through 1 worker, 4
+/// workers over the shared plan cache, and 4 workers with private
+/// caches (the compile-redundancy baseline).
+fn bench_serving(rows: &mut Vec<(String, f64)>) -> Vec<ServingRow> {
+    let requests = if fast_mode() { 8 } else { 32 };
+    let runs = vec![
+        serve_run("serve/decode/workers1_shared", 1, true, requests),
+        serve_run("serve/decode/workers4_shared", 4, true, requests),
+        serve_run("serve/decode/workers4_private", 4, false, requests),
+    ];
+    for r in &runs {
+        rows.push((r.name.clone(), r.ns_per_req));
+    }
+    runs
+}
+
 /// One full-pipeline compile of the tiny decode module, reporting where
 /// the compile time goes pass by pass.
 fn compile_pass_rows() -> Vec<PassRecord> {
@@ -203,7 +295,12 @@ fn compile_pass_rows() -> Vec<PassRecord> {
 }
 
 /// Serializes results as JSON by hand — the workspace has no serde.
-fn write_json(rows: &[(String, f64)], speedups: &[(&str, f64)], passes: &[PassRecord]) {
+fn write_json(
+    rows: &[(String, f64)],
+    speedups: &[(&str, f64)],
+    passes: &[PassRecord],
+    serving: &[ServingRow],
+) {
     // Thread-scaling rows only make sense relative to the host's actual
     // core count (a 1-core CI box cannot show a parallel win).
     let host_threads = std::thread::available_parallelism()
@@ -227,6 +324,28 @@ fn write_json(rows: &[(String, f64)], speedups: &[(&str, f64)], passes: &[PassRe
             p.changed
         ));
     }
+    out.push_str("  ],\n  \"serving\": [\n");
+    for (i, r) in serving.iter().enumerate() {
+        let sep = if i + 1 < serving.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workers\": {}, \"shared_cache\": {}, \
+             \"total_ns\": {:.0}, \"ns_per_req\": {:.1}, \"plan_compiles\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cold_keys\": {}, \
+             \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}{sep}\n",
+            r.name,
+            r.workers,
+            r.shared_cache,
+            r.total_ns,
+            r.ns_per_req,
+            r.plan_compiles,
+            r.cache_hits,
+            r.cache_misses,
+            r.cold_keys,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
+        ));
+    }
     out.push_str("  ],\n  \"speedup\": {\n");
     for (i, (name, x)) in speedups.iter().enumerate() {
         let sep = if i + 1 < speedups.len() { "," } else { "" };
@@ -244,6 +363,7 @@ fn main() {
     let (interp_ns, plan_ns, plan4_ns) = bench_vm_decode_plan_modes(&mut rows);
     bench_tir_matmul(&mut rows);
     let (big_plan, big_par4) = bench_tir_matmul_large(&mut rows);
+    let serving = bench_serving(&mut rows);
 
     let mm_interp = rows
         .iter()
@@ -260,6 +380,10 @@ fn main() {
         ("decode_plan4_vs_plan1", plan_ns / plan4_ns),
         ("matmul_plan_vs_interp", mm_interp / mm_plan),
         ("matmul_large_par4_vs_plan1", big_plan / big_par4),
+        (
+            "serve_decode_4w_vs_1w",
+            serving[0].total_ns / serving[1].total_ns,
+        ),
     ];
     for (name, x) in &speedups {
         println!("{name:<40} {x:>11.2}x");
@@ -273,5 +397,5 @@ fn main() {
             p.changed
         );
     }
-    write_json(&rows, &speedups, &passes);
+    write_json(&rows, &speedups, &passes, &serving);
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use relax_arith::PrimExpr;
@@ -19,7 +19,7 @@ static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(0);
 /// the [`crate::BlockBuilder`] with their annotation already deduced.
 /// Dataflow variables (`is_dataflow`) are scoped to their dataflow block.
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Var(Rc<VarData>);
+pub struct Var(Arc<VarData>);
 
 struct VarData {
     id: u64,
@@ -43,7 +43,7 @@ impl std::hash::Hash for VarData {
 impl Var {
     /// Creates a function-scope variable with the given annotation.
     pub fn new(name: impl Into<String>, sinfo: StructInfo) -> Self {
-        Var(Rc::new(VarData {
+        Var(Arc::new(VarData {
             id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
             name: name.into(),
             sinfo,
@@ -53,7 +53,7 @@ impl Var {
 
     /// Creates a dataflow-scoped variable.
     pub fn new_dataflow(name: impl Into<String>, sinfo: StructInfo) -> Self {
-        Var(Rc::new(VarData {
+        Var(Arc::new(VarData {
             id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
             name: name.into(),
             sinfo,

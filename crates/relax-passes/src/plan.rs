@@ -68,13 +68,31 @@ pub fn plan_memory(func: &VmFunction, bounds: &HashMap<SymVar, i64>) -> VmFuncti
                 };
                 // RequestReuseWithSymShape: a free storage with provably
                 // equal size (or, for static sizes, enough capacity).
-                let reuse = storages.iter().position(|s| {
-                    s.free
-                        && match (s.bytes.as_int(), planned_bytes.as_int()) {
-                            (Some(have), Some(need)) => have >= need,
-                            _ => analyzer.prove_equal(&s.bytes, &planned_bytes),
+                // Among static candidates pick the *smallest* adequate
+                // block (best-fit, matching `PooledAllocator`): first-fit
+                // lets a small tensor squat in a large block and forces a
+                // fresh storage for the next large tensor. Symbolic
+                // matches are provably exact, so they rank ahead of any
+                // oversized static block.
+                let reuse = storages
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| {
+                        if !s.free {
+                            return None;
                         }
-                });
+                        match (s.bytes.as_int(), planned_bytes.as_int()) {
+                            (Some(have), Some(need)) if have >= need => {
+                                Some((i, (have - need) as u64))
+                            }
+                            (Some(_), Some(_)) => None,
+                            _ => analyzer
+                                .prove_equal(&s.bytes, &planned_bytes)
+                                .then_some((i, 0)),
+                        }
+                    })
+                    .min_by_key(|&(i, waste)| (waste, i))
+                    .map(|(i, _)| i);
                 let sidx = match reuse {
                     Some(i) => {
                         storages[i].free = false;
@@ -354,6 +372,46 @@ mod tests {
                 assert_eq!(bytes.as_int(), Some(8192));
             }
         }
+    }
+
+    /// Regression: first-fit reuse let a small tensor squat in a large
+    /// free block. Lifetimes: A(100) and B(50) both die, then C(50) and
+    /// D(100) allocate. First-fit put C into A's 100-element block, so D
+    /// found only B's 50 free and forced a third storage; best-fit puts C
+    /// into B and D into A — two storages total.
+    #[test]
+    fn best_fit_avoids_small_tensor_squatting_in_large_block() {
+        let alloc = |dst: Reg, n: i64| Instr::AllocTensor {
+            dst,
+            shape: vec![n.into()],
+            dtype: DataType::F32,
+        };
+        let instrs = vec![
+            alloc(0, 100), // A
+            alloc(1, 50),  // B
+            Instr::Kill { reg: 0 },
+            Instr::Kill { reg: 1 },
+            alloc(2, 50),  // C: best-fit -> B's block
+            alloc(3, 100), // D: best-fit -> A's block
+            Instr::Ret { src: 3 },
+        ];
+        let f = VmFunction {
+            name: "f".into(),
+            num_params: 0,
+            num_regs: 4,
+            instrs,
+        };
+        let planned = plan_memory(&f, &HashMap::new());
+        let sizes: Vec<i64> = planned
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::AllocStorage { bytes, .. } => bytes.as_int(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sizes.len(), 2, "first-fit inflates this to 3 storages");
+        assert_eq!(sizes.iter().sum::<i64>(), 400 + 200);
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! The serving engine: one executable, many sessions.
+//!
+//! A [`ServeEngine`] owns a single immutable [`Executable`] and a fixed
+//! pool of worker threads, each running its own [`Vm`] built with
+//! [`Vm::from_parts`] — per-invocation state (register frame, memory
+//! pool, telemetry) is private to the worker, while the executable, the
+//! foreign-function registry and (by default) the kernel-plan cache are
+//! shared. Requests flow through a bounded queue with backpressure;
+//! stale requests are shed against their deadline instead of executed
+//! late; and the dequeue path batches queued requests with identical
+//! concrete shapes so a plan compiled for one session is reused by the
+//! rest of the batch without even a cache probe race.
+//!
+//! Engine failures are *typed*, never panics: VM-level faults keep their
+//! full [`VmError`] taxonomy and frame trace inside
+//! [`ServeError::Vm`], and admission-control outcomes (queue full,
+//! deadline missed, shutdown) get their own variants so callers can
+//! distinguish "retry later" from "this request is wrong".
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use relax_vm::registry::Registry;
+use relax_vm::{Executable, FaultPlan, SharedPlanCache, Value, Vm, VmError};
+
+use crate::queue::{PushError, Request, RequestQueue};
+use crate::telemetry::{EngineReport, EngineStats, LatencySummary, WorkerReport};
+
+/// Serving configuration. The defaults run 4 workers over a shared
+/// plan cache with no deadline.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (each owns one VM). Clamped to at least 1.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum requests a worker dequeues per batch (same function,
+    /// same concrete shapes).
+    pub max_batch: usize,
+    /// Deadline applied to every request submitted without an explicit
+    /// one. `None` means requests never expire.
+    pub default_deadline: Option<Duration>,
+    /// Kernel-plan cache capacity (per cache).
+    pub plan_cache_capacity: usize,
+    /// `true` (default): all workers share one plan cache, so a shape
+    /// compiled by any worker is a hit for every other. `false`: each
+    /// worker gets a private cache (the baseline the bench compares
+    /// against).
+    pub shared_plan_cache: bool,
+    /// Intra-kernel parallelism for each worker VM (see
+    /// [`Vm::set_parallelism`]). Serving parallelism usually wants this
+    /// at 1: inter-request parallelism comes from the pool.
+    pub vm_parallelism: usize,
+    /// Deterministic fault plans installed on specific workers at
+    /// startup, for fault-isolation testing: `(worker index, plan)`.
+    pub worker_faults: Vec<(usize, FaultPlan)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 8,
+            default_deadline: None,
+            plan_cache_capacity: 64,
+            shared_plan_cache: true,
+            vm_parallelism: 1,
+            worker_faults: Vec::new(),
+        }
+    }
+}
+
+/// Why a request did not produce a value.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The queue was at capacity when the request arrived — backpressure;
+    /// the caller should retry later or slow down.
+    QueueFull {
+        depth: usize,
+        capacity: usize,
+    },
+    /// The request's deadline passed while it waited in the queue; it was
+    /// shed without executing.
+    DeadlineExceeded {
+        missed_by: Duration,
+    },
+    /// The worker handling the request disappeared before replying.
+    WorkerLost,
+    /// The engine is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The request executed and failed inside the VM. The full
+    /// [`VmError`] taxonomy and frame trace are preserved.
+    Vm(VmError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { depth, capacity } => {
+                write!(f, "request queue full ({depth}/{capacity}); retry later")
+            }
+            ServeError::DeadlineExceeded { missed_by } => {
+                write!(f, "deadline exceeded by {missed_by:?}; request shed")
+            }
+            ServeError::WorkerLost => write!(f, "worker lost before replying"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Vm(e) => write!(f, "vm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for ServeError {
+    fn from(e: VmError) -> Self {
+        ServeError::Vm(e)
+    }
+}
+
+/// A handle to an in-flight request; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Value, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes, is shed, or its worker dies.
+    pub fn wait(self) -> Result<Value, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+}
+
+/// Shared admission/completion counters (lock-free; workers bump them).
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected_full: AtomicU64,
+    timed_out: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_extra: AtomicU64,
+}
+
+/// The concrete shape signature of an argument list — the batching key.
+/// Tensors contribute their shapes, shape values contribute themselves,
+/// tuples recurse; scalars contribute a marker so arity still matters.
+fn shape_signature(args: &[Value]) -> Vec<Vec<usize>> {
+    fn walk(v: &Value, out: &mut Vec<Vec<usize>>) {
+        match v {
+            Value::Tensor(t) => out.push(t.shape().to_vec()),
+            Value::Shape(dims) => {
+                out.push(dims.iter().map(|&d| d.max(0) as usize).collect())
+            }
+            Value::Tuple(items) => {
+                for item in items {
+                    walk(item, out);
+                }
+            }
+            _ => out.push(Vec::new()),
+        }
+    }
+    let mut sig = Vec::with_capacity(args.len());
+    for a in args {
+        walk(a, &mut sig);
+    }
+    sig
+}
+
+/// Multi-session serving engine over one executable. See the module
+/// docs for the architecture; see [`ServeConfig`] for the knobs.
+pub struct ServeEngine {
+    queue: Arc<RequestQueue>,
+    counters: Arc<Counters>,
+    latencies: Arc<Mutex<Vec<u64>>>,
+    /// One handle per worker; all clones of the same cache when shared.
+    caches: Vec<SharedPlanCache>,
+    shared_cache: bool,
+    default_deadline: Option<Duration>,
+    workers: Vec<JoinHandle<WorkerReport>>,
+}
+
+impl ServeEngine {
+    /// Builds an engine over `exec` with the default registry.
+    pub fn new(exec: Executable, config: ServeConfig) -> Self {
+        Self::with_registry(exec, Registry::new(), config)
+    }
+
+    /// Builds an engine with a custom foreign-function registry.
+    pub fn with_registry(exec: Executable, registry: Registry, config: ServeConfig) -> Self {
+        let exec = Arc::new(exec);
+        let registry = Arc::new(registry);
+        let workers = config.workers.max(1);
+        let queue = Arc::new(RequestQueue::new(config.queue_capacity));
+        let counters = Arc::new(Counters::default());
+        let latencies = Arc::new(Mutex::new(Vec::new()));
+
+        let shared = SharedPlanCache::new(config.plan_cache_capacity);
+        let mut caches = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for idx in 0..workers {
+            let cache = if config.shared_plan_cache {
+                shared.clone()
+            } else {
+                SharedPlanCache::new(config.plan_cache_capacity)
+            };
+            caches.push(cache.clone());
+
+            let mut vm = Vm::from_parts(exec.clone(), registry.clone(), cache);
+            vm.set_parallelism(config.vm_parallelism);
+            for (target, plan) in &config.worker_faults {
+                if *target == idx {
+                    vm.inject_faults(plan.clone());
+                }
+            }
+
+            let queue = queue.clone();
+            let counters = counters.clone();
+            let latencies = latencies.clone();
+            let max_batch = config.max_batch;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("relax-serve-{idx}"))
+                    .spawn(move || worker_loop(idx, vm, queue, counters, latencies, max_batch))
+                    .expect("spawn serve worker"),
+            );
+        }
+
+        ServeEngine {
+            queue,
+            counters,
+            latencies,
+            caches,
+            shared_cache: config.shared_plan_cache,
+            default_deadline: config.default_deadline,
+            workers: handles,
+        }
+    }
+
+    /// Submits a request under the engine's default deadline. Returns a
+    /// [`Ticket`] immediately, or the backpressure/shutdown error if the
+    /// request was not admitted.
+    pub fn submit(&self, func: &str, args: &[Value]) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(func, args, self.default_deadline)
+    }
+
+    /// Submits a request that must *start* within `deadline` of now;
+    /// requests still queued past it are shed with
+    /// [`ServeError::DeadlineExceeded`] instead of executing late.
+    pub fn submit_with_deadline(
+        &self,
+        func: &str,
+        args: &[Value],
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let req = Request {
+            func: func.to_string(),
+            args: args.to_vec(),
+            shape_sig: shape_signature(args),
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+            reply: tx,
+        };
+        match self.queue.push(req) {
+            Ok(()) => {
+                self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { rx })
+            }
+            Err(PushError::Full) => {
+                self.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::QueueFull {
+                    depth: self.queue.depth(),
+                    capacity: self.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Convenience: submit and wait in one call (single-session use).
+    pub fn run(&self, func: &str, args: &[Value]) -> Result<Value, ServeError> {
+        self.submit(func, args)?.wait()
+    }
+
+    /// Aggregate plan-cache counters: the shared cache's stats when the
+    /// cache is shared, otherwise the sum over private caches.
+    fn plan_cache_stats(&self) -> relax_vm::PlanCacheStats {
+        if self.shared_cache {
+            return self.caches.first().map(|c| c.stats()).unwrap_or_default();
+        }
+        let mut total = relax_vm::PlanCacheStats::default();
+        for c in &self.caches {
+            let s = c.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.len += s.len;
+            total.capacity += s.capacity;
+        }
+        total
+    }
+
+    /// A point-in-time snapshot of the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        let mut samples = self
+            .latencies
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        EngineStats {
+            queue_depth: self.queue.depth(),
+            queue_capacity: self.queue.capacity(),
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            rejected_full: self.counters.rejected_full.load(Ordering::Relaxed),
+            timed_out: self.counters.timed_out.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batched_extra: self.counters.batched_extra.load(Ordering::Relaxed),
+            plan_cache: self.plan_cache_stats(),
+            latency: LatencySummary::from_samples(&mut samples),
+        }
+    }
+
+    /// Stops admitting requests, drains the queue, joins every worker
+    /// and returns the final stats plus per-worker VM snapshots.
+    pub fn shutdown(mut self) -> EngineReport {
+        self.queue.close();
+        let mut workers: Vec<WorkerReport> = self
+            .workers
+            .drain(..)
+            .map(|h| h.join().expect("serve worker panicked"))
+            .collect();
+        workers.sort_by_key(|w| w.worker);
+        EngineReport {
+            stats: self.stats(),
+            workers,
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The worker loop: dequeue a shape-homogeneous batch, shed what is past
+/// deadline, run the rest on this worker's private VM, reply per request.
+fn worker_loop(
+    idx: usize,
+    mut vm: Vm,
+    queue: Arc<RequestQueue>,
+    counters: Arc<Counters>,
+    latencies: Arc<Mutex<Vec<u64>>>,
+    max_batch: usize,
+) -> WorkerReport {
+    while let Some(batch) = queue.pop_batch(max_batch) {
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .batched_extra
+            .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+        for req in batch {
+            let now = Instant::now();
+            if let Some(deadline) = req.deadline {
+                if now > deadline {
+                    counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                    let _ = req.reply.send(Err(ServeError::DeadlineExceeded {
+                        missed_by: now - deadline,
+                    }));
+                    continue;
+                }
+            }
+            match vm.run(&req.func, &req.args) {
+                Ok(value) => {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    let ns = req.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    latencies
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(ns);
+                    let _ = req.reply.send(Ok(value));
+                }
+                Err(e) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = req.reply.send(Err(ServeError::Vm(e)));
+                }
+            }
+        }
+    }
+    WorkerReport {
+        worker: idx,
+        telemetry: vm.telemetry(),
+        kernel_stats: vm.kernel_stats().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_signature_covers_tensors_shapes_tuples_and_scalars() {
+        use relax_arith::DataType;
+        use relax_tir::NDArray;
+        let t = NDArray::zeros(&[2, 3], DataType::F32);
+        let sig = shape_signature(&[
+            Value::Tensor(t.clone()),
+            Value::Shape(vec![4, 5]),
+            Value::Tuple(vec![Value::Tensor(t)]),
+        ]);
+        assert_eq!(sig, vec![vec![2, 3], vec![4, 5], vec![2, 3]]);
+    }
+}

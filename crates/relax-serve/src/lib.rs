@@ -1,0 +1,48 @@
+//! Multi-session serving over the Relax VM.
+//!
+//! The paper's runtime story ends with one VM executing one program; a
+//! serving deployment runs *many sessions of the same program* at once.
+//! This crate supplies the missing layer:
+//!
+//! - **[`ServeEngine`]** — owns one immutable [`relax_vm::Executable`]
+//!   and a fixed pool of worker threads, each with a private
+//!   [`relax_vm::Vm`] built from shared read-only parts
+//!   ([`relax_vm::Vm::from_parts`]).
+//! - **Bounded request queue** — submissions beyond capacity are
+//!   rejected with [`ServeError::QueueFull`] (backpressure), never
+//!   buffered unboundedly.
+//! - **Deadlines** — requests still queued past their deadline are shed
+//!   with [`ServeError::DeadlineExceeded`] instead of executing late.
+//! - **Shape batching** — the dequeue path groups queued requests whose
+//!   arguments have identical concrete shapes, so one compiled kernel
+//!   plan serves the whole batch.
+//! - **Shared plan cache** — all workers share one
+//!   [`relax_vm::SharedPlanCache`] by default: a shape specialized by
+//!   any worker is a cache hit for every other.
+//! - **Telemetry** — [`EngineStats`] (queue depth, admission counters,
+//!   p50/p95/p99 latency, aggregate cache hit rate) plus per-worker
+//!   [`WorkerReport`]s at shutdown.
+//!
+//! ```
+//! use relax_serve::{ServeConfig, ServeEngine};
+//! # use relax_vm::{Executable, Instr, Value, VmFunction};
+//! # let mut exec = Executable::default();
+//! # exec.funcs.insert("id".into(), VmFunction {
+//! #     name: "id".into(), num_params: 1, num_regs: 1,
+//! #     instrs: vec![Instr::Ret { src: 0 }],
+//! # });
+//! let engine = ServeEngine::new(exec, ServeConfig::default());
+//! let ticket = engine.submit("id", &[Value::Shape(vec![1])]).unwrap();
+//! assert_eq!(ticket.wait().unwrap().as_shape(), Some(&[1i64][..]));
+//! let report = engine.shutdown();
+//! assert_eq!(report.stats.completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod engine;
+mod queue;
+mod telemetry;
+
+pub use engine::{ServeConfig, ServeEngine, ServeError, Ticket};
+pub use telemetry::{EngineReport, EngineStats, LatencySummary, WorkerReport};

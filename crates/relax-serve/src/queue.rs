@@ -1,0 +1,232 @@
+//! A bounded MPMC request queue with shape-aware batch dequeue.
+//!
+//! `std` only: a `Mutex<VecDeque>` plus a `Condvar`. Producers never
+//! block — a full queue is *backpressure* and the submit call reports it
+//! to the caller instead of buffering unboundedly. Consumers block until
+//! work arrives or the queue is closed, and dequeue a *batch*: the oldest
+//! request plus every queued request with the same `(function, shape
+//! signature)` key, up to a cap. Requests batched together resolve the
+//! same plan-cache entry, so a worker pays at most one cache probe chain
+//! per batch of identical decode steps.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use relax_vm::Value;
+
+use crate::engine::ServeError;
+
+/// A queued inference request.
+pub(crate) struct Request {
+    /// VM function to run.
+    pub func: String,
+    /// Arguments.
+    pub args: Vec<Value>,
+    /// Concrete shape signature of the tensor arguments (batching key).
+    pub shape_sig: Vec<Vec<usize>>,
+    /// Absolute deadline; requests past it are shed, not executed.
+    pub deadline: Option<Instant>,
+    /// When the request entered the queue (latency accounting).
+    pub enqueued: Instant,
+    /// Where the response goes.
+    pub reply: mpsc::Sender<Result<Value, ServeError>>,
+}
+
+impl Request {
+    /// The batching key: same function, same concrete argument shapes.
+    fn batch_key(&self) -> (&str, &[Vec<usize>]) {
+        (&self.func, &self.shape_sig)
+    }
+}
+
+/// Why a push was refused. The request is dropped with the error: its
+/// reply channel closes, and the submitter reports the refusal itself.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity (backpressure).
+    Full,
+    /// The engine is shutting down.
+    Closed,
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    closed: bool,
+}
+
+/// Bounded multi-producer multi-consumer queue.
+pub(crate) struct RequestQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    capacity: usize,
+    /// Depth mirror so `stats()` never takes the queue lock.
+    depth: AtomicUsize,
+}
+
+impl RequestQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        RequestQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued requests.
+    pub(crate) fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Non-blocking enqueue; a full queue pushes back on the caller.
+    pub(crate) fn push(&self, req: Request) -> Result<(), PushError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(req);
+        self.depth.store(state.items.len(), Ordering::Relaxed);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one request is queued (or the queue closes),
+    /// then dequeues the oldest request plus up to `max_batch - 1` later
+    /// requests with the same batching key. Returns `None` only when the
+    /// queue is closed *and* drained.
+    pub(crate) fn pop_batch(&self, max_batch: usize) -> Option<Vec<Request>> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(head) = state.items.pop_front() {
+                let mut batch = vec![head];
+                // Collect same-shape riders, preserving FIFO order of the
+                // rest of the queue.
+                let mut i = 0;
+                while i < state.items.len() && batch.len() < max_batch {
+                    let same = {
+                        let (f, s) = batch[0].batch_key();
+                        let cand = &state.items[i];
+                        cand.func == f && cand.shape_sig == s
+                    };
+                    if same {
+                        // `remove` preserves relative order of survivors.
+                        batch.push(state.items.remove(i).expect("index in range"));
+                    } else {
+                        i += 1;
+                    }
+                }
+                self.depth.store(state.items.len(), Ordering::Relaxed);
+                // More work may remain for other idle workers.
+                if !state.items.is_empty() {
+                    self.not_empty.notify_one();
+                }
+                return Some(batch);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: new pushes fail, consumers drain what is left
+    /// and then see `None`.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(func: &str, dims: &[usize]) -> (Request, mpsc::Receiver<Result<Value, ServeError>>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Request {
+                func: func.to_string(),
+                args: Vec::new(),
+                shape_sig: vec![dims.to_vec()],
+                deadline: None,
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn batches_group_identical_shape_keys() {
+        let q = RequestQueue::new(16);
+        for dims in [&[2usize, 8][..], &[2, 8], &[4, 8], &[2, 8], &[4, 8]] {
+            let (r, rx) = req("decode", dims);
+            std::mem::forget(rx);
+            q.push(r).map_err(|_| "push failed").unwrap();
+        }
+        let b1 = q.pop_batch(8).unwrap();
+        assert_eq!(b1.len(), 3); // the three (2, 8) requests ride together
+        assert!(b1.iter().all(|r| r.shape_sig == vec![vec![2, 8]]));
+        let b2 = q.pop_batch(8).unwrap();
+        assert_eq!(b2.len(), 2); // then the two (4, 8)
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn batch_cap_is_respected_and_order_kept() {
+        let q = RequestQueue::new(16);
+        for _ in 0..5 {
+            let (r, rx) = req("decode", &[1]);
+            std::mem::forget(rx);
+            q.push(r).map_err(|_| "push failed").unwrap();
+        }
+        assert_eq!(q.pop_batch(2).unwrap().len(), 2);
+        assert_eq!(q.pop_batch(2).unwrap().len(), 2);
+        assert_eq!(q.pop_batch(2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn full_queue_pushes_back() {
+        let q = RequestQueue::new(2);
+        for _ in 0..2 {
+            let (r, rx) = req("f", &[1]);
+            std::mem::forget(rx);
+            q.push(r).map_err(|_| "push failed").unwrap();
+        }
+        let (r, _rx) = req("f", &[1]);
+        assert_eq!(q.push(r).unwrap_err(), PushError::Full);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = RequestQueue::new(4);
+        let (r, rx) = req("f", &[1]);
+        std::mem::forget(rx);
+        q.push(r).map_err(|_| "push failed").unwrap();
+        q.close();
+        let (r2, _rx2) = req("f", &[1]);
+        assert_eq!(q.push(r2).unwrap_err(), PushError::Closed);
+        assert_eq!(q.pop_batch(4).unwrap().len(), 1);
+        assert!(q.pop_batch(4).is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! Engine-level observability: request counters, latency percentiles and
+//! per-worker VM snapshots.
+
+use std::collections::HashMap;
+
+use relax_vm::{KernelStat, PlanCacheStats, Telemetry};
+
+/// Nearest-rank percentile over a **sorted** slice of nanosecond samples.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// End-to-end request latency distribution (enqueue → reply), nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Completed requests in the sample.
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a set of latency samples (order irrelevant).
+    pub(crate) fn from_samples(samples: &mut [u64]) -> Self {
+        samples.sort_unstable();
+        LatencySummary {
+            count: samples.len() as u64,
+            p50_ns: percentile(samples, 50.0),
+            p95_ns: percentile(samples, 95.0),
+            p99_ns: percentile(samples, 99.0),
+            max_ns: samples.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// A point-in-time view of the engine: queue state, admission and
+/// completion counters, batching effectiveness, the aggregate plan-cache
+/// view and the latency distribution so far.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Requests currently queued (not yet picked up by a worker).
+    pub queue_depth: usize,
+    /// Queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests refused because the queue was full.
+    pub rejected_full: u64,
+    /// Requests shed because their deadline passed before execution.
+    pub timed_out: u64,
+    /// Requests that ran and replied successfully.
+    pub completed: u64,
+    /// Requests that ran and failed with a VM error.
+    pub failed: u64,
+    /// Batches dequeued by workers.
+    pub batches: u64,
+    /// Requests that rode along in a batch behind the batch head —
+    /// `accepted - batches - shed` when batching is effective, `0` when
+    /// every request dequeues alone.
+    pub batched_extra: u64,
+    /// Aggregate plan-cache counters across every worker sharing the
+    /// cache (hit rate here is the *cross-worker* rate).
+    pub plan_cache: PlanCacheStats,
+    /// End-to-end latency distribution of completed requests.
+    pub latency: LatencySummary,
+}
+
+/// Final per-worker snapshot returned by [`crate::ServeEngine::shutdown`].
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Worker index (stable across the engine's lifetime).
+    pub worker: usize,
+    /// The worker VM's execution counters.
+    pub telemetry: Telemetry,
+    /// The worker VM's per-kernel compile/run split.
+    pub kernel_stats: HashMap<String, KernelStat>,
+}
+
+/// Everything the engine knows at shutdown: the final [`EngineStats`]
+/// plus one [`WorkerReport`] per worker.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    pub stats: EngineStats,
+    pub workers: Vec<WorkerReport>,
+}
+
+impl EngineReport {
+    /// Total kernel-plan compilations across all workers. With a shared
+    /// cache and `k` cold keys this stays near `k` no matter how many
+    /// workers run; with private caches it approaches `k × workers`.
+    pub fn total_plan_compiles(&self) -> u64 {
+        self.workers.iter().map(|w| w.telemetry.plan_compiles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&mut samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+    }
+
+    #[test]
+    fn empty_sample_is_all_zero() {
+        let s = LatencySummary::from_samples(&mut Vec::new());
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut samples = vec![42];
+        let s = LatencySummary::from_samples(&mut samples);
+        assert_eq!((s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns), (42, 42, 42, 42));
+    }
+}

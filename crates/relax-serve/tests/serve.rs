@@ -1,0 +1,329 @@
+//! Serving-engine integration tests on the tiny Llama decode model:
+//! multi-session differential correctness against a single-threaded VM,
+//! fault isolation between workers, backpressure, deadline shedding and
+//! cross-worker plan-cache sharing.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use relax_core::{DataType, ShapeDesc, StructInfo};
+use relax_models::llama::{build_decode, LlamaConfig, ModelIr};
+use relax_passes::{compile, CompileOptions};
+use relax_serve::{ServeConfig, ServeEngine, ServeError, Ticket};
+use relax_tir::NDArray;
+use relax_vm::{Executable, FaultPlan, Value, Vm, VmErrorKind};
+
+fn random_arr(shape: &[usize], dtype: DataType, seed: &mut u64) -> NDArray {
+    let n: usize = shape.iter().product();
+    let vals: Vec<f64> = (0..n)
+        .map(|_| {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((*seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5) * 0.2
+        })
+        .collect();
+    NDArray::from_f64(shape, dtype, vals).unwrap()
+}
+
+fn concrete(ir: &ModelIr, sinfo: &StructInfo, batch: i64, kv: i64) -> (Vec<usize>, DataType) {
+    let mut env = HashMap::new();
+    env.insert(ir.batch.clone(), batch);
+    env.insert(ir.seq.clone(), kv);
+    match sinfo {
+        StructInfo::Tensor {
+            shape: ShapeDesc::Known(dims),
+            dtype,
+        } => (
+            dims.iter()
+                .map(|d| d.eval(&env).unwrap() as usize)
+                .collect(),
+            dtype.unwrap(),
+        ),
+        other => panic!("unexpected annotation {other}"),
+    }
+}
+
+fn decode_args(ir: &ModelIr, batch: i64, kv: i64, seed: &mut u64) -> Vec<Value> {
+    ir.params
+        .iter()
+        .map(|(name, sinfo)| {
+            let (dims, dt) = concrete(ir, sinfo, batch, kv);
+            if name == "tokens" {
+                Value::Tensor(NDArray::from_i64(&dims, dt, vec![3; dims.iter().product()]).unwrap())
+            } else {
+                Value::Tensor(random_arr(&dims, dt, seed))
+            }
+        })
+        .collect()
+}
+
+fn tiny_exec() -> (ModelIr, Executable) {
+    let ir = build_decode(&LlamaConfig::tiny()).unwrap();
+    let exec = compile(ir.module.clone(), &CompileOptions::default()).unwrap();
+    (ir, exec)
+}
+
+/// Flattens every tuple element of a decode output (logits + grown KV
+/// caches) to `f64`, for bitwise comparison.
+fn flatten_output(v: &Value) -> Vec<Vec<f64>> {
+    v.as_tuple()
+        .unwrap()
+        .iter()
+        .map(|e| e.as_tensor().unwrap().to_f64_vec())
+        .collect()
+}
+
+/// The CI smoke test: a small engine serves a few decode steps end to
+/// end and the counters add up.
+#[test]
+fn serve_smoke_llama_decode() {
+    let (ir, exec) = tiny_exec();
+    let engine = ServeEngine::new(
+        exec,
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mut seed = 7u64;
+    let tickets: Vec<Ticket> = (0..4)
+        .map(|_| {
+            let args = decode_args(&ir, 1, 2, &mut seed);
+            engine.submit("decode", &args).unwrap()
+        })
+        .collect();
+    for t in tickets {
+        let out = t.wait().unwrap();
+        let logits = out.as_tuple().unwrap()[0].as_tensor().unwrap().to_f64_vec();
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.stats.accepted, 4);
+    assert_eq!(report.stats.completed, 4);
+    assert_eq!(report.stats.failed, 0);
+    assert_eq!(report.stats.latency.count, 4);
+    assert!(report.stats.latency.p50_ns > 0);
+    assert_eq!(report.workers.len(), 2);
+}
+
+/// Satellite 5 (first half): N parallel sessions through the engine are
+/// bitwise identical — logits *and* grown KV caches — to the same
+/// requests run one at a time on a plain single-threaded [`Vm`].
+#[test]
+fn parallel_sessions_match_single_threaded_vm_bitwise() {
+    let (ir, exec) = tiny_exec();
+
+    // Three distinct sessions: different batch/kv shapes and data.
+    let sessions: Vec<Vec<Value>> = [(1i64, 1i64, 31u64), (2, 3, 37), (1, 4, 41)]
+        .iter()
+        .map(|&(batch, kv, mut seed)| decode_args(&ir, batch, kv, &mut seed))
+        .collect();
+
+    // Reference: one single-threaded VM, sequential.
+    let mut reference = Vm::new(compile(ir.module.clone(), &CompileOptions::default()).unwrap());
+    let expected: Vec<Vec<Vec<f64>>> = sessions
+        .iter()
+        .map(|args| flatten_output(&reference.run("decode", args).unwrap()))
+        .collect();
+
+    // Engine: 4 workers, every session submitted twice, interleaved.
+    let engine = ServeEngine::new(
+        exec,
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let tickets: Vec<(usize, Ticket)> = (0..2)
+        .flat_map(|_| sessions.iter().enumerate())
+        .map(|(i, args)| (i, engine.submit("decode", args).unwrap()))
+        .collect();
+    for (i, t) in tickets {
+        let got = flatten_output(&t.wait().unwrap());
+        assert_eq!(got, expected[i], "session {i} diverged from the reference");
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.stats.completed, 6);
+    assert_eq!(report.stats.failed, 0);
+}
+
+/// Satellite 5 (second half): a deterministic kernel fault injected on
+/// one worker fails at most that worker's first request; every other
+/// session still completes bitwise-equal to the reference.
+#[test]
+fn fault_on_one_worker_leaves_other_sessions_unaffected() {
+    let (ir, exec) = tiny_exec();
+    let mut seed = 53u64;
+    let args = decode_args(&ir, 1, 2, &mut seed);
+
+    let mut reference = Vm::new(compile(ir.module.clone(), &CompileOptions::default()).unwrap());
+    let expected = flatten_output(&reference.run("decode", &args).unwrap());
+
+    let engine = ServeEngine::new(
+        exec,
+        ServeConfig {
+            workers: 4,
+            worker_faults: vec![(0, FaultPlan::new().fail_kernel(1))],
+            ..ServeConfig::default()
+        },
+    );
+    let n = 8;
+    let tickets: Vec<Ticket> = (0..n)
+        .map(|_| engine.submit("decode", &args).unwrap())
+        .collect();
+    let mut ok = 0u64;
+    let mut vm_failures = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Ok(out) => {
+                assert_eq!(flatten_output(&out), expected);
+                ok += 1;
+            }
+            Err(ServeError::Vm(e)) => {
+                // The injected fault surfaces through the VM taxonomy
+                // with provenance, not as a panic or a hung ticket.
+                assert!(
+                    matches!(e.kind, VmErrorKind::Kernel(_) | VmErrorKind::Interp(_)),
+                    "unexpected fault kind: {e}"
+                );
+                vm_failures += 1;
+            }
+            Err(other) => panic!("unexpected serve error: {other}"),
+        }
+    }
+    // `fail_kernel(1)` fires once, so at most one session is lost (zero
+    // if worker 0 never won a request), and everyone else is untouched.
+    assert!(vm_failures <= 1, "fault leaked beyond one session");
+    assert_eq!(ok + vm_failures, n);
+    let report = engine.shutdown();
+    assert_eq!(report.stats.failed, vm_failures);
+    assert_eq!(report.stats.completed, ok);
+    let injected: u64 = report
+        .workers
+        .iter()
+        .map(|w| w.telemetry.faults_injected)
+        .sum();
+    assert_eq!(injected, vm_failures);
+}
+
+/// A full queue refuses new work with a typed backpressure error
+/// instead of buffering unboundedly.
+#[test]
+fn queue_backpressure_rejects_when_full() {
+    let (ir, exec) = tiny_exec();
+    let engine = ServeEngine::new(
+        exec,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mut seed = 61u64;
+    let args = decode_args(&ir, 1, 1, &mut seed);
+
+    // Submitting in a tight loop outruns the single worker; the bounded
+    // queue must push back before 500 submissions.
+    let mut tickets = Vec::new();
+    let mut saw_full = false;
+    for _ in 0..500 {
+        match engine.submit("decode", &args) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::QueueFull { capacity, .. }) => {
+                assert_eq!(capacity, 2);
+                saw_full = true;
+                break;
+            }
+            Err(other) => panic!("unexpected serve error: {other}"),
+        }
+    }
+    assert!(saw_full, "queue never filled");
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let report = engine.shutdown();
+    assert!(report.stats.rejected_full >= 1);
+    assert_eq!(report.stats.failed, 0);
+}
+
+/// A request whose deadline passes while it waits is shed with
+/// [`ServeError::DeadlineExceeded`] — it never executes.
+#[test]
+fn deadline_expired_requests_are_shed() {
+    let (ir, exec) = tiny_exec();
+    let engine = ServeEngine::new(
+        exec,
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let mut seed = 67u64;
+    let args = decode_args(&ir, 1, 1, &mut seed);
+
+    // First request occupies the single worker; the second's deadline
+    // is already due when it is admitted, so it must be shed.
+    let first = engine.submit("decode", &args).unwrap();
+    let doomed = engine
+        .submit_with_deadline("decode", &args, Some(Duration::ZERO))
+        .unwrap();
+    first.wait().unwrap();
+    match doomed.wait() {
+        Err(ServeError::DeadlineExceeded { .. }) => {}
+        other => panic!("expected a shed request, got {other:?}"),
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.stats.timed_out, 1);
+    assert_eq!(report.stats.completed, 1);
+}
+
+/// With the shared plan cache, a shape compiled by any worker is a hit
+/// for every other: total compilations across 4 workers stay strictly
+/// below `cold keys × workers` (the private-cache worst case).
+#[test]
+fn shared_plan_cache_compiles_once_across_workers() {
+    let (ir, exec) = tiny_exec();
+    let engine = ServeEngine::new(
+        exec,
+        ServeConfig {
+            workers: 4,
+            // Generous capacity: no evictions, so `len` counts every
+            // cold key the workload ever compiled.
+            plan_cache_capacity: 512,
+            ..ServeConfig::default()
+        },
+    );
+    let mut seed = 71u64;
+    let shapes = [(1i64, 1i64), (1, 2), (2, 3)];
+
+    // Warm phase: one request per shape, waited on, so every plan key
+    // is compiled exactly once before the flood.
+    for &(batch, kv) in &shapes {
+        let args = decode_args(&ir, batch, kv, &mut seed);
+        engine.submit("decode", &args).unwrap().wait().unwrap();
+    }
+    // Flood: every further request, on any worker, must hit the cache.
+    let tickets: Vec<Ticket> = (0..3)
+        .flat_map(|_| shapes.iter())
+        .map(|&(batch, kv)| {
+            let args = decode_args(&ir, batch, kv, &mut seed);
+            engine.submit("decode", &args).unwrap()
+        })
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+
+    let report = engine.shutdown();
+    let cold_keys = report.stats.plan_cache.len as u64;
+    let compiles = report.total_plan_compiles();
+    assert!(compiles > 0);
+    assert!(cold_keys > 0);
+    assert!(
+        compiles < cold_keys * 4,
+        "no cross-worker reuse: {compiles} compiles for {cold_keys} keys on 4 workers"
+    );
+    assert!(report.stats.plan_cache.hits > 0);
+    assert!(report.stats.plan_cache.hit_rate() > 0.0);
+}

@@ -1,7 +1,7 @@
 //! Buffers: the memory operands of loop-level tensor programs.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use relax_arith::{DataType, PrimExpr};
@@ -46,7 +46,7 @@ impl fmt::Display for MemScope {
 /// assert_eq!(x.to_string(), "X: Buffer((n, 128), \"f32\")");
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Buffer(Rc<BufferData>);
+pub struct Buffer(Arc<BufferData>);
 
 #[derive(PartialEq, Eq, Hash)]
 struct BufferData {
@@ -70,7 +70,7 @@ impl Buffer {
         dtype: DataType,
         scope: MemScope,
     ) -> Self {
-        Buffer(Rc::new(BufferData {
+        Buffer(Arc::new(BufferData {
             id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
             name: name.into(),
             shape,

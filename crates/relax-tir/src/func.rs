@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::buffer::Buffer;
 use crate::stmt::Stmt;
@@ -40,7 +40,7 @@ use crate::stmt::Stmt;
 /// assert_eq!(f.outputs().len(), 1);
 /// ```
 #[derive(Clone, PartialEq)]
-pub struct PrimFunc(Rc<PrimFuncData>);
+pub struct PrimFunc(Arc<PrimFuncData>);
 
 #[derive(PartialEq)]
 struct PrimFuncData {
@@ -67,7 +67,7 @@ impl PrimFunc {
             num_outputs <= params.len(),
             "num_outputs must not exceed the number of parameters"
         );
-        PrimFunc(Rc::new(PrimFuncData {
+        PrimFunc(Arc::new(PrimFuncData {
             name: name.into(),
             params,
             num_outputs,
@@ -82,7 +82,7 @@ impl PrimFunc {
     pub fn with_attr(&self, key: impl Into<String>, value: impl Into<String>) -> PrimFunc {
         let mut attrs = self.0.attrs.clone();
         attrs.insert(key.into(), value.into());
-        PrimFunc(Rc::new(PrimFuncData {
+        PrimFunc(Arc::new(PrimFuncData {
             name: self.0.name.clone(),
             params: self.0.params.clone(),
             num_outputs: self.0.num_outputs,
@@ -93,7 +93,7 @@ impl PrimFunc {
 
     /// Returns a copy with a different name.
     pub fn renamed(&self, name: impl Into<String>) -> PrimFunc {
-        PrimFunc(Rc::new(PrimFuncData {
+        PrimFunc(Arc::new(PrimFuncData {
             name: name.into(),
             params: self.0.params.clone(),
             num_outputs: self.0.num_outputs,

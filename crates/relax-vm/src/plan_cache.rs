@@ -1,4 +1,4 @@
-//! Shape-keyed LRU cache of compiled kernel plans.
+//! Shape-keyed LRU cache of compiled kernel plans, shareable across VMs.
 //!
 //! `CallTir` launches are keyed by `(function name, concrete argument
 //! dims)`; the first launch of a key pays one plan compilation, every
@@ -7,114 +7,337 @@
 //! [`CachedPlan::Unplannable`] so the interpreter fallback does not
 //! recompile (and re-fail) per launch. Eviction is least-recently-used via
 //! a monotonic touch tick.
+//!
+//! The cache is a [`SharedPlanCache`]: a cheap `Clone` handle over sharded
+//! `RwLock` state, so a pool of serving workers can share one cache — one
+//! worker's compile warms every other worker. The hot path (a hit) takes a
+//! single shard read lock and allocates nothing: keys are probed through a
+//! borrowed [`KeyView`] instead of materializing an owned key per launch,
+//! and recency is an atomic store inside the entry.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 use relax_tir::KernelPlan;
 
 /// Default number of `(function, shapes)` specializations kept.
 pub(crate) const DEFAULT_CAPACITY: usize = 64;
 
+/// Number of independently locked shards. Shard routing hashes the key
+/// with a deterministic hasher, so the same key always lands on the same
+/// shard in every VM sharing the cache.
+const SHARD_COUNT: usize = 8;
+
 /// A cache entry: a compiled plan, or a negative result.
 #[derive(Debug, Clone)]
 pub(crate) enum CachedPlan {
-    Ready(Rc<KernelPlan>),
+    Ready(Arc<KernelPlan>),
     Unplannable,
 }
 
-/// Cache key: `(function name, concrete argument dims)`.
-type PlanKey = (String, Vec<Vec<usize>>);
-
-#[derive(Debug)]
-pub(crate) struct PlanCache {
-    capacity: usize,
-    tick: u64,
-    entries: HashMap<PlanKey, (u64, CachedPlan)>,
-    pub(crate) hits: u64,
-    pub(crate) misses: u64,
-    pub(crate) evictions: u64,
+/// Owned cache key: `(function name, concrete argument dims)`.
+#[derive(Debug, Clone)]
+struct PlanKey {
+    func: String,
+    shapes: Vec<Vec<usize>>,
 }
 
-impl PlanCache {
-    pub(crate) fn new(capacity: usize) -> Self {
-        PlanCache {
-            capacity,
-            tick: 0,
-            entries: HashMap::new(),
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+/// Borrowed view of a cache key, so lookups can probe the map with
+/// `(&str, &[Vec<usize>])` without allocating an owned `PlanKey`.
+trait KeyView {
+    fn func(&self) -> &str;
+    fn shapes(&self) -> &[Vec<usize>];
+}
+
+impl KeyView for PlanKey {
+    fn func(&self) -> &str {
+        &self.func
+    }
+    fn shapes(&self) -> &[Vec<usize>] {
+        &self.shapes
+    }
+}
+
+impl KeyView for (&str, &[Vec<usize>]) {
+    fn func(&self) -> &str {
+        self.0
+    }
+    fn shapes(&self) -> &[Vec<usize>] {
+        self.1
+    }
+}
+
+impl Hash for dyn KeyView + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.func().hash(state);
+        self.shapes().hash(state);
+    }
+}
+
+impl PartialEq for dyn KeyView + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.func() == other.func() && self.shapes() == other.shapes()
+    }
+}
+
+impl Eq for dyn KeyView + '_ {}
+
+// Route the owned key's Hash/Eq through the view so owned and borrowed
+// probes are guaranteed to agree.
+impl Hash for PlanKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (self as &dyn KeyView).hash(state)
+    }
+}
+
+impl PartialEq for PlanKey {
+    fn eq(&self, other: &Self) -> bool {
+        (self as &dyn KeyView) == (other as &dyn KeyView)
+    }
+}
+
+impl Eq for PlanKey {}
+
+impl<'a> Borrow<dyn KeyView + 'a> for PlanKey {
+    fn borrow(&self) -> &(dyn KeyView + 'a) {
+        self
+    }
+}
+
+/// An entry plus its last-touched tick. The tick is atomic so a cache hit
+/// can refresh recency under a shard *read* lock.
+#[derive(Debug)]
+struct Entry {
+    touched: AtomicU64,
+    plan: CachedPlan,
+}
+
+/// Point-in-time counters of a [`SharedPlanCache`]. When the cache is
+/// shared, these aggregate over every VM using it (per-VM counts live in
+/// [`crate::Telemetry`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that found a cached plan.
+    pub hits: u64,
+    /// Lookups that found nothing (each triggers one compilation).
+    pub misses: u64,
+    /// Entries evicted, least recently used first.
+    pub evictions: u64,
+    /// Entries currently cached (including negative entries).
+    pub len: usize,
+    /// Maximum entries kept.
+    pub capacity: usize,
+}
+
+impl PlanCacheStats {
+    /// Fraction of lookups that hit, in `[0, 1]`; `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
         }
+    }
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    shards: Vec<RwLock<HashMap<PlanKey, Entry>>>,
+    tick: AtomicU64,
+    len: AtomicUsize,
+    capacity: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A shape-keyed LRU plan cache that any number of VMs can share.
+///
+/// `Clone` is a cheap handle copy: all clones see the same entries and
+/// counters, so a worker pool built from clones of one cache shares every
+/// compiled plan. A `Vm` created with [`crate::Vm::new`] gets a private
+/// cache; [`crate::Vm::from_parts`] accepts a shared one.
+#[derive(Debug, Clone)]
+pub struct SharedPlanCache {
+    inner: Arc<CacheInner>,
+}
+
+impl SharedPlanCache {
+    /// Creates a cache holding at most `capacity` specializations
+    /// (`0` disables caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        SharedPlanCache {
+            inner: Arc::new(CacheInner {
+                shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+                tick: AtomicU64::new(0),
+                len: AtomicUsize::new(0),
+                capacity: AtomicUsize::new(capacity),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// `true` if this handle and `other` share the same underlying cache.
+    pub fn shares_with(&self, other: &SharedPlanCache) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// `false` means planning is disabled entirely (capacity 0).
     pub(crate) fn enabled(&self) -> bool {
-        self.capacity > 0
+        self.capacity() > 0
     }
 
-    pub(crate) fn capacity(&self) -> usize {
-        self.capacity
+    /// Maximum number of entries kept.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity.load(Ordering::Relaxed)
     }
 
-    pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+    /// Number of plans (and negative entries) currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate counters (across every VM sharing the cache).
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity(),
+        }
     }
 
     /// Changes the capacity, evicting least-recently-used entries if the
-    /// cache is now over budget.
-    pub(crate) fn set_capacity(&mut self, capacity: usize) {
-        self.capacity = capacity;
-        while self.entries.len() > self.capacity {
-            self.evict_lru();
+    /// cache is now over budget. Returns how many entries were evicted.
+    pub fn set_capacity(&self, capacity: usize) -> u64 {
+        self.inner.capacity.store(capacity, Ordering::Relaxed);
+        let mut evicted = 0;
+        while self.len() > capacity && self.evict_lru() {
+            evicted += 1;
         }
+        evicted
+    }
+
+    /// The shard index for a key. Uses the deterministic `DefaultHasher`
+    /// seed (not the per-map random state) so every handle agrees.
+    fn shard_of(key: &dyn KeyView) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARD_COUNT
     }
 
     /// Looks up `(func, shapes)`, counting a hit or a miss and refreshing
-    /// recency on hit.
-    pub(crate) fn lookup(&mut self, func: &str, shapes: &[Vec<usize>]) -> Option<CachedPlan> {
+    /// recency on hit. A hit takes one shard read lock and allocates
+    /// nothing.
+    pub(crate) fn lookup(&self, func: &str, shapes: &[Vec<usize>]) -> Option<CachedPlan> {
         if !self.enabled() {
             return None;
         }
-        self.tick += 1;
-        let key = (func.to_string(), shapes.to_vec());
-        match self.entries.get_mut(&key) {
-            Some((touched, plan)) => {
-                *touched = self.tick;
-                self.hits += 1;
-                Some(plan.clone())
+        let probe: &dyn KeyView = &(func, shapes);
+        let tick = self.inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let shard = self.inner.shards[Self::shard_of(probe)]
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        match shard.get(probe) {
+            Some(entry) => {
+                entry.touched.store(tick, Ordering::Relaxed);
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.plan.clone())
             }
             None => {
-                self.misses += 1;
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Inserts a freshly compiled (or refused) plan, evicting the
-    /// least-recently-used entry when full.
-    pub(crate) fn insert(&mut self, func: &str, shapes: &[Vec<usize>], plan: CachedPlan) {
+    /// Inserts a freshly compiled (or refused) plan, evicting
+    /// least-recently-used entries once the cache is over capacity.
+    /// Replacing a key that is already cached is *not* growth and evicts
+    /// nothing. Returns how many entries were evicted.
+    pub(crate) fn insert(&self, func: &str, shapes: &[Vec<usize>], plan: CachedPlan) -> u64 {
         if !self.enabled() {
-            return;
+            return 0;
         }
-        while self.entries.len() >= self.capacity {
-            self.evict_lru();
+        let tick = self.inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let probe: &dyn KeyView = &(func, shapes);
+        let shard_idx = Self::shard_of(probe);
+        {
+            let mut shard = self.inner.shards[shard_idx]
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = shard.get_mut(probe) {
+                // In-place replacement: same key, no growth, no eviction.
+                entry.plan = plan;
+                entry.touched.store(tick, Ordering::Relaxed);
+                return 0;
+            }
+            shard.insert(
+                PlanKey {
+                    func: func.to_string(),
+                    shapes: shapes.to_vec(),
+                },
+                Entry {
+                    touched: AtomicU64::new(tick),
+                    plan,
+                },
+            );
+            self.inner.len.fetch_add(1, Ordering::Relaxed);
         }
-        self.tick += 1;
-        self.entries
-            .insert((func.to_string(), shapes.to_vec()), (self.tick, plan));
+        let mut evicted = 0;
+        while self.len() > self.capacity() && self.evict_lru() {
+            evicted += 1;
+        }
+        evicted
     }
 
-    fn evict_lru(&mut self) {
-        let oldest = self
-            .entries
-            .iter()
-            .min_by_key(|(_, (touched, _))| *touched)
-            .map(|(k, _)| k.clone());
-        if let Some(k) = oldest {
-            self.entries.remove(&k);
-            self.evictions += 1;
+    /// Evicts the globally least-recently-touched entry. `false` if the
+    /// cache was empty.
+    fn evict_lru(&self) -> bool {
+        // Find the globally oldest entry, one shard read lock at a time.
+        let mut oldest: Option<(usize, u64, PlanKey)> = None;
+        for (i, lock) in self.inner.shards.iter().enumerate() {
+            let shard = lock.read().unwrap_or_else(|e| e.into_inner());
+            for (key, entry) in shard.iter() {
+                let t = entry.touched.load(Ordering::Relaxed);
+                if oldest.as_ref().map(|(_, ot, _)| t < *ot).unwrap_or(true) {
+                    oldest = Some((i, t, key.clone()));
+                }
+            }
         }
+        let Some((i, _, key)) = oldest else {
+            return false;
+        };
+        let mut shard = self.inner.shards[i]
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        if shard.remove(&key as &dyn KeyView).is_some() {
+            self.inner.len.fetch_sub(1, Ordering::Relaxed);
+            self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            // Lost a race with another evictor; report progress anyway so
+            // callers re-check the length.
+            true
+        }
+    }
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> Self {
+        SharedPlanCache::new(DEFAULT_CAPACITY)
     }
 }
 
@@ -124,12 +347,12 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_touched() {
-        let mut c = PlanCache::new(2);
+        let c = SharedPlanCache::new(2);
         c.insert("a", &[vec![1]], CachedPlan::Unplannable);
         c.insert("b", &[vec![1]], CachedPlan::Unplannable);
         assert!(c.lookup("a", &[vec![1]]).is_some()); // refresh a
         c.insert("c", &[vec![1]], CachedPlan::Unplannable); // evicts b
-        assert_eq!(c.evictions, 1);
+        assert_eq!(c.stats().evictions, 1);
         assert!(c.lookup("a", &[vec![1]]).is_some());
         assert!(c.lookup("b", &[vec![1]]).is_none());
         assert!(c.lookup("c", &[vec![1]]).is_some());
@@ -138,22 +361,82 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables() {
-        let mut c = PlanCache::new(0);
+        let c = SharedPlanCache::new(0);
         assert!(!c.enabled());
         c.insert("a", &[vec![1]], CachedPlan::Unplannable);
         assert!(c.lookup("a", &[vec![1]]).is_none());
         assert_eq!(c.len(), 0);
-        assert_eq!(c.misses, 0); // disabled lookups are not counted
+        assert_eq!(c.stats().misses, 0); // disabled lookups are not counted
     }
 
     #[test]
     fn shrinking_capacity_evicts() {
-        let mut c = PlanCache::new(4);
+        let c = SharedPlanCache::new(4);
         for name in ["a", "b", "c", "d"] {
             c.insert(name, &[vec![2, 2]], CachedPlan::Unplannable);
         }
-        c.set_capacity(1);
+        let evicted = c.set_capacity(1);
+        assert_eq!(evicted, 3);
         assert_eq!(c.len(), 1);
-        assert_eq!(c.evictions, 3);
+        assert_eq!(c.stats().evictions, 3);
+    }
+
+    /// Regression: replacing an existing key while at capacity must not
+    /// evict anything — replacement is not growth. The old code evicted
+    /// the LRU entry first, which at capacity 1 was the very entry being
+    /// replaced.
+    #[test]
+    fn replacing_existing_key_at_capacity_evicts_nothing() {
+        let c = SharedPlanCache::new(1);
+        c.insert("a", &[vec![4]], CachedPlan::Unplannable);
+        let evicted = c.insert("a", &[vec![4]], CachedPlan::Unplannable);
+        assert_eq!(evicted, 0);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup("a", &[vec![4]]).is_some());
+
+        // Same at capacity 2 with a second live entry: the untouched
+        // neighbour must survive the replacement.
+        let c = SharedPlanCache::new(2);
+        c.insert("a", &[vec![4]], CachedPlan::Unplannable);
+        c.insert("b", &[vec![8]], CachedPlan::Unplannable);
+        c.insert("a", &[vec![4]], CachedPlan::Unplannable);
+        assert_eq!(c.stats().evictions, 0);
+        assert!(c.lookup("b", &[vec![8]]).is_some());
+    }
+
+    #[test]
+    fn clones_share_entries_and_counters() {
+        let a = SharedPlanCache::new(4);
+        let b = a.clone();
+        assert!(a.shares_with(&b));
+        a.insert("f", &[vec![2]], CachedPlan::Unplannable);
+        assert!(b.lookup("f", &[vec![2]]).is_some());
+        let s = a.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.len, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12 || s.misses == 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_and_inserts_stay_consistent() {
+        let c = SharedPlanCache::new(8);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..200usize {
+                        let shapes = vec![vec![i % 16]];
+                        let name = if t % 2 == 0 { "even" } else { "odd" };
+                        if c.lookup(name, &shapes).is_none() {
+                            c.insert(name, &shapes, CachedPlan::Unplannable);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 8);
+        let s = c.stats();
+        assert!(s.hits + s.misses >= 800);
     }
 }

@@ -2,15 +2,16 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use relax_arith::{EvalError, PrimExpr, Var as SymVar};
+use relax_arith::{DataType, EvalError, PrimExpr, Var as SymVar};
 use relax_tir::interp::{self, InterpError};
 use relax_tir::{NDArray, PlanError};
 
 use crate::exec::{Executable, Instr, Reg, VmFunction};
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
 use crate::memory::{MemoryStats, PooledAllocator};
-use crate::plan_cache::{CachedPlan, PlanCache, DEFAULT_CAPACITY};
+use crate::plan_cache::{CachedPlan, SharedPlanCache};
 use crate::registry::{KernelError, Registry};
 use crate::value::Value;
 
@@ -249,14 +250,21 @@ pub struct KernelStat {
 
 /// The Relax virtual machine.
 ///
+/// A VM is split into *shared, read-only* state — the executable, the
+/// foreign-function registry, and the kernel-plan cache, all behind cheap
+/// `Arc`/handle clones so many VMs (e.g. a serving worker pool) can share
+/// them — and *per-invocation* state (frames, the pooled allocator,
+/// telemetry, capture and fault bookkeeping) that stays private to this
+/// VM. `Vm` is `Send`, so each worker thread can own one.
+///
 /// # Examples
 ///
 /// See the crate-level documentation and the `quickstart` example; a VM is
 /// normally created from the output of the compilation pipeline.
 #[derive(Debug)]
 pub struct Vm {
-    exec: Executable,
-    registry: Registry,
+    exec: Arc<Executable>,
+    registry: Arc<Registry>,
     pool: PooledAllocator,
     telemetry: Telemetry,
     /// Capture regions that have been captured (by region id).
@@ -267,8 +275,9 @@ pub struct Vm {
     next_storage_id: u64,
     /// Per-kernel launch counts and compile/run time split.
     kernel_stats: HashMap<String, KernelStat>,
-    /// Shape-keyed LRU cache of compiled kernel plans.
-    plan_cache: PlanCache,
+    /// Shape-keyed LRU cache of compiled kernel plans (possibly shared
+    /// with other VMs).
+    plan_cache: SharedPlanCache,
     /// Worker threads for parallelizable kernel plans (1 = serial).
     parallelism: usize,
     /// Scheduled fault injection (tests and chaos harnesses).
@@ -283,13 +292,31 @@ pub struct Vm {
 }
 
 impl Vm {
-    /// Creates a VM for an executable with the default registry.
+    /// Creates a VM for an executable with the default registry and a
+    /// private plan cache.
     pub fn new(exec: Executable) -> Self {
         Self::with_registry(exec, Registry::new())
     }
 
-    /// Creates a VM with a custom foreign-function registry.
+    /// Creates a VM with a custom foreign-function registry and a private
+    /// plan cache.
     pub fn with_registry(exec: Executable, registry: Registry) -> Self {
+        Self::from_parts(
+            Arc::new(exec),
+            Arc::new(registry),
+            SharedPlanCache::default(),
+        )
+    }
+
+    /// Creates a VM from shared read-only parts: one immutable executable
+    /// and registry can back many VMs, and a [`SharedPlanCache`] handle
+    /// lets them all reuse each other's compiled kernel plans — the
+    /// executable/VM split that makes multi-session serving possible.
+    pub fn from_parts(
+        exec: Arc<Executable>,
+        registry: Arc<Registry>,
+        plan_cache: SharedPlanCache,
+    ) -> Self {
         Vm {
             exec,
             registry,
@@ -299,7 +326,7 @@ impl Vm {
             static_storage: HashMap::new(),
             next_storage_id: 0,
             kernel_stats: HashMap::new(),
-            plan_cache: PlanCache::new(DEFAULT_CAPACITY),
+            plan_cache,
             parallelism: 1,
             fault: None,
             memory_capacity: None,
@@ -361,11 +388,12 @@ impl Vm {
     }
 
     /// Sets how many `(function, shapes)` kernel-plan specializations the
-    /// VM keeps (LRU eviction beyond that). `0` disables planning
+    /// plan cache keeps (LRU eviction beyond that). `0` disables planning
     /// entirely: every `CallTir` launch runs on the reference
-    /// interpreter. The default is 64.
+    /// interpreter. The default is 64. When the cache is shared, the new
+    /// capacity applies to every VM sharing it.
     pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
-        self.plan_cache.set_capacity(capacity);
+        self.telemetry.plan_cache_evictions += self.plan_cache.set_capacity(capacity);
     }
 
     /// Current plan-cache capacity.
@@ -378,6 +406,12 @@ impl Vm {
         self.plan_cache.len()
     }
 
+    /// A handle to this VM's plan cache (clone it into other VMs to share
+    /// compiled plans).
+    pub fn plan_cache(&self) -> &SharedPlanCache {
+        &self.plan_cache
+    }
+
     /// Sets the number of worker threads used to execute parallelizable
     /// kernel plans. `1` (the default) runs serially on the calling
     /// thread; values above 1 chunk the outermost parallelizable loop
@@ -387,14 +421,13 @@ impl Vm {
         self.parallelism = threads.max(1);
     }
 
-    /// Current execution counters.
+    /// Current execution counters. Plan-cache hits/misses/evictions are
+    /// *this VM's* counts; with a shared cache, the aggregate across all
+    /// sharers is [`SharedPlanCache::stats`].
     pub fn telemetry(&self) -> Telemetry {
         let mut t = self.telemetry;
         t.pool = self.pool.stats();
         t.planned_bytes = self.planned_total();
-        t.plan_cache_hits = self.plan_cache.hits;
-        t.plan_cache_misses = self.plan_cache.misses;
-        t.plan_cache_evictions = self.plan_cache.evictions;
         t
     }
 
@@ -565,7 +598,7 @@ impl Vm {
         match instr {
             Instr::AllocTensor { dst, shape, dtype } => {
                 let dims = self.eval_dims(shape, &frame.heap)?;
-                let bytes: usize = dims.iter().product::<usize>() * dtype.size_bytes();
+                let bytes = checked_tensor_bytes(&dims, *dtype)?;
                 let granted = self.runtime_alloc(bytes)?;
                 if let Some(old) = frame.alloc_sizes.insert(*dst, granted) {
                     self.pool.free(old);
@@ -630,7 +663,7 @@ impl Vm {
                     }
                 };
                 let dims = self.eval_dims(shape, &frame.heap)?;
-                let required = dims.iter().product::<usize>() * dtype.size_bytes();
+                let required = checked_tensor_bytes(&dims, *dtype)?;
                 if required > avail {
                     if self.strict_storage {
                         return Err(VmErrorKind::StorageOverflow {
@@ -680,8 +713,12 @@ impl Vm {
                 // time. Capacity 0 disables planning entirely.
                 let cached = if self.plan_cache.enabled() {
                     match self.plan_cache.lookup(func, &shapes) {
-                        Some(c) => Some(c),
+                        Some(c) => {
+                            self.telemetry.plan_cache_hits += 1;
+                            Some(c)
+                        }
                         None => {
+                            self.telemetry.plan_cache_misses += 1;
                             let t0 = std::time::Instant::now();
                             let compiled =
                                 relax_tir::plan::compile(&self.exec.tir_funcs[func], &shapes);
@@ -691,11 +728,12 @@ impl Vm {
                             stat.compile_time += dt;
                             self.telemetry.plan_compiles += 1;
                             let entry = match compiled {
-                                Ok(plan) => CachedPlan::Ready(std::rc::Rc::new(plan)),
+                                Ok(plan) => CachedPlan::Ready(Arc::new(plan)),
                                 Err(PlanError::Unsupported(_)) => CachedPlan::Unplannable,
                                 Err(PlanError::Interp(e)) => return Err(e.into()),
                             };
-                            self.plan_cache.insert(func, &shapes, entry.clone());
+                            self.telemetry.plan_cache_evictions +=
+                                self.plan_cache.insert(func, &shapes, entry.clone());
                             Some(entry)
                         }
                     }
@@ -896,6 +934,22 @@ impl Vm {
         }
         Ok(())
     }
+}
+
+/// Byte size of a tensor, with overflow-checked arithmetic: adversarial
+/// shapes whose element count times element size exceeds `usize` must
+/// surface as a [`VmErrorKind::StorageOverflow`], not a debug panic or a
+/// release-mode wraparound that under-allocates.
+fn checked_tensor_bytes(dims: &[usize], dtype: DataType) -> Result<usize, VmError> {
+    dims.iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .and_then(|n| n.checked_mul(dtype.size_bytes()))
+        .ok_or_else(|| {
+            VmError::new(VmErrorKind::StorageOverflow {
+                required: usize::MAX,
+                available: 0,
+            })
+        })
 }
 
 /// An injected kernel failure, attributed to the faulting kernel.
@@ -1295,6 +1349,85 @@ mod tests {
             }
             other => panic!("expected StorageOverflow, got {other}"),
         }
+    }
+
+    /// The VM is `Send`: a serving engine moves one VM into each worker
+    /// thread (compile-time assertion).
+    #[test]
+    fn vm_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Vm>();
+        assert_send::<Executable>();
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<crate::SharedPlanCache>();
+        assert_sync::<Executable>();
+    }
+
+    /// Regression: `dims.product() * dtype.size_bytes()` overflowed on
+    /// adversarial shapes (debug panic / release wraparound that
+    /// under-allocates). Both alloc paths must return `StorageOverflow`.
+    #[test]
+    fn adversarial_shape_byte_overflow_is_an_error() {
+        // AllocTensor path: (2^40) x (2^40) elements overflows usize.
+        let huge = PrimExpr::Int(1i64 << 40);
+        let mut exec = relu_exec();
+        exec.funcs.get_mut("main").unwrap().instrs[1] = Instr::AllocTensor {
+            dst: 1,
+            shape: vec![huge.clone(), huge.clone()],
+            dtype: DataType::F32,
+        };
+        let mut vm = Vm::new(exec);
+        let x = NDArray::zeros(&[2], DataType::F32);
+        let err = vm.run("main", &[Value::Tensor(x.clone())]).unwrap_err();
+        assert!(matches!(err.kind, VmErrorKind::StorageOverflow { .. }), "{err}");
+        assert_eq!(err.origin().unwrap().pc, 1);
+
+        // TensorFromStorage path: same shape viewed into a small storage.
+        let mut exec = relu_exec();
+        let f = exec.funcs.get_mut("main").unwrap();
+        f.num_regs = 4;
+        f.instrs[1] = Instr::AllocStorage {
+            dst: 3,
+            bytes: 64.into(),
+        };
+        f.instrs.insert(
+            2,
+            Instr::TensorFromStorage {
+                dst: 1,
+                storage: 3,
+                shape: vec![huge.clone(), huge],
+                dtype: DataType::F32,
+            },
+        );
+        let mut vm = Vm::new(exec);
+        let err = vm.run("main", &[Value::Tensor(x)]).unwrap_err();
+        assert!(matches!(err.kind, VmErrorKind::StorageOverflow { .. }), "{err}");
+        // The failed run left a clean, reusable state.
+        assert_eq!(vm.telemetry().pool.in_use, 0);
+    }
+
+    /// Two VMs built from the same shared parts reuse each other's
+    /// compiled plans: the second VM's first launch is a cache hit.
+    #[test]
+    fn shared_plan_cache_warms_across_vms() {
+        let exec = Arc::new(relu_exec());
+        let registry = Arc::new(Registry::new());
+        let cache = SharedPlanCache::default();
+        let mut a = Vm::from_parts(exec.clone(), registry.clone(), cache.clone());
+        let mut b = Vm::from_parts(exec, registry, cache.clone());
+        let x = NDArray::from_f64(&[4], DataType::F32, vec![-1., 2., -3., 4.]).unwrap();
+        a.run("main", &[Value::Tensor(x.clone())]).unwrap();
+        let out = b.run("main", &[Value::Tensor(x)]).unwrap();
+        assert_eq!(out.as_tensor().unwrap().to_f64_vec(), vec![0., 2., 0., 4.]);
+        // VM `a` compiled; VM `b` hit the shared entry without compiling.
+        assert_eq!(a.telemetry().plan_compiles, 1);
+        assert_eq!(b.telemetry().plan_compiles, 0);
+        assert_eq!(b.telemetry().plan_cache_hits, 1);
+        assert_eq!(b.telemetry().plan_cache_misses, 0);
+        let agg = cache.stats();
+        assert_eq!(agg.hits, 1);
+        assert_eq!(agg.misses, 1);
+        assert_eq!(agg.len, 1);
     }
 
     #[test]

@@ -2,8 +2,13 @@
 # Runs the runtime micro-benchmarks and writes BENCH_runtime.json at the
 # repository root (median ns/iter per benchmark plus interpreter-vs-plan
 # and 1-vs-N-thread speedups). The JSON also carries a "compile_passes"
-# section: per-pass wall time and changed flags for one full default
-# compile of the tiny decode module, from `compile_with_report`.
+# section (per-pass wall time and changed flags for one full default
+# compile of the tiny decode module, from `compile_with_report`) and a
+# "serving" section: decode throughput through the relax-serve worker
+# pool — 1 vs 4 workers and shared vs private plan cache, with
+# per-request p50/p95/p99 latency and cross-worker compile counts.
+# Interpret the worker-scaling rows against "host_threads": a 1-core
+# host cannot show a multi-worker win.
 #
 # Usage: scripts/bench.sh [--fast]
 #   --fast   smoke sizing (RELAX_BENCH_FAST=1): a few small batches, for CI.

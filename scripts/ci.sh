@@ -27,6 +27,9 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> serving smoke test (release)"
+cargo test -p relax-serve --release -q smoke
+
 echo "==> cargo doc --workspace --no-deps"
 cargo doc --workspace --no-deps -q
 

@@ -13,6 +13,9 @@
 //! - [`passes`]: the optimization pipeline (fusion, memory planning,
 //!   workspace lifting, library dispatch, graph capture, VM codegen);
 //! - [`vm`]: the runtime virtual machine, tensors and allocators;
+//! - [`serve`]: the multi-session serving engine — a worker pool,
+//!   bounded request queue, shape-batching scheduler and shared kernel
+//!   plan cache over the VM;
 //! - [`sim`]: the device performance simulator used by the benchmark
 //!   harness;
 //! - [`models`]: `nn.Module`-style model builders (LLM decoder, Whisper,
@@ -40,6 +43,7 @@ pub use relax_arith as arith;
 pub use relax_core as core;
 pub use relax_models as models;
 pub use relax_passes as passes;
+pub use relax_serve as serve;
 pub use relax_sim as sim;
 pub use relax_tir as tir;
 pub use relax_vm as vm;
