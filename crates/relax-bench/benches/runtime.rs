@@ -285,6 +285,26 @@ fn bench_serving(rows: &mut Vec<(String, f64)>) -> Vec<ServingRow> {
     runs
 }
 
+/// Re-runs the 4-worker shared-cache serving wave with tracing captured
+/// and writes the Chrome trace-event export to `BENCH_trace.json` next
+/// to `BENCH_runtime.json`. The export is validated with the in-repo
+/// checker before it is written; a bad trace fails the bench run.
+fn export_serving_trace() {
+    let capture = relax_trace::Capture::begin();
+    let requests = if fast_mode() { 8 } else { 32 };
+    serve_run("serve/decode/workers4_traced", 4, true, requests);
+    let trace = capture.finish();
+    trace.validate().expect("serving trace is well-formed");
+    let json = trace.chrome_json();
+    let stats = relax_trace::validate_chrome_trace(&json).expect("chrome export passes the checker");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(path, &json).expect("write BENCH_trace.json");
+    println!(
+        "wrote {path} ({} events, {} request spans, {} threads, {} dropped)",
+        stats.events, stats.async_pairs, stats.threads, stats.dropped
+    );
+}
+
 /// One full-pipeline compile of the tiny decode module, reporting where
 /// the compile time goes pass by pass.
 fn compile_pass_rows() -> Vec<PassRecord> {
@@ -388,6 +408,7 @@ fn main() {
     for (name, x) in &speedups {
         println!("{name:<40} {x:>11.2}x");
     }
+    export_serving_trace();
     let passes = compile_pass_rows();
     for p in &passes {
         println!(

@@ -743,8 +743,17 @@ fn parse_expr(p: &mut Cursor, ctx: &mut FnCtx, allow_calls: bool) -> Result<Expr
             if let Some(key) = p.ident() {
                 if p.eat("=") {
                     let mut value = String::new();
+                    // A bracketed value (`axes=[0,2,1,3]`) may contain
+                    // commas; the brackets are printer armor, not part of
+                    // the stored attribute value.
+                    let bracketed = p.eat("[");
                     while let Some(c) = p.src[p.pos..].chars().next() {
-                        if c == ',' || c == ')' {
+                        if bracketed {
+                            if c == ']' {
+                                p.pos += 1;
+                                break;
+                            }
+                        } else if c == ',' || c == ')' {
                             break;
                         }
                         value.push(c);

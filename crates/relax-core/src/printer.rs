@@ -95,7 +95,14 @@ fn print_expr(expr: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 print_expr(a, f)?;
             }
             for (k, v) in attrs {
-                write!(f, ", {k}={v}")?;
+                // Values containing commas (axis lists like `0,2,1,3`)
+                // are bracketed so the parser can tell the value's commas
+                // from argument separators.
+                if v.contains(',') {
+                    write!(f, ", {k}=[{v}]")?;
+                } else {
+                    write!(f, ", {k}={v}")?;
+                }
             }
             write!(f, ")")
         }

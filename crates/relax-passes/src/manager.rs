@@ -31,7 +31,7 @@
 //! old fixed number of cleanup repetitions.
 
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use relax_core::IRModule;
 use relax_vm::registry::Registry;
@@ -394,10 +394,16 @@ impl ModulePass for Fixpoint {
         let mut converged = false;
         while iterations < self.max_iterations {
             iterations += 1;
+            let round = iterations;
+            let sp = relax_trace::span("compile", || format!("round:{}:{round}", self.name));
             let mut changed = false;
             for pass in &mut self.passes {
                 changed |= run_instrumented_module_pass(pass.as_mut(), module, ctx)?;
             }
+            sp.finish_with(|| relax_trace::Payload::Pass {
+                pass: self.name.clone(),
+                changed,
+            });
             any_changed |= changed;
             if !changed {
                 converged = true;
@@ -430,10 +436,18 @@ fn run_instrumented_module_pass(
         let text = module.to_string();
         ctx.dump(&name, "before", text);
     }
-    let start = Instant::now();
+    // The span guard is the single clock: its wall time both stamps the
+    // trace and feeds the CompileReport, so the two cannot disagree.
+    let group = pass.is_group();
+    let sp = relax_trace::span("compile", || {
+        format!("{}:{name}", if group { "group" } else { "pass" })
+    });
     let changed = pass.run_on_module(module, ctx)?;
-    let wall = start.elapsed();
-    if !pass.is_group() {
+    let wall = sp.finish_with(|| relax_trace::Payload::Pass {
+        pass: name.clone(),
+        changed,
+    });
+    if !group {
         ctx.record(&name, PassStage::Module, wall, changed);
     }
     if dumping {
@@ -463,9 +477,12 @@ fn run_instrumented_exec_pass(
         let text = exec_text(exec);
         ctx.dump(&name, "before", text);
     }
-    let start = Instant::now();
+    let sp = relax_trace::span("compile", || format!("pass:{name}"));
     let changed = pass.run_on_exec(exec, ctx)?;
-    let wall = start.elapsed();
+    let wall = sp.finish_with(|| relax_trace::Payload::Pass {
+        pass: name.clone(),
+        changed,
+    });
     ctx.record(&name, PassStage::Exec, wall, changed);
     if dumping {
         let text = exec_text(exec);
@@ -548,7 +565,7 @@ impl PassManager {
         module: IRModule,
         ctx: &mut PassContext,
     ) -> Result<Executable, PassError> {
-        let total_start = Instant::now();
+        let root = relax_trace::span("compile", || "pipeline".to_string());
         let mut m = module;
         if ctx.verify >= VerifyLevel::Boundaries {
             relax_core::assert_well_formed(&m)?;
@@ -564,10 +581,14 @@ impl PassManager {
         if dumping {
             ctx.dump(name, "before", m.to_string());
         }
-        let start = Instant::now();
+        let sp = relax_trace::span("compile", || format!("pass:{name}"));
         let workspaces = std::mem::take(&mut ctx.workspaces);
         let mut exec = crate::lower::lower_to_vm(&m, &workspaces)?;
-        ctx.record(name, PassStage::Lower, start.elapsed(), true);
+        let wall = sp.finish_with(|| relax_trace::Payload::Pass {
+            pass: name.to_string(),
+            changed: true,
+        });
+        ctx.record(name, PassStage::Lower, wall, true);
         if dumping {
             ctx.dump(name, "after", exec_text(&exec));
         }
@@ -581,7 +602,7 @@ impl PassManager {
         for pass in &mut self.exec_passes {
             run_instrumented_exec_pass(pass.as_mut(), &mut exec, ctx)?;
         }
-        ctx.report.total += total_start.elapsed();
+        ctx.report.total += root.finish();
         Ok(exec)
     }
 }

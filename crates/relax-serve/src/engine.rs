@@ -183,6 +183,8 @@ fn shape_signature(args: &[Value]) -> Vec<Vec<usize>> {
 pub struct ServeEngine {
     queue: Arc<RequestQueue>,
     counters: Arc<Counters>,
+    /// Dense request-id source (first request gets 1).
+    next_request_id: AtomicU64,
     latencies: Arc<Mutex<Vec<u64>>>,
     /// One handle per worker; all clones of the same cache when shared.
     caches: Vec<SharedPlanCache>,
@@ -240,6 +242,7 @@ impl ServeEngine {
         ServeEngine {
             queue,
             counters,
+            next_request_id: AtomicU64::new(0),
             latencies,
             caches,
             shared_cache: config.shared_plan_cache,
@@ -265,8 +268,21 @@ impl ServeEngine {
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
         let now = Instant::now();
+        let id = self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+        // The request span opens *before* the push: once the request is
+        // in the queue a worker may finish it at any moment, and the
+        // async end must never precede its begin.
+        let trace = relax_trace::async_begin("serve", "request", || {
+            relax_trace::Payload::Request {
+                request: id,
+                phase: relax_trace::RequestPhase::Queue,
+            }
+        });
+        let admit = relax_trace::span("serve", || format!("admit:{id}"));
         let (tx, rx) = mpsc::channel();
         let req = Request {
+            id,
+            trace,
             func: func.to_string(),
             args: args.to_vec(),
             shape_sig: shape_signature(args),
@@ -274,19 +290,36 @@ impl ServeEngine {
             enqueued: now,
             reply: tx,
         };
-        match self.queue.push(req) {
+        let outcome = self.queue.push(req);
+        admit.finish_with(|| relax_trace::Payload::Request {
+            request: id,
+            phase: relax_trace::RequestPhase::Admit,
+        });
+        match outcome {
             Ok(()) => {
                 self.counters.accepted.fetch_add(1, Ordering::Relaxed);
                 Ok(Ticket { rx })
             }
-            Err(PushError::Full) => {
-                self.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::QueueFull {
-                    depth: self.queue.depth(),
-                    capacity: self.queue.capacity(),
-                })
+            Err(refusal) => {
+                // The request never entered the queue; close its span
+                // here so the trace stays balanced.
+                relax_trace::async_end("serve", "request", trace, || {
+                    relax_trace::Payload::Request {
+                        request: id,
+                        phase: relax_trace::RequestPhase::Reply,
+                    }
+                });
+                match refusal {
+                    PushError::Full => {
+                        self.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::QueueFull {
+                            depth: self.queue.depth(),
+                            capacity: self.queue.capacity(),
+                        })
+                    }
+                    PushError::Closed => Err(ServeError::ShuttingDown),
+                }
             }
-            Err(PushError::Closed) => Err(ServeError::ShuttingDown),
         }
     }
 
@@ -376,18 +409,50 @@ fn worker_loop(
         counters
             .batched_extra
             .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+        let batch_span = relax_trace::span("serve", || format!("batch:{}", batch.len()));
         for req in batch {
             let now = Instant::now();
             if let Some(deadline) = req.deadline {
                 if now > deadline {
                     counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                    relax_trace::instant(
+                        "serve",
+                        || format!("shed:{}", req.id),
+                        || relax_trace::Payload::Request {
+                            request: req.id,
+                            phase: relax_trace::RequestPhase::Shed,
+                        },
+                    );
+                    relax_trace::async_end("serve", "request", req.trace, || {
+                        relax_trace::Payload::Request {
+                            request: req.id,
+                            phase: relax_trace::RequestPhase::Shed,
+                        }
+                    });
                     let _ = req.reply.send(Err(ServeError::DeadlineExceeded {
                         missed_by: now - deadline,
                     }));
                     continue;
                 }
             }
-            match vm.run(&req.func, &req.args) {
+            // Stitch the worker-side span under the request span opened
+            // on the submit thread: the id crossed the queue with the
+            // request.
+            let exec_span = relax_trace::span_under("serve", Some(req.trace), || {
+                format!("execute:{}", req.id)
+            });
+            let result = vm.run(&req.func, &req.args);
+            exec_span.finish_with(|| relax_trace::Payload::Request {
+                request: req.id,
+                phase: relax_trace::RequestPhase::Execute,
+            });
+            relax_trace::async_end("serve", "request", req.trace, || {
+                relax_trace::Payload::Request {
+                    request: req.id,
+                    phase: relax_trace::RequestPhase::Reply,
+                }
+            });
+            match result {
                 Ok(value) => {
                     counters.completed.fetch_add(1, Ordering::Relaxed);
                     let ns = req.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
@@ -403,6 +468,7 @@ fn worker_loop(
                 }
             }
         }
+        batch_span.finish();
     }
     WorkerReport {
         worker: idx,

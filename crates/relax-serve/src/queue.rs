@@ -21,6 +21,14 @@ use crate::engine::ServeError;
 
 /// A queued inference request.
 pub(crate) struct Request {
+    /// Engine-assigned request id (dense from 1), for telemetry and
+    /// trace payloads.
+    pub id: u64,
+    /// The request's trace span, opened on the submit thread and closed
+    /// wherever the request resolves (`0` when unrecorded). Carrying it
+    /// through the queue is what stitches worker-side spans under the
+    /// submitting session's request span.
+    pub trace: relax_trace::SpanId,
     /// VM function to run.
     pub func: String,
     /// Arguments.
@@ -165,6 +173,8 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         (
             Request {
+                id: 0,
+                trace: 0,
                 func: func.to_string(),
                 args: Vec::new(),
                 shape_sig: vec![dims.to_vec()],

@@ -1,0 +1,138 @@
+//! Plain-text flame summary: inclusive time per span stack path.
+//!
+//! The renderer replays each thread's Begin/End events to reconstruct
+//! the span stack, accumulates inclusive wall time and call counts per
+//! `root;child;leaf` path, and prints the hottest paths first — a
+//! terminal-friendly answer to "where did the time go" without loading
+//! the Chrome JSON into a viewer.
+
+use std::collections::HashMap;
+
+use crate::buffer::Trace;
+use crate::event::EventKind;
+
+/// Formats nanoseconds compactly (`741ns`, `12.3µs`, `4.56ms`, `1.23s`).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Renders the flame summary of a drained trace. Synchronous spans are
+/// grouped by stack path with inclusive time; async spans (which may
+/// cross threads) are summarised per name below them.
+pub fn flame_summary(trace: &Trace) -> String {
+    // path -> (inclusive ns, count)
+    let mut paths: HashMap<String, (u64, u64)> = HashMap::new();
+    // tid -> stack of (name, begin ts)
+    let mut stacks: HashMap<u64, Vec<(String, u64)>> = HashMap::new();
+    // async id -> (name, begin ts)
+    let mut async_open: HashMap<u64, (String, u64)> = HashMap::new();
+    // name -> (total ns, count)
+    let mut async_totals: HashMap<String, (u64, u64)> = HashMap::new();
+    let mut instants: HashMap<String, u64> = HashMap::new();
+    let mut sync_spans = 0u64;
+
+    for e in &trace.events {
+        match e.kind {
+            EventKind::Begin => stacks
+                .entry(e.tid)
+                .or_default()
+                .push((e.name.clone(), e.ts_ns)),
+            EventKind::End => {
+                let stack = stacks.entry(e.tid).or_default();
+                if let Some((_, begin_ts)) = stack.pop() {
+                    let mut path = String::new();
+                    for (frame, _) in stack.iter() {
+                        path.push_str(frame);
+                        path.push(';');
+                    }
+                    path.push_str(&e.name);
+                    let slot = paths.entry(path).or_insert((0, 0));
+                    slot.0 += e.ts_ns.saturating_sub(begin_ts);
+                    slot.1 += 1;
+                    sync_spans += 1;
+                }
+            }
+            EventKind::AsyncBegin => {
+                async_open.insert(e.id, (e.name.clone(), e.ts_ns));
+            }
+            EventKind::AsyncEnd => {
+                if let Some((name, begin_ts)) = async_open.remove(&e.id) {
+                    let slot = async_totals.entry(name).or_insert((0, 0));
+                    slot.0 += e.ts_ns.saturating_sub(begin_ts);
+                    slot.1 += 1;
+                }
+            }
+            EventKind::Instant => *instants.entry(e.name.clone()).or_insert(0) += 1,
+        }
+    }
+
+    let wall = trace
+        .events
+        .last()
+        .map(|e| e.ts_ns)
+        .unwrap_or(0)
+        .saturating_sub(trace.events.first().map(|e| e.ts_ns).unwrap_or(0));
+    let threads = {
+        let mut tids: Vec<u64> = trace.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids.len()
+    };
+
+    let mut out = format!(
+        "trace: {} events over {} thread(s), {} wall, {} sync span(s), {} dropped\n",
+        trace.events.len(),
+        threads,
+        fmt_ns(wall),
+        sync_spans,
+        trace.dropped
+    );
+
+    let mut rows: Vec<(&String, &(u64, u64))> = paths.iter().collect();
+    rows.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(b.0)));
+    let width = rows
+        .iter()
+        .take(40)
+        .map(|(p, _)| p.len())
+        .max()
+        .unwrap_or(0)
+        .min(72);
+    for (path, (ns, count)) in rows.iter().take(40) {
+        out.push_str(&format!(
+            "  {:<width$}  {:>9}  x{}\n",
+            path,
+            fmt_ns(*ns),
+            count,
+            width = width
+        ));
+    }
+    if rows.len() > 40 {
+        out.push_str(&format!("  … {} more path(s)\n", rows.len() - 40));
+    }
+
+    if !async_totals.is_empty() {
+        out.push_str("async spans:\n");
+        let mut rows: Vec<(&String, &(u64, u64))> = async_totals.iter().collect();
+        rows.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(b.0)));
+        for (name, (ns, count)) in rows {
+            out.push_str(&format!("  {name}  total {}  x{count}\n", fmt_ns(*ns)));
+        }
+    }
+    if !instants.is_empty() {
+        out.push_str("instants:\n");
+        let mut rows: Vec<(&String, &u64)> = instants.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        for (name, count) in rows {
+            out.push_str(&format!("  {name}  x{count}\n"));
+        }
+    }
+    out
+}

@@ -32,7 +32,7 @@ mod vm;
 
 pub use exec::{Executable, Instr, Reg, VmFunction};
 pub use fault::{FaultPlan, FaultSite};
-pub use plan_cache::{PlanCacheStats, SharedPlanCache};
+pub use plan_cache::{CachedPlan, PlanCacheStats, SharedPlanCache};
 pub use value::Value;
 pub use verify::{verify, VerifyError, Violation};
 pub use vm::{FrameEntry, KernelStat, Telemetry, Vm, VmError, VmErrorKind};

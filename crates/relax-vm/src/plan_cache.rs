@@ -33,8 +33,12 @@ const SHARD_COUNT: usize = 8;
 
 /// A cache entry: a compiled plan, or a negative result.
 #[derive(Debug, Clone)]
-pub(crate) enum CachedPlan {
+pub enum CachedPlan {
+    /// A compiled shape-specialized plan, shared by every VM that hits
+    /// this key.
     Ready(Arc<KernelPlan>),
+    /// The planner refused this function; callers fall back to the
+    /// interpreter without recompiling (and re-failing) per launch.
     Unplannable,
 }
 
@@ -240,8 +244,8 @@ impl SharedPlanCache {
 
     /// Looks up `(func, shapes)`, counting a hit or a miss and refreshing
     /// recency on hit. A hit takes one shard read lock and allocates
-    /// nothing.
-    pub(crate) fn lookup(&self, func: &str, shapes: &[Vec<usize>]) -> Option<CachedPlan> {
+    /// nothing (when tracing is off; a probe event is recorded otherwise).
+    pub fn lookup(&self, func: &str, shapes: &[Vec<usize>]) -> Option<CachedPlan> {
         if !self.enabled() {
             return None;
         }
@@ -250,7 +254,7 @@ impl SharedPlanCache {
         let shard = self.inner.shards[Self::shard_of(probe)]
             .read()
             .unwrap_or_else(|e| e.into_inner());
-        match shard.get(probe) {
+        let found = match shard.get(probe) {
             Some(entry) => {
                 entry.touched.store(tick, Ordering::Relaxed);
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
@@ -260,14 +264,30 @@ impl SharedPlanCache {
                 self.inner.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
-        }
+        };
+        drop(shard);
+        let hit = found.is_some();
+        relax_trace::instant(
+            "vm",
+            || format!("plan_cache:{func}"),
+            || relax_trace::Payload::Kernel {
+                kernel: func.to_string(),
+                shapes: relax_trace::shape_sig(shapes),
+                cache: Some(if hit {
+                    relax_trace::CacheOutcome::Hit
+                } else {
+                    relax_trace::CacheOutcome::Miss
+                }),
+            },
+        );
+        found
     }
 
     /// Inserts a freshly compiled (or refused) plan, evicting
     /// least-recently-used entries once the cache is over capacity.
     /// Replacing a key that is already cached is *not* growth and evicts
     /// nothing. Returns how many entries were evicted.
-    pub(crate) fn insert(&self, func: &str, shapes: &[Vec<usize>], plan: CachedPlan) -> u64 {
+    pub fn insert(&self, func: &str, shapes: &[Vec<usize>], plan: CachedPlan) -> u64 {
         if !self.enabled() {
             return 0;
         }

@@ -681,6 +681,11 @@ impl Vm {
                         self.pool.free(old);
                     }
                     self.telemetry.fallback_allocs += 1;
+                    relax_trace::instant(
+                        "vm",
+                        || "alloc_fallback".to_string(),
+                        || relax_trace::Payload::None,
+                    );
                 }
                 frame.set(*dst, Value::Tensor(NDArray::zeros(&dims, *dtype)))?;
             }
@@ -710,19 +715,27 @@ impl Vm {
                     tensors.iter().map(|t| t.shape().to_vec()).collect();
                 // Resolve a shape-specialized plan through the LRU cache;
                 // a miss compiles once and is charged separately from run
-                // time. Capacity 0 disables planning entirely.
+                // time. Capacity 0 disables planning entirely. The trace
+                // spans are the timing source for the kernel stats, so
+                // the per-kernel report and the trace share one clock.
+                let mut cache_outcome = None;
                 let cached = if self.plan_cache.enabled() {
                     match self.plan_cache.lookup(func, &shapes) {
                         Some(c) => {
                             self.telemetry.plan_cache_hits += 1;
+                            cache_outcome = Some(relax_trace::CacheOutcome::Hit);
                             Some(c)
                         }
                         None => {
                             self.telemetry.plan_cache_misses += 1;
-                            let t0 = std::time::Instant::now();
+                            let sp = relax_trace::span("vm", || format!("plan:{func}"));
                             let compiled =
                                 relax_tir::plan::compile(&self.exec.tir_funcs[func], &shapes);
-                            let dt = t0.elapsed();
+                            let dt = sp.finish_with(|| relax_trace::Payload::Kernel {
+                                kernel: func.clone(),
+                                shapes: relax_trace::shape_sig(&shapes),
+                                cache: Some(relax_trace::CacheOutcome::Miss),
+                            });
                             let stat = self.kernel_stats.entry(func.clone()).or_default();
                             stat.plan_compiles += 1;
                             stat.compile_time += dt;
@@ -734,13 +747,17 @@ impl Vm {
                             };
                             self.telemetry.plan_cache_evictions +=
                                 self.plan_cache.insert(func, &shapes, entry.clone());
+                            cache_outcome = Some(relax_trace::CacheOutcome::Miss);
                             Some(entry)
                         }
                     }
                 } else {
                     None
                 };
-                let t0 = std::time::Instant::now();
+                if matches!(&cached, Some(CachedPlan::Unplannable)) {
+                    cache_outcome = Some(relax_trace::CacheOutcome::Unplannable);
+                }
+                let sp = relax_trace::span("vm", || format!("kernel:{func}"));
                 match cached {
                     Some(CachedPlan::Ready(plan)) => {
                         plan.run(&tensors, self.parallelism)?;
@@ -753,7 +770,11 @@ impl Vm {
                         interp::run(&self.exec.tir_funcs[func], &tensors)?;
                     }
                 }
-                let dt = t0.elapsed();
+                let dt = sp.finish_with(|| relax_trace::Payload::Kernel {
+                    kernel: func.clone(),
+                    shapes: relax_trace::shape_sig(&shapes),
+                    cache: cache_outcome,
+                });
                 let stat = self.kernel_stats.entry(func.clone()).or_default();
                 stat.calls += 1;
                 stat.run_time += dt;
@@ -770,13 +791,24 @@ impl Vm {
                 }
                 let inputs: Result<Vec<_>, _> =
                     args.iter().map(|r| frame.tensor(*r).cloned()).collect();
-                let outputs: Result<Vec<_>, _> =
-                    dsts.iter().map(|r| frame.tensor(*r).cloned()).collect();
-                let t0 = std::time::Instant::now();
-                self.registry.call_lib(func, &inputs?, &outputs?)?;
+                let (inputs, outputs): (Vec<_>, Vec<_>) = (
+                    inputs?,
+                    dsts.iter()
+                        .map(|r| frame.tensor(*r).cloned())
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+                let sp = relax_trace::span("vm", || format!("lib:{func}"));
+                self.registry.call_lib(func, &inputs, &outputs)?;
+                let dt = sp.finish_with(|| relax_trace::Payload::Kernel {
+                    kernel: func.clone(),
+                    shapes: relax_trace::shape_sig(
+                        &inputs.iter().map(|t| t.shape().to_vec()).collect::<Vec<_>>(),
+                    ),
+                    cache: None,
+                });
                 let stat = self.kernel_stats.entry(func.clone()).or_default();
                 stat.calls += 1;
-                stat.run_time += t0.elapsed();
+                stat.run_time += dt;
                 self.telemetry.lib_calls += 1;
                 if !in_replay {
                     self.telemetry.kernel_launches += 1;

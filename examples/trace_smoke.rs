@@ -1,0 +1,120 @@
+//! Trace smoke: capture a full compile → VM → serving run, export it as
+//! Chrome trace-event JSON, and verify the export with the in-repo
+//! checker. CI runs this to guarantee the trace layer stays honest end
+//! to end; humans run it to get a trace to open in `chrome://tracing`
+//! or Perfetto.
+//!
+//! ```sh
+//! cargo run --release --example trace_smoke
+//! # then load target/trace_smoke.json in a trace viewer
+//! ```
+
+use std::collections::HashMap;
+
+use relax::core::{DataType, ShapeDesc, StructInfo};
+use relax::models::llama::{build_decode, LlamaConfig, ModelIr};
+use relax::passes::{compile, CompileOptions};
+use relax::serve::{ServeConfig, ServeEngine};
+use relax::tir::NDArray;
+use relax::vm::{Value, Vm};
+
+fn concrete_dims(ir: &ModelIr, sinfo: &StructInfo, batch: i64, kv: i64) -> (Vec<usize>, DataType) {
+    let mut env = HashMap::new();
+    env.insert(ir.batch.clone(), batch);
+    env.insert(ir.seq.clone(), kv);
+    match sinfo {
+        StructInfo::Tensor {
+            shape: ShapeDesc::Known(dims),
+            dtype,
+        } => (
+            dims.iter()
+                .map(|d| d.eval(&env).expect("bound") as usize)
+                .collect(),
+            dtype.expect("typed"),
+        ),
+        other => panic!("unexpected annotation {other}"),
+    }
+}
+
+fn decode_args(ir: &ModelIr, batch: i64, kv: i64) -> Vec<Value> {
+    ir.params
+        .iter()
+        .map(|(name, sinfo)| {
+            let (dims, dt) = concrete_dims(ir, sinfo, batch, kv);
+            let n: usize = dims.iter().product();
+            if name == "tokens" {
+                Value::Tensor(NDArray::from_i64(&dims, dt, vec![3; n]).expect("shape"))
+            } else {
+                Value::Tensor(NDArray::from_f64(&dims, dt, vec![0.01; n]).expect("shape"))
+            }
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `Capture` turns tracing on for the duration regardless of the
+    // `RELAX_TRACE` env switch, so this smoke works both ways.
+    let capture = relax::trace::Capture::begin();
+
+    // Compile (traced: pipeline root, one span per pass, fixpoint rounds).
+    let ir = build_decode(&LlamaConfig::tiny())?;
+    let exec = compile(ir.module.clone(), &CompileOptions::default())?;
+
+    // One direct VM run (traced: plan compile + kernel spans).
+    let args = decode_args(&ir, 1, 4);
+    Vm::new(exec.clone()).run(&ir.func, &args)?;
+
+    // A small 4-worker serving burst (traced: async request spans
+    // stitched across the submit thread and the workers).
+    let engine = ServeEngine::new(
+        exec,
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_batch: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..24)
+        .map(|_| engine.submit(&ir.func, &args).expect("queue holds the burst"))
+        .collect();
+    let report = engine.shutdown();
+    for t in tickets {
+        t.wait()?;
+    }
+
+    // Export and verify.
+    let trace = capture.finish();
+    trace.validate().map_err(|e| format!("malformed trace: {e}"))?;
+    let json = trace.chrome_json();
+    let stats = relax::trace::validate_chrome_trace(&json)
+        .map_err(|e| format!("chrome export failed the checker: {e}"))?;
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/target/trace_smoke.json");
+    std::fs::write(out, &json)?;
+
+    println!("wrote {out}");
+    println!(
+        "events={} sync_pairs={} async_pairs={} instants={} threads={} dropped={}",
+        stats.events, stats.sync_pairs, stats.async_pairs, stats.instants, stats.threads, stats.dropped
+    );
+    println!("\n{}", trace.flame_summary());
+
+    // The smoke is only green if the trace really covered all three
+    // layers and resolved every request span.
+    if trace.sync_span_count("compile", "pipeline") != 1 {
+        return Err("missing compile pipeline span".into());
+    }
+    if stats.async_pairs != report.stats.accepted as usize {
+        return Err(format!(
+            "async request spans ({}) != accepted requests ({})",
+            stats.async_pairs, report.stats.accepted
+        )
+        .into());
+    }
+    if stats.threads < 2 {
+        return Err("serving burst did not record multiple threads".into());
+    }
+    println!("trace smoke OK");
+    Ok(())
+}

@@ -10,6 +10,10 @@
 # Interpret the worker-scaling rows against "host_threads": a 1-core
 # host cannot show a multi-worker win.
 #
+# Also writes BENCH_trace.json next to it: a Chrome trace-event export of
+# one traced 4-worker serving wave (open in chrome://tracing or Perfetto),
+# validated by the in-repo checker before it is written.
+#
 # Usage: scripts/bench.sh [--fast]
 #   --fast   smoke sizing (RELAX_BENCH_FAST=1): a few small batches, for CI.
 set -euo pipefail
@@ -22,3 +26,5 @@ fi
 cargo bench -p relax-bench --bench runtime
 echo "==> BENCH_runtime.json"
 cat BENCH_runtime.json
+echo "==> BENCH_trace.json"
+test -s BENCH_trace.json

@@ -33,6 +33,10 @@ cargo test -p relax-serve --release -q smoke
 echo "==> cargo doc --workspace --no-deps"
 cargo doc --workspace --no-deps -q
 
+echo "==> trace smoke (RELAX_TRACE=1, Chrome export checked in-process)"
+RELAX_TRACE=1 cargo run --release -q --example trace_smoke >/dev/null
+test -s target/trace_smoke.json
+
 echo "==> runtime bench smoke (RELAX_BENCH_FAST)"
 scripts/bench.sh --fast >/dev/null
 test -s BENCH_runtime.json

@@ -46,4 +46,5 @@ pub use relax_passes as passes;
 pub use relax_serve as serve;
 pub use relax_sim as sim;
 pub use relax_tir as tir;
+pub use relax_trace as trace;
 pub use relax_vm as vm;

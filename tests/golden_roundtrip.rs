@@ -1,0 +1,76 @@
+//! Printer/parser round-trip golden tests over the model frontends.
+//!
+//! For each model the printed IR must (a) match the committed golden
+//! file under `tests/golden/` byte-for-byte and (b) re-parse through the
+//! textual parser into a module that prints identically — the printed
+//! form is a fixed point of print → parse → print.
+//!
+//! To regenerate the goldens after an intentional printer or builder
+//! change: `RELAX_BLESS=1 cargo test --test golden_roundtrip`.
+
+use std::path::PathBuf;
+
+use relax::core::{parse_functions, IRModule};
+use relax::models::llama::{build_decode, LlamaConfig};
+use relax::models::llava::{build_vision_encoder, LlavaConfig};
+use relax::models::whisper::{build_decoder_step, WhisperConfig};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.relax"))
+}
+
+fn check_roundtrip(name: &str, module: &IRModule) {
+    let text = module.to_string();
+
+    // 1. Golden comparison (RELAX_BLESS=1 regenerates).
+    let path = golden_path(name);
+    if std::env::var("RELAX_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, &text).unwrap_or_else(|e| panic!("bless {name}: {e}"));
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("{name}: missing golden file {path:?} ({e}); regenerate with RELAX_BLESS=1")
+    });
+    assert_eq!(
+        text, golden,
+        "{name}: printed IR diverged from {path:?}; if intentional, \
+         regenerate with RELAX_BLESS=1"
+    );
+
+    // 2. Structural round trip: parse the printed text and require the
+    // reparse to print identically (print∘parse is a fixed point).
+    let mut reparsed = IRModule::new();
+    parse_functions(&text, &mut reparsed)
+        .unwrap_or_else(|e| panic!("{name}: printed IR failed to re-parse: {e}"));
+    assert_eq!(
+        reparsed.functions().count(),
+        module.functions().count(),
+        "{name}: function count changed across the round trip"
+    );
+    assert_eq!(
+        reparsed.to_string(),
+        text,
+        "{name}: print→parse→print is not a fixed point"
+    );
+    relax::core::assert_well_formed(&reparsed)
+        .unwrap_or_else(|e| panic!("{name}: reparsed module ill-formed: {e}"));
+}
+
+#[test]
+fn llama_decode_roundtrips() {
+    let ir = build_decode(&LlamaConfig::tiny()).unwrap();
+    check_roundtrip("llama_tiny_decode", &ir.module);
+}
+
+#[test]
+fn whisper_decoder_step_roundtrips() {
+    let ir = build_decoder_step(&WhisperConfig::tiny()).unwrap();
+    check_roundtrip("whisper_tiny_decoder_step", &ir.module);
+}
+
+#[test]
+fn llava_vision_encoder_roundtrips() {
+    let ir = build_vision_encoder(&LlavaConfig::tiny()).unwrap();
+    check_roundtrip("llava_tiny_vision_encoder", &ir.module);
+}
