@@ -742,23 +742,32 @@ fn parse_expr(p: &mut Cursor, ctx: &mut FnCtx, allow_calls: bool) -> Result<Expr
             let save = p.pos;
             if let Some(key) = p.ident() {
                 if p.eat("=") {
-                    let mut value = String::new();
-                    // A bracketed value (`axes=[0,2,1,3]`) may contain
-                    // commas; the brackets are printer armor, not part of
-                    // the stored attribute value.
-                    let bracketed = p.eat("[");
-                    while let Some(c) = p.src[p.pos..].chars().next() {
-                        if bracketed {
-                            if c == ']' {
-                                p.pos += 1;
-                                break;
-                            }
-                        } else if c == ',' || c == ')' {
-                            break;
+                    // The printer armors a value in brackets exactly
+                    // when it contains a comma (`axes=[0,2,1,3]`), so a
+                    // leading '[' is armor only when a depth-matched ']'
+                    // sits right before ',' or ')' with a comma inside.
+                    // Anything else — `k=[3]`, an unterminated '[' — is
+                    // the value itself, read verbatim up to ',' or ')'.
+                    p.skip_ws();
+                    let rest = &p.src[p.pos..];
+                    let value = match bracket_armor_end(rest) {
+                        Some(end) => {
+                            let inner = rest[1..end].to_string();
+                            p.pos += end + 1;
+                            inner
                         }
-                        value.push(c);
-                        p.pos += c.len_utf8();
-                    }
+                        None => {
+                            let mut v = String::new();
+                            while let Some(c) = p.src[p.pos..].chars().next() {
+                                if c == ',' || c == ')' {
+                                    break;
+                                }
+                                v.push(c);
+                                p.pos += c.len_utf8();
+                            }
+                            v
+                        }
+                    };
                     attrs.insert(key.to_string(), value.trim().to_string());
                     if !p.eat(",") {
                         break;
@@ -794,6 +803,36 @@ fn parse_expr(p: &mut Cursor, ctx: &mut FnCtx, allow_calls: bool) -> Result<Expr
         expr = Expr::TupleGetItem(Box::new(expr), idx);
     }
     Ok(expr)
+}
+
+/// When `rest` opens with printer bracket armor, returns the byte index
+/// of the closing `]`. Armor is recognized exactly where the printer
+/// emits it: a leading `[` whose depth-matched `]` encloses a comma and
+/// is followed (after spaces) by `,`, `)`, or the end of input. A
+/// comma-free `[3]`, an unterminated `[`, or brackets followed by more
+/// text are plain value characters, not armor.
+fn bracket_armor_end(rest: &str) -> Option<usize> {
+    if !rest.starts_with('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    let inner = &rest[1..i];
+                    let tail = rest[i + 1..].trim_start_matches(' ');
+                    let delimited =
+                        tail.is_empty() || tail.starts_with(',') || tail.starts_with(')');
+                    return (inner.contains(',') && delimited).then_some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -904,6 +943,41 @@ def main(x: Tensor((n, 2), "f32")):
             other => panic!("expected call_tir, got {other:?}"),
         }
         assert!(crate::wellformed::assert_well_formed(&module).is_ok());
+    }
+
+    #[test]
+    fn attr_values_with_brackets_round_trip() {
+        // Printer armor (`axes=[0,2,1,3]`) is stripped, but brackets
+        // that belong to the value itself survive verbatim: a comma-free
+        // `[3]`, an unterminated `[7` (which must not swallow the `)`),
+        // and a native bracketed list `[1,2]` armored as `[[1,2]]`.
+        let text = r#"
+def main(x: Tensor((4,), "f32")):
+  with dataflow():
+    lv0: Tensor((4,), "f32") = relu(x, axes=[0,2,1,3], k=[3], open=[7, pads=[[1,2]])
+  return lv0
+"#;
+        let mut module = IRModule::new();
+        parse_functions(text, &mut module).unwrap();
+        let f = module.function("main").unwrap();
+        let b = f.bindings().next().unwrap();
+        let attrs = match &b.value {
+            Expr::CallOp { attrs, .. } => attrs.clone(),
+            other => panic!("expected an op call, got {other:?}"),
+        };
+        assert_eq!(attrs.get("axes").map(String::as_str), Some("0,2,1,3"));
+        assert_eq!(attrs.get("k").map(String::as_str), Some("[3]"));
+        assert_eq!(attrs.get("open").map(String::as_str), Some("[7"));
+        assert_eq!(attrs.get("pads").map(String::as_str), Some("[1,2]"));
+
+        let printed = module.to_string();
+        let mut reparsed = IRModule::new();
+        parse_functions(&printed, &mut reparsed).unwrap();
+        assert_eq!(
+            printed,
+            reparsed.to_string(),
+            "attr bracket armor must be a print/parse fixed point"
+        );
     }
 
     #[test]

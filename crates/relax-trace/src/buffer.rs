@@ -4,9 +4,14 @@
 //! picked by the emitting thread's trace-local id, so concurrent
 //! emitters rarely contend on the same lock and one record is never
 //! interleaved with another. The buffer is bounded: when a shard is at
-//! capacity the event is counted in a drop counter instead of stored,
-//! and the emitting span is marked unrecorded so its close is skipped
-//! too — a drained trace therefore stays balanced even under drops.
+//! capacity an *opening* event (Begin, AsyncBegin, Instant) is counted
+//! in a drop counter instead of stored, and the emitting span is marked
+//! unrecorded so its close is skipped too. *Closing* events (End,
+//! AsyncEnd) are exempt from the capacity check: a close is only ever
+//! emitted for a span whose open was stored, so each shard holds at
+//! most `capacity` opens plus their matched closes — occupancy stays
+//! bounded and a drained trace stays balanced even when a shard fills
+//! mid-span.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -35,10 +40,18 @@ pub(crate) fn next_span_id() -> SpanId {
 /// Stores `event` (stamping its global sequence number), or counts a
 /// drop if the emitting thread's shard is full. Returns `true` when the
 /// event was stored.
+///
+/// Close events (End, AsyncEnd) bypass the capacity check and are
+/// always stored: callers only emit a close for a span whose open was
+/// stored, so every close admitted here matches a stored open and the
+/// overshoot per shard is bounded by the number of stored opens. This
+/// keeps a drained trace Begin/End-balanced even when a shard fills
+/// between a span's open and its close.
 pub(crate) fn push(mut event: TraceEvent) -> bool {
+    let is_close = matches!(event.kind, EventKind::End | EventKind::AsyncEnd);
     let shard = &SHARDS[(event.tid as usize) % SHARD_COUNT];
     let mut events = shard.lock().unwrap_or_else(|e| e.into_inner());
-    if events.len() >= CAP_PER_SHARD.load(Ordering::Relaxed) {
+    if !is_close && events.len() >= CAP_PER_SHARD.load(Ordering::Relaxed) {
         DROPPED.fetch_add(1, Ordering::Relaxed);
         return false;
     }

@@ -201,6 +201,9 @@ impl SpanGuard {
             }
         });
         let name = self.name.take().unwrap_or_default();
+        // Close events bypass the buffer's capacity check (this span's
+        // Begin was stored, so its End always fits the balance bound);
+        // emit() cannot fail here.
         emit(EventKind::End, self.id, None, self.cat, name, payload);
     }
 
@@ -330,6 +333,8 @@ pub fn async_end(
     if id == 0 {
         return;
     }
+    // A nonzero id means the AsyncBegin was stored, and close events
+    // bypass the buffer's capacity check — emit() cannot fail here.
     emit(EventKind::AsyncEnd, id, None, cat, name.to_string(), payload());
 }
 
@@ -491,6 +496,30 @@ mod tests {
         set_capacity(DEFAULT_CAPACITY);
         let trace = cap.finish();
         assert!(trace.dropped > 0, "tiny buffer must drop");
+        trace.validate().unwrap();
+        validate_chrome_trace(&trace.chrome_json()).unwrap();
+    }
+
+    #[test]
+    fn nested_spans_and_instants_stay_balanced_at_odd_capacity() {
+        // Regression: a shard filling *between* a span's Begin and its
+        // End used to drop the End, leaving a recorded span unclosed.
+        // Odd per-shard capacity plus nesting plus instants forces
+        // exactly that interleaving on a single thread.
+        let cap = Capture::begin();
+        set_capacity(48); // 3 events per shard
+        for i in 0..200 {
+            let outer = span("vm", || format!("outer{i}"));
+            instant("vm", || format!("mark{i}"), || Payload::None);
+            let inner = span("vm", || format!("inner{i}"));
+            let req = async_begin("serve", "request", || Payload::None);
+            async_end("serve", "request", req, || Payload::None);
+            drop(inner);
+            drop(outer);
+        }
+        set_capacity(DEFAULT_CAPACITY);
+        let trace = cap.finish();
+        assert!(trace.dropped > 0, "tiny odd capacity must drop");
         trace.validate().unwrap();
         validate_chrome_trace(&trace.chrome_json()).unwrap();
     }

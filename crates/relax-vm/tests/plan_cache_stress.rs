@@ -90,7 +90,10 @@ fn eight_threads_hammering_keeps_stats_and_trace_consistent() {
 }
 
 /// A deliberately tiny buffer drops events under contention but the
-/// drained trace stays balanced and exportable.
+/// drained trace stays balanced and exportable. Each lookup runs under
+/// a sync span (with the lookup's `plan_cache:` instant emitted inside
+/// it), so shards fill *between* a span's Begin and its End — the case
+/// where a dropped close would unbalance the trace.
 #[test]
 fn tiny_buffer_under_contention_stays_balanced() {
     let capture = Capture::begin();
@@ -103,9 +106,11 @@ fn tiny_buffer_under_contention_stays_balanced() {
                 for i in 0..500 {
                     let func = format!("k{}", (t + i) % 6);
                     let shapes = vec![vec![i % 5 + 1]];
+                    let sp = relax_trace::span("vm", || format!("probe:{func}"));
                     if cache.lookup(&func, &shapes).is_none() {
                         cache.insert(&func, &shapes, CachedPlan::Unplannable);
                     }
+                    sp.finish();
                 }
             });
         }
