@@ -13,6 +13,7 @@ use relax_bench::timing::{bench, fast_mode};
 use relax_core::{ShapeDesc, StructInfo};
 use relax_models::llama::LlamaConfig;
 use relax_passes::{compile, compile_with_report, CompileOptions, PassRecord};
+use relax_serve::chaos::{run_chaos, ChaosConfig, ChaosRequest};
 use relax_serve::{ServeConfig, ServeEngine};
 use relax_tir::{grid, interp, plan, Buffer, NDArray, PrimFunc, Stmt, TirExpr};
 use relax_vm::{Value, Vm};
@@ -285,6 +286,72 @@ fn bench_serving(rows: &mut Vec<(String, f64)>) -> Vec<ServingRow> {
     runs
 }
 
+/// One chaos run's availability figures.
+struct ChaosRow {
+    fault_rate: f64,
+    submitted: u64,
+    completed: u64,
+    scheduled_faults: u64,
+    availability: f64,
+    retries: u64,
+    restarts: u64,
+    p99_ns: u64,
+}
+
+/// Availability under injected faults: the same decode workload through
+/// the chaos harness at 0%, 1% and 5% fault rates (seeded worker
+/// panics, stalls, dropped replies and kernel faults), with retry,
+/// overload control and supervision on. The invariant asserts here are
+/// absolute (no hung ticket, no corrupted survivor); the availability
+/// column is the figure the robustness story quotes.
+fn bench_chaos_availability() -> Vec<ChaosRow> {
+    let ir = relax_models::llama::build_decode(&LlamaConfig::tiny()).unwrap();
+    let exec = compile(ir.module.clone(), &CompileOptions::default()).unwrap();
+    let requests = if fast_mode() { 24 } else { 100 };
+    let workload: Vec<ChaosRequest> = (0..requests)
+        .map(|i| {
+            let (batch, kv) = if i % 2 == 0 { (1, 4) } else { (2, 8) };
+            ("decode".to_string(), tiny_decode_args(&ir, batch, kv))
+        })
+        .collect();
+    [0.0, 0.01, 0.05]
+        .iter()
+        .map(|&fault_rate| {
+            let chaos = run_chaos(
+                exec.clone(),
+                &workload,
+                ChaosConfig {
+                    fault_rate,
+                    ..ChaosConfig::default()
+                },
+            );
+            assert_eq!(chaos.unresolved, 0, "a ticket hung under chaos");
+            assert_eq!(chaos.mismatches, 0, "chaos corrupted a surviving session");
+            let stats = &chaos.report.stats;
+            println!(
+                "serve/chaos fault_rate={fault_rate:<5} availability={:<6.3} \
+                 ({}/{} completed, {} faults, {} retries, {} restarts)",
+                chaos.availability,
+                chaos.completed,
+                chaos.submitted,
+                chaos.scheduled_faults,
+                stats.retries,
+                stats.restarts,
+            );
+            ChaosRow {
+                fault_rate,
+                submitted: chaos.submitted,
+                completed: chaos.completed,
+                scheduled_faults: chaos.scheduled_faults,
+                availability: chaos.availability,
+                retries: stats.retries,
+                restarts: stats.restarts,
+                p99_ns: stats.latency.p99_ns,
+            }
+        })
+        .collect()
+}
+
 /// Re-runs the 4-worker shared-cache serving wave with tracing captured
 /// and writes the Chrome trace-event export to `BENCH_trace.json` next
 /// to `BENCH_runtime.json`. The export is validated with the in-repo
@@ -320,6 +387,7 @@ fn write_json(
     speedups: &[(&str, f64)],
     passes: &[PassRecord],
     serving: &[ServingRow],
+    chaos: &[ChaosRow],
 ) {
     // Thread-scaling rows only make sense relative to the host's actual
     // core count (a 1-core CI box cannot show a parallel win).
@@ -366,6 +434,23 @@ fn write_json(
             r.p99_ns,
         ));
     }
+    out.push_str("  ],\n  \"availability_under_chaos\": [\n");
+    for (i, c) in chaos.iter().enumerate() {
+        let sep = if i + 1 < chaos.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"fault_rate\": {:.2}, \"submitted\": {}, \"completed\": {}, \
+             \"scheduled_faults\": {}, \"availability\": {:.4}, \"retries\": {}, \
+             \"restarts\": {}, \"p99_ns\": {}}}{sep}\n",
+            c.fault_rate,
+            c.submitted,
+            c.completed,
+            c.scheduled_faults,
+            c.availability,
+            c.retries,
+            c.restarts,
+            c.p99_ns,
+        ));
+    }
     out.push_str("  ],\n  \"speedup\": {\n");
     for (i, (name, x)) in speedups.iter().enumerate() {
         let sep = if i + 1 < speedups.len() { "," } else { "" };
@@ -408,6 +493,7 @@ fn main() {
     for (name, x) in &speedups {
         println!("{name:<40} {x:>11.2}x");
     }
+    let chaos = bench_chaos_availability();
     export_serving_trace();
     let passes = compile_pass_rows();
     for p in &passes {
@@ -418,5 +504,5 @@ fn main() {
             p.changed
         );
     }
-    write_json(&rows, &speedups, &passes, &serving);
+    write_json(&rows, &speedups, &passes, &serving, &chaos);
 }

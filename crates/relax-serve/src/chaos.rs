@@ -1,0 +1,292 @@
+//! A serving-layer chaos harness: seeded random fault schedules over a
+//! real workload, with the engine's robustness invariants checked from
+//! the *client's* side of the API.
+//!
+//! [`run_chaos`] takes an executable and a workload (a list of
+//! `(function, args)` requests), computes fault-free reference outputs
+//! on a plain single-threaded [`Vm`], then serves the same workload
+//! through a [`ServeEngine`] whose workers carry a seeded random
+//! [`FaultPlan`] — worker panics, worker stalls, dropped replies and
+//! injected kernel faults, distributed by a deterministic RNG so every
+//! run reproduces. The [`ChaosReport`] captures what a client observed:
+//!
+//! - **Typed resolution**: every ticket resolved within the guard
+//!   timeout (`unresolved == 0` is the invariant tests assert).
+//! - **No cross-session leakage**: completed outputs are bitwise equal
+//!   to the fault-free reference (`mismatches == 0`) — a fault on one
+//!   request never corrupts another.
+//! - **Availability**: `completed / submitted`, which retry and
+//!   supervision should hold near 1.0 at low fault rates.
+
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use relax_vm::{Executable, FaultPlan, Value, Vm};
+
+use crate::engine::{OverloadPolicy, RetryPolicy, ServeConfig, ServeEngine, ServeError, Ticket};
+use crate::telemetry::EngineReport;
+
+/// One chaos request: VM function name and arguments.
+pub type ChaosRequest = (String, Vec<Value>);
+
+/// Knobs for a chaos run. `engine` is the base serving configuration;
+/// its `worker_faults` are replaced by the generated schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// RNG seed for the fault schedule (same seed, same faults).
+    pub seed: u64,
+    /// Approximate faults per submitted request (`0.01` = 1%). The
+    /// schedule holds `round(requests × fault_rate)` faults.
+    pub fault_rate: f64,
+    /// Base engine configuration (workers, retry, overload, budgets).
+    pub engine: ServeConfig,
+    /// Duration of injected worker stalls. Should comfortably exceed
+    /// `engine.stall_timeout` so the supervisor provably notices.
+    pub stall: Duration,
+    /// Per-ticket resolution guard: a ticket still unresolved after
+    /// this long is counted in [`ChaosReport::unresolved`] instead of
+    /// hanging the harness. Generous by design — it bounds the *test*,
+    /// not the engine.
+    pub guard: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        let queue_capacity = 128;
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            fault_rate: 0.01,
+            engine: ServeConfig {
+                workers: 4,
+                queue_capacity,
+                max_batch: 4,
+                retry: Some(RetryPolicy::default()),
+                overload: Some(OverloadPolicy::for_capacity(queue_capacity)),
+                restart_budget: 8,
+                // Wide enough that a cold plan compile on a healthy
+                // worker is never mistaken for a wedge.
+                stall_timeout: Duration::from_millis(150),
+                ..ServeConfig::default()
+            },
+            stall: Duration::from_millis(400),
+            guard: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What the clients of a chaos run observed, plus the engine's own
+/// final report.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Requests submitted (tickets issued + synchronous refusals).
+    pub submitted: u64,
+    /// Tickets that resolved `Ok` with a value.
+    pub completed: u64,
+    /// Tickets that resolved with a non-shed error (VM fault, lost
+    /// worker, shutdown).
+    pub failed: u64,
+    /// Tickets shed typed (`DeadlineExceeded` / `Overloaded`).
+    pub shed: u64,
+    /// Submissions refused synchronously (backpressure / overload).
+    pub rejected: u64,
+    /// Tickets that did not resolve within the guard timeout. The
+    /// engine's core invariant is that this is always zero.
+    pub unresolved: u64,
+    /// Completed outputs that were *not* bitwise equal to the
+    /// fault-free reference. The isolation invariant is zero.
+    pub mismatches: u64,
+    /// Faults the schedule injected.
+    pub scheduled_faults: u64,
+    /// `completed / submitted`.
+    pub availability: f64,
+    /// The engine's own shutdown report (restarts, quarantines, per-
+    /// incarnation exits).
+    pub report: EngineReport,
+}
+
+/// xorshift64* — the harness's only randomness, fully determined by the
+/// seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0 | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Installs a process-wide panic hook that swallows the harness's
+/// *injected* worker panics (payload `"injected worker panic"`) so
+/// chaos runs do not spray panic backtraces over test output. Every
+/// other panic still reaches the previous hook. Idempotent.
+pub fn silence_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| *s == "injected worker panic")
+                .unwrap_or(false)
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s == "injected worker panic")
+                    .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Flattens a value to `f64`s for bitwise comparison (tensors flatten,
+/// tuples concatenate, shapes and scalars contribute their numbers).
+pub fn flatten_value(v: &Value) -> Vec<f64> {
+    fn walk(v: &Value, out: &mut Vec<f64>) {
+        match v {
+            Value::Tensor(t) => out.extend(t.to_f64_vec()),
+            Value::Tuple(items) => {
+                for item in items {
+                    walk(item, out);
+                }
+            }
+            Value::Shape(dims) => out.extend(dims.iter().map(|&d| d as f64)),
+            Value::Prim(p) => out.push(*p as f64),
+            Value::None | Value::Storage { .. } => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(v, &mut out);
+    out
+}
+
+/// Builds the per-worker fault schedule: `round(requests × fault_rate)`
+/// faults spread over the workers, each a uniformly chosen site
+/// (panic / stall / dropped reply / kernel fault) at a uniformly chosen
+/// occurrence within the worker's expected share of the load.
+fn build_schedule(
+    rng: &mut Rng,
+    workers: usize,
+    requests: usize,
+    kernels_per_request: u64,
+    fault_rate: f64,
+    stall: Duration,
+) -> (Vec<(usize, FaultPlan)>, u64) {
+    let n_faults = ((requests as f64) * fault_rate).round() as u64;
+    let per_worker = ((requests / workers.max(1)).max(1)) as u64;
+    let mut plans: Vec<FaultPlan> = (0..workers).map(|_| FaultPlan::new()).collect();
+    for _ in 0..n_faults {
+        let worker = rng.below(workers as u64) as usize;
+        let nth = 1 + rng.below(per_worker);
+        let plan = std::mem::take(&mut plans[worker]);
+        plans[worker] = match rng.below(4) {
+            0 => plan.fail_worker_panic(nth),
+            1 => plan.stall_worker(nth, stall),
+            2 => plan.drop_reply(nth),
+            // Kernel faults count kernel calls, not requests: scale the
+            // occurrence by the measured kernels-per-request.
+            _ => plan.fail_kernel(1 + rng.below(per_worker * kernels_per_request.max(1))),
+        };
+    }
+    let schedule = plans
+        .into_iter()
+        .enumerate()
+        .filter(|(_, p)| !p.is_empty())
+        .collect();
+    (schedule, n_faults)
+}
+
+/// Runs `workload` through a chaos-configured engine and reports what
+/// the clients observed. See the module docs for the invariants.
+///
+/// The fault-free reference outputs are computed first on a plain
+/// single-threaded [`Vm`] over a clone of `exec`; completed chaos
+/// outputs are compared bitwise against them.
+pub fn run_chaos(exec: Executable, workload: &[ChaosRequest], config: ChaosConfig) -> ChaosReport {
+    silence_injected_panics();
+    let mut rng = Rng(config.seed);
+
+    // Fault-free reference pass; also measures kernels per request so
+    // kernel-fault occurrences land inside the real range.
+    let mut reference_vm = Vm::new(exec.clone());
+    let reference: Vec<Option<Vec<f64>>> = workload
+        .iter()
+        .map(|(func, args)| reference_vm.run(func, args).ok().map(|v| flatten_value(&v)))
+        .collect();
+    let kernels_per_request = reference_vm.telemetry().kernel_launches / workload.len().max(1) as u64;
+
+    let mut engine_config = config.engine.clone();
+    let workers = engine_config.workers.max(1);
+    let (schedule, scheduled_faults) = build_schedule(
+        &mut rng,
+        workers,
+        workload.len(),
+        kernels_per_request,
+        config.fault_rate,
+        config.stall,
+    );
+    engine_config.worker_faults = schedule;
+
+    let engine = ServeEngine::new(exec, engine_config);
+    let mut tickets: Vec<(usize, Ticket)> = Vec::with_capacity(workload.len());
+    let mut rejected = 0u64;
+    for (i, (func, args)) in workload.iter().enumerate() {
+        match engine.submit(func, args) {
+            Ok(t) => tickets.push((i, t)),
+            Err(_) => rejected += 1,
+        }
+    }
+
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut shed = 0u64;
+    let mut unresolved = 0u64;
+    let mut mismatches = 0u64;
+    for (i, ticket) in tickets {
+        let started = Instant::now();
+        let resolution = loop {
+            match ticket.wait_timeout(Duration::from_millis(50)) {
+                Some(r) => break Some(r),
+                None if started.elapsed() > config.guard => break None,
+                None => {}
+            }
+        };
+        match resolution {
+            Some(Ok(value)) => {
+                completed += 1;
+                if reference[i].as_deref() != Some(&flatten_value(&value)[..]) {
+                    mismatches += 1;
+                }
+            }
+            Some(Err(
+                ServeError::DeadlineExceeded { .. } | ServeError::Overloaded { .. },
+            )) => shed += 1,
+            Some(Err(_)) => failed += 1,
+            None => unresolved += 1,
+        }
+    }
+
+    let submitted = workload.len() as u64;
+    ChaosReport {
+        submitted,
+        completed,
+        failed,
+        shed,
+        rejected,
+        unresolved,
+        mismatches,
+        scheduled_faults,
+        availability: completed as f64 / submitted.max(1) as f64,
+        report: engine.shutdown(),
+    }
+}

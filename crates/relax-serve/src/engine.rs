@@ -1,8 +1,9 @@
-//! The serving engine: one executable, many sessions.
+//! The serving engine: one executable, many sessions, self-healing
+//! workers.
 //!
 //! A [`ServeEngine`] owns a single immutable [`Executable`] and a fixed
-//! pool of worker threads, each running its own [`Vm`] built with
-//! [`Vm::from_parts`] — per-invocation state (register frame, memory
+//! pool of worker threads, each running its own [`relax_vm::Vm`] built with
+//! [`relax_vm::Vm::from_parts`] — per-invocation state (register frame, memory
 //! pool, telemetry) is private to the worker, while the executable, the
 //! foreign-function registry and (by default) the kernel-plan cache are
 //! shared. Requests flow through a bounded queue with backpressure;
@@ -14,23 +15,180 @@
 //! Engine failures are *typed*, never panics: VM-level faults keep their
 //! full [`VmError`] taxonomy and frame trace inside
 //! [`ServeError::Vm`], and admission-control outcomes (queue full,
-//! deadline missed, shutdown) get their own variants so callers can
-//! distinguish "retry later" from "this request is wrong".
+//! overload, deadline missed, shutdown) get their own variants so
+//! callers can distinguish "retry later" from "this request is wrong".
+//! Even a worker thread *panicking* mid-request stays inside the
+//! taxonomy: the panic is contained at the worker loop, the in-flight
+//! request resolves as [`ServeError::WorkerLost`] (or is retried), and
+//! a supervisor thread respawns a fresh VM into the slot — see
+//! [`crate::supervisor`].
+//!
+//! Three optional policies harden the engine under faults and load:
+//!
+//! - [`RetryPolicy`]: transient failures (lost workers, queue-full /
+//!   overload refusals, kernel faults) are re-enqueued with exponential
+//!   backoff instead of surfacing to the caller, within an attempt
+//!   budget and the request's own deadline.
+//! - [`OverloadPolicy`]: queue-depth watermarks drive admission — below
+//!   the shed watermark everything is accepted; above it each admission
+//!   evicts the queued request with the least deadline budget (when one
+//!   expires sooner than the newcomer); above the reject watermark new
+//!   work is refused outright.
+//! - supervision knobs ([`ServeConfig::restart_budget`],
+//!   [`ServeConfig::stall_timeout`]): how patiently the supervisor
+//!   waits on a wedged worker and how many respawns a slot gets before
+//!   quarantine.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use relax_vm::registry::Registry;
-use relax_vm::{Executable, FaultPlan, SharedPlanCache, Value, Vm, VmError};
+use relax_vm::{Executable, FaultPlan, SharedPlanCache, Value, VmError, VmErrorKind};
 
-use crate::queue::{PushError, Request, RequestQueue};
-use crate::telemetry::{EngineReport, EngineStats, LatencySummary, WorkerReport};
+use crate::queue::{PushError, PushOutcome, Request, RequestQueue};
+use crate::supervisor::{self, SupervisorState};
+use crate::telemetry::{EngineReport, EngineStats, LatencyReservoir, WorkerReport};
+
+/// Locks a mutex, ignoring poisoning: engine state stays readable even
+/// if a holder panicked (panics are contained, but stay defensive).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Which failure classes the engine retries. All `true` by default.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryOn {
+    /// [`ServeError::WorkerLost`]: the worker died (panic) before
+    /// replying — the request itself may be fine.
+    pub worker_lost: bool,
+    /// [`ServeError::QueueFull`] / [`ServeError::Overloaded`]: admission
+    /// refusals that a moment of backoff may clear.
+    pub overload: bool,
+    /// [`ServeError::Vm`] with a kernel failure — the transient-looking
+    /// VM error class (and the one fault injection exercises).
+    /// Deterministic errors (shape mismatches, unknown functions) are
+    /// never retried.
+    pub kernel_faults: bool,
+}
+
+impl Default for RetryOn {
+    fn default() -> Self {
+        RetryOn {
+            worker_lost: true,
+            overload: true,
+            kernel_faults: true,
+        }
+    }
+}
+
+/// Retry budget for transient failures. A failed request is re-enqueued
+/// with exponential backoff (`backoff`, `2×backoff`, `4×backoff`, …
+/// capped at `max_backoff`) until it has consumed `max_attempts` total
+/// attempts or its deadline passes — whichever comes first. A deadline
+/// that expires mid-backoff resolves the request as
+/// [`ServeError::DeadlineExceeded`]; retries never extend a request's
+/// budget.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts a request may consume (first execution included).
+    /// Clamped to at least 1; `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+    /// Upper bound on the per-retry backoff.
+    pub max_backoff: Duration,
+    /// Which failure classes are retried.
+    pub retry_on: RetryOn,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(64),
+            retry_on: RetryOn::default(),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `failures` (1-based): exponential,
+    /// capped.
+    pub(crate) fn backoff_for(&self, failures: u32) -> Duration {
+        let shift = failures.saturating_sub(1).min(16);
+        self.backoff
+            .saturating_mul(1u32 << shift)
+            .min(self.max_backoff)
+    }
+}
+
+/// Queue-depth watermarks for overload control (the `queue` module's
+/// docs describe the mechanism).
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadPolicy {
+    /// At or above this depth, admission requires evicting the queued
+    /// request with the least deadline budget.
+    pub shed_depth: usize,
+    /// At or above this depth, new work is refused outright.
+    pub reject_depth: usize,
+}
+
+impl OverloadPolicy {
+    /// Conventional watermarks for a queue of `capacity`: shed at 3/4,
+    /// reject at 9/10.
+    pub fn for_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        OverloadPolicy {
+            shed_depth: (capacity * 3 / 4).max(1),
+            reject_depth: (capacity * 9 / 10).max(1),
+        }
+    }
+
+    /// Normalises the watermarks against the queue capacity:
+    /// `1 ≤ shed ≤ reject ≤ capacity`.
+    pub(crate) fn clamped(self, capacity: usize) -> Self {
+        let reject = self.reject_depth.clamp(1, capacity);
+        OverloadPolicy {
+            shed_depth: self.shed_depth.clamp(1, reject),
+            reject_depth: reject,
+        }
+    }
+}
+
+/// The admission level the overload watermarks currently dictate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionLevel {
+    /// Below the shed watermark (or no overload policy): everything is
+    /// admitted.
+    #[default]
+    Accept,
+    /// Between the watermarks: admission costs the eviction of the
+    /// queued request with the least deadline budget.
+    Shed,
+    /// At or above the reject watermark: new work is refused.
+    Reject,
+}
+
+impl AdmissionLevel {
+    /// Stable lower-case label (for exporters and bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionLevel::Accept => "accept",
+            AdmissionLevel::Shed => "shed",
+            AdmissionLevel::Reject => "reject",
+        }
+    }
+}
 
 /// Serving configuration. The defaults run 4 workers over a shared
-/// plan cache with no deadline.
+/// plan cache with no deadline, no retries and no overload policy — a
+/// request either runs once or fails typed, exactly like a plain VM
+/// call. Supervision is always on: panicked workers are respawned up
+/// to [`ServeConfig::restart_budget`] even with default settings.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads (each owns one VM). Clamped to at least 1.
@@ -52,12 +210,28 @@ pub struct ServeConfig {
     /// against).
     pub shared_plan_cache: bool,
     /// Intra-kernel parallelism for each worker VM (see
-    /// [`Vm::set_parallelism`]). Serving parallelism usually wants this
+    /// [`relax_vm::Vm::set_parallelism`]). Serving parallelism usually wants this
     /// at 1: inter-request parallelism comes from the pool.
     pub vm_parallelism: usize,
     /// Deterministic fault plans installed on specific workers at
-    /// startup, for fault-isolation testing: `(worker index, plan)`.
+    /// startup, for fault-isolation and chaos testing: `(worker index,
+    /// plan)`. VM sites go to the worker's `Vm`; serving sites
+    /// (panic/stall/reply-drop) to the worker loop. Respawned
+    /// generations carry no faults.
     pub worker_faults: Vec<(usize, FaultPlan)>,
+    /// Retry budget for transient failures; `None` (default) fails fast.
+    pub retry: Option<RetryPolicy>,
+    /// Overload watermarks; `None` (default) admits until the queue is
+    /// full.
+    pub overload: Option<OverloadPolicy>,
+    /// Respawns a worker slot gets before it is quarantined.
+    pub restart_budget: u32,
+    /// How long a *busy* worker may go without a heartbeat before the
+    /// supervisor declares it wedged and replaces it.
+    pub stall_timeout: Duration,
+    /// Capacity of the bounded latency reservoir (O(1) memory however
+    /// many requests complete).
+    pub latency_sample_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +245,11 @@ impl Default for ServeConfig {
             shared_plan_cache: true,
             vm_parallelism: 1,
             worker_faults: Vec::new(),
+            retry: None,
+            overload: None,
+            restart_budget: 3,
+            stall_timeout: Duration::from_secs(1),
+            latency_sample_capacity: 2048,
         }
     }
 }
@@ -84,12 +263,19 @@ pub enum ServeError {
         depth: usize,
         capacity: usize,
     },
-    /// The request's deadline passed while it waited in the queue; it was
-    /// shed without executing.
+    /// Overload control refused or evicted the request: the queue depth
+    /// was above a watermark and this request had the least deadline
+    /// budget of the candidates.
+    Overloaded {
+        depth: usize,
+    },
+    /// The request's deadline passed while it waited (in the queue or in
+    /// retry backoff); it was shed without executing.
     DeadlineExceeded {
         missed_by: Duration,
     },
-    /// The worker handling the request disappeared before replying.
+    /// The worker handling the request disappeared before replying
+    /// (panic, dropped reply channel).
     WorkerLost,
     /// The engine is shutting down and no longer admits requests.
     ShuttingDown,
@@ -103,6 +289,9 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::QueueFull { depth, capacity } => {
                 write!(f, "request queue full ({depth}/{capacity}); retry later")
+            }
+            ServeError::Overloaded { depth } => {
+                write!(f, "engine overloaded (queue depth {depth}); retry later")
             }
             ServeError::DeadlineExceeded { missed_by } => {
                 write!(f, "deadline exceeded by {missed_by:?}; request shed")
@@ -129,7 +318,13 @@ impl From<VmError> for ServeError {
     }
 }
 
-/// A handle to an in-flight request; redeem it with [`Ticket::wait`].
+/// A handle to an in-flight request; redeem it with [`Ticket::wait`]
+/// (or poll it with [`Ticket::wait_timeout`] / [`Ticket::try_wait`]).
+///
+/// A ticket always resolves: every admitted request either replies,
+/// fails typed, or — if its worker vanished in a way nobody could
+/// report — resolves as [`ServeError::WorkerLost`] when the reply
+/// channel closes. It never hangs forever.
 pub struct Ticket {
     rx: mpsc::Receiver<Result<Value, ServeError>>,
 }
@@ -139,18 +334,234 @@ impl Ticket {
     pub fn wait(self) -> Result<Value, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
     }
+
+    /// Waits up to `timeout` for the request to resolve. `None` means
+    /// still in flight; a closed reply channel (the worker vanished
+    /// without reporting) resolves as [`ServeError::WorkerLost`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Value, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+        }
+    }
+
+    /// Non-blocking poll; same contract as [`Ticket::wait_timeout`].
+    pub fn try_wait(&self) -> Option<Result<Value, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+        }
+    }
 }
 
 /// Shared admission/completion counters (lock-free; workers bump them).
 #[derive(Default)]
-struct Counters {
-    accepted: AtomicU64,
-    rejected_full: AtomicU64,
-    timed_out: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    batches: AtomicU64,
-    batched_extra: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) rejected_full: AtomicU64,
+    pub(crate) rejected_overload: AtomicU64,
+    pub(crate) timed_out: AtomicU64,
+    pub(crate) shed_overload: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) replies_dropped: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) restarts: AtomicU64,
+    pub(crate) quarantined: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_extra: AtomicU64,
+}
+
+/// Everything the worker pool, the supervisor and the engine handle
+/// share. One `Arc<Core>` per engine; workers and the supervisor each
+/// hold a clone so the engine handle can be dropped independently.
+pub(crate) struct Core {
+    pub(crate) queue: RequestQueue,
+    pub(crate) counters: Counters,
+    pub(crate) latencies: Mutex<LatencyReservoir>,
+    /// Heartbeats are nanoseconds since this instant (a shared epoch so
+    /// they fit an `AtomicU64`).
+    pub(crate) epoch: Instant,
+    pub(crate) exec: Arc<Executable>,
+    pub(crate) registry: Arc<Registry>,
+    /// One handle per worker slot; all clones of the same cache when
+    /// shared. Respawned workers reuse their slot's cache, so a healed
+    /// pool keeps its warm plans.
+    pub(crate) caches: Vec<SharedPlanCache>,
+    pub(crate) shared_cache: bool,
+    pub(crate) vm_parallelism: usize,
+    pub(crate) max_batch: usize,
+    pub(crate) retry: Option<RetryPolicy>,
+    pub(crate) restart_budget: u32,
+    pub(crate) stall_timeout: Duration,
+    /// Set once at the start of shutdown; workers and the retry path
+    /// stop scheduling new work and resolve everything typed.
+    pub(crate) stopping: AtomicBool,
+    pub(crate) sup: SupervisorState,
+}
+
+impl Core {
+    /// Nanoseconds since the engine epoch (heartbeat clock).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Aggregate plan-cache counters: the shared cache's stats when the
+    /// cache is shared, otherwise the sum over private caches.
+    fn plan_cache_stats(&self) -> relax_vm::PlanCacheStats {
+        if self.shared_cache {
+            return self.caches.first().map(|c| c.stats()).unwrap_or_default();
+        }
+        let mut total = relax_vm::PlanCacheStats::default();
+        for c in &self.caches {
+            let s = c.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.len += s.len;
+            total.capacity += s.capacity;
+        }
+        total
+    }
+
+    /// A point-in-time snapshot of the engine counters.
+    pub(crate) fn stats(&self) -> EngineStats {
+        let c = &self.counters;
+        EngineStats {
+            queue_depth: self.queue.depth(),
+            queue_capacity: self.queue.capacity(),
+            admission: self.queue.level(),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            rejected_full: c.rejected_full.load(Ordering::Relaxed),
+            rejected_overload: c.rejected_overload.load(Ordering::Relaxed),
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            shed_overload: c.shed_overload.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            replies_dropped: c.replies_dropped.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            restarts: c.restarts.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_extra: c.batched_extra.load(Ordering::Relaxed),
+            plan_cache: self.plan_cache_stats(),
+            latency: lock(&self.latencies).summary(),
+        }
+    }
+}
+
+/// Resolves a request successfully: counters, latency sample, span end,
+/// reply.
+pub(crate) fn resolve_ok(core: &Core, req: Request, value: Value) {
+    core.counters.completed.fetch_add(1, Ordering::Relaxed);
+    let ns = req.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    lock(&core.latencies).push(ns);
+    relax_trace::async_end("serve", "request", req.trace, || {
+        relax_trace::Payload::Request {
+            request: req.id,
+            phase: relax_trace::RequestPhase::Reply,
+        }
+    });
+    let _ = req.reply.send(Ok(value));
+}
+
+/// Resolves a request with a *final* error: classifies it into the
+/// counter buckets (deadline/overload sheds are `timed_out`, the rest
+/// `failed`), closes the request span and replies. Use
+/// [`fail_or_retry`] instead when the failure may still be retried.
+pub(crate) fn resolve_err(core: &Core, req: Request, err: ServeError) {
+    let shed = match &err {
+        ServeError::DeadlineExceeded { .. } => {
+            core.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        ServeError::Overloaded { .. } => {
+            core.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            core.counters.shed_overload.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        _ => {
+            core.counters.failed.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    };
+    let phase = if shed {
+        relax_trace::RequestPhase::Shed
+    } else {
+        relax_trace::RequestPhase::Reply
+    };
+    if shed {
+        relax_trace::instant(
+            "serve",
+            || format!("shed:{}", req.id),
+            || relax_trace::Payload::Request {
+                request: req.id,
+                phase: relax_trace::RequestPhase::Shed,
+            },
+        );
+    }
+    relax_trace::async_end("serve", "request", req.trace, || {
+        relax_trace::Payload::Request {
+            request: req.id,
+            phase,
+        }
+    });
+    let _ = req.reply.send(Err(err));
+}
+
+/// Maps a queue refusal to its typed error.
+pub(crate) fn refusal_error(core: &Core, why: PushError) -> ServeError {
+    match why {
+        PushError::Full => ServeError::QueueFull {
+            depth: core.queue.depth(),
+            capacity: core.queue.capacity(),
+        },
+        PushError::Overloaded => ServeError::Overloaded {
+            depth: core.queue.depth(),
+        },
+        PushError::Closed => ServeError::ShuttingDown,
+    }
+}
+
+/// Resolves a failed request — or, when the engine has a retry policy
+/// that covers this failure class and the request has attempt budget
+/// left, schedules it for re-enqueue after exponential backoff instead.
+/// The request's deadline is *not* checked here: it is checked when the
+/// backoff elapses, so a deadline expiring mid-backoff resolves as
+/// [`ServeError::DeadlineExceeded`], never as a retry past budget.
+pub(crate) fn fail_or_retry(core: &Core, mut req: Request, err: ServeError) {
+    if !core.stopping.load(Ordering::Acquire) {
+        if let Some(policy) = &core.retry {
+            let class_ok = match &err {
+                ServeError::WorkerLost => policy.retry_on.worker_lost,
+                ServeError::QueueFull { .. } | ServeError::Overloaded { .. } => {
+                    policy.retry_on.overload
+                }
+                ServeError::Vm(e) => {
+                    policy.retry_on.kernel_faults && matches!(e.kind, VmErrorKind::Kernel(_))
+                }
+                _ => false,
+            };
+            if class_ok && req.attempt + 1 < policy.max_attempts.max(1) {
+                req.attempt += 1;
+                core.counters.retries.fetch_add(1, Ordering::Relaxed);
+                relax_trace::instant(
+                    "serve",
+                    || format!("retry:{}", req.id),
+                    || relax_trace::Payload::Request {
+                        request: req.id,
+                        phase: relax_trace::RequestPhase::Retry,
+                    },
+                );
+                let due = Instant::now() + policy.backoff_for(req.attempt);
+                supervisor::schedule_retry(core, req, due);
+                return;
+            }
+        }
+    }
+    resolve_err(core, req, err);
 }
 
 /// The concrete shape signature of an argument list — the batching key.
@@ -181,16 +592,11 @@ fn shape_signature(args: &[Value]) -> Vec<Vec<usize>> {
 /// Multi-session serving engine over one executable. See the module
 /// docs for the architecture; see [`ServeConfig`] for the knobs.
 pub struct ServeEngine {
-    queue: Arc<RequestQueue>,
-    counters: Arc<Counters>,
+    core: Arc<Core>,
     /// Dense request-id source (first request gets 1).
     next_request_id: AtomicU64,
-    latencies: Arc<Mutex<Vec<u64>>>,
-    /// One handle per worker; all clones of the same cache when shared.
-    caches: Vec<SharedPlanCache>,
-    shared_cache: bool,
     default_deadline: Option<Duration>,
-    workers: Vec<JoinHandle<WorkerReport>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ServeEngine {
@@ -204,69 +610,87 @@ impl ServeEngine {
         let exec = Arc::new(exec);
         let registry = Arc::new(registry);
         let workers = config.workers.max(1);
-        let queue = Arc::new(RequestQueue::new(config.queue_capacity));
-        let counters = Arc::new(Counters::default());
-        let latencies = Arc::new(Mutex::new(Vec::new()));
 
         let shared = SharedPlanCache::new(config.plan_cache_capacity);
         let mut caches = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for idx in 0..workers {
-            let cache = if config.shared_plan_cache {
+        for _ in 0..workers {
+            caches.push(if config.shared_plan_cache {
                 shared.clone()
             } else {
                 SharedPlanCache::new(config.plan_cache_capacity)
-            };
-            caches.push(cache.clone());
-
-            let mut vm = Vm::from_parts(exec.clone(), registry.clone(), cache);
-            vm.set_parallelism(config.vm_parallelism);
-            for (target, plan) in &config.worker_faults {
-                if *target == idx {
-                    vm.inject_faults(plan.clone());
-                }
-            }
-
-            let queue = queue.clone();
-            let counters = counters.clone();
-            let latencies = latencies.clone();
-            let max_batch = config.max_batch;
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("relax-serve-{idx}"))
-                    .spawn(move || worker_loop(idx, vm, queue, counters, latencies, max_batch))
-                    .expect("spawn serve worker"),
-            );
+            });
         }
 
-        ServeEngine {
-            queue,
-            counters,
-            next_request_id: AtomicU64::new(0),
-            latencies,
+        // Seed chosen once; the reservoir is deterministic per engine.
+        const LATENCY_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+        let core = Arc::new(Core {
+            queue: RequestQueue::new(config.queue_capacity, config.overload),
+            counters: Counters::default(),
+            latencies: Mutex::new(LatencyReservoir::new(
+                config.latency_sample_capacity,
+                LATENCY_SEED,
+            )),
+            epoch: Instant::now(),
+            exec,
+            registry,
             caches,
             shared_cache: config.shared_plan_cache,
+            vm_parallelism: config.vm_parallelism,
+            max_batch: config.max_batch.max(1),
+            retry: config.retry.clone(),
+            restart_budget: config.restart_budget,
+            stall_timeout: config.stall_timeout.max(Duration::from_millis(1)),
+            stopping: AtomicBool::new(false),
+            sup: SupervisorState::new(),
+        });
+
+        {
+            let mut slots = lock(&core.sup.slots);
+            for idx in 0..workers {
+                let faults = config
+                    .worker_faults
+                    .iter()
+                    .filter(|(target, _)| *target == idx)
+                    .map(|(_, plan)| plan.clone())
+                    .next_back();
+                slots.push(supervisor::new_slot(&core, idx, faults));
+            }
+        }
+
+        let supervisor = std::thread::Builder::new()
+            .name("relax-serve-supervisor".into())
+            .spawn({
+                let core = core.clone();
+                move || supervisor::supervisor_loop(core)
+            })
+            .expect("spawn serve supervisor");
+
+        ServeEngine {
+            core,
+            next_request_id: AtomicU64::new(0),
             default_deadline: config.default_deadline,
-            workers: handles,
+            supervisor: Some(supervisor),
         }
     }
 
     /// Submits a request under the engine's default deadline. Returns a
     /// [`Ticket`] immediately, or the backpressure/shutdown error if the
-    /// request was not admitted.
+    /// request was not admitted (and could not be scheduled for retry).
     pub fn submit(&self, func: &str, args: &[Value]) -> Result<Ticket, ServeError> {
         self.submit_with_deadline(func, args, self.default_deadline)
     }
 
     /// Submits a request that must *start* within `deadline` of now;
-    /// requests still queued past it are shed with
-    /// [`ServeError::DeadlineExceeded`] instead of executing late.
+    /// requests still queued (or backing off between retries) past it
+    /// are shed with [`ServeError::DeadlineExceeded`] instead of
+    /// executing late.
     pub fn submit_with_deadline(
         &self,
         func: &str,
         args: &[Value],
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
+        let core = &*self.core;
         let now = Instant::now();
         let id = self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
         // The request span opens *before* the push: once the request is
@@ -288,37 +712,82 @@ impl ServeEngine {
             shape_sig: shape_signature(args),
             deadline: deadline.map(|d| now + d),
             enqueued: now,
+            attempt: 0,
             reply: tx,
         };
-        let outcome = self.queue.push(req);
+        let outcome = core.queue.push(req);
         admit.finish_with(|| relax_trace::Payload::Request {
             request: id,
             phase: relax_trace::RequestPhase::Admit,
         });
         match outcome {
-            Ok(()) => {
-                self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            PushOutcome::Admitted { shed } => {
+                core.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                if let Some(victim) = shed {
+                    // Overload control evicted the queued request with
+                    // the least deadline budget to admit this one.
+                    resolve_err(
+                        core,
+                        victim,
+                        ServeError::Overloaded {
+                            depth: core.queue.depth(),
+                        },
+                    );
+                }
                 Ok(Ticket { rx })
             }
-            Err(refusal) => {
-                // The request never entered the queue; close its span
-                // here so the trace stays balanced.
-                relax_trace::async_end("serve", "request", trace, || {
+            PushOutcome::Refused { mut req, why } => {
+                // A refusal the retry policy covers becomes a deferred
+                // admission: the engine takes responsibility for the
+                // ticket and re-enqueues after backoff.
+                if !matches!(why, PushError::Closed) && !core.stopping.load(Ordering::Acquire) {
+                    if let Some(policy) = &core.retry {
+                        if policy.retry_on.overload && req.attempt + 1 < policy.max_attempts.max(1)
+                        {
+                            req.attempt += 1;
+                            core.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                            core.counters.retries.fetch_add(1, Ordering::Relaxed);
+                            relax_trace::instant(
+                                "serve",
+                                || format!("retry:{id}"),
+                                || relax_trace::Payload::Request {
+                                    request: id,
+                                    phase: relax_trace::RequestPhase::Retry,
+                                },
+                            );
+                            let due = Instant::now() + policy.backoff_for(req.attempt);
+                            supervisor::schedule_retry(core, req, due);
+                            return Ok(Ticket { rx });
+                        }
+                    }
+                }
+                // Refused outright: the request never entered the queue;
+                // close its span here so the trace stays balanced.
+                relax_trace::async_end("serve", "request", req.trace, || {
                     relax_trace::Payload::Request {
                         request: id,
                         phase: relax_trace::RequestPhase::Reply,
                     }
                 });
-                match refusal {
+                let err = match why {
                     PushError::Full => {
-                        self.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
-                        Err(ServeError::QueueFull {
-                            depth: self.queue.depth(),
-                            capacity: self.queue.capacity(),
-                        })
+                        core.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
+                        ServeError::QueueFull {
+                            depth: core.queue.depth(),
+                            capacity: core.queue.capacity(),
+                        }
                     }
-                    PushError::Closed => Err(ServeError::ShuttingDown),
-                }
+                    PushError::Overloaded => {
+                        core.counters
+                            .rejected_overload
+                            .fetch_add(1, Ordering::Relaxed);
+                        ServeError::Overloaded {
+                            depth: core.queue.depth(),
+                        }
+                    }
+                    PushError::Closed => ServeError::ShuttingDown,
+                };
+                Err(err)
             }
         }
     }
@@ -328,58 +797,57 @@ impl ServeEngine {
         self.submit(func, args)?.wait()
     }
 
-    /// Aggregate plan-cache counters: the shared cache's stats when the
-    /// cache is shared, otherwise the sum over private caches.
-    fn plan_cache_stats(&self) -> relax_vm::PlanCacheStats {
-        if self.shared_cache {
-            return self.caches.first().map(|c| c.stats()).unwrap_or_default();
-        }
-        let mut total = relax_vm::PlanCacheStats::default();
-        for c in &self.caches {
-            let s = c.stats();
-            total.hits += s.hits;
-            total.misses += s.misses;
-            total.evictions += s.evictions;
-            total.len += s.len;
-            total.capacity += s.capacity;
-        }
-        total
-    }
-
     /// A point-in-time snapshot of the engine counters.
     pub fn stats(&self) -> EngineStats {
-        let mut samples = self
-            .latencies
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone();
-        EngineStats {
-            queue_depth: self.queue.depth(),
-            queue_capacity: self.queue.capacity(),
-            accepted: self.counters.accepted.load(Ordering::Relaxed),
-            rejected_full: self.counters.rejected_full.load(Ordering::Relaxed),
-            timed_out: self.counters.timed_out.load(Ordering::Relaxed),
-            completed: self.counters.completed.load(Ordering::Relaxed),
-            failed: self.counters.failed.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            batched_extra: self.counters.batched_extra.load(Ordering::Relaxed),
-            plan_cache: self.plan_cache_stats(),
-            latency: LatencySummary::from_samples(&mut samples),
-        }
+        self.core.stats()
     }
 
-    /// Stops admitting requests, drains the queue, joins every worker
-    /// and returns the final stats plus per-worker VM snapshots.
+    /// Stops admitting requests, flushes pending retries, drains the
+    /// queue, joins every worker incarnation (and the supervisor) and
+    /// returns the final stats plus per-incarnation VM snapshots.
+    ///
+    /// Never panics — a worker that died uncontained is reported as
+    /// [`crate::WorkerExit::Panicked`] in the [`EngineReport`] instead.
     pub fn shutdown(mut self) -> EngineReport {
-        self.queue.close();
-        let mut workers: Vec<WorkerReport> = self
-            .workers
-            .drain(..)
-            .map(|h| h.join().expect("serve worker panicked"))
+        let core = self.core.clone();
+        core.stopping.store(true, Ordering::Release);
+        core.sup.wake.notify_all();
+        // The supervisor's final pass flushes pending retries back into
+        // the (still open) queue so workers drain them.
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        core.queue.close();
+
+        let mut workers: Vec<WorkerReport> = Vec::new();
+        {
+            let mut slots = lock(&core.sup.slots);
+            for slot in slots.iter_mut() {
+                if let Some(h) = slot.handle.take() {
+                    workers.push(supervisor::join_report(h, slot.idx, slot.generation));
+                }
+            }
+        }
+        for (idx, generation, h) in lock(&core.sup.abandoned).drain(..) {
+            workers.push(supervisor::join_report(h, idx, generation));
+        }
+        workers.extend(lock(&core.sup.reaped).drain(..));
+        workers.sort_by_key(|w| (w.worker, w.generation));
+
+        // Retries scheduled in the race window after the supervisor
+        // exited have nobody to re-enqueue them: resolve them typed so
+        // no ticket ever hangs.
+        let orphans: Vec<Request> = lock(&core.sup.retries)
+            .heap
+            .drain()
+            .map(|d| d.req)
             .collect();
-        workers.sort_by_key(|w| w.worker);
+        for req in orphans {
+            resolve_err(&core, req, ServeError::ShuttingDown);
+        }
+
         EngineReport {
-            stats: self.stats(),
+            stats: core.stats(),
             workers,
         }
     }
@@ -387,93 +855,32 @@ impl ServeEngine {
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
-        self.queue.close();
-        for h in self.workers.drain(..) {
+        let core = &self.core;
+        core.stopping.store(true, Ordering::Release);
+        core.sup.wake.notify_all();
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
-    }
-}
-
-/// The worker loop: dequeue a shape-homogeneous batch, shed what is past
-/// deadline, run the rest on this worker's private VM, reply per request.
-fn worker_loop(
-    idx: usize,
-    mut vm: Vm,
-    queue: Arc<RequestQueue>,
-    counters: Arc<Counters>,
-    latencies: Arc<Mutex<Vec<u64>>>,
-    max_batch: usize,
-) -> WorkerReport {
-    while let Some(batch) = queue.pop_batch(max_batch) {
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters
-            .batched_extra
-            .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
-        let batch_span = relax_trace::span("serve", || format!("batch:{}", batch.len()));
-        for req in batch {
-            let now = Instant::now();
-            if let Some(deadline) = req.deadline {
-                if now > deadline {
-                    counters.timed_out.fetch_add(1, Ordering::Relaxed);
-                    relax_trace::instant(
-                        "serve",
-                        || format!("shed:{}", req.id),
-                        || relax_trace::Payload::Request {
-                            request: req.id,
-                            phase: relax_trace::RequestPhase::Shed,
-                        },
-                    );
-                    relax_trace::async_end("serve", "request", req.trace, || {
-                        relax_trace::Payload::Request {
-                            request: req.id,
-                            phase: relax_trace::RequestPhase::Shed,
-                        }
-                    });
-                    let _ = req.reply.send(Err(ServeError::DeadlineExceeded {
-                        missed_by: now - deadline,
-                    }));
-                    continue;
-                }
-            }
-            // Stitch the worker-side span under the request span opened
-            // on the submit thread: the id crossed the queue with the
-            // request.
-            let exec_span = relax_trace::span_under("serve", Some(req.trace), || {
-                format!("execute:{}", req.id)
-            });
-            let result = vm.run(&req.func, &req.args);
-            exec_span.finish_with(|| relax_trace::Payload::Request {
-                request: req.id,
-                phase: relax_trace::RequestPhase::Execute,
-            });
-            relax_trace::async_end("serve", "request", req.trace, || {
-                relax_trace::Payload::Request {
-                    request: req.id,
-                    phase: relax_trace::RequestPhase::Reply,
-                }
-            });
-            match result {
-                Ok(value) => {
-                    counters.completed.fetch_add(1, Ordering::Relaxed);
-                    let ns = req.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                    latencies
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push(ns);
-                    let _ = req.reply.send(Ok(value));
-                }
-                Err(e) => {
-                    counters.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = req.reply.send(Err(ServeError::Vm(e)));
+        core.queue.close();
+        {
+            let mut slots = lock(&core.sup.slots);
+            for slot in slots.iter_mut() {
+                if let Some(h) = slot.handle.take() {
+                    let _ = h.join();
                 }
             }
         }
-        batch_span.finish();
-    }
-    WorkerReport {
-        worker: idx,
-        telemetry: vm.telemetry(),
-        kernel_stats: vm.kernel_stats().clone(),
+        for (_, _, h) in lock(&core.sup.abandoned).drain(..) {
+            let _ = h.join();
+        }
+        let orphans: Vec<Request> = lock(&core.sup.retries)
+            .heap
+            .drain()
+            .map(|d| d.req)
+            .collect();
+        for req in orphans {
+            resolve_err(core, req, ServeError::ShuttingDown);
+        }
     }
 }
 
@@ -492,5 +899,34 @@ mod tests {
             Value::Tuple(vec![Value::Tensor(t)]),
         ]);
         assert_eq!(sig, vec![vec![2, 3], vec![4, 5], vec![2, 3]]);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+            retry_on: RetryOn::default(),
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(8));
+        assert_eq!(p.backoff_for(4), Duration::from_millis(10)); // capped
+        assert_eq!(p.backoff_for(30), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn overload_policy_clamps_to_capacity() {
+        let p = OverloadPolicy {
+            shed_depth: 100,
+            reject_depth: 50,
+        }
+        .clamped(40);
+        assert_eq!(p.reject_depth, 40);
+        assert_eq!(p.shed_depth, 40);
+        let p = OverloadPolicy::for_capacity(100);
+        assert_eq!(p.shed_depth, 75);
+        assert_eq!(p.reject_depth, 90);
     }
 }

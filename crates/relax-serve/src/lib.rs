@@ -1,8 +1,9 @@
 //! Multi-session serving over the Relax VM.
 //!
 //! The paper's runtime story ends with one VM executing one program; a
-//! serving deployment runs *many sessions of the same program* at once.
-//! This crate supplies the missing layer:
+//! serving deployment runs *many sessions of the same program* at once,
+//! and keeps running them when workers fail. This crate supplies the
+//! missing layer:
 //!
 //! - **[`ServeEngine`]** — owns one immutable [`relax_vm::Executable`]
 //!   and a fixed pool of worker threads, each with a private
@@ -19,8 +20,25 @@
 //! - **Shared plan cache** — all workers share one
 //!   [`relax_vm::SharedPlanCache`] by default: a shape specialized by
 //!   any worker is a cache hit for every other.
+//! - **Self-healing** — worker panics are contained at the worker loop
+//!   and a supervisor thread respawns fresh VMs into failed slots (up
+//!   to a restart budget, then quarantine); wedged workers are detected
+//!   by heartbeat and replaced. In-flight requests on a lost worker
+//!   resolve as [`ServeError::WorkerLost`] — a [`Ticket`] never hangs.
+//! - **Retry with budgets** — an optional [`RetryPolicy`] re-enqueues
+//!   transient failures (lost workers, overload refusals, kernel
+//!   faults) with exponential backoff, bounded by an attempt budget and
+//!   the request's own deadline.
+//! - **Overload control** — an optional [`OverloadPolicy`] adds
+//!   queue-depth watermarks: accept, then shed-lowest-deadline, then
+//!   reject-new ([`AdmissionLevel`]).
+//! - **Chaos harness** — [`chaos`] drives a workload under seeded
+//!   random fault schedules and checks the engine's robustness
+//!   invariants (typed resolution, bitwise-correct survivors,
+//!   availability).
 //! - **Telemetry** — [`EngineStats`] (queue depth, admission counters,
-//!   p50/p95/p99 latency, aggregate cache hit rate) plus per-worker
+//!   retry/restart/quarantine counts, p50/p95/p99 latency from a
+//!   bounded reservoir, aggregate cache hit rate) plus per-incarnation
 //!   [`WorkerReport`]s at shutdown.
 //!
 //! ```
@@ -40,9 +58,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 mod engine;
 mod queue;
+mod supervisor;
 mod telemetry;
 
-pub use engine::{ServeConfig, ServeEngine, ServeError, Ticket};
-pub use telemetry::{EngineReport, EngineStats, LatencySummary, WorkerReport};
+pub use engine::{
+    AdmissionLevel, OverloadPolicy, RetryOn, RetryPolicy, ServeConfig, ServeEngine, ServeError,
+    Ticket,
+};
+pub use telemetry::{EngineReport, EngineStats, LatencySummary, WorkerExit, WorkerReport};

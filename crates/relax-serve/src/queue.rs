@@ -1,13 +1,23 @@
-//! A bounded MPMC request queue with shape-aware batch dequeue.
+//! A bounded MPMC request queue with shape-aware batch dequeue and
+//! watermark-driven overload control.
 //!
 //! `std` only: a `Mutex<VecDeque>` plus a `Condvar`. Producers never
 //! block — a full queue is *backpressure* and the submit call reports it
-//! to the caller instead of buffering unboundedly. Consumers block until
-//! work arrives or the queue is closed, and dequeue a *batch*: the oldest
-//! request plus every queued request with the same `(function, shape
-//! signature)` key, up to a cap. Requests batched together resolve the
-//! same plan-cache entry, so a worker pays at most one cache probe chain
-//! per batch of identical decode steps.
+//! to the caller instead of buffering unboundedly. Between "empty" and
+//! "full" an optional [`OverloadPolicy`] adds two watermarks: at the
+//! *shed* watermark each admission evicts the queued request with the
+//! least remaining deadline budget (when one expires sooner than the
+//! newcomer), and at the *reject* watermark new work is refused
+//! outright. Consumers
+//! block until work arrives or the queue is closed, and dequeue a
+//! *batch*: the oldest request plus every queued request with the same
+//! `(function, shape signature)` key, up to a cap. Requests batched
+//! together resolve the same plan-cache entry, so a worker pays at most
+//! one cache probe chain per batch of identical decode steps.
+//!
+//! A refused push hands the request *back* to the caller instead of
+//! dropping it: who resolves the reply channel (refuse typed, retry
+//! later, …) is the engine's decision, not the queue's.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -17,7 +27,7 @@ use std::time::Instant;
 
 use relax_vm::Value;
 
-use crate::engine::ServeError;
+use crate::engine::{AdmissionLevel, OverloadPolicy, ServeError};
 
 /// A queued inference request.
 pub(crate) struct Request {
@@ -39,6 +49,10 @@ pub(crate) struct Request {
     pub deadline: Option<Instant>,
     /// When the request entered the queue (latency accounting).
     pub enqueued: Instant,
+    /// Failures this request has already consumed (submit counts as
+    /// attempt 0; each retryable failure increments it — see
+    /// [`crate::RetryPolicy::max_attempts`]).
+    pub attempt: u32,
     /// Where the response goes.
     pub reply: mpsc::Sender<Result<Value, ServeError>>,
 }
@@ -50,14 +64,28 @@ impl Request {
     }
 }
 
-/// Why a push was refused. The request is dropped with the error: its
-/// reply channel closes, and the submitter reports the refusal itself.
+/// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
 pub(crate) enum PushError {
     /// The queue is at capacity (backpressure).
     Full,
+    /// Overload control is rejecting new work (reject watermark), or
+    /// the incoming request had less deadline budget than everything
+    /// already queued (shed watermark).
+    Overloaded,
     /// The engine is shutting down.
     Closed,
+}
+
+/// What `push` did with the request.
+pub(crate) enum PushOutcome {
+    /// The request entered the queue. `shed` carries a queued victim
+    /// evicted by overload control to make room — the caller must
+    /// resolve its reply channel.
+    Admitted { shed: Option<Request> },
+    /// The request was not admitted; it comes back to the caller
+    /// untouched along with the reason.
+    Refused { req: Request, why: PushError },
 }
 
 struct QueueState {
@@ -70,12 +98,13 @@ pub(crate) struct RequestQueue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     capacity: usize,
+    overload: Option<OverloadPolicy>,
     /// Depth mirror so `stats()` never takes the queue lock.
     depth: AtomicUsize,
 }
 
 impl RequestQueue {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, overload: Option<OverloadPolicy>) -> Self {
         RequestQueue {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
@@ -83,6 +112,7 @@ impl RequestQueue {
             }),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
+            overload: overload.map(|p| p.clamped(capacity.max(1))),
             depth: AtomicUsize::new(0),
         }
     }
@@ -96,20 +126,67 @@ impl RequestQueue {
         self.depth.load(Ordering::Relaxed)
     }
 
-    /// Non-blocking enqueue; a full queue pushes back on the caller.
-    pub(crate) fn push(&self, req: Request) -> Result<(), PushError> {
+    /// The admission level the overload watermarks currently dictate.
+    pub(crate) fn level(&self) -> AdmissionLevel {
+        let depth = self.depth();
+        match self.overload {
+            Some(p) if depth >= p.reject_depth => AdmissionLevel::Reject,
+            Some(p) if depth >= p.shed_depth => AdmissionLevel::Shed,
+            _ => AdmissionLevel::Accept,
+        }
+    }
+
+    /// Non-blocking enqueue. A full or overloaded queue pushes back on
+    /// the caller, returning the request instead of dropping it.
+    pub(crate) fn push(&self, req: Request) -> PushOutcome {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.closed {
-            return Err(PushError::Closed);
+            return PushOutcome::Refused {
+                req,
+                why: PushError::Closed,
+            };
         }
-        if state.items.len() >= self.capacity {
-            return Err(PushError::Full);
+        let depth = state.items.len();
+        if depth >= self.capacity {
+            return PushOutcome::Refused {
+                req,
+                why: PushError::Full,
+            };
+        }
+        let mut shed = None;
+        if let Some(policy) = self.overload {
+            if depth >= policy.reject_depth {
+                return PushOutcome::Refused {
+                    req,
+                    why: PushError::Overloaded,
+                };
+            }
+            if depth >= policy.shed_depth {
+                // Shed level: the queue churns toward later-deadline
+                // work. Admission evicts the queued request with the
+                // earliest deadline — but only when that victim expires
+                // strictly sooner than the incoming request would
+                // (deadline-less requests count as never expiring).
+                // With no such victim the request is admitted anyway
+                // and depth grows toward the reject watermark.
+                let victim = state
+                    .items
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.deadline.map(|d| (i, d)))
+                    .min_by_key(|&(_, d)| d);
+                if let Some((i, vd)) = victim {
+                    if req.deadline.map(|rd| vd < rd).unwrap_or(true) {
+                        shed = state.items.remove(i);
+                    }
+                }
+            }
         }
         state.items.push_back(req);
         self.depth.store(state.items.len(), Ordering::Relaxed);
         drop(state);
         self.not_empty.notify_one();
-        Ok(())
+        PushOutcome::Admitted { shed }
     }
 
     /// Blocks until at least one request is queued (or the queue closes),
@@ -168,6 +245,7 @@ impl RequestQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn req(func: &str, dims: &[usize]) -> (Request, mpsc::Receiver<Result<Value, ServeError>>) {
         let (tx, rx) = mpsc::channel();
@@ -180,19 +258,35 @@ mod tests {
                 shape_sig: vec![dims.to_vec()],
                 deadline: None,
                 enqueued: Instant::now(),
+                attempt: 0,
                 reply: tx,
             },
             rx,
         )
     }
 
+    fn push_ok(q: &RequestQueue, r: Request) {
+        match q.push(r) {
+            PushOutcome::Admitted { shed: None } => {}
+            PushOutcome::Admitted { shed: Some(_) } => panic!("unexpected eviction"),
+            PushOutcome::Refused { why, .. } => panic!("push refused: {why:?}"),
+        }
+    }
+
+    fn refusal(outcome: PushOutcome) -> PushError {
+        match outcome {
+            PushOutcome::Refused { why, .. } => why,
+            PushOutcome::Admitted { .. } => panic!("expected refusal"),
+        }
+    }
+
     #[test]
     fn batches_group_identical_shape_keys() {
-        let q = RequestQueue::new(16);
+        let q = RequestQueue::new(16, None);
         for dims in [&[2usize, 8][..], &[2, 8], &[4, 8], &[2, 8], &[4, 8]] {
             let (r, rx) = req("decode", dims);
             std::mem::forget(rx);
-            q.push(r).map_err(|_| "push failed").unwrap();
+            push_ok(&q, r);
         }
         let b1 = q.pop_batch(8).unwrap();
         assert_eq!(b1.len(), 3); // the three (2, 8) requests ride together
@@ -204,11 +298,11 @@ mod tests {
 
     #[test]
     fn batch_cap_is_respected_and_order_kept() {
-        let q = RequestQueue::new(16);
+        let q = RequestQueue::new(16, None);
         for _ in 0..5 {
             let (r, rx) = req("decode", &[1]);
             std::mem::forget(rx);
-            q.push(r).map_err(|_| "push failed").unwrap();
+            push_ok(&q, r);
         }
         assert_eq!(q.pop_batch(2).unwrap().len(), 2);
         assert_eq!(q.pop_batch(2).unwrap().len(), 2);
@@ -216,27 +310,101 @@ mod tests {
     }
 
     #[test]
-    fn full_queue_pushes_back() {
-        let q = RequestQueue::new(2);
+    fn full_queue_pushes_back_and_returns_the_request() {
+        let q = RequestQueue::new(2, None);
         for _ in 0..2 {
             let (r, rx) = req("f", &[1]);
             std::mem::forget(rx);
-            q.push(r).map_err(|_| "push failed").unwrap();
+            push_ok(&q, r);
         }
         let (r, _rx) = req("f", &[1]);
-        assert_eq!(q.push(r).unwrap_err(), PushError::Full);
+        match q.push(r) {
+            PushOutcome::Refused { req, why } => {
+                assert_eq!(why, PushError::Full);
+                assert_eq!(req.func, "f"); // the request survives refusal
+            }
+            PushOutcome::Admitted { .. } => panic!("queue should be full"),
+        }
     }
 
     #[test]
     fn close_drains_then_ends() {
-        let q = RequestQueue::new(4);
+        let q = RequestQueue::new(4, None);
         let (r, rx) = req("f", &[1]);
         std::mem::forget(rx);
-        q.push(r).map_err(|_| "push failed").unwrap();
+        push_ok(&q, r);
         q.close();
         let (r2, _rx2) = req("f", &[1]);
-        assert_eq!(q.push(r2).unwrap_err(), PushError::Closed);
+        assert_eq!(refusal(q.push(r2)), PushError::Closed);
         assert_eq!(q.pop_batch(4).unwrap().len(), 1);
         assert!(q.pop_batch(4).is_none());
+    }
+
+    #[test]
+    fn reject_watermark_refuses_new_work() {
+        let policy = OverloadPolicy {
+            shed_depth: 2,
+            reject_depth: 3,
+        };
+        let q = RequestQueue::new(8, Some(policy));
+        let now = Instant::now();
+        // Decreasing deadlines: each incoming is the earliest, so no
+        // eviction ever helps it and depth climbs to the reject mark.
+        for secs in [12u64, 11, 10] {
+            let (mut r, rx) = req("f", &[1]);
+            r.deadline = Some(now + Duration::from_secs(secs));
+            std::mem::forget(rx);
+            match q.push(r) {
+                PushOutcome::Admitted { shed: None } => {}
+                PushOutcome::Admitted { shed: Some(_) } => panic!("unexpected eviction"),
+                PushOutcome::Refused { why, .. } => panic!("push refused: {why:?}"),
+            }
+        }
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.level(), AdmissionLevel::Reject);
+        let (r, _rx) = req("f", &[1]);
+        assert_eq!(refusal(q.push(r)), PushError::Overloaded);
+    }
+
+    #[test]
+    fn shed_watermark_evicts_the_earliest_deadline() {
+        let policy = OverloadPolicy {
+            shed_depth: 2,
+            reject_depth: 8,
+        };
+        let q = RequestQueue::new(8, Some(policy));
+        let now = Instant::now();
+        let mut rxs = Vec::new();
+        for (id, secs) in [(1u64, 5u64), (2, 1)] {
+            let (mut r, rx) = req("f", &[1]);
+            r.id = id;
+            r.deadline = Some(now + Duration::from_secs(secs));
+            rxs.push(rx);
+            match q.push(r) {
+                PushOutcome::Admitted { shed: None } => {}
+                _ => panic!("below shed watermark"),
+            }
+        }
+        assert_eq!(q.level(), AdmissionLevel::Shed);
+        // Depth 2 == shed watermark: admitting request 3 (10s of budget)
+        // evicts request 2 (1s of budget, the least).
+        let (mut r, _rx) = req("f", &[1]);
+        r.id = 3;
+        r.deadline = Some(now + Duration::from_secs(10));
+        match q.push(r) {
+            PushOutcome::Admitted { shed: Some(victim) } => assert_eq!(victim.id, 2),
+            _ => panic!("expected an eviction"),
+        }
+        assert_eq!(q.depth(), 2);
+        // An incoming request with *less* budget than everything queued
+        // is admitted without an eviction (depth grows toward reject).
+        let (mut r, _rx2) = req("f", &[1]);
+        r.id = 4;
+        r.deadline = Some(now + Duration::from_millis(1));
+        match q.push(r) {
+            PushOutcome::Admitted { shed: None } => {}
+            _ => panic!("expected plain admission"),
+        }
+        assert_eq!(q.depth(), 3);
     }
 }

@@ -53,8 +53,12 @@ pub enum RequestPhase {
     Queue,
     /// Running on a worker VM.
     Execute,
-    /// Shed unexecuted (deadline passed while queued).
+    /// Shed unexecuted (deadline passed while queued, or evicted by
+    /// overload control).
     Shed,
+    /// A transient failure was re-enqueued for another attempt under
+    /// the engine's retry policy.
+    Retry,
     /// Reply delivered to the ticket.
     Reply,
 }
@@ -67,7 +71,33 @@ impl RequestPhase {
             RequestPhase::Queue => "queue",
             RequestPhase::Execute => "execute",
             RequestPhase::Shed => "shed",
+            RequestPhase::Retry => "retry",
             RequestPhase::Reply => "reply",
+        }
+    }
+}
+
+/// A worker-lifecycle event observed by the serving supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerEvent {
+    /// The worker panicked; its in-flight request was resolved typed.
+    Panic,
+    /// Heartbeat monitoring declared the worker wedged.
+    Stall,
+    /// The supervisor respawned a fresh worker into the slot.
+    Restart,
+    /// The slot exhausted its restart budget and was quarantined.
+    Quarantine,
+}
+
+impl WorkerEvent {
+    /// Stable lower-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkerEvent::Panic => "panic",
+            WorkerEvent::Stall => "stall",
+            WorkerEvent::Restart => "restart",
+            WorkerEvent::Quarantine => "quarantine",
         }
     }
 }
@@ -93,6 +123,9 @@ pub enum Payload {
     /// A serving-request event: the engine-assigned request id and the
     /// lifecycle phase this event marks.
     Request { request: u64, phase: RequestPhase },
+    /// A worker-lifecycle event: which worker slot, and what the
+    /// supervisor observed or did.
+    Worker { worker: u64, event: WorkerEvent },
 }
 
 /// One record in the trace buffer.

@@ -67,7 +67,7 @@ use std::time::{Duration, Instant};
 
 pub use buffer::{clear, dropped, set_capacity, take, Trace, DEFAULT_CAPACITY};
 pub use chrome::{chrome_json, parse_json, validate_chrome_trace, ChromeStats, Json};
-pub use event::{CacheOutcome, EventKind, Payload, RequestPhase, SpanId, TraceEvent};
+pub use event::{CacheOutcome, EventKind, Payload, RequestPhase, SpanId, TraceEvent, WorkerEvent};
 pub use flame::flame_summary;
 
 // ---------------------------------------------------------------------

@@ -31,7 +31,7 @@ pub mod verify;
 mod vm;
 
 pub use exec::{Executable, Instr, Reg, VmFunction};
-pub use fault::{FaultPlan, FaultSite};
+pub use fault::{FaultInjector, FaultPlan, FaultSite, FiredFault};
 pub use plan_cache::{CachedPlan, PlanCacheStats, SharedPlanCache};
 pub use value::Value;
 pub use verify::{verify, VerifyError, Violation};

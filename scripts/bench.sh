@@ -10,6 +10,12 @@
 # Interpret the worker-scaling rows against "host_threads": a 1-core
 # host cannot show a multi-worker win.
 #
+# The "availability_under_chaos" section reruns the decode workload
+# through the seeded chaos harness at 0%, 1% and 5% fault rates (worker
+# panics, stalls, dropped replies, kernel faults) with retry and
+# supervision on, recording completed/submitted availability, retry and
+# restart counts, and p99 latency under faults.
+#
 # Also writes BENCH_trace.json next to it: a Chrome trace-event export of
 # one traced 4-worker serving wave (open in chrome://tracing or Perfetto),
 # validated by the in-repo checker before it is written.

@@ -30,6 +30,9 @@ cargo test --workspace -q
 echo "==> serving smoke test (release)"
 cargo test -p relax-serve --release -q smoke
 
+echo "==> serving chaos smoke (seeded fault injection, release)"
+cargo test -p relax-serve --release -q --test chaos
+
 echo "==> cargo doc --workspace --no-deps"
 cargo doc --workspace --no-deps -q
 

@@ -13,9 +13,10 @@
 //! - [`passes`]: the optimization pipeline (fusion, memory planning,
 //!   workspace lifting, library dispatch, graph capture, VM codegen);
 //! - [`vm`]: the runtime virtual machine, tensors and allocators;
-//! - [`serve`]: the multi-session serving engine — a worker pool,
-//!   bounded request queue, shape-batching scheduler and shared kernel
-//!   plan cache over the VM;
+//! - [`serve`]: the multi-session serving engine — a self-healing
+//!   worker pool (supervision, retry budgets, overload control, a
+//!   seeded chaos harness), bounded request queue, shape-batching
+//!   scheduler and shared kernel plan cache over the VM;
 //! - [`sim`]: the device performance simulator used by the benchmark
 //!   harness;
 //! - [`models`]: `nn.Module`-style model builders (LLM decoder, Whisper,
