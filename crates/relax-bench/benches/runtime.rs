@@ -202,6 +202,11 @@ struct ServingRow {
     name: String,
     workers: usize,
     shared_cache: bool,
+    /// Host CPUs actually available to this row's worker threads. On a
+    /// 1-core host a 4-worker row cannot beat 1 worker — the honest
+    /// ceiling for CPU-bound decode is parity, and this column is what
+    /// makes that legible in the JSON.
+    host_threads: usize,
     /// Best wall time for one full wave of `requests` submissions, ns.
     total_ns: f64,
     ns_per_req: f64,
@@ -234,7 +239,9 @@ fn serve_run(name: &str, workers: usize, shared_cache: bool, requests: usize) ->
             ..ServeConfig::default()
         },
     );
-    let repeats = if fast_mode() { 2 } else { 5 };
+    // Best-of-N waves: on a shared 1-core host individual waves are
+    // noisy; the minimum over more waves is the stable statistic.
+    let repeats = if fast_mode() { 2 } else { 9 };
     let mut best_ns = f64::INFINITY;
     for _ in 0..repeats {
         let start = std::time::Instant::now();
@@ -258,6 +265,9 @@ fn serve_run(name: &str, workers: usize, shared_cache: bool, requests: usize) ->
         name: name.to_string(),
         workers,
         shared_cache,
+        host_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         total_ns: best_ns,
         ns_per_req,
         plan_compiles: report.total_plan_compiles(),
@@ -270,7 +280,7 @@ fn serve_run(name: &str, workers: usize, shared_cache: bool, requests: usize) ->
     }
 }
 
-/// Serving throughput: the same decode workload through 1 worker, 4
+/// Serving throughput: the same decode workload through 1, 4 and 8
 /// workers over the shared plan cache, and 4 workers with private
 /// caches (the compile-redundancy baseline).
 fn bench_serving(rows: &mut Vec<(String, f64)>) -> Vec<ServingRow> {
@@ -279,6 +289,7 @@ fn bench_serving(rows: &mut Vec<(String, f64)>) -> Vec<ServingRow> {
         serve_run("serve/decode/workers1_shared", 1, true, requests),
         serve_run("serve/decode/workers4_shared", 4, true, requests),
         serve_run("serve/decode/workers4_private", 4, false, requests),
+        serve_run("serve/decode/workers8_shared", 8, true, requests),
     ];
     for r in &runs {
         rows.push((r.name.clone(), r.ns_per_req));
@@ -417,12 +428,14 @@ fn write_json(
         let sep = if i + 1 < serving.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"workers\": {}, \"shared_cache\": {}, \
+             \"host_threads\": {}, \
              \"total_ns\": {:.0}, \"ns_per_req\": {:.1}, \"plan_compiles\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \"cold_keys\": {}, \
              \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}{sep}\n",
             r.name,
             r.workers,
             r.shared_cache,
+            r.host_threads,
             r.total_ns,
             r.ns_per_req,
             r.plan_compiles,
@@ -451,12 +464,52 @@ fn write_json(
             c.p99_ns,
         ));
     }
+    // Contended lock sites observed during this bench process (from the
+    // relax-trace LockSite instrumentation). An empty list means no
+    // instrumented lock ever blocked — the lock-free hot paths held.
+    out.push_str("  ],\n  \"lock_wait\": [\n");
+    let lock_waits = relax_trace::lock_wait_stats();
+    for (i, w) in lock_waits.iter().enumerate() {
+        let sep = if i + 1 < lock_waits.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"site\": \"{}\", \"waits\": {}, \"total_wait_ns\": {}, \
+             \"max_wait_ns\": {}}}{sep}\n",
+            w.site, w.waits, w.total_wait_ns, w.max_wait_ns,
+        ));
+    }
     out.push_str("  ],\n  \"speedup\": {\n");
     for (i, (name, x)) in speedups.iter().enumerate() {
         let sep = if i + 1 < speedups.len() { "," } else { "" };
         out.push_str(&format!("    \"{name}\": {x:.2}{sep}\n"));
     }
-    out.push_str("  }\n}\n");
+    // Pre-refactor numbers (captured on the same 1-core host, commit
+    // 15bd2a9, before the lock-free storage / kernel pool / sharded
+    // queue work) so before/after stays comparable in one file.
+    out.push_str("  },\n  \"baseline_pre_refactor\": {\n");
+    out.push_str("    \"host_threads\": 1,\n");
+    out.push_str("    \"results\": [\n");
+    let baseline = [
+        ("vm/decode_gen_kernels/plan", 4243233.8),
+        ("vm/decode_gen_kernels/plan_par4", 7819919.5),
+        ("tir/matmul_8x64x64/plan", 2003014.6),
+        ("tir/matmul_8x64x64/plan_par4", 2241691.8),
+        ("tir/matmul_96x64x64/plan", 25174184.0),
+        ("tir/matmul_96x64x64/plan_par4", 25158966.0),
+        ("serve/decode/workers1_shared", 884310.8),
+        ("serve/decode/workers4_shared", 1162575.2),
+        ("serve/decode/workers4_private", 1174027.7),
+    ];
+    for (i, (name, ns)) in baseline.iter().enumerate() {
+        let sep = if i + 1 < baseline.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{\"name\": \"{name}\", \"median_ns\": {ns:.1}}}{sep}\n"
+        ));
+    }
+    out.push_str("    ],\n    \"speedup\": {\n");
+    out.push_str("      \"decode_plan4_vs_plan1\": 0.54,\n");
+    out.push_str("      \"matmul_large_par4_vs_plan1\": 1.00,\n");
+    out.push_str("      \"serve_decode_4w_vs_1w\": 0.76\n");
+    out.push_str("    }\n  }\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
     std::fs::write(path, out).expect("write BENCH_runtime.json");
     println!("wrote {path}");
@@ -488,6 +541,10 @@ fn main() {
         (
             "serve_decode_4w_vs_1w",
             serving[0].total_ns / serving[1].total_ns,
+        ),
+        (
+            "serve_decode_8w_vs_1w",
+            serving[0].total_ns / serving[3].total_ns,
         ),
     ];
     for (name, x) in &speedups {

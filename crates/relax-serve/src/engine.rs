@@ -419,6 +419,7 @@ impl Core {
             let s = c.stats();
             total.hits += s.hits;
             total.misses += s.misses;
+            total.probes += s.probes;
             total.evictions += s.evictions;
             total.len += s.len;
             total.capacity += s.capacity;

@@ -29,6 +29,7 @@ mod func;
 pub mod interp;
 mod ndarray;
 pub mod plan;
+mod pool;
 mod printer;
 mod stmt;
 pub mod transform;

@@ -1,7 +1,8 @@
 //! Host tensors used by the tensor-program interpreter and the VM.
 
 use std::fmt;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use relax_arith::DataType;
 
@@ -43,13 +44,80 @@ impl std::error::Error for NDArrayError {}
 
 /// The shared element storage behind an [`NDArray`].
 ///
-/// Floating dtypes share one `f64` host representation, integer dtypes share
-/// `i64`. Kept `pub(crate)` so the compiled kernel plans (`crate::plan`) can
-/// execute directly against the raw slices without per-element locking.
-#[derive(Debug, Clone, PartialEq)]
+/// Elements live in per-cell atomics — `f64` values as their
+/// [`f64::to_bits`] pattern in an [`AtomicU64`], integers in an
+/// [`AtomicI64`] — so storage is shared without any lock: compiled
+/// kernel plans (`crate::plan`) and persistent pool workers address the
+/// cell slices directly, and accessors never block. All cell traffic
+/// uses [`Ordering::Relaxed`] (a plain load/store on x86): determinism
+/// does not come from ordering but from the planner's compile-time
+/// disjointness analysis, which guarantees parallel workers write
+/// non-overlapping index ranges; cross-thread visibility of a kernel's
+/// results is established by the pool's completion latch (an
+/// acquire/release edge) before any reader runs.
 pub(crate) enum DataBuf {
-    F(Vec<f64>),
-    I(Vec<i64>),
+    /// `f64` elements, stored as bit patterns.
+    F(Vec<AtomicU64>),
+    /// `i64` elements.
+    I(Vec<AtomicI64>),
+}
+
+impl DataBuf {
+    /// A zero-filled buffer of `n` elements in the host representation
+    /// of `dtype`.
+    pub(crate) fn zeros(dtype: DataType, n: usize) -> DataBuf {
+        if dtype.is_float() {
+            // 0.0f64.to_bits() == 0, so zeroed cells are zeroed floats.
+            DataBuf::F((0..n).map(|_| AtomicU64::new(0)).collect())
+        } else {
+            DataBuf::I((0..n).map(|_| AtomicI64::new(0)).collect())
+        }
+    }
+
+    /// A detached copy of the current contents.
+    fn snapshot(&self) -> DataBuf {
+        match self {
+            DataBuf::F(v) => DataBuf::F(
+                v.iter()
+                    .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                    .collect(),
+            ),
+            DataBuf::I(v) => DataBuf::I(
+                v.iter()
+                    .map(|c| AtomicI64::new(c.load(Ordering::Relaxed)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl PartialEq for DataBuf {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (DataBuf::F(a), DataBuf::F(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| x.load(Ordering::Relaxed) == y.load(Ordering::Relaxed))
+            }
+            (DataBuf::I(a), DataBuf::I(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| x.load(Ordering::Relaxed) == y.load(Ordering::Relaxed))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for DataBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataBuf::F(v) => write!(f, "DataBuf::F({} cells)", v.len()),
+            DataBuf::I(v) => write!(f, "DataBuf::I({} cells)", v.len()),
+        }
+    }
 }
 
 /// A reference-counted host tensor.
@@ -58,10 +126,11 @@ pub(crate) enum DataBuf {
 /// destination-passing style, where a callee writes into a caller-provided
 /// array. Use [`NDArray::deep_copy`] for a detached copy.
 ///
-/// Storage lives behind `Arc<RwLock<..>>` so compiled kernel plans can hand
-/// disjoint chunks of one buffer to scoped worker threads (see
-/// `crate::plan`); single-threaded accessors take an uncontended lock per
-/// call.
+/// Storage is an `Arc<DataBuf>` of per-element atomic cells, so sharing
+/// is lock-free: every accessor is a plain relaxed load/store, compiled
+/// kernel plans run against the cell slices with no per-launch lock,
+/// and mutation through one alias is visible through all others (see
+/// `DataBuf` for the memory-ordering argument).
 ///
 /// Floating-point dtypes (`f16`, `f32`) share an `f64` host representation
 /// (with `f16`/`f32` rounding applied on store); integer dtypes share `i64`.
@@ -82,7 +151,7 @@ pub(crate) enum DataBuf {
 pub struct NDArray {
     dtype: DataType,
     shape: Vec<usize>,
-    data: Arc<RwLock<DataBuf>>,
+    data: Arc<DataBuf>,
 }
 
 impl PartialEq for NDArray {
@@ -90,12 +159,11 @@ impl PartialEq for NDArray {
         if self.dtype != other.dtype || self.shape != other.shape {
             return false;
         }
-        // Same storage ⇒ same contents; also avoids taking the same lock
-        // twice. Distinct storages are compared under two separate locks.
+        // Same storage ⇒ same contents.
         if Arc::ptr_eq(&self.data, &other.data) {
             return true;
         }
-        *self.read_buf() == *other.read_buf()
+        *self.data == *other.data
     }
 }
 
@@ -103,15 +171,10 @@ impl NDArray {
     /// Creates a zero-filled array.
     pub fn zeros(shape: &[usize], dtype: DataType) -> Self {
         let n: usize = shape.iter().product();
-        let data = if dtype.is_float() {
-            DataBuf::F(vec![0.0; n])
-        } else {
-            DataBuf::I(vec![0; n])
-        };
         NDArray {
             dtype,
             shape: shape.to_vec(),
-            data: Arc::new(RwLock::new(data)),
+            data: Arc::new(DataBuf::zeros(dtype, n)),
         }
     }
 
@@ -134,14 +197,14 @@ impl NDArray {
             });
         }
         let data = if dtype.is_float() {
-            DataBuf::F(values)
+            DataBuf::F(values.into_iter().map(|v| AtomicU64::new(v.to_bits())).collect())
         } else {
-            DataBuf::I(values.into_iter().map(|v| v as i64).collect())
+            DataBuf::I(values.into_iter().map(|v| AtomicI64::new(v as i64)).collect())
         };
         Ok(NDArray {
             dtype,
             shape: shape.to_vec(),
-            data: Arc::new(RwLock::new(data)),
+            data: Arc::new(data),
         })
     }
 
@@ -163,27 +226,27 @@ impl NDArray {
             });
         }
         let data = if dtype.is_float() {
-            DataBuf::F(values.into_iter().map(|v| v as f64).collect())
+            DataBuf::F(
+                values
+                    .into_iter()
+                    .map(|v| AtomicU64::new((v as f64).to_bits()))
+                    .collect(),
+            )
         } else {
-            DataBuf::I(values)
+            DataBuf::I(values.into_iter().map(AtomicI64::new).collect())
         };
         Ok(NDArray {
             dtype,
             shape: shape.to_vec(),
-            data: Arc::new(RwLock::new(data)),
+            data: Arc::new(data),
         })
     }
 
-    /// Locks the storage for reading, recovering from poisoning (worker
-    /// threads never hold the lock across a panic boundary, but recovery
-    /// keeps the accessor total).
-    pub(crate) fn read_buf(&self) -> RwLockReadGuard<'_, DataBuf> {
-        self.data.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Locks the storage for writing. See [`NDArray::read_buf`].
-    pub(crate) fn write_buf(&self) -> RwLockWriteGuard<'_, DataBuf> {
-        self.data.write().unwrap_or_else(|e| e.into_inner())
+    /// The shared storage cells. Kernel plans clone the `Arc` so pool
+    /// workers can hold the buffer across a launch without borrowing
+    /// the `NDArray`.
+    pub(crate) fn storage(&self) -> &Arc<DataBuf> {
+        &self.data
     }
 
     /// A stable identity for the underlying storage, used to detect argument
@@ -218,9 +281,11 @@ impl NDArray {
     ///
     /// Returns [`NDArrayError::IndexOutOfBounds`] for an invalid index.
     pub fn get(&self, flat: usize) -> Result<Scalar, NDArrayError> {
-        match &*self.read_buf() {
-            DataBuf::F(v) => v.get(flat).map(|x| Scalar::F(*x)),
-            DataBuf::I(v) => v.get(flat).map(|x| Scalar::I(*x)),
+        match &*self.data {
+            DataBuf::F(v) => v
+                .get(flat)
+                .map(|c| Scalar::F(f64::from_bits(c.load(Ordering::Relaxed)))),
+            DataBuf::I(v) => v.get(flat).map(|c| Scalar::I(c.load(Ordering::Relaxed))),
         }
         .ok_or(NDArrayError::IndexOutOfBounds {
             index: flat,
@@ -235,18 +300,21 @@ impl NDArray {
     /// Returns [`NDArrayError::IndexOutOfBounds`] for an invalid index.
     pub fn set(&self, flat: usize, value: Scalar) -> Result<(), NDArrayError> {
         let len = self.numel();
-        match &mut *self.write_buf() {
+        match &*self.data {
             DataBuf::F(v) => {
-                let slot = v
-                    .get_mut(flat)
+                let cell = v
+                    .get(flat)
                     .ok_or(NDArrayError::IndexOutOfBounds { index: flat, len })?;
-                *slot = round_to_dtype(value.as_f64(), self.dtype);
+                cell.store(
+                    round_to_dtype(value.as_f64(), self.dtype).to_bits(),
+                    Ordering::Relaxed,
+                );
             }
             DataBuf::I(v) => {
-                let slot = v
-                    .get_mut(flat)
+                let cell = v
+                    .get(flat)
                     .ok_or(NDArrayError::IndexOutOfBounds { index: flat, len })?;
-                *slot = value.as_i64();
+                cell.store(value.as_i64(), Ordering::Relaxed);
             }
         }
         Ok(())
@@ -280,14 +348,14 @@ impl NDArray {
 
     /// Fills the array with a constant.
     pub fn fill(&self, value: Scalar) {
-        match &mut *self.write_buf() {
+        match &*self.data {
             DataBuf::F(v) => {
-                let x = round_to_dtype(value.as_f64(), self.dtype);
-                v.iter_mut().for_each(|s| *s = x);
+                let bits = round_to_dtype(value.as_f64(), self.dtype).to_bits();
+                v.iter().for_each(|c| c.store(bits, Ordering::Relaxed));
             }
             DataBuf::I(v) => {
                 let x = value.as_i64();
-                v.iter_mut().for_each(|s| *s = x);
+                v.iter().for_each(|c| c.store(x, Ordering::Relaxed));
             }
         }
     }
@@ -297,7 +365,7 @@ impl NDArray {
         NDArray {
             dtype: self.dtype,
             shape: self.shape.clone(),
-            data: Arc::new(RwLock::new(self.read_buf().clone())),
+            data: Arc::new(self.data.snapshot()),
         }
     }
 
@@ -328,17 +396,23 @@ impl NDArray {
 
     /// Copies the contents to an `f64` vector.
     pub fn to_f64_vec(&self) -> Vec<f64> {
-        match &*self.read_buf() {
-            DataBuf::F(v) => v.clone(),
-            DataBuf::I(v) => v.iter().map(|x| *x as f64).collect(),
+        match &*self.data {
+            DataBuf::F(v) => v
+                .iter()
+                .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+                .collect(),
+            DataBuf::I(v) => v.iter().map(|c| c.load(Ordering::Relaxed) as f64).collect(),
         }
     }
 
     /// Copies the contents to an `i64` vector (floats truncate toward zero).
     pub fn to_i64_vec(&self) -> Vec<i64> {
-        match &*self.read_buf() {
-            DataBuf::F(v) => v.iter().map(|x| *x as i64).collect(),
-            DataBuf::I(v) => v.clone(),
+        match &*self.data {
+            DataBuf::F(v) => v
+                .iter()
+                .map(|c| f64::from_bits(c.load(Ordering::Relaxed)) as i64)
+                .collect(),
+            DataBuf::I(v) => v.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         }
     }
 }
@@ -457,5 +531,19 @@ mod tests {
         assert_eq!(a, a.clone()); // aliasing short-circuit
         let d = NDArray::from_f64(&[1, 2], DataType::F32, vec![1.0, 2.0]).unwrap();
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn writes_through_one_alias_are_seen_by_threads_holding_another() {
+        let a = NDArray::zeros(&[64], DataType::F32);
+        let alias = a.clone();
+        let t = std::thread::spawn(move || {
+            for i in 0..64 {
+                alias.set(i, Scalar::F(i as f64)).unwrap();
+            }
+        });
+        t.join().unwrap();
+        // The join is the happens-before edge; every write is visible.
+        assert_eq!(a.to_f64_vec(), (0..64).map(|i| i as f64).collect::<Vec<_>>());
     }
 }

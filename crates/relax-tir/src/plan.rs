@@ -24,16 +24,22 @@
 //! [`Scalar`] promotion rules) and the fallback covers the rest.
 //!
 //! On top of the flat representation, [`KernelPlan::run`] executes the
-//! outermost parallelizable loop data-parallel with `std::thread::scope`:
-//! compile-time analysis proves that every access to a written buffer stays
-//! inside the slice owned by one outer iteration, so each worker receives a
-//! disjoint `split_at_mut` chunk of the output storage — no `unsafe`, no
-//! locks in the element loop, and bit-identical results because no value
-//! crosses a chunk boundary.
+//! outermost parallelizable loop data-parallel on the persistent worker
+//! pool (`crate::pool`): compile-time analysis proves that every access to
+//! a written buffer stays inside the flat range owned by one outer
+//! iteration, so contiguous ranges of outer iterations handed to different
+//! workers never touch the same element — no `unsafe`, no locks in the
+//! element loop (storage is per-element atomic cells, see [`NDArray`]),
+//! and bit-identical results because no value crosses
+//! a range boundary. A compile-time *work estimate* (total loop iterations
+//! × tape ops) gates the parallel path: plans below
+//! [`PAR_MIN_WORK`] op-units always run serial, so small kernels never pay
+//! pool hand-off overhead.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::RwLockReadGuard;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use relax_arith::{DataType, EvalError, PrimExpr, Var};
 
@@ -41,7 +47,15 @@ use crate::expr::{Scalar, TirExpr};
 use crate::func::PrimFunc;
 use crate::interp::{self, InterpError};
 use crate::ndarray::{round_to_dtype, DataBuf, NDArray};
+use crate::pool::{self, Job, Latch, LatchGuard};
 use crate::stmt::Stmt;
+
+/// Minimum compile-time work estimate (loop iterations × tape ops) for a
+/// plan to use the parallel path. Below this, pool hand-off and latch
+/// synchronization cost more than the loop itself: a decode-step kernel is
+/// thousands of op-units, an `8×64×64` matmul ~260k, a `96×64×64` matmul
+/// ~3M — the cutoff keeps the first two serial.
+pub const PAR_MIN_WORK: u64 = 1_000_000;
 
 /// Error raised while compiling a kernel plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -324,28 +338,37 @@ struct BufDecl {
     param: Option<usize>,
 }
 
-/// Chunking metadata for a top-level loop proven data-parallel.
+/// Metadata for a top-level loop proven data-parallel. The disjointness
+/// proof lives in [`Compiler::analyze_parallel`]; only the trip count is
+/// needed at launch time (workers receive contiguous iteration ranges of
+/// the shared storage, not pre-cut chunks).
 #[derive(Debug, Clone)]
 struct ParInfo {
     /// Concrete trip count.
     extent: i64,
-    /// `(buffer slot, flat elements owned per outer iteration)` for every
-    /// buffer written inside the loop.
-    writes: Vec<(usize, usize)>,
 }
 
-/// A compiled, shape-specialized tensor program.
-///
-/// Fully owned (no `Rc`-backed IR nodes inside), hence `Send + Sync`:
-/// worker threads can execute chunks of it directly.
-#[derive(Debug, Clone)]
-pub struct KernelPlan {
+/// The owned body of a compiled plan. Fully owned (no `Rc`-backed IR nodes
+/// inside), hence `Send + Sync`; kept behind an `Arc` in [`KernelPlan`] so
+/// pool workers can hold the plan across a launch without borrowing.
+#[derive(Debug)]
+struct PlanInner {
     body: Vec<(PStmt, Option<ParInfo>)>,
     bufs: Vec<BufDecl>,
     written: Vec<bool>,
     num_params: usize,
     num_iters: usize,
     num_regs: usize,
+    /// Compile-time work estimate in op-units (Σ loop trip counts × tape
+    /// ops), used by the [`PAR_MIN_WORK`] parallelism cutoff.
+    work_estimate: u64,
+}
+
+/// A compiled, shape-specialized tensor program. Cheap to clone (an `Arc`
+/// bump): clones share the immutable compiled body.
+#[derive(Debug, Clone)]
+pub struct KernelPlan {
+    inner: Arc<PlanInner>,
 }
 
 // ---------------------------------------------------------------------------
@@ -393,6 +416,9 @@ pub fn compile(func: &PrimFunc, shapes: &[Vec<usize>]) -> Result<KernelPlan, Pla
     let mut body = Vec::new();
     c.lower_stmt(func.body(), &mut body)?;
 
+    let work_estimate = body
+        .iter()
+        .fold(0u64, |acc, s| acc.saturating_add(c.stmt_work(s)));
     let annotated = body
         .into_iter()
         .map(|s| {
@@ -401,12 +427,15 @@ pub fn compile(func: &PrimFunc, shapes: &[Vec<usize>]) -> Result<KernelPlan, Pla
         })
         .collect();
     Ok(KernelPlan {
-        body: annotated,
-        num_params: func.params().len(),
-        num_iters: c.iter_max.len(),
-        num_regs: c.num_regs,
-        bufs: c.bufs,
-        written: c.written,
+        inner: Arc::new(PlanInner {
+            body: annotated,
+            num_params: func.params().len(),
+            num_iters: c.iter_max.len(),
+            num_regs: c.num_regs,
+            bufs: c.bufs,
+            written: c.written,
+            work_estimate,
+        }),
     })
 }
 
@@ -817,6 +846,32 @@ impl Compiler {
         })
     }
 
+    // -- work estimation ---------------------------------------------------
+
+    /// Conservative op-unit estimate of one statement: loops multiply by
+    /// their max trip count (unknown extents count as 1, biasing small —
+    /// an underestimate only ever keeps a plan serial, never races one),
+    /// stores cost their tape length plus the store itself, and scratch
+    /// zeroing costs one unit per element.
+    fn stmt_work(&self, s: &PStmt) -> u64 {
+        match s {
+            PStmt::Loop { iter, body, .. } => {
+                let trips = self.iter_max[*iter]
+                    .map(|m| m.max(0) as u64)
+                    .unwrap_or(1);
+                trips.saturating_mul(
+                    body.iter()
+                        .fold(0u64, |acc, s| acc.saturating_add(self.stmt_work(s))),
+                )
+            }
+            PStmt::IfEq { then, .. } => then
+                .iter()
+                .fold(0u64, |acc, s| acc.saturating_add(self.stmt_work(s))),
+            PStmt::Store { tape, .. } => 1 + tape.len() as u64,
+            PStmt::ZeroScratch { buf } => self.bufs[*buf].numel as u64,
+        }
+    }
+
     // -- parallel-safety analysis ------------------------------------------
 
     /// Decides whether a top-level loop can be chunked across threads: the
@@ -870,10 +925,7 @@ impl Compiler {
             // A loop that writes nothing has no work worth chunking.
             return None;
         }
-        Some(ParInfo {
-            extent: n,
-            writes: stride.into_iter().map(|(b, c)| (b, c as usize)).collect(),
-        })
+        Some(ParInfo { extent: n })
     }
 }
 
@@ -915,19 +967,21 @@ fn scan_stmts(stmts: &[PStmt], scan: &mut ParScan) {
 // Execution
 // ---------------------------------------------------------------------------
 
-/// A borrowed window into one unique storage: read-only or writable, float
-/// or integer representation. `rebase` is the absolute flat offset of the
-/// window's first element (non-zero only for parallel chunks).
+/// A borrowed view of one unique storage's atomic cells: float or integer
+/// representation. All cell traffic is `Relaxed` — a plain load/store on
+/// x86 — because determinism comes from the compile-time disjointness
+/// proof, not from ordering (see [`crate::ndarray::DataBuf`]).
 enum ViewData<'a> {
-    RF(&'a [f64]),
-    RI(&'a [i64]),
-    WF(&'a mut [f64]),
-    WI(&'a mut [i64]),
+    F(&'a [AtomicU64]),
+    I(&'a [AtomicI64]),
 }
 
 struct StorageView<'a> {
     data: ViewData<'a>,
-    rebase: usize,
+    /// Whether the plan is allowed to store through this view (derived
+    /// from the compiler's `written` table; a store through a read-only
+    /// view is rejected exactly like an out-of-bounds access).
+    writable: bool,
     /// The *actual* dtype of the bound array (store rounding), which can
     /// differ from the declared buffer dtype.
     dtype: DataType,
@@ -935,42 +989,74 @@ struct StorageView<'a> {
 
 impl StorageView<'_> {
     fn read(&self, flat: usize) -> Option<Scalar> {
-        let i = flat.checked_sub(self.rebase)?;
         match &self.data {
-            ViewData::RF(s) => s.get(i).map(|v| Scalar::F(*v)),
-            ViewData::RI(s) => s.get(i).map(|v| Scalar::I(*v)),
-            ViewData::WF(s) => s.get(i).map(|v| Scalar::F(*v)),
-            ViewData::WI(s) => s.get(i).map(|v| Scalar::I(*v)),
+            ViewData::F(s) => s
+                .get(flat)
+                .map(|c| Scalar::F(f64::from_bits(c.load(Ordering::Relaxed)))),
+            ViewData::I(s) => s.get(flat).map(|c| Scalar::I(c.load(Ordering::Relaxed))),
         }
     }
 
-    fn write(&mut self, flat: usize, v: Scalar) -> Option<()> {
-        let i = flat.checked_sub(self.rebase)?;
-        match &mut self.data {
-            ViewData::WF(s) => {
-                *s.get_mut(i)? = round_to_dtype(v.as_f64(), self.dtype);
+    fn write(&self, flat: usize, v: Scalar) -> Option<()> {
+        if !self.writable {
+            return None;
+        }
+        match &self.data {
+            ViewData::F(s) => {
+                s.get(flat)?.store(
+                    round_to_dtype(v.as_f64(), self.dtype).to_bits(),
+                    Ordering::Relaxed,
+                );
                 Some(())
             }
-            ViewData::WI(s) => {
-                *s.get_mut(i)? = v.as_i64();
+            ViewData::I(s) => {
+                s.get(flat)?.store(v.as_i64(), Ordering::Relaxed);
                 Some(())
             }
-            _ => None,
         }
     }
 
-    fn zero(&mut self) {
-        match &mut self.data {
-            ViewData::WF(s) => s.iter_mut().for_each(|v| *v = 0.0),
-            ViewData::WI(s) => s.iter_mut().for_each(|v| *v = 0),
-            _ => {}
+    fn zero(&self) {
+        match &self.data {
+            ViewData::F(s) => s.iter().for_each(|c| c.store(0, Ordering::Relaxed)),
+            ViewData::I(s) => s.iter().for_each(|c| c.store(0, Ordering::Relaxed)),
         }
+    }
+}
+
+/// Everything a launch binds at run time: the unique storages (parameter
+/// storages are `Arc`-shared with the caller's arrays, scratch is fresh),
+/// their actual dtypes and writability, and the buffer-slot → storage map.
+/// Lives in an `Arc` so pool jobs can own it without borrowing the
+/// arguments.
+struct Launch {
+    storages: Vec<Arc<DataBuf>>,
+    dtypes: Vec<DataType>,
+    writable: Vec<bool>,
+    /// Buffer slot → unique storage index (launch-dependent: clones alias).
+    storage_of: Vec<usize>,
+}
+
+impl Launch {
+    fn views(&self) -> Vec<StorageView<'_>> {
+        self.storages
+            .iter()
+            .enumerate()
+            .map(|(s, db)| StorageView {
+                data: match &**db {
+                    DataBuf::F(v) => ViewData::F(v),
+                    DataBuf::I(v) => ViewData::I(v),
+                },
+                writable: self.writable[s],
+                dtype: self.dtypes[s],
+            })
+            .collect()
     }
 }
 
 /// Launch-time context shared by the serial machine and the workers.
 struct RunCtx<'p> {
-    plan: &'p KernelPlan,
+    plan: &'p PlanInner,
     /// Buffer slot → unique storage index (launch-dependent: clones alias).
     storage_of: &'p [usize],
 }
@@ -1214,12 +1300,28 @@ impl KernelPlan {
     /// `true` if at least one top-level loop was proven safe to chunk
     /// across worker threads.
     pub fn parallelizable(&self) -> bool {
-        self.body.iter().any(|(_, p)| p.is_some())
+        self.inner.body.iter().any(|(_, p)| p.is_some())
+    }
+
+    /// The compile-time work estimate in op-units (Σ loop trip counts ×
+    /// tape ops) that feeds the [`PAR_MIN_WORK`] parallelism cutoff.
+    pub fn work_estimate(&self) -> u64 {
+        self.inner.work_estimate
+    }
+
+    /// `true` if a multi-threaded [`KernelPlan::run`] would actually take
+    /// the parallel path: some top-level loop is provably chunkable *and*
+    /// the plan clears the [`PAR_MIN_WORK`] cutoff. Small plans report
+    /// `parallel() == false` and run serial at any thread count.
+    pub fn parallel(&self) -> bool {
+        self.parallelizable() && self.inner.work_estimate >= PAR_MIN_WORK
     }
 
     /// Executes the plan on `args` (inputs then outputs, the calling
-    /// convention of [`interp::run`]), chunking parallelizable loops over
-    /// at most `threads` workers (`<= 1` runs serial). If launch-time
+    /// convention of [`interp::run`]), handing parallelizable loops to the
+    /// persistent worker pool as contiguous iteration ranges over at most
+    /// `threads` workers (`<= 1` runs serial). Plans whose work estimate
+    /// is below [`PAR_MIN_WORK`] always run serial. If launch-time
     /// argument aliasing invalidates the compile-time disjointness proof,
     /// the whole launch silently degrades to serial.
     ///
@@ -1228,13 +1330,30 @@ impl KernelPlan {
     /// The same errors, with the same payloads, as the reference
     /// interpreter on the same arguments.
     pub fn run(&self, args: &[NDArray], threads: usize) -> Result<(), InterpError> {
-        if args.len() != self.num_params {
+        self.run_with_cutoff(args, threads, PAR_MIN_WORK)
+    }
+
+    /// [`KernelPlan::run`] with an explicit minimum-work cutoff (`0`
+    /// forces the parallel path for any parallelizable plan; tests and
+    /// calibration use this to exercise the pool on small kernels).
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelPlan::run`].
+    pub fn run_with_cutoff(
+        &self,
+        args: &[NDArray],
+        threads: usize,
+        min_work: u64,
+    ) -> Result<(), InterpError> {
+        let inner = &self.inner;
+        if args.len() != inner.num_params {
             return Err(InterpError::ArgCountMismatch {
-                expected: self.num_params,
+                expected: inner.num_params,
                 actual: args.len(),
             });
         }
-        for decl in &self.bufs {
+        for decl in &inner.bufs {
             if let Some(p) = decl.param {
                 if args[p].shape() != decl.dims.as_slice() {
                     return Err(InterpError::ShapeMismatch {
@@ -1251,116 +1370,62 @@ impl KernelPlan {
 
         // Bind buffer slots to unique storages. Cloned arguments alias one
         // storage; aliasing voids the per-slot disjointness analysis, so it
-        // forces serial execution below.
-        let mut storage_of = vec![usize::MAX; self.bufs.len()];
-        let mut param_storages: Vec<&NDArray> = Vec::new();
+        // forces serial execution below. No lock is taken anywhere: the
+        // storages are atomic-cell buffers shared by `Arc` clone.
+        let mut storage_of = vec![usize::MAX; inner.bufs.len()];
+        let mut storages: Vec<Arc<DataBuf>> = Vec::new();
+        let mut dtypes: Vec<DataType> = Vec::new();
         let mut by_id: HashMap<usize, usize> = HashMap::new();
         let mut aliased = false;
-        for (slot, decl) in self.bufs.iter().enumerate() {
+        for (slot, decl) in inner.bufs.iter().enumerate() {
             if let Some(p) = decl.param {
                 let arr = &args[p];
                 if let Some(&s) = by_id.get(&arr.storage_id()) {
                     aliased = true;
                     storage_of[slot] = s;
                 } else {
-                    let s = param_storages.len();
-                    param_storages.push(arr);
+                    let s = storages.len();
+                    storages.push(Arc::clone(arr.storage()));
+                    dtypes.push(arr.dtype());
                     by_id.insert(arr.storage_id(), s);
                     storage_of[slot] = s;
                 }
             }
         }
-        let num_param_storages = param_storages.len();
-        let mut scratch: Vec<DataBuf> = Vec::new();
-        let mut scratch_dtypes: Vec<DataType> = Vec::new();
-        for (slot, decl) in self.bufs.iter().enumerate() {
+        for (slot, decl) in inner.bufs.iter().enumerate() {
             if decl.param.is_none() {
-                storage_of[slot] = num_param_storages + scratch.len();
-                scratch.push(if decl.dtype.is_float() {
-                    DataBuf::F(vec![0.0; decl.numel])
-                } else {
-                    DataBuf::I(vec![0; decl.numel])
-                });
-                scratch_dtypes.push(decl.dtype);
+                storage_of[slot] = storages.len();
+                storages.push(Arc::new(DataBuf::zeros(decl.dtype, decl.numel)));
+                dtypes.push(decl.dtype);
             }
         }
-        let num_storages = num_param_storages + scratch.len();
-        let mut storage_written = vec![false; num_storages];
-        for (slot, &w) in self.written.iter().enumerate() {
+        let mut writable = vec![false; storages.len()];
+        for (slot, &w) in inner.written.iter().enumerate() {
             if w {
-                storage_written[storage_of[slot]] = true;
+                writable[storage_of[slot]] = true;
             }
         }
+        let launch = Arc::new(Launch {
+            storages,
+            dtypes,
+            writable,
+            storage_of,
+        });
 
-        // One lock per unique storage — write lock iff the plan stores to
-        // it. Each distinct `RwLock` is taken exactly once, so acquisition
-        // order cannot deadlock.
-        let mut wguards = Vec::new();
-        let mut wstor = Vec::new();
-        let mut rguards: Vec<RwLockReadGuard<'_, DataBuf>> = Vec::new();
-        let mut rstor = Vec::new();
-        for (s, arr) in param_storages.iter().enumerate() {
-            if storage_written[s] {
-                wguards.push(arr.write_buf());
-                wstor.push(s);
-            } else {
-                rguards.push(arr.read_buf());
-                rstor.push(s);
-            }
-        }
-
-        let mut slots: Vec<Option<StorageView<'_>>> = (0..num_storages).map(|_| None).collect();
-        for (g, s) in wguards.iter_mut().zip(&wstor) {
-            let data = match &mut **g {
-                DataBuf::F(v) => ViewData::WF(v.as_mut_slice()),
-                DataBuf::I(v) => ViewData::WI(v.as_mut_slice()),
-            };
-            slots[*s] = Some(StorageView {
-                data,
-                rebase: 0,
-                dtype: param_storages[*s].dtype(),
-            });
-        }
-        for (g, s) in rguards.iter().zip(&rstor) {
-            let data = match &**g {
-                DataBuf::F(v) => ViewData::RF(v.as_slice()),
-                DataBuf::I(v) => ViewData::RI(v.as_slice()),
-            };
-            slots[*s] = Some(StorageView {
-                data,
-                rebase: 0,
-                dtype: param_storages[*s].dtype(),
-            });
-        }
-        for (k, db) in scratch.iter_mut().enumerate() {
-            let data = match db {
-                DataBuf::F(v) => ViewData::WF(v.as_mut_slice()),
-                DataBuf::I(v) => ViewData::WI(v.as_mut_slice()),
-            };
-            slots[num_param_storages + k] = Some(StorageView {
-                data,
-                rebase: 0,
-                dtype: scratch_dtypes[k],
-            });
-        }
-        let views: Vec<StorageView<'_>> = slots
-            .into_iter()
-            .map(|v| v.expect("every storage bound"))
-            .collect();
-
+        let par_launch = threads > 1 && !aliased && inner.work_estimate >= min_work;
         let ctx = RunCtx {
-            plan: self,
-            storage_of: &storage_of,
+            plan: inner.as_ref(),
+            storage_of: &launch.storage_of,
         };
         let mut m = Machine {
-            views,
-            iters: vec![0; self.num_iters],
-            regs: vec![Scalar::I(0); self.num_regs],
+            views: launch.views(),
+            iters: vec![0; inner.num_iters],
+            regs: vec![Scalar::I(0); inner.num_regs],
         };
-        for (stmt, par) in &self.body {
+        for (idx, (stmt, par)) in inner.body.iter().enumerate() {
             match (stmt, par) {
-                (PStmt::Loop { iter, body, .. }, Some(p)) if threads > 1 && !aliased => {
-                    run_parallel(&ctx, &mut m, *iter, body, p, threads)?;
+                (PStmt::Loop { iter, .. }, Some(p)) if par_launch => {
+                    run_parallel(inner, &launch, idx, *iter, p.extent as usize, threads)?;
                 }
                 _ => m.exec(&ctx, stmt)?,
             }
@@ -1369,155 +1434,89 @@ impl KernelPlan {
     }
 }
 
-/// Splits `sl` at absolute offsets `bounds[t]·c` (clamped to the slice) —
-/// one disjoint chunk per worker, tagged with its rebase offset. The last
-/// chunk absorbs any tail the loop never touches.
-fn chunk_mut<'b, T>(sl: &'b mut [T], bounds: &[usize], c: usize) -> Vec<(usize, &'b mut [T])> {
-    let len = sl.len();
-    let mut cuts: Vec<usize> = bounds
-        .iter()
-        .map(|b| b.saturating_mul(c).min(len))
-        .collect();
-    if let Some(last) = cuts.last_mut() {
-        *last = len;
+/// Executes outer iterations `lo..hi` of the parallel loop at
+/// `plan.body[stmt_idx]` with a fresh machine over the launch's shared
+/// storages. Safety and bit-equality rest entirely on the compile-time
+/// proof in [`Compiler::analyze_parallel`] — workers running disjoint
+/// ranges never write the same element, and never read an element another
+/// range writes.
+fn exec_range(
+    plan: &PlanInner,
+    launch: &Launch,
+    stmt_idx: usize,
+    iter: usize,
+    lo: i64,
+    hi: i64,
+) -> Result<(), InterpError> {
+    let ctx = RunCtx {
+        plan,
+        storage_of: &launch.storage_of,
+    };
+    let PStmt::Loop { body, .. } = &plan.body[stmt_idx].0 else {
+        return Ok(());
+    };
+    let mut m = Machine {
+        views: launch.views(),
+        iters: vec![0; plan.num_iters],
+        regs: vec![Scalar::I(0); plan.num_regs],
+    };
+    for i in lo..hi {
+        m.iters[iter] = i;
+        for st in body {
+            m.exec(&ctx, st)?;
+        }
     }
-    let mut out = Vec::with_capacity(cuts.len().saturating_sub(1));
-    let mut rest = sl;
-    let mut pos = 0usize;
-    for t in 0..cuts.len().saturating_sub(1) {
-        let end = cuts[t + 1];
-        let (head, tail) = rest.split_at_mut(end - pos);
-        out.push((cuts[t], head));
-        rest = tail;
-        pos = end;
-    }
-    out
+    Ok(())
 }
 
-/// Re-views the master machine's storages for a chunked loop: written
-/// storages are split into disjoint per-worker windows, everything else is
-/// reborrowed shared; then `std::thread::scope` runs one contiguous range
-/// of outer iterations per worker. Safety and bit-equality rest entirely on
-/// the compile-time proof in [`Compiler::analyze_parallel`] — no `unsafe`,
-/// and no worker ever reads another worker's window.
-fn run_parallel<'p>(
-    ctx: &RunCtx<'p>,
-    m: &mut Machine<'_>,
+/// Splits the outer loop into `t_count` contiguous iteration ranges, hands
+/// all but the first to the persistent worker pool as owned (`Arc`-backed)
+/// jobs, runs the first range on the calling thread, then waits on a
+/// completion latch. The latch's mutex hand-off publishes every worker's
+/// relaxed cell stores to the caller.
+fn run_parallel(
+    plan: &Arc<PlanInner>,
+    launch: &Arc<Launch>,
+    stmt_idx: usize,
     iter: usize,
-    body: &[PStmt],
-    par: &ParInfo,
+    n: usize,
     threads: usize,
 ) -> Result<(), InterpError> {
-    let n = par.extent as usize;
     let t_count = threads.min(n).max(1);
     let bounds: Vec<usize> = (0..=t_count).map(|t| n * t / t_count).collect();
-    let mut stride: HashMap<usize, usize> = HashMap::new();
-    for &(buf, c) in &par.writes {
-        stride.insert(ctx.storage_of[buf], c);
+    if t_count <= 1 {
+        return exec_range(plan, launch, stmt_idx, iter, 0, n as i64);
     }
 
-    enum ParView<'b> {
-        SharedF(&'b [f64]),
-        SharedI(&'b [i64]),
-        ChunksF(Vec<(usize, &'b mut [f64])>),
-        ChunksI(Vec<(usize, &'b mut [i64])>),
-    }
-
-    let dtypes: Vec<DataType> = m.views.iter().map(|v| v.dtype).collect();
-    let mut pviews: Vec<ParView<'_>> = Vec::with_capacity(m.views.len());
-    for (s, view) in m.views.iter_mut().enumerate() {
-        match stride.get(&s) {
-            Some(&c) => match &mut view.data {
-                ViewData::WF(sl) => pviews.push(ParView::ChunksF(chunk_mut(sl, &bounds, c))),
-                ViewData::WI(sl) => pviews.push(ParView::ChunksI(chunk_mut(sl, &bounds, c))),
-                // A written storage always holds a write view (locks were
-                // acquired from the same `written` table the analysis used).
-                ViewData::RF(sl) => pviews.push(ParView::SharedF(sl)),
-                ViewData::RI(sl) => pviews.push(ParView::SharedI(sl)),
-            },
-            None => pviews.push(match &view.data {
-                ViewData::RF(sl) => ParView::SharedF(sl),
-                ViewData::RI(sl) => ParView::SharedI(sl),
-                ViewData::WF(sl) => ParView::SharedF(&sl[..]),
-                ViewData::WI(sl) => ParView::SharedI(&sl[..]),
-            }),
-        }
-    }
-
-    let mut thread_views: Vec<Vec<StorageView<'_>>> = (0..t_count)
-        .map(|_| Vec::with_capacity(pviews.len()))
+    let latch = Arc::new(Latch::new(t_count - 1));
+    let slots: Vec<Arc<std::sync::OnceLock<Result<(), InterpError>>>> = (1..t_count)
+        .map(|_| Arc::new(std::sync::OnceLock::new()))
         .collect();
-    for (s, pv) in pviews.into_iter().enumerate() {
-        let dtype = dtypes[s];
-        match pv {
-            ParView::SharedF(sl) => {
-                for tv in &mut thread_views {
-                    tv.push(StorageView {
-                        data: ViewData::RF(sl),
-                        rebase: 0,
-                        dtype,
-                    });
-                }
-            }
-            ParView::SharedI(sl) => {
-                for tv in &mut thread_views {
-                    tv.push(StorageView {
-                        data: ViewData::RI(sl),
-                        rebase: 0,
-                        dtype,
-                    });
-                }
-            }
-            ParView::ChunksF(cs) => {
-                for (t, (rebase, chunk)) in cs.into_iter().enumerate() {
-                    thread_views[t].push(StorageView {
-                        data: ViewData::WF(chunk),
-                        rebase,
-                        dtype,
-                    });
-                }
-            }
-            ParView::ChunksI(cs) => {
-                for (t, (rebase, chunk)) in cs.into_iter().enumerate() {
-                    thread_views[t].push(StorageView {
-                        data: ViewData::WI(chunk),
-                        rebase,
-                        dtype,
-                    });
-                }
-            }
+    let jobs: Vec<Job> = (1..t_count)
+        .map(|t| {
+            let plan = Arc::clone(plan);
+            let launch = Arc::clone(launch);
+            let latch = Arc::clone(&latch);
+            let slot = Arc::clone(&slots[t - 1]);
+            let (lo, hi) = (bounds[t] as i64, bounds[t + 1] as i64);
+            Box::new(move || {
+                let _g = LatchGuard(&latch);
+                let r = exec_range(&plan, &launch, stmt_idx, iter, lo, hi);
+                let _ = slot.set(r);
+            }) as Job
+        })
+        .collect();
+    pool::global().submit(jobs);
+    let first = exec_range(plan, launch, stmt_idx, iter, bounds[0] as i64, bounds[1] as i64);
+    latch.wait();
+    first?;
+    for slot in &slots {
+        match slot.get() {
+            Some(r) => r.clone()?,
+            // The job died before storing a result: surface it like the
+            // old scoped-join behavior did.
+            None => panic!("worker thread panicked"),
         }
-    }
-
-    let results: Vec<Result<(), InterpError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = thread_views
-            .into_iter()
-            .enumerate()
-            .map(|(t, views)| {
-                let (lo, hi) = (bounds[t] as i64, bounds[t + 1] as i64);
-                scope.spawn(move || -> Result<(), InterpError> {
-                    let mut worker = Machine {
-                        views,
-                        iters: vec![0; ctx.plan.num_iters],
-                        regs: vec![Scalar::I(0); ctx.plan.num_regs],
-                    };
-                    for i in lo..hi {
-                        worker.iters[iter] = i;
-                        for st in body {
-                            worker.exec(ctx, st)?;
-                        }
-                    }
-                    Ok(())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
-    for r in results {
-        r?;
     }
     Ok(())
 }
@@ -1585,9 +1584,27 @@ mod tests {
         plan.run(&args, 1).unwrap();
         assert_eq!(args[2].to_f64_vec(), reference[2].to_f64_vec());
 
+        // Force the pool path (the plan is far below the real cutoff).
         let par_args = mm_args(4, 5, 6);
-        plan.run(&par_args, 3).unwrap();
+        plan.run_with_cutoff(&par_args, 3, 0).unwrap();
         assert_eq!(par_args[2].to_f64_vec(), reference[2].to_f64_vec());
+    }
+
+    #[test]
+    fn small_plans_report_parallel_false() {
+        // The benchmark's 8×64×64 matmul: parallelizable in principle but
+        // below the work cutoff, so it must never pay pool overhead.
+        let f = matmul_func(64, 64);
+        let small = compile(&f, &[vec![8, 64], vec![64, 64], vec![8, 64]]).unwrap();
+        assert!(small.parallelizable());
+        assert!(small.work_estimate() < PAR_MIN_WORK);
+        assert!(!small.parallel());
+
+        // The 96×64×64 variant clears the cutoff and stays parallel.
+        let large = compile(&f, &[vec![96, 64], vec![64, 64], vec![96, 64]]).unwrap();
+        assert!(large.parallelizable());
+        assert!(large.work_estimate() >= PAR_MIN_WORK);
+        assert!(large.parallel());
     }
 
     #[test]
@@ -1715,7 +1732,7 @@ mod tests {
             )
         };
         let (t1, i1, o1) = mk();
-        plan.run(&[t1, i1, o1.clone()], 3).unwrap();
+        plan.run_with_cutoff(&[t1, i1, o1.clone()], 3, 0).unwrap();
         let (t2, i2, o2) = mk();
         interp::run(&f, &[t2, i2, o2.clone()]).unwrap();
         assert_eq!(o1.to_f64_vec(), o2.to_f64_vec());
@@ -1799,7 +1816,7 @@ mod tests {
         assert!(plan.parallelizable());
 
         let o1 = NDArray::zeros(&[6, 6], DataType::F32);
-        plan.run(std::slice::from_ref(&o1), 4).unwrap();
+        plan.run_with_cutoff(std::slice::from_ref(&o1), 4, 0).unwrap();
         let o2 = NDArray::zeros(&[6, 6], DataType::F32);
         interp::run(&f, std::slice::from_ref(&o2)).unwrap();
         assert_eq!(o1.to_f64_vec(), o2.to_f64_vec());

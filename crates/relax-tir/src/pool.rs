@@ -1,0 +1,192 @@
+//! A process-wide persistent worker pool for data-parallel kernel
+//! execution.
+//!
+//! [`crate::plan::KernelPlan::run`] used to spawn fresh
+//! `std::thread::scope` threads on every parallel launch; at decode-step
+//! kernel sizes the spawn/join cost dwarfed the loop work. The pool
+//! amortizes that: threads are spawned lazily the first time a launch
+//! asks for them, then parked on a condvar between launches, so handing
+//! out a batch of loop ranges costs one mutex acquisition and a wakeup.
+//!
+//! Lifecycle: the pool is a `OnceLock` global. It never shuts down —
+//! idle workers block on the condvar and exert zero CPU pressure, and
+//! background threads do not keep the process alive. The pool grows to
+//! the largest worker count any launch has requested and never shrinks.
+//!
+//! Panic containment: a panicking job is caught in the worker loop so
+//! the pool thread survives; the *launch* that submitted the job
+//! observes the missing result and re-raises (mirroring the old scoped
+//! `join().expect(..)` behavior). Launch-side completion is signalled
+//! through a latch the job decrements in a drop guard, so even a
+//! panicking job can never strand the submitting thread.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use relax_trace::LockSite;
+
+/// A unit of pool work: owns everything it touches (`'static`), so the
+/// submitting launch shares state with it via `Arc`s.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+static POOL_QUEUE_SITE: LockSite = LockSite::new("tir.pool.queue");
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    /// Worker threads spawned so far.
+    workers: usize,
+}
+
+pub(crate) struct WorkerPool {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// The process-wide pool.
+pub(crate) fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool {
+        state: Mutex::new(PoolState {
+            jobs: VecDeque::new(),
+            workers: 0,
+        }),
+        work_ready: Condvar::new(),
+    })
+}
+
+impl WorkerPool {
+    /// Enqueues `jobs`, growing the pool so at least `jobs.len()`
+    /// workers exist. One targeted wakeup is issued per job.
+    pub(crate) fn submit(&'static self, jobs: Vec<Job>) {
+        let n = jobs.len();
+        if n == 0 {
+            return;
+        }
+        let mut state = POOL_QUEUE_SITE.lock(&self.state);
+        while state.workers < n {
+            let idx = state.workers;
+            state.workers += 1;
+            std::thread::Builder::new()
+                .name(format!("relax-tir-pool-{idx}"))
+                .spawn(move || global().worker_loop())
+                .expect("spawn kernel pool worker");
+        }
+        state.jobs.extend(jobs);
+        drop(state);
+        for _ in 0..n {
+            self.work_ready.notify_one();
+        }
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(job) = state.jobs.pop_front() {
+                        break job;
+                    }
+                    state = self
+                        .work_ready
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            // Contain panics so one bad kernel cannot kill the pool; the
+            // submitting launch detects the missing result.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        }
+    }
+}
+
+/// A countdown latch: the submitting thread waits until every job has
+/// signalled completion (or died trying — jobs arm a [`LatchGuard`]).
+pub(crate) struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *left = left.saturating_sub(1);
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every counted job has finished. The mutex hand-off
+    /// is the happens-before edge that publishes the workers' relaxed
+    /// cell stores to the submitting thread.
+    pub(crate) fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *left > 0 {
+            left = self.done.wait(left).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Counts its latch down on drop, so a panicking job still releases the
+/// submitting thread.
+pub(crate) struct LatchGuard<'a>(pub(crate) &'a Latch);
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_and_latch_releases() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(8));
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                let latch = Arc::clone(&latch);
+                Box::new(move || {
+                    let _g = LatchGuard(&latch);
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Job
+            })
+            .collect();
+        global().submit(jobs);
+        latch.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panicking_job_still_counts_down_and_pool_survives() {
+        let latch = Arc::new(Latch::new(1));
+        let l2 = Arc::clone(&latch);
+        global().submit(vec![Box::new(move || {
+            let _g = LatchGuard(&l2);
+            panic!("job panic");
+        }) as Job]);
+        latch.wait();
+
+        // The pool still executes subsequent work.
+        let ok = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(1));
+        let (ok2, l2) = (Arc::clone(&ok), Arc::clone(&latch));
+        global().submit(vec![Box::new(move || {
+            let _g = LatchGuard(&l2);
+            ok2.store(7, Ordering::Relaxed);
+        }) as Job]);
+        latch.wait();
+        assert_eq!(ok.load(Ordering::Relaxed), 7);
+    }
+}

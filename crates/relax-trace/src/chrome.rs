@@ -58,6 +58,9 @@ fn payload_args(p: &Payload) -> String {
         Payload::Worker { worker, event } => {
             format!("\"worker\":{worker},\"event\":\"{}\"", event.label())
         }
+        Payload::Lock { site, wait_ns } => {
+            format!("\"site\":\"{}\",\"wait_ns\":{wait_ns}", esc(site))
+        }
     }
 }
 

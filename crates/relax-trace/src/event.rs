@@ -126,6 +126,10 @@ pub enum Payload {
     /// A worker-lifecycle event: which worker slot, and what the
     /// supervisor observed or did.
     Worker { worker: u64, event: WorkerEvent },
+    /// A contended lock acquisition: which instrumented site blocked,
+    /// and how long the acquiring thread waited. Uncontended
+    /// acquisitions never emit this (the fast path is a `try_lock`).
+    Lock { site: &'static str, wait_ns: u64 },
 }
 
 /// One record in the trace buffer.

@@ -59,6 +59,7 @@ mod buffer;
 mod chrome;
 mod event;
 mod flame;
+mod lock;
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -69,6 +70,7 @@ pub use buffer::{clear, dropped, set_capacity, take, Trace, DEFAULT_CAPACITY};
 pub use chrome::{chrome_json, parse_json, validate_chrome_trace, ChromeStats, Json};
 pub use event::{CacheOutcome, EventKind, Payload, RequestPhase, SpanId, TraceEvent, WorkerEvent};
 pub use flame::flame_summary;
+pub use lock::{lock_wait_stats, reset_lock_wait_stats, LockSite, LockWaitStat};
 
 // ---------------------------------------------------------------------
 // The enable switch.

@@ -9,11 +9,25 @@
 //! a monotonic touch tick.
 //!
 //! The cache is a [`SharedPlanCache`]: a cheap `Clone` handle over sharded
-//! `RwLock` state, so a pool of serving workers can share one cache — one
-//! worker's compile warms every other worker. The hot path (a hit) takes a
-//! single shard read lock and allocates nothing: keys are probed through a
-//! borrowed [`KeyView`] instead of materializing an owned key per launch,
-//! and recency is an atomic store inside the entry.
+//! copy-on-write state, so a pool of serving workers can share one cache —
+//! one worker's compile warms every other worker. Each shard publishes an
+//! immutable `Arc<HashMap>` snapshot plus a version counter; mutation
+//! replaces the snapshot and bumps the version. A VM probes through a
+//! [`PlanCacheSession`]: while the shard version is unchanged the probe
+//! reads the session's cached snapshot with **zero locks and zero shared
+//! atomics written** — recency is an atomic store inside the (shared)
+//! entry, the LRU tick is drawn from a session-local batch, and hit/miss
+//! counters accumulate locally and publish in batches. The direct
+//! [`SharedPlanCache::lookup`] keeps the old one-read-lock-per-probe
+//! behavior for callers without a session.
+//!
+//! Batched-tick LRU semantics: a session reserves [`TICK_BATCH`] ticks
+//! from the global counter at once, so "least recently used" is exact
+//! within a session and approximate (within one batch window) across
+//! sessions — an entry last touched by a long-idle worker can look up to
+//! `TICK_BATCH` probes more recent than global order. Stats follow the
+//! same batching, flushed on session flush (the VM flushes after every
+//! program run), so `hits + misses == probes` holds at every flush point.
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
@@ -22,14 +36,22 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use relax_tir::KernelPlan;
+use relax_trace::LockSite;
 
 /// Default number of `(function, shapes)` specializations kept.
 pub(crate) const DEFAULT_CAPACITY: usize = 64;
 
-/// Number of independently locked shards. Shard routing hashes the key
+/// Number of independently versioned shards. Shard routing hashes the key
 /// with a deterministic hasher, so the same key always lands on the same
 /// shard in every VM sharing the cache.
 const SHARD_COUNT: usize = 8;
+
+/// Ticks a session reserves from the global LRU counter per refill, and
+/// the stat-publication batch size.
+const TICK_BATCH: u64 = 64;
+
+static SHARD_READ_SITE: LockSite = LockSite::new("vm.plan_cache.shard_read");
+static SHARD_WRITE_SITE: LockSite = LockSite::new("vm.plan_cache.shard_write");
 
 /// A cache entry: a compiled plan, or a negative result.
 #[derive(Debug, Clone)]
@@ -111,23 +133,39 @@ impl<'a> Borrow<dyn KeyView + 'a> for PlanKey {
     }
 }
 
-/// An entry plus its last-touched tick. The tick is atomic so a cache hit
-/// can refresh recency under a shard *read* lock.
+/// An entry plus its last-touched tick. Entries are `Arc`-shared between
+/// snapshots, so a recency touch through any (possibly stale) snapshot is
+/// seen by the evictor.
 #[derive(Debug)]
 struct Entry {
     touched: AtomicU64,
     plan: CachedPlan,
 }
 
+type ShardMap = Arc<HashMap<PlanKey, Arc<Entry>>>;
+
+/// One shard: an immutable published snapshot plus a version counter.
+/// Mutators build a new map, publish it under the write lock, and bump
+/// `version` (Release) so sessions detect staleness with one Acquire load.
+#[derive(Debug)]
+struct Shard {
+    version: AtomicU64,
+    map: RwLock<ShardMap>,
+}
+
 /// Point-in-time counters of a [`SharedPlanCache`]. When the cache is
 /// shared, these aggregate over every VM using it (per-VM counts live in
-/// [`crate::Telemetry`]).
+/// [`crate::Telemetry`]). Session-batched counts appear here at flush
+/// points (the VM flushes after every program run), where
+/// `hits + misses == probes` always holds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
     /// Lookups that found a cached plan.
     pub hits: u64,
     /// Lookups that found nothing (each triggers one compilation).
     pub misses: u64,
+    /// Total counted lookups (`hits + misses` at every flush point).
+    pub probes: u64,
     /// Entries evicted, least recently used first.
     pub evictions: u64,
     /// Entries currently cached (including negative entries).
@@ -150,12 +188,13 @@ impl PlanCacheStats {
 
 #[derive(Debug)]
 struct CacheInner {
-    shards: Vec<RwLock<HashMap<PlanKey, Entry>>>,
+    shards: Vec<Shard>,
     tick: AtomicU64,
     len: AtomicUsize,
     capacity: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    probes: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -170,18 +209,38 @@ pub struct SharedPlanCache {
     inner: Arc<CacheInner>,
 }
 
+/// Per-VM probe state: cached shard snapshots, a local LRU-tick batch and
+/// batched hit/miss counters. Owned by one thread (the VM), never shared.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCacheSession {
+    /// Per shard: the snapshot and the version it was taken at.
+    snapshots: Vec<Option<(u64, ShardMap)>>,
+    /// Next tick to hand out, and how many remain before re-reserving.
+    tick_next: u64,
+    ticks_left: u64,
+    /// Counts not yet published to the shared cache.
+    pending_hits: u64,
+    pending_misses: u64,
+}
+
 impl SharedPlanCache {
     /// Creates a cache holding at most `capacity` specializations
     /// (`0` disables caching entirely).
     pub fn new(capacity: usize) -> Self {
         SharedPlanCache {
             inner: Arc::new(CacheInner {
-                shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+                shards: (0..SHARD_COUNT)
+                    .map(|_| Shard {
+                        version: AtomicU64::new(0),
+                        map: RwLock::new(Arc::new(HashMap::new())),
+                    })
+                    .collect(),
                 tick: AtomicU64::new(0),
                 len: AtomicUsize::new(0),
                 capacity: AtomicUsize::new(capacity),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                probes: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
             }),
         }
@@ -212,11 +271,14 @@ impl SharedPlanCache {
         self.len() == 0
     }
 
-    /// Aggregate counters (across every VM sharing the cache).
+    /// Aggregate counters (across every VM sharing the cache). Counts a
+    /// session has not yet flushed are not included; the VM flushes after
+    /// every program run.
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
+            probes: self.inner.probes.load(Ordering::Relaxed),
             evictions: self.inner.evictions.load(Ordering::Relaxed),
             len: self.len(),
             capacity: self.capacity(),
@@ -234,6 +296,29 @@ impl SharedPlanCache {
         evicted
     }
 
+    /// A fresh probe session for one VM.
+    pub(crate) fn session(&self) -> PlanCacheSession {
+        PlanCacheSession {
+            snapshots: (0..SHARD_COUNT).map(|_| None).collect(),
+            ..PlanCacheSession::default()
+        }
+    }
+
+    /// Publishes a session's batched hit/miss counts to the shared
+    /// counters. After this, `stats()` satisfies `hits + misses == probes`
+    /// with respect to everything this session counted.
+    pub(crate) fn flush_session(&self, sess: &mut PlanCacheSession) {
+        let (h, m) = (sess.pending_hits, sess.pending_misses);
+        if h + m == 0 {
+            return;
+        }
+        sess.pending_hits = 0;
+        sess.pending_misses = 0;
+        self.inner.hits.fetch_add(h, Ordering::Relaxed);
+        self.inner.misses.fetch_add(m, Ordering::Relaxed);
+        self.inner.probes.fetch_add(h + m, Ordering::Relaxed);
+    }
+
     /// The shard index for a key. Uses the deterministic `DefaultHasher`
     /// seed (not the per-map random state) so every handle agrees.
     fn shard_of(key: &dyn KeyView) -> usize {
@@ -242,31 +327,82 @@ impl SharedPlanCache {
         (h.finish() as usize) % SHARD_COUNT
     }
 
-    /// Looks up `(func, shapes)`, counting a hit or a miss and refreshing
-    /// recency on hit. A hit takes one shard read lock and allocates
-    /// nothing (when tracing is off; a probe event is recorded otherwise).
+    /// Session lookup: the hot path of `CallTir`. While the shard version
+    /// is unchanged this takes **no lock and writes no shared atomic** —
+    /// it probes the session's snapshot, stamps recency from the session's
+    /// tick batch, and counts locally. A changed version refreshes the
+    /// snapshot under one (instrumented) shard read lock.
+    pub(crate) fn lookup_with(
+        &self,
+        sess: &mut PlanCacheSession,
+        func: &str,
+        shapes: &[Vec<usize>],
+    ) -> Option<CachedPlan> {
+        if !self.enabled() {
+            return None;
+        }
+        let probe: &dyn KeyView = &(func, shapes);
+        let si = Self::shard_of(probe);
+        let shard = &self.inner.shards[si];
+        let version = shard.version.load(Ordering::Acquire);
+        let slot = &mut sess.snapshots[si];
+        let stale = slot.as_ref().map(|(v, _)| *v != version).unwrap_or(true);
+        if stale {
+            let map = Arc::clone(&SHARD_READ_SITE.read(&shard.map));
+            *slot = Some((version, map));
+        }
+        let map = &slot.as_ref().expect("snapshot just refreshed").1;
+
+        if sess.ticks_left == 0 {
+            sess.tick_next = self.inner.tick.fetch_add(TICK_BATCH, Ordering::Relaxed) + 1;
+            sess.ticks_left = TICK_BATCH;
+        }
+        let tick = sess.tick_next;
+        sess.tick_next += 1;
+        sess.ticks_left -= 1;
+
+        let found = map.get(probe).map(|entry| {
+            entry.touched.store(tick, Ordering::Relaxed);
+            entry.plan.clone()
+        });
+        if found.is_some() {
+            sess.pending_hits += 1;
+        } else {
+            sess.pending_misses += 1;
+        }
+        if sess.pending_hits + sess.pending_misses >= TICK_BATCH {
+            self.flush_session(sess);
+        }
+        self.trace_probe(func, shapes, found.is_some());
+        found
+    }
+
+    /// Looks up `(func, shapes)` without a session: one shard read lock
+    /// per probe, counters published immediately. Kept for callers that
+    /// probe rarely (tests, tools); the VM hot path probes through its
+    /// `PlanCacheSession` instead.
     pub fn lookup(&self, func: &str, shapes: &[Vec<usize>]) -> Option<CachedPlan> {
         if !self.enabled() {
             return None;
         }
         let probe: &dyn KeyView = &(func, shapes);
         let tick = self.inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let shard = self.inner.shards[Self::shard_of(probe)]
-            .read()
-            .unwrap_or_else(|e| e.into_inner());
-        let found = match shard.get(probe) {
-            Some(entry) => {
-                entry.touched.store(tick, Ordering::Relaxed);
-                self.inner.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.plan.clone())
-            }
-            None => {
-                self.inner.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        };
-        drop(shard);
-        let hit = found.is_some();
+        let map = Arc::clone(&SHARD_READ_SITE.read(&self.inner.shards[Self::shard_of(probe)].map));
+        let found = map.get(probe).map(|entry| {
+            entry.touched.store(tick, Ordering::Relaxed);
+            entry.plan.clone()
+        });
+        if found.is_some() {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.probes.fetch_add(1, Ordering::Relaxed);
+        self.trace_probe(func, shapes, found.is_some());
+        found
+    }
+
+    fn trace_probe(&self, func: &str, shapes: &[Vec<usize>], hit: bool) {
         relax_trace::instant(
             "vm",
             || format!("plan_cache:{func}"),
@@ -280,40 +416,43 @@ impl SharedPlanCache {
                 }),
             },
         );
-        found
     }
 
     /// Inserts a freshly compiled (or refused) plan, evicting
     /// least-recently-used entries once the cache is over capacity.
     /// Replacing a key that is already cached is *not* growth and evicts
     /// nothing. Returns how many entries were evicted.
+    ///
+    /// Mutation is copy-on-write: a new snapshot map is published and the
+    /// shard version bumped, so sessions refresh on their next probe.
     pub fn insert(&self, func: &str, shapes: &[Vec<usize>], plan: CachedPlan) -> u64 {
         if !self.enabled() {
             return 0;
         }
         let tick = self.inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let probe: &dyn KeyView = &(func, shapes);
-        let shard_idx = Self::shard_of(probe);
+        let shard = &self.inner.shards[Self::shard_of(probe)];
         {
-            let mut shard = self.inner.shards[shard_idx]
-                .write()
-                .unwrap_or_else(|e| e.into_inner());
-            if let Some(entry) = shard.get_mut(probe) {
+            let mut guard = SHARD_WRITE_SITE.write(&shard.map);
+            let mut map: HashMap<PlanKey, Arc<Entry>> = (**guard).clone();
+            let replacing = map
+                .insert(
+                    PlanKey {
+                        func: func.to_string(),
+                        shapes: shapes.to_vec(),
+                    },
+                    Arc::new(Entry {
+                        touched: AtomicU64::new(tick),
+                        plan,
+                    }),
+                )
+                .is_some();
+            *guard = Arc::new(map);
+            shard.version.fetch_add(1, Ordering::Release);
+            if replacing {
                 // In-place replacement: same key, no growth, no eviction.
-                entry.plan = plan;
-                entry.touched.store(tick, Ordering::Relaxed);
                 return 0;
             }
-            shard.insert(
-                PlanKey {
-                    func: func.to_string(),
-                    shapes: shapes.to_vec(),
-                },
-                Entry {
-                    touched: AtomicU64::new(tick),
-                    plan,
-                },
-            );
             self.inner.len.fetch_add(1, Ordering::Relaxed);
         }
         let mut evicted = 0;
@@ -326,11 +465,11 @@ impl SharedPlanCache {
     /// Evicts the globally least-recently-touched entry. `false` if the
     /// cache was empty.
     fn evict_lru(&self) -> bool {
-        // Find the globally oldest entry, one shard read lock at a time.
+        // Find the globally oldest entry from the published snapshots.
         let mut oldest: Option<(usize, u64, PlanKey)> = None;
-        for (i, lock) in self.inner.shards.iter().enumerate() {
-            let shard = lock.read().unwrap_or_else(|e| e.into_inner());
-            for (key, entry) in shard.iter() {
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            let map = Arc::clone(&SHARD_READ_SITE.read(&shard.map));
+            for (key, entry) in map.iter() {
                 let t = entry.touched.load(Ordering::Relaxed);
                 if oldest.as_ref().map(|(_, ot, _)| t < *ot).unwrap_or(true) {
                     oldest = Some((i, t, key.clone()));
@@ -340,10 +479,12 @@ impl SharedPlanCache {
         let Some((i, _, key)) = oldest else {
             return false;
         };
-        let mut shard = self.inner.shards[i]
-            .write()
-            .unwrap_or_else(|e| e.into_inner());
-        if shard.remove(&key as &dyn KeyView).is_some() {
+        let shard = &self.inner.shards[i];
+        let mut guard = SHARD_WRITE_SITE.write(&shard.map);
+        let mut map: HashMap<PlanKey, Arc<Entry>> = (**guard).clone();
+        if map.remove(&key as &dyn KeyView).is_some() {
+            *guard = Arc::new(map);
+            shard.version.fetch_add(1, Ordering::Release);
             self.inner.len.fetch_sub(1, Ordering::Relaxed);
             self.inner.evictions.fetch_add(1, Ordering::Relaxed);
             true
@@ -458,5 +599,53 @@ mod tests {
         assert!(c.len() <= 8);
         let s = c.stats();
         assert!(s.hits + s.misses >= 800);
+        assert_eq!(s.probes, s.hits + s.misses);
+    }
+
+    #[test]
+    fn session_probe_is_lock_free_on_unchanged_version_and_flushes_batched() {
+        let c = SharedPlanCache::new(8);
+        c.insert("f", &[vec![2]], CachedPlan::Unplannable);
+        let mut sess = c.session();
+        // First probe refreshes the snapshot; the rest ride it.
+        for _ in 0..10 {
+            assert!(c.lookup_with(&mut sess, "f", &[vec![2]]).is_some());
+        }
+        assert!(c.lookup_with(&mut sess, "g", &[vec![2]]).is_none());
+        // Counts are still pending (batch not reached, no flush yet).
+        assert_eq!(c.stats().hits, 0);
+        c.flush_session(&mut sess);
+        let s = c.stats();
+        assert_eq!(s.hits, 10);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.probes, 11);
+        // Flushing twice publishes nothing extra.
+        c.flush_session(&mut sess);
+        assert_eq!(c.stats().probes, 11);
+    }
+
+    #[test]
+    fn session_sees_inserts_via_version_bump() {
+        let c = SharedPlanCache::new(8);
+        let mut sess = c.session();
+        assert!(c.lookup_with(&mut sess, "f", &[vec![3]]).is_none());
+        c.insert("f", &[vec![3]], CachedPlan::Unplannable);
+        // The insert bumped the shard version: the stale snapshot is
+        // refreshed and the new entry is visible.
+        assert!(c.lookup_with(&mut sess, "f", &[vec![3]]).is_some());
+    }
+
+    #[test]
+    fn session_tick_batches_keep_recency_exact_within_a_session() {
+        let c = SharedPlanCache::new(2);
+        c.insert("a", &[vec![1]], CachedPlan::Unplannable);
+        c.insert("b", &[vec![1]], CachedPlan::Unplannable);
+        let mut sess = c.session();
+        // Touch `a` through the session, then insert `c`: `b` is the LRU.
+        assert!(c.lookup_with(&mut sess, "a", &[vec![1]]).is_some());
+        c.insert("c", &[vec![1]], CachedPlan::Unplannable);
+        assert!(c.lookup("a", &[vec![1]]).is_some());
+        assert!(c.lookup("b", &[vec![1]]).is_none());
+        c.flush_session(&mut sess);
     }
 }

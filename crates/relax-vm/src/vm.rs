@@ -11,7 +11,7 @@ use relax_tir::{NDArray, PlanError};
 use crate::exec::{Executable, Instr, Reg, VmFunction};
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
 use crate::memory::{MemoryStats, PooledAllocator};
-use crate::plan_cache::{CachedPlan, SharedPlanCache};
+use crate::plan_cache::{CachedPlan, PlanCacheSession, SharedPlanCache};
 use crate::registry::{KernelError, Registry};
 use crate::value::Value;
 
@@ -278,6 +278,9 @@ pub struct Vm {
     /// Shape-keyed LRU cache of compiled kernel plans (possibly shared
     /// with other VMs).
     plan_cache: SharedPlanCache,
+    /// This VM's probe session: lock-free cache hits via shard snapshots,
+    /// batched LRU ticks and hit/miss counts (flushed after every `run`).
+    cache_session: PlanCacheSession,
     /// Worker threads for parallelizable kernel plans (1 = serial).
     parallelism: usize,
     /// Scheduled fault injection (tests and chaos harnesses).
@@ -317,6 +320,7 @@ impl Vm {
         registry: Arc<Registry>,
         plan_cache: SharedPlanCache,
     ) -> Self {
+        let cache_session = plan_cache.session();
         Vm {
             exec,
             registry,
@@ -327,6 +331,7 @@ impl Vm {
             next_storage_id: 0,
             kernel_stats: HashMap::new(),
             plan_cache,
+            cache_session,
             parallelism: 1,
             fault: None,
             memory_capacity: None,
@@ -450,6 +455,9 @@ impl Vm {
     /// frame trace (function, pc, instruction).
     pub fn run(&mut self, func: &str, args: &[Value]) -> Result<Value, VmError> {
         let result = self.run_inner(func, args);
+        // Publish this run's batched cache counts so shared stats satisfy
+        // `hits + misses == probes` at every run boundary.
+        self.plan_cache.flush_session(&mut self.cache_session);
         match &result {
             Ok(_) => {
                 if self.poisoned {
@@ -720,7 +728,10 @@ impl Vm {
                 // the per-kernel report and the trace share one clock.
                 let mut cache_outcome = None;
                 let cached = if self.plan_cache.enabled() {
-                    match self.plan_cache.lookup(func, &shapes) {
+                    match self
+                        .plan_cache
+                        .lookup_with(&mut self.cache_session, func, &shapes)
+                    {
                         Some(c) => {
                             self.telemetry.plan_cache_hits += 1;
                             cache_outcome = Some(relax_trace::CacheOutcome::Hit);

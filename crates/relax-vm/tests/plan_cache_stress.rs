@@ -85,7 +85,13 @@ fn eight_threads_hammering_keeps_stats_and_trace_consistent() {
         .expect("chrome export of a contended trace passes the checker");
     assert_eq!(chrome.events, trace.events.len());
     assert_eq!(chrome.sync_pairs, expected);
-    assert_eq!(chrome.instants, expected, "one plan_cache probe instant per lookup");
+    // One `plan_cache:` instant per lookup; contended lock sites may emit
+    // additional `lock_wait:` instants on top of that.
+    assert!(
+        chrome.instants >= expected,
+        "at least one plan_cache probe instant per lookup ({} < {expected})",
+        chrome.instants
+    );
     assert!(chrome.threads >= 2, "the stress must actually run multi-threaded");
 }
 

@@ -5,10 +5,15 @@
 # section (per-pass wall time and changed flags for one full default
 # compile of the tiny decode module, from `compile_with_report`) and a
 # "serving" section: decode throughput through the relax-serve worker
-# pool — 1 vs 4 workers and shared vs private plan cache, with
+# pool — 1 vs 4 vs 8 workers and shared vs private plan cache, with
 # per-request p50/p95/p99 latency and cross-worker compile counts.
-# Interpret the worker-scaling rows against "host_threads": a 1-core
-# host cannot show a multi-worker win.
+# Interpret the worker-scaling rows against each row's "host_threads":
+# a 1-core host cannot show a multi-worker win (parity is the honest
+# ceiling there). A "lock_wait" section reports every instrumented lock
+# site that blocked during the run (relax-trace LockSite counters) —
+# empty means the lock-free hot paths held. "baseline_pre_refactor"
+# preserves the numbers from before the concurrency refactor for
+# before/after comparison.
 #
 # The "availability_under_chaos" section reruns the decode workload
 # through the seeded chaos harness at 0%, 1% and 5% fault rates (worker

@@ -33,6 +33,9 @@ cargo test -p relax-serve --release -q smoke
 echo "==> serving chaos smoke (seeded fault injection, release)"
 cargo test -p relax-serve --release -q --test chaos
 
+echo "==> contention smoke: 8-thread seeded stress, release"
+cargo test -p relax-serve --release -q --test stress8
+
 echo "==> cargo doc --workspace --no-deps"
 cargo doc --workspace --no-deps -q
 
