@@ -1,12 +1,16 @@
 //! Runtime micro-benchmarks: VM decode steps on the executable tiny model,
 //! raw tensor-program execution comparing the reference interpreter
-//! against shape-specialized kernel plans (serial and multi-threaded), and
+//! against shape-specialized kernel plans (serial and multi-threaded),
 //! serving throughput through the `relax-serve` worker pool (1 vs 4
-//! workers, shared vs private plan cache).
+//! workers, shared vs private plan cache), the kv-append kernel pair
+//! (scalar reference vs row-copy), and mixed-traffic session serving
+//! (continuous paged batching vs the shape-batched copy baseline).
 //!
 //! Plain `std::time::Instant` harness (see `relax_bench::timing`); run with
 //! `cargo bench -p relax-bench --bench runtime`. Writes the medians to
 //! `BENCH_runtime.json` at the repository root.
+
+use std::sync::Arc;
 
 use relax_arith::{DataType, Var as SymVar};
 use relax_bench::timing::{bench, fast_mode};
@@ -14,9 +18,12 @@ use relax_core::{ShapeDesc, StructInfo};
 use relax_models::llama::LlamaConfig;
 use relax_passes::{compile, compile_with_report, CompileOptions, PassRecord};
 use relax_serve::chaos::{run_chaos, ChaosConfig, ChaosRequest};
-use relax_serve::{ServeConfig, ServeEngine};
+use relax_serve::{
+    ServeConfig, ServeEngine, SessionConfig, SessionManager, SessionModelSpec, SessionRequest,
+};
 use relax_tir::{grid, interp, plan, Buffer, NDArray, PrimFunc, Stmt, TirExpr};
-use relax_vm::{Value, Vm};
+use relax_vm::registry::{kv_append_reference, Registry};
+use relax_vm::{KvCacheConfig, Value, Vm};
 
 fn tiny_decode_args(ir: &relax_models::llama::ModelIr, batch: usize, kv: usize) -> Vec<Value> {
     let mut env = std::collections::HashMap::new();
@@ -197,6 +204,50 @@ fn bench_tir_matmul_large(rows: &mut Vec<(String, f64)>) -> (f64, f64) {
     (plan_ns, plan4_ns)
 }
 
+/// KV-append micro-bench: the copy-based scalar oracle
+/// (`kv_append_reference`) against the row-copy library kernel
+/// (`vm.builtin.kv_append`) at several context lengths — the before/after
+/// pair for the inner-loop rewrite. Both re-materialize the grown cache;
+/// the paged in-place path is measured end to end in
+/// `serving_continuous`.
+fn bench_kv_append(rows: &mut Vec<(String, f64)>) {
+    let registry = Registry::new();
+    let (b, h, hd) = (1usize, 2usize, 32usize);
+    for len in [15usize, 63, 255] {
+        let cache = NDArray::from_f64(
+            &[b, h, len, hd],
+            DataType::F32,
+            (0..b * h * len * hd).map(|i| (i % 11) as f64 * 0.25).collect(),
+        )
+        .unwrap();
+        let new = NDArray::from_f64(
+            &[b, h, 1, hd],
+            DataType::F32,
+            (0..b * h * hd).map(|i| (i % 5) as f64 * 0.5).collect(),
+        )
+        .unwrap();
+        let out = NDArray::zeros(&[b, h, len + 1, hd], DataType::F32);
+        let inputs = [cache, new];
+        let name = format!("kv_append/len{len}/reference");
+        let m = bench(&name, || {
+            kv_append_reference(std::hint::black_box(&inputs), std::slice::from_ref(&out))
+                .unwrap()
+        });
+        rows.push((name, m));
+        let name = format!("kv_append/len{len}/row_copy");
+        let m = bench(&name, || {
+            registry
+                .call_lib(
+                    "vm.builtin.kv_append",
+                    std::hint::black_box(&inputs),
+                    std::slice::from_ref(&out),
+                )
+                .unwrap()
+        });
+        rows.push((name, m));
+    }
+}
+
 /// One serving configuration measured to steady state.
 struct ServingRow {
     name: String,
@@ -363,6 +414,301 @@ fn bench_chaos_availability() -> Vec<ChaosRow> {
         .collect()
 }
 
+/// One mixed-traffic session-serving configuration.
+struct ContinuousRow {
+    name: String,
+    sessions: usize,
+    workers: usize,
+    /// Generated tokens across all sessions (prompt tokens excluded).
+    tokens: u64,
+    /// Wall time for the whole wave, ns.
+    total_ns: f64,
+    tokens_per_s: f64,
+    /// Per-session submit-to-finish latency percentiles, ns.
+    p50_ns: u64,
+    p99_ns: u64,
+    /// Page-pool columns (zero for the copy-based baseline, which has
+    /// no pool — its KV memory is unbounded re-materialized tensors).
+    peak_pages_in_use: u64,
+    pool_capacity_pages: u64,
+    pool_utilization: f64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Mixed traffic: varied prompt lengths and token budgets so sessions
+/// admit and retire at different iterations.
+fn mixed_session_schedule(n: usize) -> Vec<SessionRequest> {
+    let vocab = LlamaConfig::tiny().vocab;
+    (0..n)
+        .map(|i| SessionRequest {
+            prompt: (0..2 + i % 7).map(|t| ((i * 3 + t) % vocab as usize) as i64).collect(),
+            max_new_tokens: 3 + i % 5,
+            deadline: None,
+        })
+        .collect()
+}
+
+/// Deterministic weights shared by the paged manager and the copy-based
+/// baseline (weights have no symbolic dims).
+fn session_weights(ir: &relax_models::llama::ModelIr) -> Vec<Value> {
+    let env = std::collections::HashMap::new();
+    ir.params
+        .iter()
+        // Weights only: drop the token input, the paged handle, and the
+        // copy path's per-layer `l{i}.k_cache`/`l{i}.v_cache` tensors.
+        .filter(|(name, _)| name != "tokens" && !name.contains("cache"))
+        .map(|(_, sinfo)| {
+            let (dims, dt) = match sinfo {
+                StructInfo::Tensor {
+                    shape: ShapeDesc::Known(d),
+                    dtype,
+                } => (
+                    d.iter()
+                        .map(|e| e.eval(&env).unwrap() as usize)
+                        .collect::<Vec<usize>>(),
+                    dtype.unwrap(),
+                ),
+                _ => unreachable!(),
+            };
+            let n: usize = dims.iter().product();
+            Value::Tensor(
+                NDArray::from_f64(&dims, dt, (0..n).map(|i| (i % 7) as f64 * 0.1).collect())
+                    .unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// The paged side: continuous batching through [`SessionManager`] — all
+/// sessions submitted up front, iteration-level admit/retire, in-place
+/// paged appends on a bounded page pool.
+fn serve_sessions_paged(schedule: &[SessionRequest], workers: usize) -> ContinuousRow {
+    let cfg = LlamaConfig::tiny();
+    let paged_ir = relax_models::llama::build_decode_paged(&cfg).unwrap();
+    let paged_exec = compile(paged_ir.module.clone(), &CompileOptions::default()).unwrap();
+    let prefill_ir = relax_models::llama::build_prefill(&cfg).unwrap();
+    let prefill_exec = compile(prefill_ir.module.clone(), &CompileOptions::default()).unwrap();
+    let spec = SessionModelSpec {
+        decode: Arc::new(paged_exec),
+        decode_func: "decode_paged".into(),
+        prefill: Some(Arc::new(prefill_exec)),
+        prefill_func: "prefill".into(),
+        weights: session_weights(&paged_ir),
+        cache: KvCacheConfig {
+            streams: 2 * cfg.n_layers,
+            batch: 1,
+            heads: cfg.n_kv_heads as usize,
+            head_dim: cfg.head_dim as usize,
+            dtype: cfg.dtype,
+        },
+    };
+    let mgr = SessionManager::new(
+        spec,
+        SessionConfig {
+            workers,
+            pool_pages: 256,
+            ..SessionConfig::default()
+        },
+    );
+    let start = std::time::Instant::now();
+    let tickets: Vec<_> = schedule.iter().map(|r| mgr.submit(r.clone())).collect();
+    for t in tickets {
+        t.wait().expect("paged session failed");
+    }
+    let total_ns = start.elapsed().as_nanos() as f64;
+    let mut lats = mgr.completion_latencies_ns();
+    lats.sort_unstable();
+    let pool = mgr.pool().clone();
+    let stats = mgr.shutdown();
+    let ps = pool.stats();
+    assert_eq!(ps.in_use, 0, "bench leaked pages: {ps:?}");
+    let capacity = ps.capacity as u64;
+    ContinuousRow {
+        name: format!("serve_sessions/paged_continuous_w{workers}"),
+        sessions: schedule.len(),
+        workers,
+        tokens: stats.tokens,
+        total_ns,
+        tokens_per_s: stats.tokens as f64 / (total_ns / 1e9),
+        p50_ns: percentile(&lats, 0.50),
+        p99_ns: percentile(&lats, 0.99),
+        peak_pages_in_use: stats.peak_pages_in_use,
+        pool_capacity_pages: capacity,
+        pool_utilization: stats.peak_pages_in_use as f64 / capacity.max(1) as f64,
+    }
+}
+
+/// The baseline: the same workload through the shape-batched
+/// [`ServeEngine`] on the copy-based decode — each step re-materializes
+/// every KV cache through `vm.builtin.kv_append` and threads the grown
+/// tensors back through the next submission, in lockstep rounds (the
+/// engine's shape batching groups same-length steps within a round).
+fn serve_sessions_copy_baseline(schedule: &[SessionRequest], workers: usize) -> ContinuousRow {
+    let cfg = LlamaConfig::tiny();
+    let decode_ir = relax_models::llama::build_decode(&cfg).unwrap();
+    let decode_exec = compile(decode_ir.module.clone(), &CompileOptions::default()).unwrap();
+    let prefill_ir = relax_models::llama::build_prefill(&cfg).unwrap();
+    let prefill_exec = compile(prefill_ir.module.clone(), &CompileOptions::default()).unwrap();
+    let weights = session_weights(&decode_ir);
+    let (nkv, hd) = (cfg.n_kv_heads as usize, cfg.head_dim as usize);
+    let streams = 2 * cfg.n_layers;
+
+    struct CopySession {
+        prompt: Vec<i64>,
+        max_new: usize,
+        caches: Vec<NDArray>,
+        fed: usize,
+        generated: Vec<i64>,
+    }
+
+    let engine = ServeEngine::new(
+        decode_exec,
+        ServeConfig {
+            workers,
+            queue_capacity: schedule.len() + 1,
+            ..ServeConfig::default()
+        },
+    );
+    let mut prefill_vm = Vm::new(prefill_exec);
+    let start = std::time::Instant::now();
+    let mut sessions: Vec<CopySession> = schedule
+        .iter()
+        .map(|r| {
+            let caches: Vec<NDArray> = if r.prompt.len() > 1 {
+                let prefix = &r.prompt[..r.prompt.len() - 1];
+                let tokens =
+                    NDArray::from_i64(&[1, prefix.len()], DataType::I64, prefix.to_vec()).unwrap();
+                let mut args = vec![Value::Tensor(tokens)];
+                args.extend(weights.iter().cloned());
+                let out = prefill_vm.run("prefill", &args).unwrap();
+                out.as_tuple()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.as_tensor().unwrap().clone())
+                    .collect()
+            } else {
+                (0..streams)
+                    .map(|_| NDArray::zeros(&[1, nkv, 0, hd], cfg.dtype))
+                    .collect()
+            };
+            let fed = caches[0].shape()[2];
+            CopySession {
+                prompt: r.prompt.clone(),
+                max_new: r.max_new_tokens,
+                caches,
+                fed,
+                generated: Vec::new(),
+            }
+        })
+        .collect();
+    let mut completions: Vec<u64> = Vec::new();
+    let mut tokens = 0u64;
+    loop {
+        let active: Vec<usize> = (0..sessions.len())
+            .filter(|&i| sessions[i].generated.len() < sessions[i].max_new)
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        let round: Vec<(usize, relax_serve::Ticket)> = active
+            .iter()
+            .map(|&i| {
+                let s = &sessions[i];
+                let token = if s.fed < s.prompt.len() {
+                    s.prompt[s.fed]
+                } else {
+                    s.generated[s.fed - s.prompt.len()]
+                };
+                let t = NDArray::from_i64(&[1, 1], DataType::I64, vec![token]).unwrap();
+                let mut args = vec![Value::Tensor(t)];
+                args.extend(s.caches.iter().cloned().map(Value::Tensor));
+                args.extend(weights.iter().cloned());
+                (i, engine.submit("decode", &args).unwrap())
+            })
+            .collect();
+        for (i, ticket) in round {
+            let out = ticket.wait().expect("baseline decode failed");
+            let items = out.as_tuple().unwrap().to_vec();
+            let s = &mut sessions[i];
+            let next = session_argmax(items[0].as_tensor().unwrap());
+            s.caches = items[1..]
+                .iter()
+                .map(|v| v.as_tensor().unwrap().clone())
+                .collect();
+            s.fed += 1;
+            if s.fed >= s.prompt.len() {
+                s.generated.push(next);
+                tokens += 1;
+            }
+            if s.generated.len() >= s.max_new {
+                completions.push(start.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    let total_ns = start.elapsed().as_nanos() as f64;
+    engine.shutdown();
+    completions.sort_unstable();
+    ContinuousRow {
+        name: format!("serve_sessions/copy_lockstep_w{workers}"),
+        sessions: schedule.len(),
+        workers,
+        tokens,
+        total_ns,
+        tokens_per_s: tokens as f64 / (total_ns / 1e9),
+        p50_ns: percentile(&completions, 0.50),
+        p99_ns: percentile(&completions, 0.99),
+        peak_pages_in_use: 0,
+        pool_capacity_pages: 0,
+        pool_utilization: 0.0,
+    }
+}
+
+fn session_argmax(logits: &NDArray) -> i64 {
+    let vals = logits.to_f64_vec();
+    let mut best = 0usize;
+    let mut best_val = f64::NEG_INFINITY;
+    for (i, &v) in vals.iter().enumerate() {
+        if v > best_val {
+            best_val = v;
+            best = i;
+        }
+    }
+    best as i64
+}
+
+/// Mixed-traffic session serving: continuous paged batching vs the
+/// shape-batched copy baseline on the same session schedule, plus a
+/// 1-worker paged row for the worker-scaling column. Tokens must match
+/// between the two paths — both greedy-decode the same weights.
+fn bench_serving_continuous(rows: &mut Vec<(String, f64)>) -> Vec<ContinuousRow> {
+    let sessions = if fast_mode() { 6 } else { 12 };
+    let schedule = mixed_session_schedule(sessions);
+    let runs = vec![
+        serve_sessions_copy_baseline(&schedule, 4),
+        serve_sessions_paged(&schedule, 1),
+        serve_sessions_paged(&schedule, 4),
+    ];
+    for r in &runs {
+        println!(
+            "{:<40} {:>10.0} tok/s  p99 {:>10} ns  pages {}/{}",
+            r.name, r.tokens_per_s, r.p99_ns, r.peak_pages_in_use, r.pool_capacity_pages
+        );
+        rows.push((r.name.clone(), r.total_ns / r.tokens.max(1) as f64));
+    }
+    assert_eq!(
+        runs[0].tokens, runs[2].tokens,
+        "paged and copy baselines generated different token counts"
+    );
+    runs
+}
+
 /// Re-runs the 4-worker shared-cache serving wave with tracing captured
 /// and writes the Chrome trace-event export to `BENCH_trace.json` next
 /// to `BENCH_runtime.json`. The export is validated with the in-repo
@@ -398,6 +744,7 @@ fn write_json(
     speedups: &[(&str, f64)],
     passes: &[PassRecord],
     serving: &[ServingRow],
+    continuous: &[ContinuousRow],
     chaos: &[ChaosRow],
 ) {
     // Thread-scaling rows only make sense relative to the host's actual
@@ -445,6 +792,30 @@ fn write_json(
             r.p50_ns,
             r.p95_ns,
             r.p99_ns,
+        ));
+    }
+    // Session serving: continuous paged batching vs the shape-batched
+    // copy baseline on one mixed-traffic schedule. The page-pool columns
+    // are zero on the baseline rows (no pool — unbounded copies).
+    out.push_str("  ],\n  \"serving_continuous\": [\n");
+    for (i, r) in continuous.iter().enumerate() {
+        let sep = if i + 1 < continuous.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sessions\": {}, \"workers\": {}, \
+             \"tokens\": {}, \"total_ns\": {:.0}, \"tokens_per_s\": {:.1}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"peak_pages_in_use\": {}, \
+             \"pool_capacity_pages\": {}, \"pool_utilization\": {:.4}}}{sep}\n",
+            r.name,
+            r.sessions,
+            r.workers,
+            r.tokens,
+            r.total_ns,
+            r.tokens_per_s,
+            r.p50_ns,
+            r.p99_ns,
+            r.peak_pages_in_use,
+            r.pool_capacity_pages,
+            r.pool_utilization,
         ));
     }
     out.push_str("  ],\n  \"availability_under_chaos\": [\n");
@@ -521,7 +892,9 @@ fn main() {
     let (interp_ns, plan_ns, plan4_ns) = bench_vm_decode_plan_modes(&mut rows);
     bench_tir_matmul(&mut rows);
     let (big_plan, big_par4) = bench_tir_matmul_large(&mut rows);
+    bench_kv_append(&mut rows);
     let serving = bench_serving(&mut rows);
+    let continuous = bench_serving_continuous(&mut rows);
 
     let mm_interp = rows
         .iter()
@@ -546,6 +919,12 @@ fn main() {
             "serve_decode_8w_vs_1w",
             serving[0].total_ns / serving[3].total_ns,
         ),
+        // Mixed-traffic sessions: continuous paged batching over the
+        // shape-batched copy baseline (same schedule, same tokens).
+        (
+            "serve_sessions_paged_vs_copy",
+            continuous[2].tokens_per_s / continuous[0].tokens_per_s,
+        ),
     ];
     for (name, x) in &speedups {
         println!("{name:<40} {x:>11.2}x");
@@ -561,5 +940,5 @@ fn main() {
             p.changed
         );
     }
-    write_json(&rows, &speedups, &passes, &serving, &chaos);
+    write_json(&rows, &speedups, &passes, &serving, &continuous, &chaos);
 }

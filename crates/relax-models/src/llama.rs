@@ -423,6 +423,118 @@ pub fn build_decode(config: &LlamaConfig) -> Result<ModelIr, ModelError> {
     })
 }
 
+/// Builds the single-step decode function over a **paged** KV cache:
+/// takes the next token ids and one first-class cache handle (streams
+/// `2l`/`2l+1` hold layer `l`'s K/V), appends in place through
+/// `vm.builtin.kv_cache.append_paged`, and attends directly over the
+/// pages. Returns `(logits, cache handle)` — the handle is threaded
+/// through every append so the in-place updates stay ordered, and
+/// returning it keeps the chain alive through purity-based cleanups.
+///
+/// Unlike [`build_decode`], no `(b, h, s, hd)` cache tensors cross the
+/// call boundary and no step re-materializes the cache: KV memory is
+/// bounded by the VM's page pool.
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn build_decode_paged(config: &LlamaConfig) -> Result<ModelIr, ModelError> {
+    let b = SymVar::new("batch");
+    let kv_len = SymVar::new("kv_len");
+    let h = config.hidden;
+    let hd = config.head_dim;
+    let nh = config.n_heads;
+    let nkv = config.n_kv_heads;
+
+    let mut params: Vec<(String, StructInfo)> = vec![
+        (
+            "tokens".to_string(),
+            StructInfo::tensor(vec![b.clone().into(), 1.into()], DataType::I64),
+        ),
+        ("kv_cache".to_string(), StructInfo::Object),
+    ];
+    params.extend(weight_param_specs(config));
+
+    let mut mb = ModelBuilder::begin(IRModule::new(), "decode_paged", params.clone());
+    let tokens = mb.param("tokens")?;
+    let embed = mb.param("embed")?;
+    let mut x = mb.take(embed, tokens)?; // (b, 1, h)
+    let mut cache = mb.param("kv_cache")?;
+    let be: PrimExpr = b.clone().into();
+
+    for l in 0..config.n_layers {
+        let attn_norm = mb.param(&format!("l{l}.attn_norm"))?;
+        let hn = mb.rms_norm(x.clone(), attn_norm)?;
+        let q = LayerWeights::linear(&mut mb, config, &format!("l{l}.wq"), hn.clone(), h, nh * hd)?;
+        let k = LayerWeights::linear(
+            &mut mb,
+            config,
+            &format!("l{l}.wk"),
+            hn.clone(),
+            h,
+            nkv * hd,
+        )?;
+        let v = LayerWeights::linear(&mut mb, config, &format!("l{l}.wv"), hn, h, nkv * hd)?;
+        let q = mb.reshape(q, vec![be.clone(), 1.into(), nh.into(), hd.into()])?;
+        let q = mb.permute(q, &[0, 2, 1, 3])?;
+        let k = mb.reshape(k, vec![be.clone(), 1.into(), nkv.into(), hd.into()])?;
+        let k = mb.permute(k, &[0, 2, 1, 3])?;
+        let v = mb.reshape(v, vec![be.clone(), 1.into(), nkv.into(), hd.into()])?;
+        let v = mb.permute(v, &[0, 2, 1, 3])?;
+        // In-place paged appends; the handle chain orders them.
+        cache = mb.kv_append_paged(cache, k, 2 * l)?;
+        cache = mb.kv_append_paged(cache, v, 2 * l + 1)?;
+        let att = mb.kv_attention_paged(q, cache.clone(), 2 * l, 2 * l + 1, true)?;
+        let att = mb.permute(att, &[0, 2, 1, 3])?;
+        let att = mb.reshape(att, vec![be.clone(), 1.into(), (nh * hd).into()])?;
+        let o = LayerWeights::linear(&mut mb, config, &format!("l{l}.wo"), att, nh * hd, h)?;
+        x = mb.add(x, o)?;
+        let ffn_norm = mb.param(&format!("l{l}.ffn_norm"))?;
+        let hn2 = mb.rms_norm(x.clone(), ffn_norm)?;
+        let gate = LayerWeights::linear(
+            &mut mb,
+            config,
+            &format!("l{l}.w_gate"),
+            hn2.clone(),
+            h,
+            config.intermediate,
+        )?;
+        let gate = mb.silu(gate)?;
+        let up = LayerWeights::linear(
+            &mut mb,
+            config,
+            &format!("l{l}.w_up"),
+            hn2,
+            h,
+            config.intermediate,
+        )?;
+        let act = mb.mul(gate, up)?;
+        let down = LayerWeights::linear(
+            &mut mb,
+            config,
+            &format!("l{l}.w_down"),
+            act,
+            config.intermediate,
+            h,
+        )?;
+        x = mb.add(x, down)?;
+    }
+    let final_norm = mb.param("final_norm")?;
+    let xn = mb.rms_norm(x, final_norm)?;
+    let logits = LayerWeights::linear(&mut mb, config, "lm_head", xn, h, config.vocab)?;
+    let logits = mb.output(logits.into())?;
+    let cache_out = mb.output(cache.into())?;
+
+    let module = mb.finish(Expr::Tuple(vec![logits.into(), cache_out.into()]))?;
+    Ok(ModelIr {
+        module,
+        func: "decode_paged".into(),
+        params,
+        batch: b,
+        seq: kv_len,
+    })
+}
+
 /// Builds the prefill function: consumes the whole prompt `(b, s)` and
 /// produces the initial per-layer KV caches.
 ///
@@ -663,6 +775,43 @@ mod structure_tests {
             }
         }
         assert_eq!(saw_attention, cfg.n_layers);
+    }
+
+    #[test]
+    fn decode_paged_threads_one_cache_handle() {
+        let cfg = LlamaConfig::tiny();
+        let ir = build_decode_paged(&cfg).unwrap();
+        assert!(relax_core::assert_well_formed(&ir.module).is_ok());
+        let f = ir.module.function("decode_paged").unwrap();
+        let (mut appends, mut attns, mut copy_appends) = (0, 0, 0);
+        for b in f.bindings() {
+            if let Expr::CallDps { func, .. } = &b.value {
+                match func.as_str() {
+                    "vm.builtin.kv_cache.append_paged" => appends += 1,
+                    "vm.builtin.kv_cache.attention" => attns += 1,
+                    "vm.builtin.kv_append" => copy_appends += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(appends, 2 * cfg.n_layers);
+        assert_eq!(attns, cfg.n_layers);
+        // The paged path never re-materializes the cache.
+        assert_eq!(copy_appends, 0);
+        // Return is (logits, final cache handle); only one handle param.
+        match &f.ret {
+            Expr::Tuple(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected tuple return, got {other:?}"),
+        }
+        let handles = ir
+            .params
+            .iter()
+            .filter(|(_, si)| matches!(si, StructInfo::Object))
+            .count();
+        assert_eq!(handles, 1);
+        // Same weights as the copy-based decode, minus the cache tensors.
+        let d = build_decode(&cfg).unwrap();
+        assert_eq!(ir.params.len() + 2 * cfg.n_layers, d.params.len() + 1);
     }
 
     #[test]

@@ -209,6 +209,60 @@ impl ModelBuilder {
         })?)
     }
 
+    /// Appends one step's keys or values `(b, h, n, hd)` **in place**
+    /// onto one stream of a first-class paged KV-cache handle via
+    /// `vm.builtin.kv_cache.append_paged`, and returns the handle again
+    /// (`Object`-typed). Chaining the returned handle into the next
+    /// append keeps the whole sequence of in-place updates ordered and
+    /// alive through purity-based cleanups.
+    pub fn kv_append_paged(
+        &mut self,
+        cache: Var,
+        new: Var,
+        stream: usize,
+    ) -> Result<Var, ModelError> {
+        let stream = i64::try_from(stream)
+            .map_err(|_| ModelError::BadConfig(format!("stream {stream} out of range")))?;
+        Ok(self.bb.emit(Expr::CallDps {
+            func: "vm.builtin.kv_cache.append_paged".into(),
+            args: vec![
+                cache.into(),
+                new.into(),
+                Expr::ShapeValue(vec![stream.into()]),
+            ],
+            out_sinfo: StructInfo::Object,
+        })?)
+    }
+
+    /// Fused attention of `q` (`(b, hq, s, hd)`) against two streams of
+    /// a paged KV-cache handle, reading pages in place
+    /// (`vm.builtin.kv_cache.attention`). The builtin applies the
+    /// standard `1/sqrt(hd)` scale.
+    pub fn kv_attention_paged(
+        &mut self,
+        q: Var,
+        cache: Var,
+        k_stream: usize,
+        v_stream: usize,
+        causal: bool,
+    ) -> Result<Var, ModelError> {
+        let out_sinfo = q.struct_info().clone();
+        let enc = |v: usize| -> Result<PrimExpr, ModelError> {
+            Ok(i64::try_from(v)
+                .map_err(|_| ModelError::BadConfig(format!("stream {v} out of range")))?
+                .into())
+        };
+        Ok(self.bb.emit(Expr::CallDps {
+            func: "vm.builtin.kv_cache.attention".into(),
+            args: vec![
+                q.into(),
+                cache.into(),
+                Expr::ShapeValue(vec![enc(k_stream)?, enc(v_stream)?, i64::from(causal).into()]),
+            ],
+            out_sinfo,
+        })?)
+    }
+
     /// A linear layer with 4-bit quantized weights: the customized
     /// quantization-decode tensor program of Figure 9 followed by a
     /// matmul. `wdata` packs eight 4-bit values per `u32` along the output

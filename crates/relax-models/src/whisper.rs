@@ -356,6 +356,149 @@ pub fn build_decoder_step(config: &WhisperConfig) -> Result<ModelIr, ModelError>
     })
 }
 
+/// Builds the decoder step over a **paged** self-attention KV cache:
+/// like [`build_decoder_step`], but layer `l`'s K/V live in streams
+/// `2l`/`2l+1` of one first-class cache handle, appended in place via
+/// `vm.builtin.kv_cache.append_paged`. Cross-attention keys/values stay
+/// precomputed tensors. Returns `(logits, cache handle)`.
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn build_decoder_step_paged(config: &WhisperConfig) -> Result<ModelIr, ModelError> {
+    let b = SymVar::new("batch");
+    let kv_len = SymVar::new("kv_len");
+    let s_audio = SymVar::new("s_audio");
+    let d = config.d_model;
+    let nh = config.n_heads;
+    let hd = config.head_dim();
+    let dt = config.dtype;
+    let scale = 1.0 / (hd as f64).sqrt();
+
+    let mut params: Vec<(String, StructInfo)> = vec![
+        (
+            "tokens".to_string(),
+            StructInfo::tensor(vec![b.clone().into(), 1.into()], DataType::I64),
+        ),
+        ("kv_cache".to_string(), StructInfo::Object),
+    ];
+    for l in 0..config.dec_layers {
+        let cross = StructInfo::tensor(
+            vec![
+                b.clone().into(),
+                nh.into(),
+                s_audio.clone().into(),
+                hd.into(),
+            ],
+            dt,
+        );
+        params.push((format!("d{l}.cross_k"), cross.clone()));
+        params.push((format!("d{l}.cross_v"), cross));
+    }
+    params.push((
+        "embed".to_string(),
+        StructInfo::tensor(vec![config.vocab.into(), d.into()], dt),
+    ));
+    for l in 0..config.dec_layers {
+        params.push((
+            format!("d{l}.norm1"),
+            StructInfo::tensor(vec![d.into()], dt),
+        ));
+        for w in ["wq", "wk", "wv", "wo", "cq", "co"] {
+            params.push((
+                format!("d{l}.{w}"),
+                StructInfo::tensor(vec![d.into(), d.into()], dt),
+            ));
+        }
+        params.push((
+            format!("d{l}.norm_x"),
+            StructInfo::tensor(vec![d.into()], dt),
+        ));
+        params.push((
+            format!("d{l}.norm2"),
+            StructInfo::tensor(vec![d.into()], dt),
+        ));
+        params.push((
+            format!("d{l}.w_up"),
+            StructInfo::tensor(vec![d.into(), config.ffn.into()], dt),
+        ));
+        params.push((
+            format!("d{l}.w_down"),
+            StructInfo::tensor(vec![config.ffn.into(), d.into()], dt),
+        ));
+    }
+    params.push((
+        "final_norm".to_string(),
+        StructInfo::tensor(vec![d.into()], dt),
+    ));
+
+    let mut mb = ModelBuilder::begin(IRModule::new(), "decode_paged", params.clone());
+    let tokens = mb.param("tokens")?;
+    let embed = mb.param("embed")?;
+    let mut x = mb.take(embed.clone(), tokens)?;
+    let mut cache = mb.param("kv_cache")?;
+    let be: PrimExpr = b.clone().into();
+
+    for l in 0..config.dec_layers {
+        // Causal self-attention over the paged cache.
+        let norm1 = mb.param(&format!("d{l}.norm1"))?;
+        let hn = mb.rms_norm(x.clone(), norm1)?;
+        let q = mb.matmul(hn.clone(), mb.param(&format!("d{l}.wq"))?)?;
+        let k = mb.matmul(hn.clone(), mb.param(&format!("d{l}.wk"))?)?;
+        let v = mb.matmul(hn, mb.param(&format!("d{l}.wv"))?)?;
+        let head1 = |mb: &mut ModelBuilder, t| -> Result<_, ModelError> {
+            let t = mb.reshape(t, vec![be.clone(), 1.into(), nh.into(), hd.into()])?;
+            mb.permute(t, &[0, 2, 1, 3])
+        };
+        let q = head1(&mut mb, q)?;
+        let k = head1(&mut mb, k)?;
+        let v = head1(&mut mb, v)?;
+        cache = mb.kv_append_paged(cache, k, 2 * l)?;
+        cache = mb.kv_append_paged(cache, v, 2 * l + 1)?;
+        let att = mb.kv_attention_paged(q, cache.clone(), 2 * l, 2 * l + 1, true)?;
+        let att = mb.permute(att, &[0, 2, 1, 3])?;
+        let att = mb.reshape(att, vec![be.clone(), 1.into(), d.into()])?;
+        let o = mb.matmul(att, mb.param(&format!("d{l}.wo"))?)?;
+        x = mb.add(x, o)?;
+
+        // Cross-attention over the precomputed encoder keys/values.
+        let norm_x = mb.param(&format!("d{l}.norm_x"))?;
+        let hx = mb.rms_norm(x.clone(), norm_x)?;
+        let cq = mb.matmul(hx, mb.param(&format!("d{l}.cq"))?)?;
+        let cq = head1(&mut mb, cq)?;
+        let ck = mb.param(&format!("d{l}.cross_k"))?;
+        let cv = mb.param(&format!("d{l}.cross_v"))?;
+        let catt = mb.attention(cq, ck, cv, scale, false)?;
+        let catt = mb.permute(catt, &[0, 2, 1, 3])?;
+        let catt = mb.reshape(catt, vec![be.clone(), 1.into(), d.into()])?;
+        let co = mb.matmul(catt, mb.param(&format!("d{l}.co"))?)?;
+        x = mb.add(x, co)?;
+
+        // Feed-forward.
+        let norm2 = mb.param(&format!("d{l}.norm2"))?;
+        let hn2 = mb.rms_norm(x.clone(), norm2)?;
+        let up = mb.matmul(hn2, mb.param(&format!("d{l}.w_up"))?)?;
+        let up = mb.gelu(up)?;
+        let down = mb.matmul(up, mb.param(&format!("d{l}.w_down"))?)?;
+        x = mb.add(x, down)?;
+    }
+    let final_norm = mb.param("final_norm")?;
+    let xn = mb.rms_norm(x, final_norm)?;
+    let embed_t = mb.permute(embed, &[1, 0])?;
+    let logits = mb.matmul(xn, embed_t)?;
+    let logits = mb.output(logits.into())?;
+    let cache_out = mb.output(cache.into())?;
+
+    let module = mb.finish(Expr::Tuple(vec![logits.into(), cache_out.into()]))?;
+    Ok(ModelIr {
+        module,
+        func: "decode_paged".into(),
+        params,
+        batch: b,
+        seq: kv_len,
+    })
+}
+
 /// Builds the once-per-utterance cross-attention projection: encoder
 /// states to the per-layer cross keys and values consumed by
 /// [`build_decoder_step`].
@@ -424,6 +567,19 @@ mod tests {
         assert!(relax_core::assert_well_formed(&enc.module).is_ok());
         let dec = build_decoder_step(&c).unwrap();
         assert!(relax_core::assert_well_formed(&dec.module).is_ok());
+        let paged = build_decoder_step_paged(&c).unwrap();
+        assert!(relax_core::assert_well_formed(&paged.module).is_ok());
+        let n_appends = paged
+            .module
+            .function("decode_paged")
+            .unwrap()
+            .bindings()
+            .filter(|b| {
+                matches!(&b.value, Expr::CallDps { func, .. }
+                    if func == "vm.builtin.kv_cache.append_paged")
+            })
+            .count();
+        assert_eq!(n_appends, 2 * c.dec_layers);
         let cross = build_cross_kv(&c).unwrap();
         assert!(relax_core::assert_well_formed(&cross.module).is_ok());
     }

@@ -322,18 +322,32 @@ fn lower_function(
                 for a in args {
                     arg_regs.push(ctx.expr_to_reg(a, PASS)?);
                 }
-                let (dsts, is_tuple) = ctx.alloc_outputs(out_sinfo, PASS)?;
-                ctx.instrs.push(Instr::CallLib {
-                    func: callee.clone(),
-                    args: arg_regs,
-                    dsts: dsts.clone(),
-                });
-                if is_tuple {
+                // KV-cache builtins are not destination-passing: the VM
+                // dispatches them on first-class handle values and writes
+                // the result (a handle or a view tensor) to a fresh
+                // register, so no output allocation happens here.
+                if callee.starts_with(relax_vm::KV_CACHE_PREFIX) {
                     let dst = ctx.fresh();
-                    ctx.instrs.push(Instr::MakeTuple { dst, items: dsts });
+                    ctx.instrs.push(Instr::CallBuiltin {
+                        func: callee.clone(),
+                        args: arg_regs,
+                        dst,
+                    });
                     dst
                 } else {
-                    dsts[0]
+                    let (dsts, is_tuple) = ctx.alloc_outputs(out_sinfo, PASS)?;
+                    ctx.instrs.push(Instr::CallLib {
+                        func: callee.clone(),
+                        args: arg_regs,
+                        dsts: dsts.clone(),
+                    });
+                    if is_tuple {
+                        let dst = ctx.fresh();
+                        ctx.instrs.push(Instr::MakeTuple { dst, items: dsts });
+                        dst
+                    } else {
+                        dsts[0]
+                    }
                 }
             }
             Expr::MatchCast { value, sinfo } => {

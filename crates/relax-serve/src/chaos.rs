@@ -24,6 +24,10 @@ use std::time::{Duration, Instant};
 use relax_vm::{Executable, FaultPlan, Value, Vm};
 
 use crate::engine::{OverloadPolicy, RetryPolicy, ServeConfig, ServeEngine, ServeError, Ticket};
+use crate::session::{
+    SessionConfig, SessionError, SessionManager, SessionModelSpec, SessionRequest, SessionStats,
+    SessionTicket,
+};
 use crate::telemetry::EngineReport;
 
 /// One chaos request: VM function name and arguments.
@@ -162,6 +166,15 @@ pub fn flatten_value(v: &Value) -> Vec<f64> {
             }
             Value::Shape(dims) => out.extend(dims.iter().map(|&d| d as f64)),
             Value::Prim(p) => out.push(*p as f64),
+            Value::KvCache(c) => {
+                // Gather every stream so survivors' paged caches are
+                // compared bitwise, pages and block tables included.
+                for s in 0..c.config().streams {
+                    if let Ok(t) = c.view(s) {
+                        out.extend(t.to_f64_vec());
+                    }
+                }
+            }
             Value::None | Value::Storage { .. } => {}
         }
     }
@@ -288,5 +301,183 @@ pub fn run_chaos(exec: Executable, workload: &[ChaosRequest], config: ChaosConfi
         scheduled_faults,
         availability: completed as f64 / submitted.max(1) as f64,
         report: engine.shutdown(),
+    }
+}
+
+/// Knobs for a **session** chaos run (the continuous-batching
+/// scheduler under worker panics and stalls mid-iteration).
+#[derive(Debug, Clone)]
+pub struct SessionChaosConfig {
+    /// RNG seed for the fault schedule.
+    pub seed: u64,
+    /// Worker faults to schedule across the run (panics and stalls,
+    /// alternating pseudo-randomly).
+    pub faults: usize,
+    /// Base manager configuration; its `faults` plan is replaced by
+    /// the generated schedule and `return_kv` is forced on so final
+    /// caches can be compared bitwise.
+    pub manager: SessionConfig,
+    /// Per-ticket resolution guard (bounds the harness, not the
+    /// scheduler).
+    pub guard: Duration,
+}
+
+impl Default for SessionChaosConfig {
+    fn default() -> Self {
+        SessionChaosConfig {
+            seed: 0x5E55_C4A0,
+            faults: 4,
+            manager: SessionConfig {
+                workers: 4,
+                max_attempts: 8,
+                stall: Duration::from_millis(50),
+                ..SessionConfig::default()
+            },
+            guard: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What a session chaos run observed.
+#[derive(Debug)]
+pub struct SessionChaosReport {
+    /// Sessions submitted.
+    pub submitted: u64,
+    /// Sessions that retired with their full token budget.
+    pub retired: u64,
+    /// Sessions resolved typed with an error (evicted / shed / failed).
+    pub errored: u64,
+    /// Tickets unresolved within the guard (invariant: zero).
+    pub unresolved: u64,
+    /// Retired sessions whose tokens or final KV differed bitwise from
+    /// the fault-free reference (invariant: zero).
+    pub mismatches: u64,
+    /// Faults the schedule injected.
+    pub scheduled_faults: u64,
+    /// `allocated == in_use + free` held on the shared pool after
+    /// shutdown (invariant: true).
+    pub pool_reconciles: bool,
+    /// Pages still `in_use` after every session resolved and the
+    /// manager shut down (invariant: zero — no leak through panics,
+    /// rollbacks or evictions).
+    pub pages_leaked: usize,
+    /// The faulty manager's final counters (`worker_panics` and
+    /// `rollbacks` show the faults actually bit).
+    pub stats: SessionStats,
+}
+
+/// Drives `workload` through a [`SessionManager`] twice — once
+/// fault-free on one worker to obtain reference tokens and final KV
+/// caches, once under a seeded schedule of worker panics and stalls
+/// fired **mid-iteration** (after a step's in-place appends landed,
+/// before its result was reported) — and checks the scheduler's
+/// invariants: retired sessions are bitwise equal to the reference,
+/// and the page pool reconciles with zero leaked pages after healing.
+pub fn run_session_chaos(
+    spec: SessionModelSpec,
+    workload: &[SessionRequest],
+    config: SessionChaosConfig,
+) -> SessionChaosReport {
+    silence_injected_panics();
+    let mut rng = Rng(config.seed);
+
+    let mut reference_cfg = config.manager.clone();
+    reference_cfg.workers = 1;
+    reference_cfg.faults = FaultPlan::new();
+    reference_cfg.return_kv = true;
+    let reference_mgr = SessionManager::new(spec.clone(), reference_cfg);
+    let tickets: Vec<SessionTicket> = workload
+        .iter()
+        .map(|r| reference_mgr.submit(r.clone()))
+        .collect();
+    let reference: Vec<Option<(Vec<i64>, Vec<f64>)>> = tickets
+        .into_iter()
+        .map(|t| {
+            t.wait().ok().map(|out| {
+                let kv: Vec<f64> = out
+                    .kv
+                    .iter()
+                    .flatten()
+                    .flat_map(|t| t.to_f64_vec())
+                    .collect();
+                (out.tokens, kv)
+            })
+        })
+        .collect();
+    let ref_stats = reference_mgr.shutdown();
+    // Steps the workload needs end to end; fault occurrences land in
+    // this range so they actually fire.
+    let total_steps = (ref_stats.prefills + ref_stats.decodes).max(1);
+
+    let mut faulty_cfg = config.manager.clone();
+    faulty_cfg.return_kv = true;
+    let mut plan = FaultPlan::new();
+    for _ in 0..config.faults {
+        let nth = 1 + rng.below(total_steps);
+        plan = if rng.below(2) == 0 {
+            plan.fail_worker_panic(nth)
+        } else {
+            plan.stall_worker(nth, faulty_cfg.stall)
+        };
+    }
+    let scheduled_faults = plan.len() as u64;
+    faulty_cfg.faults = plan;
+
+    let mgr = SessionManager::new(spec, faulty_cfg);
+    let pool = mgr.pool().clone();
+    let tickets: Vec<SessionTicket> = workload.iter().map(|r| mgr.submit(r.clone())).collect();
+
+    let mut retired = 0u64;
+    let mut errored = 0u64;
+    let mut unresolved = 0u64;
+    let mut mismatches = 0u64;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let started = Instant::now();
+        let resolution = loop {
+            if let Some(r) = ticket.try_wait() {
+                break Some(r);
+            }
+            if started.elapsed() > config.guard {
+                break None;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        match resolution {
+            Some(Ok(out)) => {
+                retired += 1;
+                let kv: Vec<f64> = out
+                    .kv
+                    .iter()
+                    .flatten()
+                    .flat_map(|t| t.to_f64_vec())
+                    .collect();
+                if reference[i] != Some((out.tokens, kv)) {
+                    mismatches += 1;
+                }
+            }
+            Some(Err(
+                SessionError::Evicted
+                | SessionError::DeadlineExceeded
+                | SessionError::ShuttingDown
+                | SessionError::Rejected(_)
+                | SessionError::RetriesExhausted(_)
+                | SessionError::Vm(_),
+            )) => errored += 1,
+            None => unresolved += 1,
+        }
+    }
+
+    let stats = mgr.shutdown();
+    let pool_stats = pool.stats();
+    SessionChaosReport {
+        submitted: workload.len() as u64,
+        retired,
+        errored,
+        unresolved,
+        mismatches,
+        scheduled_faults,
+        pool_reconciles: pool_stats.reconciles(),
+        pages_leaked: pool_stats.in_use,
+        stats,
     }
 }

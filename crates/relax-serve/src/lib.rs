@@ -32,6 +32,13 @@
 //! - **Overload control** — an optional [`OverloadPolicy`] adds
 //!   queue-depth watermarks: accept, then shed-lowest-deadline, then
 //!   reject-new ([`AdmissionLevel`]).
+//! - **Session serving** — [`SessionManager`] layers *stateful*
+//!   generation sessions on top: each session owns a paged KV cache on
+//!   a shared [`relax_vm::KvPagePool`], and a continuous-batching
+//!   scheduler admits and retires sessions between decode iterations,
+//!   interleaves prefill with decode, rolls failed steps back to their
+//!   pre-step cache lengths, and evicts the earliest-deadline session
+//!   under page-pool pressure.
 //! - **Chaos harness** — [`chaos`] drives a workload under seeded
 //!   random fault schedules and checks the engine's robustness
 //!   invariants (typed resolution, bitwise-correct survivors,
@@ -61,11 +68,16 @@
 pub mod chaos;
 mod engine;
 mod queue;
+mod session;
 mod supervisor;
 mod telemetry;
 
 pub use engine::{
     AdmissionLevel, OverloadPolicy, RetryOn, RetryPolicy, ServeConfig, ServeEngine, ServeError,
     Ticket,
+};
+pub use session::{
+    SessionConfig, SessionError, SessionManager, SessionModelSpec, SessionOutput, SessionRequest,
+    SessionStats, SessionTicket,
 };
 pub use telemetry::{EngineReport, EngineStats, LatencySummary, WorkerExit, WorkerReport};

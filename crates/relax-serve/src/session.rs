@@ -1,0 +1,1069 @@
+//! Session-centric serving: a [`SessionManager`] runs many generation
+//! sessions over one shared paged KV-cache pool with **continuous
+//! (iteration-level) batching**.
+//!
+//! The request-oriented [`crate::ServeEngine`] treats every submission
+//! as an independent stateless call. Generation workloads are stateful:
+//! a *session* is a prompt, a growing paged KV cache and a token
+//! budget, and its decode steps must interleave with other sessions'
+//! steps so short requests are not stuck behind long ones. The
+//! scheduler here runs an iteration loop:
+//!
+//! 1. **Admit** pending sessions into the running set (up to
+//!    `max_running`), creating each one's [`KvCache`] on the shared
+//!    [`KvPagePool`].
+//! 2. **Shed** sessions whose deadline passed while queued or running.
+//! 3. **Dispatch** one step per running session to the worker pool —
+//!    a prefill step (whole prompt prefix through the copy-based
+//!    prefill function, bit-copied into pages) or a decode step (one
+//!    token through the paged `decode_paged` function, appending in
+//!    place) — prefill and decode interleave freely in one iteration.
+//! 4. **Collect** the results and advance, retire, retry or fail each
+//!    session; under page-pool pressure, **evict** the
+//!    earliest-deadline session and roll the losers back to their
+//!    pre-step lengths (`KvCache::truncate_to`), so no step is ever
+//!    half-applied.
+//!
+//! Workers are persistent threads that contain panics with
+//! `catch_unwind`, rebuild their VMs after a panic, and report typed
+//! step outcomes; the page pool's `allocated == in_use + free`
+//! invariant is preserved through every panic, stall, eviction and
+//! rollback (the chaos harness asserts it).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use relax_arith::DataType;
+use relax_tir::NDArray;
+use relax_vm::registry::Registry;
+use relax_vm::{
+    Executable, FaultInjector, FaultPlan, FaultSite, KvCache, KvCacheConfig, KvPagePool,
+    KvPageStats, SharedPlanCache, Value, Vm, VmError, VmErrorKind,
+};
+
+use crate::engine::lock;
+use crate::supervisor::panic_message;
+
+/// The compiled model a [`SessionManager`] serves.
+///
+/// `decode` must contain a function taking
+/// `(tokens (1,1) i64, kv_cache handle, weights...)` and returning
+/// `(logits, handle)` — see `relax_models::llama::build_decode_paged`.
+/// `prefill`, when present, takes `(tokens (1,s) i64, weights...)` and
+/// returns the per-stream K/V tensors to seed the cache; without it,
+/// prompts are fed one token at a time through the decode function.
+#[derive(Clone)]
+pub struct SessionModelSpec {
+    /// Executable holding the paged decode function.
+    pub decode: Arc<Executable>,
+    /// Name of the paged decode function.
+    pub decode_func: String,
+    /// Executable holding the prefill function, if any.
+    pub prefill: Option<Arc<Executable>>,
+    /// Name of the prefill function.
+    pub prefill_func: String,
+    /// Weight arguments, in parameter order after the token/cache
+    /// parameters (shared by prefill and decode).
+    pub weights: Vec<Value>,
+    /// Geometry of every session's cache (`batch` must be 1).
+    pub cache: KvCacheConfig,
+}
+
+/// One generation request: a prompt and a token budget.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// Prompt token ids (must be non-empty).
+    pub prompt: Vec<i64>,
+    /// Number of tokens to generate.
+    pub max_new_tokens: usize,
+    /// Relative deadline; `None` uses the manager default. Sessions
+    /// past their deadline are shed, and the *earliest* deadline is
+    /// evicted first under page-pool pressure.
+    pub deadline: Option<Duration>,
+}
+
+/// A finished session.
+#[derive(Debug, Clone)]
+pub struct SessionOutput {
+    /// The scheduler-assigned session id.
+    pub session: u64,
+    /// Greedy-decoded (argmax) generated tokens.
+    pub tokens: Vec<i64>,
+    /// Final per-stream KV tensors gathered from the pages, when the
+    /// manager was configured with `return_kv` (differential tests
+    /// compare these bitwise against the copy-based oracle).
+    pub kv: Option<Vec<NDArray>>,
+}
+
+/// Why a session did not finish.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Evicted under page-pool pressure (earliest deadline first).
+    Evicted,
+    /// The deadline passed before generation finished.
+    DeadlineExceeded,
+    /// The manager shut down first.
+    ShuttingDown,
+    /// The request was malformed (empty prompt).
+    Rejected(String),
+    /// The retry budget was exhausted (repeated worker panics or
+    /// unresolvable pool pressure).
+    RetriesExhausted(String),
+    /// A deterministic VM failure.
+    Vm(VmError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Evicted => write!(f, "session evicted under page-pool pressure"),
+            SessionError::DeadlineExceeded => write!(f, "session deadline exceeded"),
+            SessionError::ShuttingDown => write!(f, "session manager is shutting down"),
+            SessionError::Rejected(why) => write!(f, "session rejected: {why}"),
+            SessionError::RetriesExhausted(why) => write!(f, "session retries exhausted: {why}"),
+            SessionError::Vm(e) => write!(f, "session failed in the VM: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Tuning and fault-injection knobs for a [`SessionManager`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Worker threads executing steps.
+    pub workers: usize,
+    /// Tokens per KV page.
+    pub page_tokens: usize,
+    /// Page-pool capacity in pages (`usize::MAX` = unbounded).
+    pub pool_pages: usize,
+    /// Maximum sessions in the running set; the rest wait admission.
+    pub max_running: usize,
+    /// Consecutive failed attempts (panic or pool pressure) a session
+    /// survives before it is failed.
+    pub max_attempts: u32,
+    /// Deadline applied when a request does not carry one.
+    pub default_deadline: Duration,
+    /// Gather final KV views into every [`SessionOutput`].
+    pub return_kv: bool,
+    /// Deterministic fault schedule (chaos testing): VM sites are
+    /// injected into every worker's decode VM, serving sites
+    /// (`WorkerPanic` / `WorkerStall`) fire across the worker pool.
+    pub faults: FaultPlan,
+    /// How long an injected `WorkerStall` sleeps.
+    pub stall: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            workers: 4,
+            page_tokens: 16,
+            pool_pages: usize::MAX,
+            max_running: 32,
+            max_attempts: 3,
+            default_deadline: Duration::from_secs(30),
+            return_kv: false,
+            faults: FaultPlan::new(),
+            stall: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Monotonic scheduler counters (a consistent-enough snapshot; each
+/// field is individually atomic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions submitted.
+    pub submitted: u64,
+    /// Sessions admitted into the running set.
+    pub admitted: u64,
+    /// Sessions that produced their full token budget.
+    pub retired: u64,
+    /// Sessions evicted under page-pool pressure.
+    pub evicted: u64,
+    /// Sessions failed (VM error, rejection, retries exhausted).
+    pub failed: u64,
+    /// Sessions shed on deadline.
+    pub shed: u64,
+    /// Scheduler iterations executed.
+    pub iterations: u64,
+    /// Prefill steps executed successfully.
+    pub prefills: u64,
+    /// Decode steps executed successfully.
+    pub decodes: u64,
+    /// Generated tokens across all sessions.
+    pub tokens: u64,
+    /// Pre-step-length rollbacks (after panics or pool pressure).
+    pub rollbacks: u64,
+    /// Worker panics contained and healed.
+    pub worker_panics: u64,
+    /// Peak pages in use observed at iteration boundaries.
+    pub peak_pages_in_use: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    retired: AtomicU64,
+    evicted: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    iterations: AtomicU64,
+    prefills: AtomicU64,
+    decodes: AtomicU64,
+    tokens: AtomicU64,
+    rollbacks: AtomicU64,
+    worker_panics: AtomicU64,
+    peak_pages_in_use: AtomicU64,
+}
+
+impl Counters {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn peak(&self, in_use: u64) {
+        self.peak_pages_in_use
+            .fetch_max(in_use, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            retired: self.retired.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            iterations: self.iterations.load(Ordering::Relaxed),
+            prefills: self.prefills.load(Ordering::Relaxed),
+            decodes: self.decodes.load(Ordering::Relaxed),
+            tokens: self.tokens.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            peak_pages_in_use: self.peak_pages_in_use.load(Ordering::Relaxed),
+        }
+    }
+}
+
+type SessionResult = Result<SessionOutput, SessionError>;
+type SessionSlot = Arc<(Mutex<Option<SessionResult>>, Condvar)>;
+
+/// A handle to one submitted session.
+pub struct SessionTicket {
+    id: u64,
+    slot: SessionSlot,
+}
+
+impl SessionTicket {
+    /// The scheduler-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the session resolves.
+    pub fn wait(self) -> SessionResult {
+        let (m, cv) = &*self.slot;
+        let mut g = lock(m);
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Returns the result if the session already resolved.
+    pub fn try_wait(&self) -> Option<SessionResult> {
+        lock(&self.slot.0).take()
+    }
+}
+
+fn resolve(slot: &SessionSlot, result: SessionResult) {
+    let (m, cv) = &**slot;
+    let mut g = lock(m);
+    if g.is_none() {
+        *g = Some(result);
+    }
+    cv.notify_all();
+}
+
+/// What one dispatched step asks a worker to do.
+enum StepKind {
+    /// Run the prefill function over these prompt tokens and bit-copy
+    /// the resulting K/V tensors into the session's pages.
+    Prefill(Vec<i64>),
+    /// Run the paged decode function on this input token.
+    Decode(i64),
+}
+
+struct Job {
+    session: u64,
+    kind: StepKind,
+    cache: KvCache,
+    /// Per-stream lengths before this step; the scheduler rolls the
+    /// cache back to these on any failure so no step is half-applied.
+    pre_lens: Vec<usize>,
+    /// The session's async span, so worker-side step spans (and the
+    /// kernel spans the VM opens under them) nest session → step →
+    /// kernel.
+    parent: relax_trace::SpanId,
+}
+
+enum StepOutcome {
+    /// Prefill landed; this many prompt tokens are now in the cache.
+    Prefilled(usize),
+    /// Decode landed; argmax over the logits chose this token.
+    Decoded(i64),
+    /// The page pool refused an acquire (retryable after eviction).
+    PoolExhausted(String),
+    /// The worker panicked mid-step and healed itself.
+    Panicked(String),
+    /// A deterministic VM failure.
+    Failed(VmError),
+}
+
+struct JobResult {
+    session: u64,
+    pre_lens: Vec<usize>,
+    outcome: StepOutcome,
+}
+
+struct JobQueue {
+    q: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+/// One live session inside the scheduler.
+struct Session {
+    id: u64,
+    prompt: Vec<i64>,
+    max_new: usize,
+    deadline: Instant,
+    submitted: Instant,
+    slot: SessionSlot,
+    cache: KvCache,
+    /// Prompt/generated tokens already consumed by the model.
+    fed: usize,
+    generated: Vec<i64>,
+    /// Consecutive failed attempts at the current step.
+    attempts: u32,
+    span: relax_trace::SpanId,
+}
+
+impl Session {
+    /// The token the next decode step feeds (teacher-forcing through
+    /// the prompt, then the session's own generations).
+    fn next_token(&self) -> i64 {
+        if self.fed < self.prompt.len() {
+            self.prompt[self.fed]
+        } else {
+            self.generated[self.fed - self.prompt.len()]
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.generated.len() >= self.max_new
+    }
+}
+
+struct PendingSession {
+    id: u64,
+    request: SessionRequest,
+    submitted: Instant,
+    slot: SessionSlot,
+}
+
+struct Shared {
+    pending: Mutex<VecDeque<PendingSession>>,
+    wake: Condvar,
+    stopping: AtomicBool,
+    counters: Counters,
+    pool: Arc<KvPagePool>,
+    /// Wall time of each scheduler iteration, nanoseconds.
+    iteration_ns: Mutex<Vec<u64>>,
+    /// Completion latency (submit → resolve) of each finished session.
+    completion_ns: Mutex<Vec<u64>>,
+}
+
+/// Continuous-batching scheduler over paged KV caches.
+///
+/// See the module docs for the iteration loop. Construction spawns the
+/// scheduler and worker threads; [`SessionManager::shutdown`] (or drop)
+/// resolves everything still queued with
+/// [`SessionError::ShuttingDown`] and joins them.
+pub struct SessionManager {
+    shared: Arc<Shared>,
+    jobs: Arc<JobQueue>,
+    next_id: AtomicU64,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SessionManager {
+    /// Spawns the scheduler and `config.workers` worker threads.
+    pub fn new(spec: SessionModelSpec, config: SessionConfig) -> Self {
+        let pool = Arc::new(KvPagePool::with_capacity(
+            config.page_tokens,
+            config.pool_pages,
+        ));
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            counters: Counters::default(),
+            pool: pool.clone(),
+            iteration_ns: Mutex::new(Vec::new()),
+            completion_ns: Mutex::new(Vec::new()),
+        });
+        let jobs = Arc::new(JobQueue {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        });
+        let (tx, rx) = channel::<JobResult>();
+
+        let registry = Arc::new(Registry::new());
+        let decode_cache = SharedPlanCache::new(64);
+        let prefill_cache = SharedPlanCache::new(64);
+        let (vm_plan, serve_plan) = config.faults.clone().split_serving();
+        let serve_faults = Arc::new(Mutex::new(FaultInjector::new(serve_plan)));
+        let spec = Arc::new(spec);
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let ctx = WorkerCtx {
+                spec: spec.clone(),
+                registry: registry.clone(),
+                decode_cache: decode_cache.clone(),
+                prefill_cache: prefill_cache.clone(),
+                pool: pool.clone(),
+                vm_plan: vm_plan.clone(),
+                serve_faults: serve_faults.clone(),
+                stall: config.stall,
+                shared: shared.clone(),
+                jobs: jobs.clone(),
+                results: tx.clone(),
+            };
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("relax-session-worker-{i}"))
+                    .spawn(move || worker_loop(ctx))
+                    .expect("spawn session worker"),
+            );
+        }
+        drop(tx);
+
+        let sched_shared = shared.clone();
+        let sched_jobs = jobs.clone();
+        let sched_config = config.clone();
+        let sched_spec = spec;
+        let scheduler = thread::Builder::new()
+            .name("relax-session-scheduler".into())
+            .spawn(move || scheduler_loop(sched_shared, sched_jobs, rx, sched_spec, sched_config))
+            .expect("spawn session scheduler");
+
+        SessionManager {
+            shared,
+            jobs,
+            next_id: AtomicU64::new(0),
+            scheduler: Some(scheduler),
+            workers,
+        }
+    }
+
+    /// Submits a session; the ticket resolves when it retires, is
+    /// evicted, shed, or fails.
+    pub fn submit(&self, request: SessionRequest) -> SessionTicket {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot: SessionSlot = Arc::new((Mutex::new(None), Condvar::new()));
+        if self.shared.stopping.load(Ordering::Acquire) {
+            resolve(&slot, Err(SessionError::ShuttingDown));
+            return SessionTicket { id, slot };
+        }
+        Counters::bump(&self.shared.counters.submitted);
+        let mut pending = lock(&self.shared.pending);
+        pending.push_back(PendingSession {
+            id,
+            request,
+            submitted: Instant::now(),
+            slot: slot.clone(),
+        });
+        drop(pending);
+        self.shared.wake.notify_all();
+        SessionTicket { id, slot }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SessionStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// The shared page pool (tests assert its accounting reconciles).
+    pub fn pool(&self) -> &Arc<KvPagePool> {
+        &self.shared.pool
+    }
+
+    /// Page-pool accounting snapshot.
+    pub fn pool_stats(&self) -> KvPageStats {
+        self.shared.pool.stats()
+    }
+
+    /// Wall time of every scheduler iteration so far, nanoseconds.
+    pub fn iteration_latencies_ns(&self) -> Vec<u64> {
+        lock(&self.shared.iteration_ns).clone()
+    }
+
+    /// Submit-to-resolve latency of every finished session so far,
+    /// nanoseconds.
+    pub fn completion_latencies_ns(&self) -> Vec<u64> {
+        lock(&self.shared.completion_ns).clone()
+    }
+
+    fn stop(&mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+        self.jobs.cv.notify_all();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        // The scheduler is gone; make sure idle workers see `stopping`.
+        self.jobs.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops the scheduler and workers (pending and running sessions
+    /// resolve with [`SessionError::ShuttingDown`]) and returns the
+    /// final counters.
+    pub fn shutdown(mut self) -> SessionStats {
+        self.stop();
+        self.shared.counters.snapshot()
+    }
+}
+
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+struct WorkerCtx {
+    spec: Arc<SessionModelSpec>,
+    registry: Arc<Registry>,
+    decode_cache: SharedPlanCache,
+    prefill_cache: SharedPlanCache,
+    pool: Arc<KvPagePool>,
+    vm_plan: FaultPlan,
+    serve_faults: Arc<Mutex<FaultInjector>>,
+    stall: Duration,
+    shared: Arc<Shared>,
+    jobs: Arc<JobQueue>,
+    results: Sender<JobResult>,
+}
+
+struct WorkerVms {
+    decode: Vm,
+    prefill: Option<Vm>,
+}
+
+fn build_vms(ctx: &WorkerCtx) -> WorkerVms {
+    let mut decode = Vm::from_parts(
+        ctx.spec.decode.clone(),
+        ctx.registry.clone(),
+        ctx.decode_cache.clone(),
+    );
+    decode.set_kv_pool(ctx.pool.clone());
+    decode.inject_faults(ctx.vm_plan.clone());
+    let prefill = ctx.spec.prefill.as_ref().map(|exec| {
+        let mut vm = Vm::from_parts(exec.clone(), ctx.registry.clone(), ctx.prefill_cache.clone());
+        vm.set_kv_pool(ctx.pool.clone());
+        vm
+    });
+    WorkerVms { decode, prefill }
+}
+
+/// Classifies a VM error: page-pool exhaustion is retryable after the
+/// scheduler frees pages; everything else is deterministic.
+fn classify(e: VmError) -> StepOutcome {
+    if let VmErrorKind::Kernel(k) = &e.kind {
+        if k.detail.contains("kv page pool exhausted") {
+            return StepOutcome::PoolExhausted(k.detail.clone());
+        }
+    }
+    StepOutcome::Failed(e)
+}
+
+fn argmax(logits: &NDArray) -> i64 {
+    let vals = logits.to_f64_vec();
+    let mut best = 0usize;
+    let mut best_val = f64::NEG_INFINITY;
+    for (i, &v) in vals.iter().enumerate() {
+        if v > best_val {
+            best_val = v;
+            best = i;
+        }
+    }
+    best as i64
+}
+
+/// Runs one step body. Called inside `catch_unwind`; an injected
+/// `WorkerPanic` fault fires *after* the VM ran — the appends have
+/// landed, the report is lost — which is exactly the mid-iteration
+/// crash the rollback path must absorb.
+fn run_step(vms: &mut WorkerVms, ctx: &WorkerCtx, job: &Job) -> StepOutcome {
+    let sp = relax_trace::span_under("serve", Some(job.parent), || match &job.kind {
+        StepKind::Prefill(tokens) => format!("prefill:{}", tokens.len()),
+        StepKind::Decode(_) => "decode".to_string(),
+    });
+    let phase = match &job.kind {
+        StepKind::Prefill(_) => relax_trace::SessionPhase::Prefill,
+        StepKind::Decode(_) => relax_trace::SessionPhase::Decode,
+    };
+    if let Some(fired) = lock(&ctx.serve_faults).check(FaultSite::WorkerStall) {
+        thread::sleep(fired.stall.unwrap_or(ctx.stall));
+    }
+    let outcome = match &job.kind {
+        StepKind::Prefill(tokens) => {
+            let t = NDArray::from_i64(&[1, tokens.len()], DataType::I64, tokens.clone())
+                .expect("prefill token tensor");
+            let mut args = vec![Value::Tensor(t)];
+            args.extend(ctx.spec.weights.iter().cloned());
+            let vm = vms.prefill.as_mut().expect("prefill job without prefill VM");
+            match vm.run(&ctx.spec.prefill_func, &args) {
+                Ok(out) => {
+                    let items = match out.as_tuple() {
+                        Some(items) => items.to_vec(),
+                        None => vec![out],
+                    };
+                    let mut failed = None;
+                    for (stream, item) in items.iter().enumerate() {
+                        let tensor = match item.as_tensor() {
+                            Some(t) => t,
+                            None => {
+                                failed = Some(StepOutcome::Failed(VmError::new(
+                                    VmErrorKind::TypeMismatch {
+                                        expected: "tensor",
+                                        actual: item.kind(),
+                                    },
+                                )));
+                                break;
+                            }
+                        };
+                        if let Err(e) = job.cache.append(stream, tensor) {
+                            failed = Some(classify(VmError::new(VmErrorKind::Kernel(e))));
+                            break;
+                        }
+                    }
+                    failed.unwrap_or(StepOutcome::Prefilled(tokens.len()))
+                }
+                Err(e) => classify(e),
+            }
+        }
+        StepKind::Decode(token) => {
+            let t = NDArray::from_i64(&[1, 1], DataType::I64, vec![*token])
+                .expect("decode token tensor");
+            let mut args = vec![Value::Tensor(t), Value::KvCache(job.cache.clone())];
+            args.extend(ctx.spec.weights.iter().cloned());
+            match vms.decode.run(&ctx.spec.decode_func, &args) {
+                Ok(out) => match out.as_tuple().and_then(|items| items.first()) {
+                    Some(Value::Tensor(logits)) => StepOutcome::Decoded(argmax(logits)),
+                    _ => StepOutcome::Failed(VmError::new(VmErrorKind::TypeMismatch {
+                        expected: "tuple of (logits, kv_cache)",
+                        actual: out.kind(),
+                    })),
+                },
+                Err(e) => classify(e),
+            }
+        }
+    };
+    sp.finish_with(|| relax_trace::Payload::Session {
+        session: job.session,
+        phase,
+    });
+    if lock(&ctx.serve_faults).check(FaultSite::WorkerPanic).is_some() {
+        panic!("injected worker panic");
+    }
+    outcome
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    let mut vms = build_vms(&ctx);
+    loop {
+        let job = {
+            let mut q = lock(&ctx.jobs.q);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if ctx.shared.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                q = ctx.jobs.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let session = job.session;
+        let pre_lens = job.pre_lens.clone();
+        let outcome =
+            match panic::catch_unwind(AssertUnwindSafe(|| run_step(&mut vms, &ctx, &job))) {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    Counters::bump(&ctx.shared.counters.worker_panics);
+                    // Heal: a panic may have left the VMs' internal
+                    // state inconsistent, so rebuild them in place.
+                    vms = build_vms(&ctx);
+                    StepOutcome::Panicked(panic_message(payload))
+                }
+            };
+        // Drop the job — and with it this worker's KV-cache handle —
+        // *before* publishing the result. Once the scheduler has
+        // received every result of an iteration, no worker-side cache
+        // clone can pin pages, so eviction decisions see the true pool
+        // occupancy. (Dropping after `send` leaves a window where a
+        // preempted worker starves the pool through an entire retry
+        // budget on a loaded host.)
+        drop(job);
+        if ctx
+            .results
+            .send(JobResult {
+                session,
+                pre_lens,
+                outcome,
+            })
+            .is_err()
+        {
+            return; // Scheduler is gone.
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler side
+// ---------------------------------------------------------------------
+
+fn finish(
+    shared: &Shared,
+    s: Session,
+    result: SessionResult,
+    phase: relax_trace::SessionPhase,
+    counter: &AtomicU64,
+) {
+    Counters::bump(counter);
+    lock(&shared.completion_ns).push(s.submitted.elapsed().as_nanos() as u64);
+    relax_trace::async_end("serve", "session", s.span, || relax_trace::Payload::Session {
+        session: s.id,
+        phase,
+    });
+    resolve(&s.slot, result);
+    // Dropping the session drops its cache handle, which releases its
+    // pages back to the pool.
+}
+
+fn scheduler_loop(
+    shared: Arc<Shared>,
+    jobs: Arc<JobQueue>,
+    results: Receiver<JobResult>,
+    spec: Arc<SessionModelSpec>,
+    config: SessionConfig,
+) {
+    let mut running: Vec<Session> = Vec::new();
+    loop {
+        if shared.stopping.load(Ordering::Acquire) {
+            for s in running.drain(..) {
+                finish(
+                    &shared,
+                    s,
+                    Err(SessionError::ShuttingDown),
+                    relax_trace::SessionPhase::Fail,
+                    &shared.counters.failed,
+                );
+            }
+            let mut pending = lock(&shared.pending);
+            for p in pending.drain(..) {
+                resolve(&p.slot, Err(SessionError::ShuttingDown));
+                Counters::bump(&shared.counters.failed);
+            }
+            return;
+        }
+
+        // Admit pending sessions into the running set.
+        {
+            let mut pending = lock(&shared.pending);
+            while running.len() < config.max_running.max(1) {
+                let Some(p) = pending.pop_front() else { break };
+                drop(pending);
+                admit(&shared, &spec, &config, &mut running, p);
+                pending = lock(&shared.pending);
+            }
+            // Nothing to do: sleep until a submit or shutdown wakes us.
+            if running.is_empty() {
+                if pending.is_empty() && !shared.stopping.load(Ordering::Acquire) {
+                    let _ = shared
+                        .wake
+                        .wait_timeout(pending, Duration::from_millis(20));
+                }
+                continue;
+            }
+        }
+
+        // Shed sessions whose deadline passed.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < running.len() {
+            if now >= running[i].deadline {
+                let s = running.swap_remove(i);
+                finish(
+                    &shared,
+                    s,
+                    Err(SessionError::DeadlineExceeded),
+                    relax_trace::SessionPhase::Fail,
+                    &shared.counters.shed,
+                );
+            } else {
+                i += 1;
+            }
+        }
+        if running.is_empty() {
+            continue;
+        }
+
+        // Dispatch one step per running session (prefill and decode
+        // interleave within the iteration) and collect every result.
+        let iter_span = relax_trace::span("serve", || format!("iteration:{}", running.len()));
+        let started = Instant::now();
+        let mut dispatched = 0usize;
+        {
+            let mut q = lock(&jobs.q);
+            for s in &running {
+                let kind = if s.fed == 0 && s.prompt.len() > 1 && spec.prefill.is_some() {
+                    StepKind::Prefill(s.prompt[..s.prompt.len() - 1].to_vec())
+                } else {
+                    StepKind::Decode(s.next_token())
+                };
+                q.push_back(Job {
+                    session: s.id,
+                    kind,
+                    cache: s.cache.clone(),
+                    pre_lens: s.cache.lens(),
+                    parent: s.span,
+                });
+                dispatched += 1;
+            }
+        }
+        jobs.cv.notify_all();
+
+        let mut outcomes: HashMap<u64, JobResult> = HashMap::with_capacity(dispatched);
+        for _ in 0..dispatched {
+            match results.recv() {
+                Ok(r) => {
+                    outcomes.insert(r.session, r);
+                }
+                Err(_) => break, // All workers died; shutdown path handles it.
+            }
+        }
+        Counters::bump(&shared.counters.iterations);
+        lock(&shared.iteration_ns).push(started.elapsed().as_nanos() as u64);
+
+        // Advance, retire, retry or fail each session.
+        let mut pressure = false;
+        let mut i = 0;
+        while i < running.len() {
+            let id = running[i].id;
+            let Some(result) = outcomes.remove(&id) else {
+                i += 1;
+                continue;
+            };
+            let s = &mut running[i];
+            let mut remove: Option<(SessionResult, relax_trace::SessionPhase, bool)> = None;
+            match result.outcome {
+                StepOutcome::Prefilled(fed) => {
+                    s.attempts = 0;
+                    s.fed = fed;
+                    Counters::bump(&shared.counters.prefills);
+                }
+                StepOutcome::Decoded(next) => {
+                    s.attempts = 0;
+                    s.fed += 1;
+                    Counters::bump(&shared.counters.decodes);
+                    if s.fed >= s.prompt.len() {
+                        s.generated.push(next);
+                        Counters::bump(&shared.counters.tokens);
+                    }
+                    if s.done() {
+                        let kv = if config.return_kv {
+                            gather_kv(&s.cache)
+                        } else {
+                            None
+                        };
+                        remove = Some((
+                            Ok(SessionOutput {
+                                session: s.id,
+                                tokens: std::mem::take(&mut s.generated),
+                                kv,
+                            }),
+                            relax_trace::SessionPhase::Retire,
+                            true,
+                        ));
+                    }
+                }
+                StepOutcome::PoolExhausted(detail) => {
+                    rollback(&shared, s, &result.pre_lens);
+                    s.attempts += 1;
+                    pressure = true;
+                    if s.attempts > config.max_attempts {
+                        remove = Some((
+                            Err(SessionError::RetriesExhausted(detail)),
+                            relax_trace::SessionPhase::Fail,
+                            false,
+                        ));
+                    }
+                }
+                StepOutcome::Panicked(msg) => {
+                    rollback(&shared, s, &result.pre_lens);
+                    s.attempts += 1;
+                    if s.attempts > config.max_attempts {
+                        remove = Some((
+                            Err(SessionError::RetriesExhausted(msg)),
+                            relax_trace::SessionPhase::Fail,
+                            false,
+                        ));
+                    }
+                }
+                StepOutcome::Failed(e) => {
+                    rollback(&shared, s, &result.pre_lens);
+                    remove = Some((
+                        Err(SessionError::Vm(e)),
+                        relax_trace::SessionPhase::Fail,
+                        false,
+                    ));
+                }
+            }
+            match remove {
+                Some((result, phase, retired)) => {
+                    let s = running.swap_remove(i);
+                    let counter = if retired {
+                        &shared.counters.retired
+                    } else {
+                        &shared.counters.failed
+                    };
+                    finish(&shared, s, result, phase, counter);
+                }
+                None => i += 1,
+            }
+        }
+
+        // Page-pool pressure: evict the earliest-deadline session so
+        // the losers' retries can make progress next iteration. Never
+        // evict the last running session — its failed step already
+        // rolled back, so evicting it frees nothing its own retry
+        // would not see; if it alone exceeds the pool, the attempt
+        // budget fails it with a typed `RetriesExhausted` instead.
+        if pressure && running.len() > 1 {
+            let victim = running
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.deadline)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let s = running.swap_remove(victim);
+            finish(
+                &shared,
+                s,
+                Err(SessionError::Evicted),
+                relax_trace::SessionPhase::Evict,
+                &shared.counters.evicted,
+            );
+        }
+
+        shared.counters.peak(shared.pool.stats().in_use as u64);
+        iter_span.finish();
+    }
+}
+
+fn admit(
+    shared: &Shared,
+    spec: &SessionModelSpec,
+    config: &SessionConfig,
+    running: &mut Vec<Session>,
+    p: PendingSession,
+) {
+    if p.request.prompt.is_empty() {
+        resolve(
+            &p.slot,
+            Err(SessionError::Rejected("empty prompt".to_string())),
+        );
+        Counters::bump(&shared.counters.failed);
+        return;
+    }
+    let deadline = p.submitted + p.request.deadline.unwrap_or(config.default_deadline);
+    let cache = KvCache::new(spec.cache, shared.pool.clone());
+    let span = relax_trace::async_begin("serve", "session", || relax_trace::Payload::Session {
+        session: p.id,
+        phase: relax_trace::SessionPhase::Admit,
+    });
+    Counters::bump(&shared.counters.admitted);
+    let s = Session {
+        id: p.id,
+        prompt: p.request.prompt,
+        max_new: p.request.max_new_tokens,
+        deadline,
+        submitted: p.submitted,
+        slot: p.slot,
+        cache,
+        fed: 0,
+        generated: Vec::new(),
+        attempts: 0,
+        span,
+    };
+    if s.max_new == 0 {
+        finish(
+            shared,
+            s,
+            Ok(SessionOutput {
+                session: p.id,
+                tokens: Vec::new(),
+                kv: None,
+            }),
+            relax_trace::SessionPhase::Retire,
+            &shared.counters.retired,
+        );
+        return;
+    }
+    running.push(s);
+}
+
+fn rollback(shared: &Shared, s: &Session, pre_lens: &[usize]) {
+    Counters::bump(&shared.counters.rollbacks);
+    // `truncate_to` never grows; it only sheds this step's partial
+    // appends and releases now-empty tail pages.
+    if s.cache.truncate_to(pre_lens).is_err() {
+        // Length mismatch can only mean the job raced a config error;
+        // drop the whole cache state instead of leaving partials.
+        let zeros = vec![0; s.cache.lens().len()];
+        let _ = s.cache.truncate_to(&zeros);
+    }
+}
+
+fn gather_kv(cache: &KvCache) -> Option<Vec<NDArray>> {
+    let streams = cache.config().streams;
+    let mut out = Vec::with_capacity(streams);
+    for s in 0..streams {
+        match cache.view(s) {
+            Ok(t) => out.push(t),
+            Err(_) => return None,
+        }
+    }
+    Some(out)
+}

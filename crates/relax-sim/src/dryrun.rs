@@ -17,6 +17,15 @@ use relax_vm::{Executable, Instr, VmFunction};
 use crate::cost::{kernel_time, KernelClass};
 use crate::device::DeviceSpec;
 
+/// Page granularity assumed for paged KV caches — matches the VM's
+/// default page size (`relax_vm::KvPagePool`).
+const KV_PAGE_TOKENS: i64 = 16;
+
+/// Pages needed to hold `len` tokens at [`KV_PAGE_TOKENS`] granularity.
+fn kv_pages(len: i64) -> i64 {
+    (len.max(0) + KV_PAGE_TOKENS - 1) / KV_PAGE_TOKENS
+}
+
 /// A runtime value tracked at the shape level.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimValue {
@@ -35,6 +44,21 @@ pub enum SimValue {
     Shape(Vec<i64>),
     /// A storage block.
     Storage(usize),
+    /// A paged KV-cache handle: per-stream logical token counts plus
+    /// the fixed geometry, tracked so paged-append builtins can be
+    /// charged for the appended slice only.
+    KvCache {
+        /// Logical token count per stream.
+        streams: Vec<i64>,
+        /// Batch dimension.
+        batch: i64,
+        /// KV head count.
+        heads: i64,
+        /// Head dimension.
+        head_dim: i64,
+        /// Element dtype.
+        dtype: DataType,
+    },
 }
 
 impl SimValue {
@@ -49,6 +73,20 @@ impl SimValue {
                 dims.iter().product::<i64>().max(0) as f64 * dtype.size_bytes() as f64
             }
             SimValue::Tuple(items) => items.iter().map(SimValue::byte_size).sum(),
+            SimValue::KvCache {
+                streams,
+                batch,
+                heads,
+                head_dim,
+                dtype,
+            } => {
+                // Resident bytes are whole pages, not logical tokens.
+                let row = (batch * heads * head_dim).max(0) as f64 * dtype.size_bytes() as f64;
+                streams
+                    .iter()
+                    .map(|&len| (kv_pages(len) * KV_PAGE_TOKENS) as f64 * row)
+                    .sum()
+            }
             _ => 0.0,
         }
     }
@@ -447,16 +485,23 @@ fn exec_instrs(
                 let (flops, bytes) = lib_cost(func, args, dsts, regs)?;
                 report.add_kernel(device, KernelClass::Library, flops, bytes, !in_replay);
             }
-            Instr::CallBuiltin { args, dst, .. } => {
-                // Host-side builtin: charge the data movement only; the
-                // output is pessimistically as large as the input.
-                let input = args
-                    .first()
-                    .map(|r| regs[*r].clone())
-                    .unwrap_or(SimValue::None);
-                let bytes = input.byte_size();
-                report.add_kernel(device, KernelClass::Generated, 0.0, 2.0 * bytes, !in_replay);
-                regs[*dst] = input;
+            Instr::CallBuiltin { func, args, dst } => {
+                if let Some(op) = func.strip_prefix(relax_vm::KV_CACHE_PREFIX) {
+                    let vals: Vec<SimValue> = args.iter().map(|r| regs[*r].clone()).collect();
+                    let (flops, bytes, out) = kv_cache_builtin(op, &vals)?;
+                    report.add_kernel(device, KernelClass::Generated, flops, bytes, !in_replay);
+                    regs[*dst] = out;
+                } else {
+                    // Host-side builtin: charge the data movement only;
+                    // the output is pessimistically as large as the input.
+                    let input = args
+                        .first()
+                        .map(|r| regs[*r].clone())
+                        .unwrap_or(SimValue::None);
+                    let bytes = input.byte_size();
+                    report.add_kernel(device, KernelClass::Generated, 0.0, 2.0 * bytes, !in_replay);
+                    regs[*dst] = input;
+                }
             }
             Instr::CallFunc { func, args, dst } => {
                 let vals: Vec<SimValue> = args.iter().map(|r| regs[*r].clone()).collect();
@@ -624,10 +669,12 @@ fn lib_cost(
             Ok((2.0 * batch * m * n * k, io_bytes))
         }
         "vm.builtin.kv_append" => {
-            // In-place page append: only the new slice is written.
-            let (n, dt) = tensor_dims(args[1])?;
-            let bytes = n.iter().product::<i64>().max(0) as f64 * dt.size_bytes() as f64;
-            Ok((0.0, 2.0 * bytes))
+            // Copy-based append: reads the old cache and the new slice,
+            // then materializes the grown cache — its traffic scales with
+            // the full cache size. The in-place paged builtin
+            // (`vm.builtin.kv_cache.append_paged`) is costed separately
+            // in `kv_cache_builtin` and touches only the appended slice.
+            Ok((0.0, io_bytes))
         }
         "cutlass.rms_norm" => {
             let (x, _) = tensor_dims(args[0])?;
@@ -638,6 +685,142 @@ fn lib_cost(
             let numel: f64 = io_bytes;
             Ok((numel, io_bytes))
         }
+    }
+}
+
+/// Analytical cost and shape-level result of one
+/// `vm.builtin.kv_cache.<op>` builtin. Paged appends are charged for the
+/// appended slice plus the block-table entries they touch — not the
+/// accumulated cache — mirroring the VM's in-place page writes.
+fn kv_cache_builtin(op: &str, args: &[SimValue]) -> Result<(f64, f64, SimValue), SimError> {
+    let shape = |i: usize, rank: usize| -> Result<&[i64], SimError> {
+        match args.get(i) {
+            Some(SimValue::Shape(d)) if d.len() == rank => Ok(d),
+            other => Err(SimError::Type(format!(
+                "kv_cache.{op}: expected rank-{rank} shape arg, got {other:?}"
+            ))),
+        }
+    };
+    let cache = |i: usize| -> Result<(&Vec<i64>, i64, i64, i64, DataType), SimError> {
+        match args.get(i) {
+            Some(SimValue::KvCache {
+                streams,
+                batch,
+                heads,
+                head_dim,
+                dtype,
+            }) => Ok((streams, *batch, *heads, *head_dim, *dtype)),
+            other => Err(SimError::Type(format!(
+                "kv_cache.{op}: expected kv_cache arg, got {other:?}"
+            ))),
+        }
+    };
+    let stream_bytes = |len: i64, b: i64, h: i64, hd: i64, dt: DataType| -> f64 {
+        (len.max(0) * b * h * hd).max(0) as f64 * dt.size_bytes() as f64
+    };
+    match op {
+        // create(shape[streams, batch, heads, head_dim, dtype_code])
+        "create" => {
+            let d = shape(0, 5)?;
+            let dtype = match d[4] {
+                0 => DataType::F32,
+                1 => DataType::F16,
+                code => {
+                    return Err(SimError::Type(format!(
+                        "kv_cache.create: unknown dtype code {code}"
+                    )))
+                }
+            };
+            let out = SimValue::KvCache {
+                streams: vec![0; d[0].max(0) as usize],
+                batch: d[1],
+                heads: d[2],
+                head_dim: d[3],
+                dtype,
+            };
+            // Handle creation is host-side bookkeeping: no data moves.
+            Ok((0.0, 0.0, out))
+        }
+        // append_paged(cache, new, shape[stream]) -> cache
+        "append_paged" => {
+            let (streams, b, h, hd, dt) = cache(0)?;
+            let (nd, ndt) = match args.get(1) {
+                Some(SimValue::Tensor { dims, dtype }) => (dims.clone(), *dtype),
+                other => {
+                    return Err(SimError::Type(format!(
+                        "kv_cache.append_paged: expected tensor arg, got {other:?}"
+                    )))
+                }
+            };
+            let stream = shape(2, 1)?[0].max(0) as usize;
+            let mut streams = streams.clone();
+            let len = streams.get(stream).copied().ok_or_else(|| {
+                SimError::Type(format!(
+                    "kv_cache.append_paged: stream {stream} out of range ({})",
+                    streams.len()
+                ))
+            })?;
+            let n = nd.get(2).copied().unwrap_or(0).max(0);
+            // Only the appended slice is read and written in place...
+            let slice = n as f64 * (b * h * hd).max(0) as f64 * ndt.size_bytes() as f64;
+            // ...plus one block-table entry per newly referenced page.
+            let new_pages = kv_pages(len + n) - kv_pages(len);
+            streams[stream] = len + n;
+            let out = SimValue::KvCache {
+                streams,
+                batch: b,
+                heads: h,
+                head_dim: hd,
+                dtype: dt,
+            };
+            Ok((0.0, 2.0 * slice + 8.0 * new_pages as f64, out))
+        }
+        // view(cache, shape[stream]) -> tensor
+        "view" => {
+            let (streams, b, h, hd, dt) = cache(0)?;
+            let stream = shape(1, 1)?[0].max(0) as usize;
+            let len = streams.get(stream).copied().ok_or_else(|| {
+                SimError::Type(format!(
+                    "kv_cache.view: stream {stream} out of range ({})",
+                    streams.len()
+                ))
+            })?;
+            // Gathers the logical stream out of its pages: read + write.
+            let bytes = 2.0 * stream_bytes(len, b, h, hd, dt);
+            let out = SimValue::tensor(vec![b, h, len, hd], dt);
+            Ok((0.0, bytes, out))
+        }
+        // attention(q, cache, shape[k_stream, v_stream, causal]) -> tensor
+        "attention" => {
+            let (qd, qdt) = match args.first() {
+                Some(SimValue::Tensor { dims, dtype }) if dims.len() == 4 => {
+                    (dims.clone(), *dtype)
+                }
+                other => {
+                    return Err(SimError::Type(format!(
+                        "kv_cache.attention: expected rank-4 query tensor, got {other:?}"
+                    )))
+                }
+            };
+            let (streams, b, h, hd, dt) = cache(1)?;
+            let d = shape(2, 3)?;
+            let skv = |i: i64| -> i64 {
+                streams.get(i.max(0) as usize).copied().unwrap_or(0)
+            };
+            let (k_len, v_len) = (skv(d[0]), skv(d[1]));
+            let (hq, s) = (qd[1].max(0), qd[2].max(0));
+            // QK^T and PV are each 2*b*hq*s*skv*hd flops.
+            let flops = 4.0 * (qd[0].max(0) * hq * s * hd).max(0) as f64 * k_len as f64;
+            let q_bytes = qd.iter().product::<i64>().max(0) as f64 * qdt.size_bytes() as f64;
+            let bytes = 2.0 * q_bytes
+                + stream_bytes(k_len, b, h, hd, dt)
+                + stream_bytes(v_len, b, h, hd, dt);
+            Ok((flops, bytes, SimValue::Tensor { dims: qd, dtype: qdt }))
+        }
+        other => Err(SimError::Unknown(format!(
+            "{}{other}",
+            relax_vm::KV_CACHE_PREFIX
+        ))),
     }
 }
 
@@ -1044,5 +1227,117 @@ mod memory_tracker_tests {
         // corrupted by the failure.
         simulate_with_memory(&exec, "f", &[SimValue::Shape(vec![8])], &device, true, &mut mem)
             .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod kv_cache_cost_tests {
+    use super::*;
+    use relax_vm::{Instr, VmFunction};
+
+    fn kv_exec() -> Executable {
+        // create → append slice → append slice → view, with two (1,2,1,4)
+        // F32 token slices passed in as params (regs 0 and 1).
+        let b = |op: &str, args: Vec<usize>, dst: usize| Instr::CallBuiltin {
+            func: format!("{}{op}", relax_vm::KV_CACHE_PREFIX),
+            args,
+            dst,
+        };
+        let mut exec = Executable::new();
+        exec.funcs.insert(
+            "f".into(),
+            VmFunction {
+                name: "f".into(),
+                num_params: 2,
+                num_regs: 8,
+                instrs: vec![
+                    Instr::MakeShape {
+                        dst: 2,
+                        dims: vec![2.into(), 1.into(), 2.into(), 4.into(), 0.into()],
+                    },
+                    b("create", vec![2], 3),
+                    Instr::MakeShape {
+                        dst: 4,
+                        dims: vec![0.into()],
+                    },
+                    b("append_paged", vec![3, 0, 4], 5),
+                    b("append_paged", vec![5, 1, 4], 6),
+                    b("view", vec![6, 4], 7),
+                    Instr::Ret { src: 7 },
+                ],
+            },
+        );
+        exec
+    }
+
+    #[test]
+    fn paged_append_charges_slice_not_cache() {
+        let exec = kv_exec();
+        let dev = DeviceSpec::rtx4090();
+        let slice = SimValue::tensor(vec![1, 2, 1, 4], DataType::F32);
+        let report =
+            simulate(&exec, "f", &[slice.clone(), slice], &dev, true).unwrap();
+        // create: 0 bytes. First append: 2×32 B slice + one 8 B
+        // block-table entry. Second append lands in the same page: 2×32 B
+        // only — independent of the accumulated cache length. View
+        // gathers both tokens: 2×64 B.
+        assert_eq!(report.kernels, 4);
+        assert_eq!(report.bytes, 72.0 + 64.0 + 128.0);
+    }
+
+    #[test]
+    fn copy_append_scales_with_cache_but_paged_does_not() {
+        // The copy-based library kernel re-materializes the whole cache.
+        let regs = vec![
+            SimValue::tensor(vec![1, 2, 10, 4], DataType::F32), // old cache
+            SimValue::tensor(vec![1, 2, 1, 4], DataType::F32),  // new slice
+            SimValue::tensor(vec![1, 2, 11, 4], DataType::F32), // grown cache
+        ];
+        let (_, copy_bytes) =
+            lib_cost("vm.builtin.kv_append", &[0, 1], &[2], &regs).unwrap();
+        assert_eq!(copy_bytes, (80.0 + 8.0 + 88.0) * 4.0);
+
+        // The paged builtin at the same cache length touches only the
+        // appended slice (token 10 lands in the already-held first page).
+        let cache = SimValue::KvCache {
+            streams: vec![10, 10],
+            batch: 1,
+            heads: 2,
+            head_dim: 4,
+            dtype: DataType::F32,
+        };
+        let (_, paged_bytes, out) = kv_cache_builtin(
+            "append_paged",
+            &[cache, regs[1].clone(), SimValue::Shape(vec![0])],
+        )
+        .unwrap();
+        assert_eq!(paged_bytes, 64.0);
+        assert!(paged_bytes < copy_bytes);
+        match out {
+            SimValue::KvCache { streams, .. } => assert_eq!(streams, vec![11, 10]),
+            other => panic!("expected kv cache, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attention_cost_scales_with_stream_length() {
+        let q = SimValue::tensor(vec![1, 2, 1, 4], DataType::F32);
+        let cache = SimValue::KvCache {
+            streams: vec![32, 32],
+            batch: 1,
+            heads: 2,
+            head_dim: 4,
+            dtype: DataType::F32,
+        };
+        let (flops, bytes, out) = kv_cache_builtin(
+            "attention",
+            &[q.clone(), cache, SimValue::Shape(vec![0, 1, 1])],
+        )
+        .unwrap();
+        // QK^T + PV: 4 * b*hq*s*hd * skv = 4 * (1*2*1*4) * 32.
+        assert_eq!(flops, 4.0 * 8.0 * 32.0);
+        // q read+write plus both 32-token streams.
+        assert_eq!(bytes, 2.0 * 32.0 + 2.0 * (32.0 * 8.0 * 4.0));
+        assert_eq!(out, q);
     }
 }

@@ -25,6 +25,13 @@ pub enum NDArrayError {
         /// Elements provided.
         actual: usize,
     },
+    /// Two arrays in a raw-bits copy had different dtypes.
+    DtypeMismatch {
+        /// Destination dtype name.
+        dst: String,
+        /// Source dtype name.
+        src: String,
+    },
 }
 
 impl fmt::Display for NDArrayError {
@@ -35,6 +42,9 @@ impl fmt::Display for NDArrayError {
             }
             NDArrayError::LengthMismatch { expected, actual } => {
                 write!(f, "expected {expected} elements, got {actual}")
+            }
+            NDArrayError::DtypeMismatch { dst, src } => {
+                write!(f, "raw copy between dtypes {dst} and {src}")
             }
         }
     }
@@ -389,6 +399,64 @@ impl NDArray {
         })
     }
 
+    /// Copies `len` elements from `src` (starting at flat index
+    /// `src_off`) into this array (starting at flat index `dst_off`) as
+    /// raw storage bits, without any per-element dtype conversion.
+    ///
+    /// Stored values already carry their dtype's rounding (applied by
+    /// [`NDArray::set`] on every store), so a same-dtype bit copy is
+    /// exact — this is the bulk row-copy primitive behind the KV-cache
+    /// kernels, replacing element-wise `get`/`set` loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NDArrayError::DtypeMismatch`] when the dtypes differ and
+    /// [`NDArrayError::IndexOutOfBounds`] when either range exceeds its
+    /// array.
+    pub fn copy_range_from(
+        &self,
+        dst_off: usize,
+        src: &NDArray,
+        src_off: usize,
+        len: usize,
+    ) -> Result<(), NDArrayError> {
+        if self.dtype != src.dtype {
+            return Err(NDArrayError::DtypeMismatch {
+                dst: self.dtype.to_string(),
+                src: src.dtype.to_string(),
+            });
+        }
+        let dst_end = dst_off.saturating_add(len);
+        if dst_end > self.numel() {
+            return Err(NDArrayError::IndexOutOfBounds {
+                index: dst_end,
+                len: self.numel(),
+            });
+        }
+        let src_end = src_off.saturating_add(len);
+        if src_end > src.numel() {
+            return Err(NDArrayError::IndexOutOfBounds {
+                index: src_end,
+                len: src.numel(),
+            });
+        }
+        match (&*self.data, &*src.data) {
+            (DataBuf::F(d), DataBuf::F(s)) => {
+                for i in 0..len {
+                    d[dst_off + i].store(s[src_off + i].load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+            }
+            (DataBuf::I(d), DataBuf::I(s)) => {
+                for i in 0..len {
+                    d[dst_off + i].store(s[src_off + i].load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+            }
+            // Same dtype implies the same buffer family.
+            _ => unreachable!("equal dtypes share a storage family"),
+        }
+        Ok(())
+    }
+
     /// Returns `true` if `other` aliases the same storage.
     pub fn same_storage(&self, other: &NDArray) -> bool {
         Arc::ptr_eq(&self.data, &other.data)
@@ -513,6 +581,29 @@ mod tests {
     fn from_vec_length_validation() {
         assert!(NDArray::from_f64(&[2, 2], DataType::F32, vec![1.0; 3]).is_err());
         assert!(NDArray::from_i64(&[2], DataType::I64, vec![1, 2]).is_ok());
+    }
+
+    #[test]
+    fn copy_range_is_a_bitwise_copy() {
+        let src = NDArray::from_f64(&[6], DataType::F32, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let dst = NDArray::zeros(&[8], DataType::F32);
+        dst.copy_range_from(2, &src, 1, 4).unwrap();
+        assert_eq!(dst.to_f64_vec(), vec![0., 0., 2., 3., 4., 5., 0., 0.]);
+        // Bounds are checked on both sides.
+        assert!(dst.copy_range_from(6, &src, 0, 3).is_err());
+        assert!(dst.copy_range_from(0, &src, 5, 2).is_err());
+        // Dtype families must match exactly.
+        let ints = NDArray::zeros(&[8], DataType::I64);
+        assert!(matches!(
+            ints.copy_range_from(0, &src, 0, 1),
+            Err(NDArrayError::DtypeMismatch { .. })
+        ));
+        // f16-rounded values copy bit-exactly (no re-rounding).
+        let h = NDArray::zeros(&[1], DataType::F16);
+        h.set(0, Scalar::F(1.0 + 1e-6)).unwrap();
+        let h2 = NDArray::zeros(&[1], DataType::F16);
+        h2.copy_range_from(0, &h, 0, 1).unwrap();
+        assert_eq!(h.get(0).unwrap(), h2.get(0).unwrap());
     }
 
     #[test]

@@ -55,6 +55,9 @@ fn payload_args(p: &Payload) -> String {
         Payload::Request { request, phase } => {
             format!("\"request\":{request},\"phase\":\"{}\"", phase.label())
         }
+        Payload::Session { session, phase } => {
+            format!("\"session\":{session},\"phase\":\"{}\"", phase.label())
+        }
         Payload::Worker { worker, event } => {
             format!("\"worker\":{worker},\"event\":\"{}\"", event.label())
         }

@@ -77,6 +77,44 @@ impl RequestPhase {
     }
 }
 
+/// Where in its lifecycle a generation session is. Sessions are the
+/// continuous-batching scheduler's unit of work: one paged KV cache
+/// plus a token stream, admitted and retired between decode
+/// iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// The scheduler admitted the session into the running set.
+    Admit,
+    /// A prefill iteration ran the prompt through the copy-based path
+    /// and seeded the paged cache.
+    Prefill,
+    /// A decode iteration appended one token into the paged cache.
+    Decode,
+    /// The session produced all requested tokens and released its
+    /// pages back to the pool.
+    Retire,
+    /// The session was evicted under page-pool pressure (earliest
+    /// deadline first) and its pages were reclaimed.
+    Evict,
+    /// The session failed (deterministic VM error or exhausted retry
+    /// budget) and its pages were reclaimed.
+    Fail,
+}
+
+impl SessionPhase {
+    /// Stable lower-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionPhase::Admit => "admit",
+            SessionPhase::Prefill => "prefill",
+            SessionPhase::Decode => "decode",
+            SessionPhase::Retire => "retire",
+            SessionPhase::Evict => "evict",
+            SessionPhase::Fail => "fail",
+        }
+    }
+}
+
 /// A worker-lifecycle event observed by the serving supervisor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkerEvent {
@@ -123,6 +161,9 @@ pub enum Payload {
     /// A serving-request event: the engine-assigned request id and the
     /// lifecycle phase this event marks.
     Request { request: u64, phase: RequestPhase },
+    /// A session-lifecycle event: the scheduler-assigned session id
+    /// and the lifecycle phase this event marks.
+    Session { session: u64, phase: SessionPhase },
     /// A worker-lifecycle event: which worker slot, and what the
     /// supervisor observed or did.
     Worker { worker: u64, event: WorkerEvent },

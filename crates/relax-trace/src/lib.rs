@@ -68,7 +68,9 @@ use std::time::{Duration, Instant};
 
 pub use buffer::{clear, dropped, set_capacity, take, Trace, DEFAULT_CAPACITY};
 pub use chrome::{chrome_json, parse_json, validate_chrome_trace, ChromeStats, Json};
-pub use event::{CacheOutcome, EventKind, Payload, RequestPhase, SpanId, TraceEvent, WorkerEvent};
+pub use event::{
+    CacheOutcome, EventKind, Payload, RequestPhase, SessionPhase, SpanId, TraceEvent, WorkerEvent,
+};
 pub use flame::flame_summary;
 pub use lock::{lock_wait_stats, reset_lock_wait_stats, LockSite, LockWaitStat};
 

@@ -1,0 +1,827 @@
+//! First-class paged KV caches: the runtime object behind the
+//! `vm.builtin.kv_cache.*` builtins.
+//!
+//! The copy-based `vm.builtin.kv_append` kernel materializes a fresh
+//! `(b, h, s+n, hd)` tensor every decode step — O(s²) data movement per
+//! sequence over a generation. A [`KvCache`] instead owns fixed-size
+//! pages acquired from a shared [`KvPagePool`] (one block table per
+//! stream; a stream is one layer's K or V), appends **in place** into
+//! the tail page, and serves attention directly over the pages. The
+//! copy-based kernel stays registered as the differential-test oracle:
+//! the paged path is asserted bitwise-equal to it.
+//!
+//! Bit-exactness contract: [`KvCache::attention`] mirrors the TIR
+//! program produced by `relax_core::legalize` for `Op::Attention` —
+//! same five passes, same loop structure, same f32 rounding on every
+//! store into the local `scores`/`row_max`/`row_sum` buffers, the same
+//! `-1e9` causal mask and grouped-query head mapping — so a paged
+//! decode step produces exactly the bits the legalized kernel produces
+//! on the gathered cache.
+
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use relax_arith::DataType;
+use relax_tir::{round_to_dtype, NDArray, Scalar};
+
+use crate::memory::KvPagePool;
+use crate::registry::KernelError;
+use crate::value::Value;
+
+/// Name prefix of the builtins the VM routes to [`dispatch`] instead of
+/// the tensor-only registry path.
+pub const KV_CACHE_PREFIX: &str = "vm.builtin.kv_cache.";
+
+/// Fixed geometry of one cache: every stream holds `(batch, heads,
+/// <tokens>, head_dim)` data paged into `(batch, heads, page_tokens,
+/// head_dim)` blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvCacheConfig {
+    /// Number of independent streams (2 per transformer layer: K and V).
+    pub streams: usize,
+    /// Batch dimension of every stream.
+    pub batch: usize,
+    /// KV head count.
+    pub heads: usize,
+    /// Head dimension.
+    pub head_dim: usize,
+    /// Element dtype of the cached tensors.
+    pub dtype: DataType,
+}
+
+struct StreamState {
+    /// Logical token count (pages may hold more rows than this).
+    len: usize,
+    /// The block table: page `i` holds tokens `[i*P, (i+1)*P)`.
+    pages: Vec<NDArray>,
+}
+
+struct CacheInner {
+    cfg: KvCacheConfig,
+    pool: Arc<KvPagePool>,
+    streams: Mutex<Vec<StreamState>>,
+}
+
+impl Drop for CacheInner {
+    fn drop(&mut self) {
+        let streams = self
+            .streams
+            .get_mut()
+            .map(std::mem::take)
+            .unwrap_or_default();
+        for st in streams {
+            for page in st.pages {
+                self.pool.release(page);
+            }
+        }
+    }
+}
+
+/// A shared handle to one session's paged KV cache.
+///
+/// Cloning the handle aliases the same pages (the VM passes it through
+/// registers by clone); the last clone to drop releases every page back
+/// to the pool — the accounting the chaos harness reconciles.
+#[derive(Clone)]
+pub struct KvCache {
+    inner: Arc<CacheInner>,
+}
+
+impl fmt::Debug for KvCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KvCache(streams={}, lens={:?}, pages={})",
+            self.inner.cfg.streams,
+            self.lens(),
+            self.pages_held()
+        )
+    }
+}
+
+fn kerr(op: &str, detail: impl Into<String>) -> KernelError {
+    KernelError {
+        kernel: format!("{KV_CACHE_PREFIX}{op}"),
+        detail: detail.into(),
+    }
+}
+
+impl KvCache {
+    /// Creates an empty cache drawing pages from `pool`.
+    pub fn new(cfg: KvCacheConfig, pool: Arc<KvPagePool>) -> Self {
+        let streams = (0..cfg.streams)
+            .map(|_| StreamState {
+                len: 0,
+                pages: Vec::new(),
+            })
+            .collect();
+        KvCache {
+            inner: Arc::new(CacheInner {
+                cfg,
+                pool,
+                streams: Mutex::new(streams),
+            }),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> KvCacheConfig {
+        self.inner.cfg
+    }
+
+    /// The pool this cache draws pages from.
+    pub fn pool(&self) -> &Arc<KvPagePool> {
+        &self.inner.pool
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<StreamState>> {
+        self.inner
+            .streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn page_shape(&self) -> [usize; 4] {
+        let c = &self.inner.cfg;
+        [c.batch, c.heads, self.inner.pool.page_tokens(), c.head_dim]
+    }
+
+    /// Logical token count of one stream.
+    pub fn len(&self, stream: usize) -> usize {
+        self.lock().get(stream).map(|s| s.len).unwrap_or(0)
+    }
+
+    /// `true` when no stream holds any token.
+    pub fn is_empty(&self) -> bool {
+        self.lock().iter().all(|s| s.len == 0)
+    }
+
+    /// Logical token count of every stream.
+    pub fn lens(&self) -> Vec<usize> {
+        self.lock().iter().map(|s| s.len).collect()
+    }
+
+    /// Total pages currently held across all streams.
+    pub fn pages_held(&self) -> usize {
+        self.lock().iter().map(|s| s.pages.len()).sum()
+    }
+
+    /// Appends `new` (`(batch, heads, n, head_dim)`) in place onto a
+    /// stream's pages, acquiring tail pages from the pool as needed.
+    ///
+    /// # Errors
+    ///
+    /// Shape/dtype mismatches and pool exhaustion surface as
+    /// [`KernelError`]; on exhaustion no partial append is left behind.
+    pub fn append(&self, stream: usize, new: &NDArray) -> Result<(), KernelError> {
+        const OP: &str = "append_paged";
+        let cfg = self.inner.cfg;
+        let ns = new.shape().to_vec();
+        if ns.len() != 4 || ns[0] != cfg.batch || ns[1] != cfg.heads || ns[3] != cfg.head_dim {
+            return Err(kerr(
+                OP,
+                format!(
+                    "appended tensor {ns:?} does not match cache geometry (batch={}, heads={}, head_dim={})",
+                    cfg.batch, cfg.heads, cfg.head_dim
+                ),
+            ));
+        }
+        if new.dtype() != cfg.dtype {
+            return Err(kerr(
+                OP,
+                format!("appended dtype {} != cache dtype {}", new.dtype(), cfg.dtype),
+            ));
+        }
+        let n = ns[2];
+        let (b, h, hd) = (cfg.batch, cfg.heads, cfg.head_dim);
+        let p = self.inner.pool.page_tokens();
+        let page_shape = self.page_shape();
+        let mut streams = self.lock();
+        let n_streams = streams.len();
+        let st = streams
+            .get_mut(stream)
+            .ok_or_else(|| kerr(OP, format!("stream {stream} out of range ({n_streams})")))?;
+        // Acquire every page up front so exhaustion cannot leave a
+        // half-appended stream: new pages are released again on failure.
+        let needed = (st.len + n).div_ceil(p);
+        let mut fresh: Vec<NDArray> = Vec::new();
+        while st.pages.len() + fresh.len() < needed {
+            match self.inner.pool.acquire(&page_shape, cfg.dtype) {
+                Ok(page) => fresh.push(page),
+                Err(e) => {
+                    for page in fresh {
+                        self.inner.pool.release(page);
+                    }
+                    return Err(kerr(OP, e.to_string()));
+                }
+            }
+        }
+        st.pages.append(&mut fresh);
+        let mut t = 0usize;
+        while t < n {
+            let pos = st.len + t;
+            let page = &st.pages[pos / p];
+            let row = pos % p;
+            let run = (p - row).min(n - t);
+            for bi in 0..b {
+                for hi in 0..h {
+                    let dst = ((bi * h + hi) * p + row) * hd;
+                    let src = ((bi * h + hi) * n + t) * hd;
+                    page.copy_range_from(dst, new, src, run * hd)
+                        .map_err(|e| kerr(OP, e.to_string()))?;
+                }
+            }
+            t += run;
+        }
+        st.len += n;
+        Ok(())
+    }
+
+    /// Gathers one stream into a fresh contiguous `(batch, heads, len,
+    /// head_dim)` tensor — the extraction/differential-test path; the
+    /// decode hot path never calls this.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KernelError`] for an out-of-range stream.
+    pub fn view(&self, stream: usize) -> Result<NDArray, KernelError> {
+        const OP: &str = "view";
+        let cfg = self.inner.cfg;
+        let (b, h, hd) = (cfg.batch, cfg.heads, cfg.head_dim);
+        let p = self.inner.pool.page_tokens();
+        let streams = self.lock();
+        let n_streams = streams.len();
+        let st = streams
+            .get(stream)
+            .ok_or_else(|| kerr(OP, format!("stream {stream} out of range ({n_streams})")))?;
+        let len = st.len;
+        let out = NDArray::zeros(&[b, h, len, hd], cfg.dtype);
+        let mut t = 0usize;
+        while t < len {
+            let page = &st.pages[t / p];
+            let row = t % p;
+            let run = (p - row).min(len - t);
+            for bi in 0..b {
+                for hi in 0..h {
+                    let dst = ((bi * h + hi) * len + t) * hd;
+                    let src = ((bi * h + hi) * p + row) * hd;
+                    out.copy_range_from(dst, page, src, run * hd)
+                        .map_err(|e| kerr(OP, e.to_string()))?;
+                }
+            }
+            t += run;
+        }
+        Ok(out)
+    }
+
+    /// Rolls every stream back to a previously captured length (see
+    /// [`KvCache::lens`]), releasing pages that become empty. The
+    /// serving scheduler uses this to undo a partially appended
+    /// iteration before retrying it after a worker crash, so the retry
+    /// cannot double-append.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KernelError`] when `lens` disagrees with the stream
+    /// count or would *grow* a stream.
+    pub fn truncate_to(&self, lens: &[usize]) -> Result<(), KernelError> {
+        const OP: &str = "truncate";
+        let p = self.inner.pool.page_tokens();
+        let mut streams = self.lock();
+        if lens.len() != streams.len() {
+            return Err(kerr(
+                OP,
+                format!("{} lengths for {} streams", lens.len(), streams.len()),
+            ));
+        }
+        for (st, &target) in streams.iter_mut().zip(lens) {
+            if target > st.len {
+                return Err(kerr(
+                    OP,
+                    format!("cannot grow a stream from {} to {target}", st.len),
+                ));
+            }
+            st.len = target;
+            let keep = target.div_ceil(p);
+            while st.pages.len() > keep {
+                let page = st.pages.pop().expect("len checked");
+                self.inner.pool.release(page);
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes attention of `q` (`(batch, q_heads, s, head_dim)`)
+    /// against the K/V streams, reading pages directly — no per-step
+    /// gather of the cache into a contiguous tensor.
+    ///
+    /// Bitwise-mirrors the legalized `Op::Attention` tensor program:
+    /// five passes over f32 local buffers with per-store rounding, the
+    /// causal mask `j <= i + skv - s` with `-1e9` fill, grouped-query
+    /// head mapping `kv_head = h / (q_heads / kv_heads)`, and the scale
+    /// `1 / sqrt(head_dim)` the models pass to `Op::Attention`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KernelError`] for geometry mismatches, empty or
+    /// unequal K/V streams.
+    pub fn attention(
+        &self,
+        q: &NDArray,
+        k_stream: usize,
+        v_stream: usize,
+        causal: bool,
+    ) -> Result<NDArray, KernelError> {
+        const OP: &str = "attention";
+        let cfg = self.inner.cfg;
+        let qs = q.shape().to_vec();
+        if qs.len() != 4 || qs[0] != cfg.batch || qs[3] != cfg.head_dim {
+            return Err(kerr(
+                OP,
+                format!(
+                    "query {qs:?} does not match cache geometry (batch={}, head_dim={})",
+                    cfg.batch, cfg.head_dim
+                ),
+            ));
+        }
+        let (b, hq, s, hd) = (qs[0], qs[1], qs[2], qs[3]);
+        let hkv = cfg.heads;
+        if hkv == 0 || hq % hkv != 0 {
+            return Err(kerr(
+                OP,
+                format!("query heads {hq} not a multiple of kv heads {hkv}"),
+            ));
+        }
+        let group = hq / hkv;
+        let streams = self.lock();
+        let n_streams = streams.len();
+        let (kst, vst) = match (streams.get(k_stream), streams.get(v_stream)) {
+            (Some(k), Some(v)) => (k, v),
+            _ => {
+                return Err(kerr(
+                    OP,
+                    format!("streams ({k_stream}, {v_stream}) out of range ({n_streams})"),
+                ))
+            }
+        };
+        let skv = kst.len;
+        if vst.len != skv {
+            return Err(kerr(
+                OP,
+                format!("K length {skv} != V length {}", vst.len),
+            ));
+        }
+        if skv == 0 {
+            return Err(kerr(OP, "attention over empty streams"));
+        }
+        let p = self.inner.pool.page_tokens();
+        // Flatten pages once per call (f64 host values, already rounded
+        // on store, so the bits match a gathered tensor exactly).
+        let gather = |st: &StreamState| -> Vec<f64> {
+            let len = st.len;
+            let mut out = vec![0.0f64; b * hkv * len * hd];
+            for (pi, page) in st.pages.iter().enumerate() {
+                let rows = (len.saturating_sub(pi * p)).min(p);
+                if rows == 0 {
+                    break;
+                }
+                let pv = page.to_f64_vec();
+                for bi in 0..b {
+                    for hi in 0..hkv {
+                        let src = (bi * hkv + hi) * p * hd;
+                        let dst = ((bi * hkv + hi) * len + pi * p) * hd;
+                        out[dst..dst + rows * hd].copy_from_slice(&pv[src..src + rows * hd]);
+                    }
+                }
+            }
+            out
+        };
+        let kv = gather(kst);
+        let vv = gather(vst);
+        drop(streams);
+        let qv = q.to_f64_vec();
+        let scale = 1.0 / (hd as f64).sqrt();
+        let r32 = |x: f64| round_to_dtype(x, DataType::F32);
+        let odt = q.dtype();
+        let out = NDArray::zeros(&[b, hq, s, hd], odt);
+
+        // Local f32 buffers, exactly like the legalized kernel.
+        let mut scores = vec![0.0f64; b * hq * s * skv];
+        // Pass 1: scores[b,h,i,j] = sum_kd q·k with per-step rounding.
+        for bi in 0..b {
+            for hi in 0..hq {
+                let kvh = if group == 1 { hi } else { hi / group };
+                for i in 0..s {
+                    let q_base = ((bi * hq + hi) * s + i) * hd;
+                    for j in 0..skv {
+                        let k_base = ((bi * hkv + kvh) * skv + j) * hd;
+                        let mut acc = 0.0f64;
+                        for kd in 0..hd {
+                            acc = r32(acc + qv[q_base + kd] * kv[k_base + kd]);
+                        }
+                        scores[((bi * hq + hi) * s + i) * skv + j] = acc;
+                    }
+                }
+            }
+        }
+        // Pass 2: scale + causal mask (both branches in f64, one store).
+        for bi in 0..b {
+            for hi in 0..hq {
+                for i in 0..s {
+                    for j in 0..skv {
+                        let idx = ((bi * hq + hi) * s + i) * skv + j;
+                        let scaled = scores[idx] * scale;
+                        let masked = if causal {
+                            let allowed = (j as i64) <= (i as i64) + (skv as i64) - (s as i64);
+                            if allowed {
+                                scaled
+                            } else {
+                                -1e9
+                            }
+                        } else {
+                            scaled
+                        };
+                        scores[idx] = r32(masked);
+                    }
+                }
+            }
+        }
+        // Passes 3-5 share the (b,h,i) row loop; each pass folds over j
+        // in the same order as the legalized grid.
+        for bi in 0..b {
+            for hi in 0..hq {
+                let kvh = if group == 1 { hi } else { hi / group };
+                for i in 0..s {
+                    let row = ((bi * hq + hi) * s + i) * skv;
+                    // Pass 3: row max.
+                    let mut rm = r32(f64::NEG_INFINITY);
+                    for j in 0..skv {
+                        rm = r32(rm.max(scores[row + j]));
+                    }
+                    // Pass 4: exp-sum.
+                    let mut rs = 0.0f64;
+                    for j in 0..skv {
+                        rs = r32(rs + (scores[row + j] - rm).exp());
+                    }
+                    // Pass 5: weighted sum over V, accumulated in the
+                    // output dtype (j innermost, like the grid).
+                    let o_base = ((bi * hq + hi) * s + i) * hd;
+                    for kd in 0..hd {
+                        let mut acc = round_to_dtype(0.0, odt);
+                        for j in 0..skv {
+                            let w = (scores[row + j] - rm).exp() / rs;
+                            let v_el = vv[((bi * hkv + kvh) * skv + j) * hd + kd];
+                            acc = round_to_dtype(acc + w * v_el, odt);
+                        }
+                        out.set(o_base + kd, Scalar::F(acc))
+                            .map_err(|e| kerr(OP, e.to_string()))?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn want_cache<'a>(op: &str, v: Option<&'a Value>) -> Result<&'a KvCache, KernelError> {
+    match v {
+        Some(Value::KvCache(c)) => Ok(c),
+        Some(other) => Err(kerr(op, format!("expected a kv_cache, got {}", other.kind()))),
+        None => Err(kerr(op, "missing kv_cache argument")),
+    }
+}
+
+fn want_tensor<'a>(op: &str, v: Option<&'a Value>) -> Result<&'a NDArray, KernelError> {
+    match v {
+        Some(Value::Tensor(t)) => Ok(t),
+        Some(other) => Err(kerr(op, format!("expected a tensor, got {}", other.kind()))),
+        None => Err(kerr(op, "missing tensor argument")),
+    }
+}
+
+fn want_shape<'a>(op: &str, v: Option<&'a Value>, dims: usize) -> Result<&'a [i64], KernelError> {
+    match v {
+        Some(Value::Shape(d)) if d.len() == dims => Ok(d),
+        Some(Value::Shape(d)) => Err(kerr(
+            op,
+            format!("expected a shape of {dims} dims, got {}", d.len()),
+        )),
+        Some(other) => Err(kerr(op, format!("expected a shape, got {}", other.kind()))),
+        None => Err(kerr(op, "missing shape argument")),
+    }
+}
+
+fn dim(op: &str, d: i64, what: &str) -> Result<usize, KernelError> {
+    usize::try_from(d).map_err(|_| kerr(op, format!("negative {what}: {d}")))
+}
+
+/// Decodes the dtype code used by `kv_cache.create` shape args.
+fn dtype_from_code(op: &str, code: i64) -> Result<DataType, KernelError> {
+    match code {
+        0 => Ok(DataType::F32),
+        1 => Ok(DataType::F16),
+        other => Err(kerr(op, format!("unknown dtype code {other} (0=f32, 1=f16)"))),
+    }
+}
+
+/// Executes one `vm.builtin.kv_cache.<op>` builtin on register values.
+/// Called by the VM's `CallBuiltin` arm before the tensor-only registry
+/// path; `pool` is the VM's shared page pool.
+///
+/// # Errors
+///
+/// Returns a [`KernelError`] on unknown ops or argument/geometry
+/// mismatches.
+pub fn dispatch(op: &str, args: &[Value], pool: &Arc<KvPagePool>) -> Result<Value, KernelError> {
+    match op {
+        // create(shape[streams, batch, heads, head_dim, dtype_code])
+        "create" => {
+            let d = want_shape(op, args.first(), 5)?;
+            let cfg = KvCacheConfig {
+                streams: dim(op, d[0], "stream count")?,
+                batch: dim(op, d[1], "batch")?,
+                heads: dim(op, d[2], "head count")?,
+                head_dim: dim(op, d[3], "head dim")?,
+                dtype: dtype_from_code(op, d[4])?,
+            };
+            Ok(Value::KvCache(KvCache::new(cfg, Arc::clone(pool))))
+        }
+        // append_paged(cache, new, shape[stream]) -> cache
+        "append_paged" => {
+            let cache = want_cache(op, args.first())?;
+            let new = want_tensor(op, args.get(1))?;
+            let d = want_shape(op, args.get(2), 1)?;
+            cache.append(dim(op, d[0], "stream")?, new)?;
+            Ok(Value::KvCache(cache.clone()))
+        }
+        // view(cache, shape[stream]) -> tensor
+        "view" => {
+            let cache = want_cache(op, args.first())?;
+            let d = want_shape(op, args.get(1), 1)?;
+            Ok(Value::Tensor(cache.view(dim(op, d[0], "stream")?)?))
+        }
+        // attention(q, cache, shape[k_stream, v_stream, causal]) -> tensor
+        "attention" => {
+            let q = want_tensor(op, args.first())?;
+            let cache = want_cache(op, args.get(1))?;
+            let d = want_shape(op, args.get(2), 3)?;
+            let out = cache.attention(
+                q,
+                dim(op, d[0], "k stream")?,
+                dim(op, d[1], "v stream")?,
+                d[2] != 0,
+            )?;
+            Ok(Value::Tensor(out))
+        }
+        other => Err(kerr(other, "unknown kv_cache builtin")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn rand_tensor(shape: &[usize], seed: &mut u64) -> NDArray {
+        let n: usize = shape.iter().product();
+        // f32-rounded, like every kernel-produced tensor in the pipeline.
+        let vals: Vec<f64> = (0..n)
+            .map(|_| {
+                round_to_dtype(
+                    (xorshift(seed) as f64 / u64::MAX as f64) * 2.0 - 1.0,
+                    DataType::F32,
+                )
+            })
+            .collect();
+        NDArray::from_f64(shape, DataType::F32, vals).unwrap()
+    }
+
+    fn tiny_cache(pool: &Arc<KvPagePool>) -> KvCache {
+        KvCache::new(
+            KvCacheConfig {
+                streams: 2,
+                batch: 2,
+                heads: 2,
+                head_dim: 4,
+                dtype: DataType::F32,
+            },
+            Arc::clone(pool),
+        )
+    }
+
+    /// Random chunked appends through pages match the copy-based
+    /// `vm.builtin.kv_append` oracle bitwise, page-boundary crossings
+    /// included.
+    #[test]
+    fn paged_append_matches_copy_oracle_bitwise() {
+        let registry = Registry::new();
+        let pool = Arc::new(KvPagePool::unbounded(3)); // odd size: crossings
+        let cache = tiny_cache(&pool);
+        let mut seed = 0xC0FFEE;
+        let mut oracle = NDArray::zeros(&[2, 2, 0, 4], DataType::F32);
+        for chunk in [1usize, 4, 2, 3, 1, 5] {
+            let new = rand_tensor(&[2, 2, chunk, 4], &mut seed);
+            cache.append(0, &new).unwrap();
+            let grown = NDArray::zeros(
+                &[2, 2, oracle.shape()[2] + chunk, 4],
+                DataType::F32,
+            );
+            registry
+                .call_lib(
+                    "vm.builtin.kv_append",
+                    &[oracle.clone(), new],
+                    std::slice::from_ref(&grown),
+                )
+                .unwrap();
+            oracle = grown;
+            assert_eq!(cache.view(0).unwrap(), oracle);
+        }
+        assert_eq!(cache.len(0), 16);
+        assert_eq!(cache.len(1), 0);
+        // 16 tokens at 3 tokens/page = 6 pages for stream 0.
+        assert_eq!(cache.pages_held(), 6);
+    }
+
+    /// The paged attention builtin is bitwise-identical to the TIR
+    /// program `relax_core::legalize` emits for `Op::Attention`, run by
+    /// the reference interpreter — GQA and causal masking included.
+    #[test]
+    fn paged_attention_matches_legalized_tir_bitwise() {
+        use relax_core::{legalize, Op, OpAttrs, StructInfo};
+        use relax_tir::interp;
+
+        let (b, hq, hkv, hd) = (2usize, 4usize, 2usize, 8usize);
+        let pool = Arc::new(KvPagePool::unbounded(3));
+        let cache = KvCache::new(
+            KvCacheConfig {
+                streams: 2,
+                batch: b,
+                heads: hkv,
+                head_dim: hd,
+                dtype: DataType::F32,
+            },
+            Arc::clone(&pool),
+        );
+        let mut seed = 0xBADBEEF;
+        for (s, skv_extra, causal) in [(1usize, 6usize, true), (3, 4, true), (2, 5, false)] {
+            // Grow the cache so skv = s + skv_extra, appending in chunks.
+            let cache = cache.clone();
+            let pre = rand_tensor(&[b, hkv, skv_extra, hd], &mut seed);
+            let step = rand_tensor(&[b, hkv, s, hd], &mut seed);
+            let base = cache.lens();
+            cache.append(0, &pre).unwrap();
+            cache.append(0, &step).unwrap();
+            cache.append(1, &pre).unwrap();
+            cache.append(1, &step).unwrap();
+            let q = rand_tensor(&[b, hq, s, hd], &mut seed);
+            let got = cache.attention(&q, 0, 1, causal).unwrap();
+
+            // Oracle: legalized Op::Attention on the gathered streams.
+            let skv = s + skv_extra + base[0];
+            let sinfo = |h: usize, n: usize| {
+                StructInfo::tensor(
+                    vec![
+                        (b as i64).into(),
+                        (h as i64).into(),
+                        (n as i64).into(),
+                        (hd as i64).into(),
+                    ],
+                    DataType::F32,
+                )
+            };
+            let mut attrs = OpAttrs::new();
+            attrs.insert("scale".into(), format!("{}", 1.0 / (hd as f64).sqrt()));
+            attrs.insert("causal".into(), if causal { "true" } else { "false" }.into());
+            let prim = legalize(
+                Op::Attention,
+                &attrs,
+                &[sinfo(hq, s), sinfo(hkv, skv), sinfo(hkv, skv)],
+                "attn_oracle",
+            )
+            .unwrap();
+            let expected = NDArray::zeros(&[b, hq, s, hd], DataType::F32);
+            interp::run(
+                &prim,
+                &[
+                    q,
+                    cache.view(0).unwrap(),
+                    cache.view(1).unwrap(),
+                    expected.clone(),
+                ],
+            )
+            .unwrap();
+            assert_eq!(got, expected, "s={s} skv={skv} causal={causal}");
+        }
+    }
+
+    /// Truncation rolls back logical lengths, releases now-empty pages,
+    /// and re-appending after the rollback reproduces identical bits.
+    #[test]
+    fn truncate_releases_pages_and_replays_bitwise() {
+        let pool = Arc::new(KvPagePool::with_capacity(2, 64));
+        let cache = tiny_cache(&pool);
+        let mut seed = 42;
+        let a = rand_tensor(&[2, 2, 3, 4], &mut seed);
+        let tail = rand_tensor(&[2, 2, 2, 4], &mut seed);
+        cache.append(0, &a).unwrap();
+        let mark = cache.lens();
+        cache.append(0, &tail).unwrap();
+        let full = cache.view(0).unwrap();
+        let pages_full = cache.pages_held();
+        // Roll back, then replay the same append: bitwise identical.
+        cache.truncate_to(&mark).unwrap();
+        assert_eq!(cache.len(0), 3);
+        assert!(cache.pages_held() < pages_full);
+        cache.append(0, &tail).unwrap();
+        assert_eq!(cache.view(0).unwrap(), full);
+        // Growing via truncate is rejected.
+        assert!(cache.truncate_to(&[10, 0]).is_err());
+        // Dropping the last handle returns every page.
+        let held = cache.pages_held();
+        assert!(held > 0);
+        drop(cache);
+        let st = pool.stats();
+        assert_eq!(st.in_use, 0);
+        assert!(st.reconciles());
+    }
+
+    /// Pool exhaustion mid-append leaves no partial append and no
+    /// leaked pages.
+    #[test]
+    fn exhausted_append_is_atomic() {
+        let pool = Arc::new(KvPagePool::with_capacity(2, 3));
+        let cache = tiny_cache(&pool);
+        let mut seed = 7;
+        cache.append(0, &rand_tensor(&[2, 2, 4, 4], &mut seed)).unwrap(); // 2 pages
+        let before = cache.view(0).unwrap();
+        // Needs 2 more pages; only 1 left.
+        let err = cache
+            .append(0, &rand_tensor(&[2, 2, 4, 4], &mut seed))
+            .unwrap_err();
+        assert!(err.detail.contains("exhausted"), "{err}");
+        assert_eq!(cache.len(0), 4);
+        assert_eq!(cache.view(0).unwrap(), before);
+        let st = pool.stats();
+        assert!(st.reconciles());
+        assert_eq!(st.in_use, 2);
+    }
+
+    /// Dispatch wires the builtins end to end: create → append → view /
+    /// attention, with handles flowing as `Value`s.
+    #[test]
+    fn dispatch_roundtrip() {
+        let pool = Arc::new(KvPagePool::unbounded(4));
+        let cache_v = dispatch(
+            "create",
+            &[Value::Shape(vec![2, 1, 2, 4, 0])],
+            &pool,
+        )
+        .unwrap();
+        let mut seed = 99;
+        let new = rand_tensor(&[1, 2, 3, 4], &mut seed);
+        let cache_v = dispatch(
+            "append_paged",
+            &[cache_v, Value::Tensor(new.clone()), Value::Shape(vec![0])],
+            &pool,
+        )
+        .unwrap();
+        let viewed = dispatch(
+            "view",
+            &[cache_v.clone(), Value::Shape(vec![0])],
+            &pool,
+        )
+        .unwrap();
+        assert_eq!(viewed.as_tensor().unwrap(), &new);
+        // Attention needs both streams; mirror K into V.
+        let cache_v = dispatch(
+            "append_paged",
+            &[cache_v, Value::Tensor(new.clone()), Value::Shape(vec![1])],
+            &pool,
+        )
+        .unwrap();
+        let q = rand_tensor(&[1, 2, 1, 4], &mut seed);
+        let out = dispatch(
+            "attention",
+            &[
+                Value::Tensor(q),
+                cache_v,
+                Value::Shape(vec![0, 1, 1]),
+            ],
+            &pool,
+        )
+        .unwrap();
+        assert_eq!(out.as_tensor().unwrap().shape(), &[1, 2, 1, 4]);
+        // Unknown ops and bad arities are errors, not panics.
+        assert!(dispatch("nope", &[], &pool).is_err());
+        assert!(dispatch("view", &[Value::Prim(3)], &pool).is_err());
+    }
+}

@@ -23,6 +23,7 @@
 
 mod exec;
 pub mod fault;
+pub mod kv_cache;
 pub mod memory;
 mod plan_cache;
 pub mod registry;
@@ -32,6 +33,8 @@ mod vm;
 
 pub use exec::{Executable, Instr, Reg, VmFunction};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, FiredFault};
+pub use kv_cache::{KvCache, KvCacheConfig, KV_CACHE_PREFIX};
+pub use memory::{KvPagePool, KvPageStats, KvPoolExhausted};
 pub use plan_cache::{CachedPlan, PlanCacheStats, SharedPlanCache};
 pub use value::Value;
 pub use verify::{verify, VerifyError, Violation};

@@ -6,6 +6,11 @@
 //! *total allocated memory* each strategy ends up holding.
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use relax_arith::DataType;
+use relax_tir::NDArray;
 
 /// Statistics of an allocator's behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -79,6 +84,212 @@ impl PooledAllocator {
     }
 }
 
+/// Statistics of a [`KvPagePool`]. The accounting invariant is
+/// `allocated == in_use + free`: every page ever materialized is either
+/// held by a live cache or parked on the free list — the reconciliation
+/// check the chaos harness asserts after healing a crashed worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvPageStats {
+    /// Tokens per page (the fixed block size).
+    pub page_tokens: usize,
+    /// Maximum pages the pool may hand out (`usize::MAX` = unbounded).
+    pub capacity: usize,
+    /// Pages with live backing buffers (`in_use + free`).
+    pub allocated: usize,
+    /// Pages currently held by caches.
+    pub in_use: usize,
+    /// Pages parked on the free list, ready for reuse.
+    pub free: usize,
+    /// Peak of `in_use`.
+    pub peak_in_use: usize,
+    /// Total acquire calls.
+    pub acquires: u64,
+    /// Total release calls.
+    pub releases: u64,
+    /// Acquires served by recycling a free page instead of allocating.
+    pub reuses: u64,
+    /// Acquires refused because the pool was at capacity.
+    pub exhaustions: u64,
+}
+
+impl KvPageStats {
+    /// `true` when the accounting invariant `allocated == in_use + free`
+    /// holds.
+    pub fn reconciles(&self) -> bool {
+        self.allocated == self.in_use + self.free
+    }
+
+    /// Fraction of capacity currently in use (0.0 for an unbounded pool).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == usize::MAX || self.capacity == 0 {
+            0.0
+        } else {
+            self.in_use as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// The pool refused an acquire because every page is in use; the serving
+/// scheduler reacts by evicting a session and retrying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvPoolExhausted {
+    /// Pages the pool may hand out.
+    pub capacity: usize,
+    /// Pages in use at the time of the refused acquire.
+    pub in_use: usize,
+}
+
+impl fmt::Display for KvPoolExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kv page pool exhausted: {} of {} pages in use",
+            self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for KvPoolExhausted {}
+
+struct KvPoolInner {
+    /// Recycled pages, bucketed by (shape, dtype). A serving deployment
+    /// usually has one bucket (one model config); linear scan is fine.
+    free: Vec<(Vec<usize>, DataType, Vec<NDArray>)>,
+    stats: KvPageStats,
+}
+
+/// A fixed-size page allocator for KV caches, shared by every VM and
+/// session of a serving engine.
+///
+/// Pages are `(batch, heads, page_tokens, head_dim)` tensors handed to
+/// [`crate::kv_cache::KvCache`] block tables. Released pages are parked
+/// on a free list and recycled (zero-filled) on the next acquire, so
+/// steady-state serving allocates nothing; a bounded pool refuses
+/// acquires beyond `capacity_pages`, which is the backpressure signal
+/// the continuous-batching scheduler turns into session eviction.
+///
+/// All methods take `&self`; the pool is shared as an `Arc` across
+/// worker threads. The interior mutex is poison-tolerant: a panicking
+/// worker (chaos harness) cannot wedge the allocator for survivors.
+pub struct KvPagePool {
+    page_tokens: usize,
+    capacity: usize,
+    inner: Mutex<KvPoolInner>,
+}
+
+impl fmt::Debug for KvPagePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.stats();
+        write!(
+            f,
+            "KvPagePool(page_tokens={}, in_use={}/{}, free={})",
+            st.page_tokens,
+            st.in_use,
+            if st.capacity == usize::MAX {
+                "∞".to_string()
+            } else {
+                st.capacity.to_string()
+            },
+            st.free
+        )
+    }
+}
+
+impl KvPagePool {
+    /// A pool handing out pages of `page_tokens` tokens, at most
+    /// `capacity_pages` at a time.
+    pub fn with_capacity(page_tokens: usize, capacity_pages: usize) -> Self {
+        KvPagePool {
+            page_tokens: page_tokens.max(1),
+            capacity: capacity_pages,
+            inner: Mutex::new(KvPoolInner {
+                free: Vec::new(),
+                stats: KvPageStats {
+                    page_tokens: page_tokens.max(1),
+                    capacity: capacity_pages,
+                    ..KvPageStats::default()
+                },
+            }),
+        }
+    }
+
+    /// An unbounded pool (capacity `usize::MAX`).
+    pub fn unbounded(page_tokens: usize) -> Self {
+        Self::with_capacity(page_tokens, usize::MAX)
+    }
+
+    /// Tokens per page.
+    pub fn page_tokens(&self) -> usize {
+        self.page_tokens
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, KvPoolInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires one zeroed page of the given shape, recycling a free page
+    /// when one matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvPoolExhausted`] when `in_use` has reached the
+    /// capacity.
+    pub fn acquire(&self, shape: &[usize], dtype: DataType) -> Result<NDArray, KvPoolExhausted> {
+        let mut inner = self.lock();
+        if inner.stats.in_use >= self.capacity {
+            inner.stats.exhaustions += 1;
+            return Err(KvPoolExhausted {
+                capacity: self.capacity,
+                in_use: inner.stats.in_use,
+            });
+        }
+        inner.stats.acquires += 1;
+        let recycled = inner
+            .free
+            .iter_mut()
+            .find(|(s, d, pages)| s == shape && *d == dtype && !pages.is_empty())
+            .and_then(|(_, _, pages)| pages.pop());
+        let page = match recycled {
+            Some(page) => {
+                inner.stats.reuses += 1;
+                inner.stats.free -= 1;
+                page.fill(relax_tir::Scalar::F(0.0));
+                page
+            }
+            None => {
+                inner.stats.allocated += 1;
+                NDArray::zeros(shape, dtype)
+            }
+        };
+        inner.stats.in_use += 1;
+        inner.stats.peak_in_use = inner.stats.peak_in_use.max(inner.stats.in_use);
+        Ok(page)
+    }
+
+    /// Returns a page to the free list for reuse.
+    pub fn release(&self, page: NDArray) {
+        let mut inner = self.lock();
+        inner.stats.releases += 1;
+        inner.stats.in_use = inner.stats.in_use.saturating_sub(1);
+        inner.stats.free += 1;
+        let shape = page.shape().to_vec();
+        let dtype = page.dtype();
+        match inner
+            .free
+            .iter_mut()
+            .find(|(s, d, _)| *s == shape && *d == dtype)
+        {
+            Some((_, _, pages)) => pages.push(page),
+            None => inner.free.push((shape, dtype, vec![page])),
+        }
+    }
+
+    /// Current statistics (see [`KvPageStats`] for the invariant).
+    pub fn stats(&self) -> KvPageStats {
+        self.lock().stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +317,52 @@ mod tests {
         let st = pool.stats();
         assert_eq!(st.footprint, 64 + 128);
         assert_eq!(st.fresh_allocations, 2);
+    }
+
+    #[test]
+    fn kv_pool_reuses_and_reconciles() {
+        let pool = KvPagePool::with_capacity(4, 2);
+        let shape = [1usize, 2, 4, 8];
+        let a = pool.acquire(&shape, DataType::F32).unwrap();
+        let b = pool.acquire(&shape, DataType::F32).unwrap();
+        // At capacity: the third acquire is refused and counted.
+        let err = pool.acquire(&shape, DataType::F32).unwrap_err();
+        assert_eq!(err.in_use, 2);
+        assert_eq!(err.capacity, 2);
+        // Dirty a page, release it, and reacquire: recycled and zeroed.
+        a.set(0, relax_tir::Scalar::F(7.0)).unwrap();
+        pool.release(a);
+        let c = pool.acquire(&shape, DataType::F32).unwrap();
+        assert_eq!(c.get(0).unwrap(), relax_tir::Scalar::F(0.0));
+        let st = pool.stats();
+        assert!(st.reconciles(), "{st:?}");
+        assert_eq!(st.allocated, 2);
+        assert_eq!(st.in_use, 2);
+        assert_eq!(st.free, 0);
+        assert_eq!(st.reuses, 1);
+        assert_eq!(st.exhaustions, 1);
+        assert_eq!(st.peak_in_use, 2);
+        assert!((st.utilization() - 1.0).abs() < 1e-9);
+        pool.release(b);
+        pool.release(c);
+        let st = pool.stats();
+        assert!(st.reconciles());
+        assert_eq!(st.in_use, 0);
+        assert_eq!(st.free, 2);
+    }
+
+    #[test]
+    fn kv_pool_buckets_by_shape_and_dtype() {
+        let pool = KvPagePool::unbounded(4);
+        let p1 = pool.acquire(&[1, 1, 4, 2], DataType::F32).unwrap();
+        pool.release(p1);
+        // A different shape cannot recycle the parked page.
+        let _p2 = pool.acquire(&[1, 2, 4, 2], DataType::F32).unwrap();
+        let st = pool.stats();
+        assert_eq!(st.reuses, 0);
+        assert_eq!(st.allocated, 2);
+        assert!(st.reconciles());
+        assert_eq!(st.utilization(), 0.0); // unbounded
     }
 
     #[test]

@@ -4,6 +4,8 @@ use std::fmt;
 
 use relax_tir::NDArray;
 
+use crate::kv_cache::KvCache;
+
 /// A runtime value in a VM register.
 #[derive(Debug, Clone)]
 pub enum Value {
@@ -24,6 +26,8 @@ pub enum Value {
         /// Size in bytes.
         bytes: usize,
     },
+    /// A paged KV-cache handle (cloning aliases the same pages).
+    KvCache(KvCache),
 }
 
 impl Value {
@@ -51,6 +55,14 @@ impl Value {
         }
     }
 
+    /// Returns the KV-cache handle, if this value is one.
+    pub fn as_kv_cache(&self) -> Option<&KvCache> {
+        match self {
+            Value::KvCache(c) => Some(c),
+            _ => None,
+        }
+    }
+
     /// A short description of the value kind for error messages.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -60,6 +72,7 @@ impl Value {
             Value::Shape(_) => "shape",
             Value::Prim(_) => "prim",
             Value::Storage { .. } => "storage",
+            Value::KvCache(_) => "kv_cache",
         }
     }
 }
@@ -82,6 +95,7 @@ impl fmt::Display for Value {
             Value::Shape(dims) => write!(f, "shape{dims:?}"),
             Value::Prim(v) => write!(f, "{v}"),
             Value::Storage { id, bytes } => write!(f, "storage#{id}({bytes}B)"),
+            Value::KvCache(c) => write!(f, "{c:?}"),
         }
     }
 }

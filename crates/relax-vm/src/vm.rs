@@ -10,7 +10,8 @@ use relax_tir::{NDArray, PlanError};
 
 use crate::exec::{Executable, Instr, Reg, VmFunction};
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
-use crate::memory::{MemoryStats, PooledAllocator};
+use crate::kv_cache::{self, KV_CACHE_PREFIX};
+use crate::memory::{KvPagePool, MemoryStats, PooledAllocator};
 use crate::plan_cache::{CachedPlan, PlanCacheSession, SharedPlanCache};
 use crate::registry::{KernelError, Registry};
 use crate::value::Value;
@@ -283,6 +284,9 @@ pub struct Vm {
     cache_session: PlanCacheSession,
     /// Worker threads for parallelizable kernel plans (1 = serial).
     parallelism: usize,
+    /// The page pool backing `vm.builtin.kv_cache.*` handles — shared
+    /// across a serving engine's VMs so occupancy accounting is global.
+    kv_pool: Arc<KvPagePool>,
     /// Scheduled fault injection (tests and chaos harnesses).
     fault: Option<FaultInjector>,
     /// Device memory capacity in bytes; allocations beyond it fail.
@@ -333,11 +337,24 @@ impl Vm {
             plan_cache,
             cache_session,
             parallelism: 1,
+            kv_pool: Arc::new(KvPagePool::unbounded(DEFAULT_KV_PAGE_TOKENS)),
             fault: None,
             memory_capacity: None,
             strict_storage: false,
             poisoned: false,
         }
+    }
+
+    /// Replaces the KV page pool used by `vm.builtin.kv_cache.create`.
+    /// A serving engine installs one shared bounded pool in every worker
+    /// VM so page occupancy is accounted globally.
+    pub fn set_kv_pool(&mut self, pool: Arc<KvPagePool>) {
+        self.kv_pool = pool;
+    }
+
+    /// The KV page pool backing this VM's cache handles.
+    pub fn kv_pool(&self) -> &Arc<KvPagePool> {
+        &self.kv_pool
     }
 
     /// Schedules deterministic fault injection (see [`crate::fault`]).
@@ -831,11 +848,22 @@ impl Vm {
                 if self.fault_fires(FaultSite::Kernel) {
                     return Err(injected_kernel_fault(func));
                 }
-                let inputs: Result<Vec<_>, _> =
-                    args.iter().map(|r| frame.tensor(*r).cloned()).collect();
-                let out = self.registry.call_builtin(func, &inputs?)?;
-                self.telemetry.builtin_calls += 1;
-                frame.set(*dst, Value::Tensor(out))?;
+                // KV-cache builtins operate on first-class handle values
+                // (and shapes), not just tensors: route them to the paged
+                // dispatcher before the tensor-only registry path.
+                if let Some(op) = func.strip_prefix(KV_CACHE_PREFIX) {
+                    let vals: Result<Vec<Value>, VmError> =
+                        args.iter().map(|r| frame.get(*r).cloned()).collect();
+                    let out = kv_cache::dispatch(op, &vals?, &self.kv_pool)?;
+                    self.telemetry.builtin_calls += 1;
+                    frame.set(*dst, out)?;
+                } else {
+                    let inputs: Result<Vec<_>, _> =
+                        args.iter().map(|r| frame.tensor(*r).cloned()).collect();
+                    let out = self.registry.call_builtin(func, &inputs?)?;
+                    self.telemetry.builtin_calls += 1;
+                    frame.set(*dst, Value::Tensor(out))?;
+                }
             }
             Instr::CallFunc { func, args, dst } => {
                 let mut vals = Vec::with_capacity(args.len());
@@ -978,6 +1006,10 @@ impl Vm {
         Ok(())
     }
 }
+
+/// Default tokens per KV page when no shared pool is installed (matches
+/// vLLM's default block size).
+const DEFAULT_KV_PAGE_TOKENS: usize = 16;
 
 /// Byte size of a tensor, with overflow-checked arithmetic: adversarial
 /// shapes whose element count times element size exceeds `usize` must

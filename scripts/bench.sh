@@ -15,6 +15,14 @@
 # preserves the numbers from before the concurrency refactor for
 # before/after comparison.
 #
+# A "serving_continuous" section runs one mixed-traffic session schedule
+# (varied prompt lengths and token budgets) through the continuous-
+# batching SessionManager on the paged KV cache and through the
+# shape-batched copy-append lockstep baseline, reporting tokens/s, p99
+# session latency and page-pool utilization for each; "kv_append" rows
+# give the scalar-reference vs row-copy kernel pair at several context
+# lengths (the before/after for the inner-loop rewrite).
+#
 # The "availability_under_chaos" section reruns the decode workload
 # through the seeded chaos harness at 0%, 1% and 5% fault rates (worker
 # panics, stalls, dropped replies, kernel faults) with retry and

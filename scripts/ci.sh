@@ -30,6 +30,12 @@ cargo test --workspace -q
 echo "==> serving smoke test (release)"
 cargo test -p relax-serve --release -q smoke
 
+echo "==> session serving smoke: mixed traffic + accounting (release)"
+# Continuous-batched sessions over the paged KV cache: asserts the
+# accounting identity retired+evicted+failed+shed == submitted and that
+# the page pool reconciles with zero pages leaked after shutdown.
+cargo test -p relax-serve --release -q --test sessions mixed_traffic_smoke_accounting
+
 echo "==> serving chaos smoke (seeded fault injection, release)"
 cargo test -p relax-serve --release -q --test chaos
 
