@@ -204,6 +204,173 @@ fn bench_tir_matmul_large(rows: &mut Vec<(String, f64)>) -> (f64, f64) {
     (plan_ns, plan4_ns)
 }
 
+/// One row of the kernel-schedule ablation: the same kernel executed
+/// scheduled (macro-op plan), unscheduled (scalar plan tape), or through
+/// the vendor-library stand-in.
+struct ScheduleRow {
+    name: String,
+    variant: &'static str,
+    /// Host CPUs available to this row — thread-scaling context, same
+    /// rationale as the serving rows.
+    host_threads: usize,
+    median_ns: f64,
+}
+
+/// Kernel-schedule ablation (scheduled vs unscheduled vs library) for
+/// the 96×64×64 matmul and the tiny-model decode step. Returns the rows
+/// and the headline `matmul_scheduled_vs_unscheduled` speedup.
+///
+/// Before timing anything the scheduled plan is checked bitwise against
+/// the unscheduled one — a fast wrong kernel must fail the bench, not
+/// publish a number.
+fn bench_kernel_schedule(rows: &mut Vec<(String, f64)>) -> (Vec<ScheduleRow>, f64) {
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out: Vec<ScheduleRow> = Vec::new();
+    let mut push = |rows: &mut Vec<(String, f64)>, name: String, variant: &'static str, ns: f64| {
+        rows.push((name.clone(), ns));
+        out.push(ScheduleRow {
+            name,
+            variant,
+            host_threads,
+            median_ns: ns,
+        });
+    };
+
+    // --- matmul 96×64×64: scalar plan vs macro-op plan vs library ---
+    let f = matmul_func();
+    let sched_f = relax_tir::schedule::auto_schedule(&f).expect("matmul nest auto-schedules");
+    let xs = NDArray::from_f64(
+        &[96, 64],
+        DataType::F32,
+        (0..96 * 64).map(|i| (i % 13) as f64).collect(),
+    )
+    .unwrap();
+    let ws = NDArray::from_f64(
+        &[64, 64],
+        DataType::F32,
+        (0..4096).map(|i| (i % 7) as f64 * 0.1).collect(),
+    )
+    .unwrap();
+    let ys = NDArray::zeros(&[96, 64], DataType::F32);
+    let args = [xs, ws, ys];
+    let shapes: Vec<Vec<usize>> = args.iter().map(|a| a.shape().to_vec()).collect();
+    let plain = plan::compile(&f, &shapes).unwrap();
+    let scheduled = plan::compile(&sched_f, &shapes).unwrap();
+    assert!(
+        scheduled.scheduled(),
+        "scheduled matmul plan should contain macro-ops"
+    );
+
+    // Bitwise guard before any timing.
+    {
+        let a: Vec<NDArray> = args.iter().map(|x| x.deep_copy()).collect();
+        let b: Vec<NDArray> = args.iter().map(|x| x.deep_copy()).collect();
+        plain.run(&a, 1).unwrap();
+        scheduled.run(&b, 1).unwrap();
+        let bits = |arr: &NDArray| -> Vec<u64> {
+            arr.to_f64_vec().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(
+            bits(&a[2]),
+            bits(&b[2]),
+            "scheduled matmul diverged bitwise from the scalar plan"
+        );
+    }
+
+    let un_ns = bench("kernel_schedule/matmul_96x64x64/unscheduled", || {
+        plain.run(std::hint::black_box(&args), 1).unwrap()
+    });
+    push(
+        rows,
+        "kernel_schedule/matmul_96x64x64/unscheduled".into(),
+        "unscheduled",
+        un_ns,
+    );
+    let s_ns = bench("kernel_schedule/matmul_96x64x64/scheduled", || {
+        scheduled.run(std::hint::black_box(&args), 1).unwrap()
+    });
+    push(
+        rows,
+        "kernel_schedule/matmul_96x64x64/scheduled".into(),
+        "scheduled",
+        s_ns,
+    );
+    let registry = Registry::new();
+    let lib_in = [args[0].deep_copy(), args[1].deep_copy()];
+    let lib_out = args[2].deep_copy();
+    let lib_ns = bench("kernel_schedule/matmul_96x64x64/library", || {
+        registry
+            .call_lib(
+                "cublas.matmul",
+                std::hint::black_box(&lib_in),
+                std::slice::from_ref(&lib_out),
+            )
+            .unwrap()
+    });
+    push(
+        rows,
+        "kernel_schedule/matmul_96x64x64/library".into(),
+        "library",
+        lib_ns,
+    );
+
+    // Roofline sanity: the measured scheduled time must sit at or above
+    // the physical floor of the host model — a fraction above 1 means
+    // the measurement or the traffic model is broken (relax-sim).
+    let roof = relax_sim::Roofline::host_cpu();
+    let profile = relax_sim::KernelProfile::matmul_blocked(96, 64, 64, 4);
+    let fraction = roof.fraction(&profile, s_ns * 1e-9);
+    println!(
+        "kernel_schedule/roofline_fraction              {fraction:>11.4}  ({:?}-bound)",
+        roof.bound(&profile)
+    );
+    assert!(
+        fraction <= 1.0,
+        "scheduled matmul claims {fraction:.2}x of the host roofline"
+    );
+
+    // --- decode step: generated kernels with scheduling on/off, and the
+    // library-dispatch pipeline as the reference bar ---
+    let cfg = LlamaConfig::tiny();
+    let ir = relax_models::llama::build_decode(&cfg).unwrap();
+    let dargs = tiny_decode_args(&ir, 2, 8);
+    for (tag, variant, opts) in [
+        (
+            "kernel_schedule/decode/scheduled",
+            "scheduled",
+            CompileOptions {
+                dispatch_library: false,
+                ..CompileOptions::default()
+            },
+        ),
+        (
+            "kernel_schedule/decode/unscheduled",
+            "unscheduled",
+            CompileOptions {
+                dispatch_library: false,
+                kernel_schedule: false,
+                ..CompileOptions::default()
+            },
+        ),
+        (
+            "kernel_schedule/decode/library",
+            "library",
+            CompileOptions::default(),
+        ),
+    ] {
+        let exec = compile(ir.module.clone(), &opts).unwrap();
+        let mut vm = Vm::new(exec);
+        let ns = bench(tag, || {
+            vm.run("decode", std::hint::black_box(&dargs)).unwrap()
+        });
+        push(rows, tag.into(), variant, ns);
+    }
+
+    (out, un_ns / s_ns)
+}
+
 /// KV-append micro-bench: the copy-based scalar oracle
 /// (`kv_append_reference`) against the row-copy library kernel
 /// (`vm.builtin.kv_append`) at several context lengths — the before/after
@@ -746,6 +913,7 @@ fn write_json(
     serving: &[ServingRow],
     continuous: &[ContinuousRow],
     chaos: &[ChaosRow],
+    schedule: &[ScheduleRow],
 ) {
     // Thread-scaling rows only make sense relative to the host's actual
     // core count (a 1-core CI box cannot show a parallel win).
@@ -816,6 +984,19 @@ fn write_json(
             r.peak_pages_in_use,
             r.pool_capacity_pages,
             r.pool_utilization,
+        ));
+    }
+    // Kernel-schedule ablation: the same kernel as a macro-op plan
+    // (scheduled), a scalar plan tape (unscheduled), and the vendor
+    // library stand-in — matmul and decode, with the host core count on
+    // every row since thread-scaling claims depend on it.
+    out.push_str("  ],\n  \"kernel_schedule\": [\n");
+    for (i, s) in schedule.iter().enumerate() {
+        let sep = if i + 1 < schedule.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"variant\": \"{}\", \"host_threads\": {}, \
+             \"median_ns\": {:.1}}}{sep}\n",
+            s.name, s.variant, s.host_threads, s.median_ns,
         ));
     }
     out.push_str("  ],\n  \"availability_under_chaos\": [\n");
@@ -892,6 +1073,7 @@ fn main() {
     let (interp_ns, plan_ns, plan4_ns) = bench_vm_decode_plan_modes(&mut rows);
     bench_tir_matmul(&mut rows);
     let (big_plan, big_par4) = bench_tir_matmul_large(&mut rows);
+    let (schedule_rows, sched_speedup) = bench_kernel_schedule(&mut rows);
     bench_kv_append(&mut rows);
     let serving = bench_serving(&mut rows);
     let continuous = bench_serving_continuous(&mut rows);
@@ -911,6 +1093,7 @@ fn main() {
         ("decode_plan4_vs_plan1", plan_ns / plan4_ns),
         ("matmul_plan_vs_interp", mm_interp / mm_plan),
         ("matmul_large_par4_vs_plan1", big_plan / big_par4),
+        ("matmul_scheduled_vs_unscheduled", sched_speedup),
         (
             "serve_decode_4w_vs_1w",
             serving[0].total_ns / serving[1].total_ns,
@@ -940,5 +1123,13 @@ fn main() {
             p.changed
         );
     }
-    write_json(&rows, &speedups, &passes, &serving, &continuous, &chaos);
+    write_json(
+        &rows,
+        &speedups,
+        &passes,
+        &serving,
+        &continuous,
+        &chaos,
+        &schedule_rows,
+    );
 }

@@ -48,6 +48,7 @@ mod lower;
 mod manager;
 mod pipeline;
 mod plan;
+mod schedule_pass;
 mod workspace;
 
 pub use annotate::{annotate_compute_patterns, AnnotatePatterns};
@@ -68,4 +69,5 @@ pub use pipeline::{
     compile, compile_with_context, compile_with_report, default_manager, CompileOptions,
 };
 pub use plan::{plan_memory, MemoryPlan};
+pub use schedule_pass::ScheduleKernels;
 pub use workspace::{lift_tir_workspaces, WorkspaceLift};

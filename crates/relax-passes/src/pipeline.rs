@@ -18,6 +18,7 @@ use crate::fuse::{FuseOps, FuseTensorIr};
 use crate::legalize_pass::Legalize;
 use crate::manager::{CompileReport, Fixpoint, ModulePass, PassContext, PassManager};
 use crate::plan::MemoryPlan;
+use crate::schedule_pass::ScheduleKernels;
 use crate::workspace::WorkspaceLift;
 
 /// Options controlling the pipeline — each toggle corresponds to one bar
@@ -34,6 +35,10 @@ pub struct CompileOptions {
     pub memory_plan: bool,
     /// §4.5 graph capture offloading (requires a static plan to fire).
     pub graph_capture: bool,
+    /// TensorIR-style kernel scheduling: marks lowered reduction nests
+    /// for the plan compiler's blocked macro-op superinstructions (see
+    /// `relax_tir::schedule`).
+    pub kernel_schedule: bool,
     /// Declared upper bounds for symbolic shape variables (e.g. maximum
     /// context length), enabling fully static plans.
     pub shape_bounds: HashMap<SymVar, i64>,
@@ -47,6 +52,7 @@ impl Default for CompileOptions {
             fusion: true,
             memory_plan: true,
             graph_capture: true,
+            kernel_schedule: true,
             shape_bounds: HashMap::new(),
         }
     }
@@ -61,6 +67,7 @@ impl CompileOptions {
             fusion: false,
             memory_plan: false,
             graph_capture: false,
+            kernel_schedule: false,
             shape_bounds: HashMap::new(),
         }
     }
@@ -169,6 +176,11 @@ pub fn default_manager(opts: &CompileOptions) -> PassManager {
     }
     pm.add_module_pass(cleanup_fixpoint());
     pm.add_module_pass(WorkspaceLift);
+    if opts.kernel_schedule {
+        // Runs before plan-affecting exec passes so downstream shape
+        // specialization sees the schedule attributes.
+        pm.add_exec_pass(ScheduleKernels);
+    }
     if opts.memory_plan {
         pm.add_exec_pass(MemoryPlan::new(opts.shape_bounds.clone()));
         if opts.graph_capture {

@@ -269,6 +269,7 @@ fn report_names_match_executed_sequence() {
             "annotate_patterns",
             "lift_workspaces",
             "lower_to_vm",
+            "schedule_kernels",
             "memory_plan",
             "graph_capture",
         ]
@@ -279,7 +280,7 @@ fn report_names_match_executed_sequence() {
     for p in &report.passes {
         let want = match p.name.as_str() {
             "lower_to_vm" => PassStage::Lower,
-            "memory_plan" | "graph_capture" => PassStage::Exec,
+            "schedule_kernels" | "memory_plan" | "graph_capture" => PassStage::Exec,
             _ => PassStage::Module,
         };
         assert_eq!(p.stage, want, "stage of {}", p.name);

@@ -27,8 +27,10 @@ mod cost;
 mod device;
 mod dryrun;
 mod profile;
+mod roofline;
 
 pub use cost::{kernel_time, KernelClass};
 pub use device::DeviceSpec;
 pub use dryrun::{simulate, simulate_with_memory, MemoryTracker, SimError, SimReport, SimValue};
 pub use profile::Profile;
+pub use roofline::{KernelProfile, Roofline, RooflineBound};

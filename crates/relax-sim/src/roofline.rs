@@ -1,0 +1,217 @@
+//! Explicit roofline model for kernel-schedule sanity checks.
+//!
+//! [`kernel_time`](crate::kernel_time) folds class-dependent efficiency
+//! factors into its estimate; this module exposes the *raw* roofline —
+//! `attainable = min(peak_flops, bandwidth × intensity)` — so the
+//! schedule layer's macro-op kernels can be sanity-checked against a
+//! physical ceiling rather than a calibrated one. The bench harness uses
+//! it to answer two questions about the blocked matmul superinstruction
+//! (`relax_tir::plan`):
+//!
+//! 1. *Is the speedup direction plausible?* Cache-blocking keeps the
+//!    accumulator in registers, removing the per-step store/load round
+//!    trip of the scalar tape; the blocked profile therefore has strictly
+//!    higher arithmetic intensity, so its roofline time can only drop.
+//! 2. *Are we claiming more than the machine allows?* Any measured
+//!    throughput above [`Roofline::min_time_s`] for the same profile
+//!    indicates a broken measurement, not a fast kernel.
+
+use crate::device::DeviceSpec;
+
+/// Which side of the ridge point a kernel profile sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RooflineBound {
+    /// Arithmetic intensity above the ridge: limited by `peak_flops`.
+    Compute,
+    /// Arithmetic intensity below the ridge: limited by bandwidth.
+    Memory,
+}
+
+/// Work and traffic of one kernel launch, the x-coordinate source of the
+/// roofline plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes moved to and from backing storage.
+    pub bytes: f64,
+}
+
+impl KernelProfile {
+    /// Flops per byte; infinite for a kernel that touches no memory.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes > 0.0 {
+            self.flops / self.bytes
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// An `m×k @ k×n` matmul executed as the scalar plan tape executes
+    /// it: every multiply-accumulate stores the partial sum back to the
+    /// output view and reloads it on the next `k` step, so the
+    /// accumulator contributes `2·m·n·k` element round trips on top of
+    /// the operand streams.
+    pub fn matmul_scalar(m: usize, n: usize, k: usize, elem_bytes: usize) -> Self {
+        let (m, n, k, e) = (m as f64, n as f64, k as f64, elem_bytes as f64);
+        KernelProfile {
+            flops: 2.0 * m * n * k,
+            bytes: e * (m * k + k * n + m * n + 2.0 * m * n * k),
+        }
+    }
+
+    /// The same matmul executed by the blocked macro-op: the partial sum
+    /// lives in a register block for the whole reduction, so traffic is
+    /// one stream of each operand plus one write of the output.
+    pub fn matmul_blocked(m: usize, n: usize, k: usize, elem_bytes: usize) -> Self {
+        let (m, n, k, e) = (m as f64, n as f64, k as f64, elem_bytes as f64);
+        KernelProfile {
+            flops: 2.0 * m * n * k,
+            bytes: e * (m * k + k * n + m * n),
+        }
+    }
+}
+
+/// A two-parameter roofline: flat compute ceiling and a bandwidth-sloped
+/// memory ceiling meeting at the ridge point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak arithmetic throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+}
+
+impl Roofline {
+    /// Roofline from explicit peaks.
+    pub fn new(peak_flops: f64, mem_bandwidth: f64) -> Self {
+        Roofline {
+            peak_flops,
+            mem_bandwidth,
+        }
+    }
+
+    /// The raw (efficiency-free) roofline of a simulated device.
+    pub fn of_device(d: &DeviceSpec) -> Self {
+        Roofline::new(d.peak_flops, d.mem_bandwidth)
+    }
+
+    /// Conservative single-core host preset for the interpreter-class
+    /// kernels this reproduction actually runs: a few scalar FMAs per
+    /// nanosecond against one DDR channel. Used as the denominator in
+    /// bench sanity checks, not as a claim about any specific CPU.
+    pub fn host_cpu() -> Self {
+        Roofline::new(8e9, 20e9)
+    }
+
+    /// Intensity at which the two ceilings meet (flops per byte).
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_flops / self.mem_bandwidth
+    }
+
+    /// Attainable FLOP/s at a given arithmetic intensity:
+    /// `min(peak_flops, bandwidth × intensity)`.
+    pub fn ceiling_flops(&self, intensity: f64) -> f64 {
+        self.peak_flops.min(self.mem_bandwidth * intensity)
+    }
+
+    /// Which ceiling binds a profile.
+    pub fn bound(&self, profile: &KernelProfile) -> RooflineBound {
+        if profile.intensity() >= self.ridge_intensity() {
+            RooflineBound::Compute
+        } else {
+            RooflineBound::Memory
+        }
+    }
+
+    /// The minimum time physically possible for a profile on this
+    /// roofline: the larger of pure compute time and pure transfer time.
+    pub fn min_time_s(&self, profile: &KernelProfile) -> f64 {
+        let compute = profile.flops / self.peak_flops;
+        let memory = profile.bytes / self.mem_bandwidth;
+        compute.max(memory)
+    }
+
+    /// Fraction of the roofline an achieved wall-clock time reaches, in
+    /// `(0, 1]` for honest measurements. Values above `1.0` mean the
+    /// measurement (or the profile) is wrong.
+    pub fn fraction(&self, profile: &KernelProfile, achieved_s: f64) -> f64 {
+        self.min_time_s(profile) / achieved_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_meets_at_the_ridge() {
+        let r = Roofline::new(100e9, 10e9);
+        let ridge = r.ridge_intensity();
+        assert!((ridge - 10.0).abs() < 1e-12);
+        assert!((r.ceiling_flops(ridge) - r.peak_flops).abs() < 1e-3);
+        // Below the ridge the ceiling is bandwidth-sloped, above it flat.
+        assert!((r.ceiling_flops(ridge / 2.0) - r.peak_flops / 2.0).abs() < 1e-3);
+        assert_eq!(r.ceiling_flops(ridge * 8.0), r.peak_flops);
+    }
+
+    #[test]
+    fn min_time_is_the_binding_ceiling() {
+        let r = Roofline::new(100e9, 10e9);
+        let streaming = KernelProfile {
+            flops: 1e9,
+            bytes: 1e9,
+        };
+        assert_eq!(r.bound(&streaming), RooflineBound::Memory);
+        assert!((r.min_time_s(&streaming) - 0.1).abs() < 1e-12);
+        let dense = KernelProfile {
+            flops: 1e12,
+            bytes: 1e9,
+        };
+        assert_eq!(r.bound(&dense), RooflineBound::Compute);
+        assert!((r.min_time_s(&dense) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_raises_intensity_and_never_raises_min_time() {
+        let r = Roofline::host_cpu();
+        for &(m, n, k) in &[(96usize, 64usize, 64usize), (1, 64, 64), (8, 8, 8)] {
+            let scalar = KernelProfile::matmul_scalar(m, n, k, 4);
+            let blocked = KernelProfile::matmul_blocked(m, n, k, 4);
+            assert_eq!(scalar.flops, blocked.flops);
+            assert!(blocked.bytes < scalar.bytes);
+            assert!(blocked.intensity() > scalar.intensity());
+            assert!(r.min_time_s(&blocked) <= r.min_time_s(&scalar));
+        }
+    }
+
+    #[test]
+    fn scalar_matmul_is_memory_bound_on_the_host() {
+        // The per-step accumulator round trip pins the scalar tape's
+        // intensity below 1 flop/byte — far under any ridge — which is
+        // exactly the traffic the macro-op eliminates.
+        let r = Roofline::host_cpu();
+        let scalar = KernelProfile::matmul_scalar(96, 64, 64, 4);
+        assert!(scalar.intensity() < 1.0);
+        assert_eq!(r.bound(&scalar), RooflineBound::Memory);
+    }
+
+    #[test]
+    fn fraction_is_a_sanity_bound() {
+        let r = Roofline::host_cpu();
+        let p = KernelProfile::matmul_blocked(96, 64, 64, 4);
+        let floor = r.min_time_s(&p);
+        assert!(r.fraction(&p, floor * 2.0) < 1.0);
+        assert!((r.fraction(&p, floor) - 1.0).abs() < 1e-12);
+        // A "measurement" below the physical floor reads as > 1.
+        assert!(r.fraction(&p, floor / 2.0) > 1.0);
+    }
+
+    #[test]
+    fn device_roofline_strips_efficiency_factors() {
+        let d = DeviceSpec::rtx4090();
+        let r = Roofline::of_device(&d);
+        assert_eq!(r.peak_flops, d.peak_flops);
+        assert_eq!(r.mem_bandwidth, d.mem_bandwidth);
+    }
+}

@@ -31,6 +31,7 @@ mod ndarray;
 pub mod plan;
 mod pool;
 mod printer;
+pub mod schedule;
 mod stmt;
 pub mod transform;
 
@@ -40,4 +41,5 @@ pub use expr::{Scalar, TirExpr};
 pub use func::PrimFunc;
 pub use ndarray::{round_to_dtype, NDArray, NDArrayError};
 pub use plan::{KernelPlan, PlanError};
+pub use schedule::{Schedule, ScheduleError};
 pub use stmt::Stmt;

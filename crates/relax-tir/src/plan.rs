@@ -57,6 +57,14 @@ use crate::stmt::Stmt;
 /// ~3M — the cutoff keeps the first two serial.
 pub const PAR_MIN_WORK: u64 = 1_000_000;
 
+/// Parallelism cutoff for plans containing macro-op superinstructions
+/// (`PStmt::MacroMatmul`). Macro work units are whole multiply-
+/// accumulates executed without tape dispatch, so the pool hand-off
+/// amortizes at a much smaller unit count than scalar tape ops: a
+/// `96×64×64` blocked matmul is ~393k macro units and benefits from
+/// chunking, while decode-step kernels stay thousands of units — serial.
+pub const PAR_MIN_WORK_MACRO: u64 = 250_000;
+
 /// Error raised while compiling a kernel plan.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {
@@ -325,6 +333,48 @@ enum PStmt {
     },
     /// Re-zeroes a scratch buffer (emitted at each `Alloc` point).
     ZeroScratch { buf: usize },
+    /// A cache-blocked matmul **superinstruction**: an entire
+    /// `for j { for k { if k == 0 { Y = c }; Y = Y + X·W } }` reduction
+    /// nest collapsed into one plan entry. Recognition (schedule-gated,
+    /// see [`Compiler::try_macro`]) proves the nest is the canonical dot
+    /// pattern over flat, in-bounds affine accesses; execution then runs
+    /// a register-blocked loop (`k` outer over blocks of `j`) that keeps
+    /// accumulators out of memory while preserving the scalar tape's
+    /// exact per-cell rounding sequence — every partial sum is rounded
+    /// to the destination dtype after each multiply-accumulate, exactly
+    /// as the tape's store/load round-trip does, so results are bitwise
+    /// identical.
+    MacroMatmul {
+        /// Iter slots of the consumed spatial (`j`) and reduction (`k`)
+        /// loops; the executor pins them to zero to evaluate bases.
+        j_iter: usize,
+        k_iter: usize,
+        /// Concrete trip counts (both `>= 1`).
+        nj: i64,
+        nk: i64,
+        /// Output / accumulator access (`coeff(k) == 0`).
+        y_buf: usize,
+        y: Affine,
+        /// Stationary operand (`coeff(j) == 0`), hoisted out of the
+        /// block loop.
+        x_buf: usize,
+        x: Affine,
+        /// Moving operand.
+        w_buf: usize,
+        w: Affine,
+        /// `true` when the stationary operand is the *first* multiply
+        /// operand in the source tape — preserved because NaN payload
+        /// propagation is the one place f64 multiplication is sensitive
+        /// to operand order.
+        x_first: bool,
+        /// Reduction init constant (the `if k == 0` store value).
+        init: f64,
+        /// The original scalar loop nest, executed verbatim when a
+        /// storage binding breaks the blocked fast path (integer views,
+        /// read-only output) so errors and integer semantics are
+        /// reproduced exactly.
+        fallback: Box<PStmt>,
+    },
 }
 
 /// A buffer slot in the plan: a parameter or a scratch allocation, with
@@ -362,6 +412,16 @@ struct PlanInner {
     /// Compile-time work estimate in op-units (Σ loop trip counts × tape
     /// ops), used by the [`PAR_MIN_WORK`] parallelism cutoff.
     work_estimate: u64,
+    /// `true` when the body contains at least one macro-op
+    /// superinstruction; selects the [`PAR_MIN_WORK_MACRO`] cutoff.
+    has_macros: bool,
+    /// The pre-macroization scalar body, kept only when macroization or
+    /// sibling fusion rewrote the plan. Macro recognition proves
+    /// operand/output **slots** distinct, but launch-time argument
+    /// aliasing can still make them share storage, where the blocked
+    /// loop order and fused statement order become observable — aliased
+    /// launches run this body serially instead.
+    scalar_body: Option<Vec<PStmt>>,
 }
 
 /// A compiled, shape-specialized tensor program. Cheap to clone (an `Arc`
@@ -399,7 +459,7 @@ pub fn compile(func: &PrimFunc, shapes: &[Vec<usize>]) -> Result<KernelPlan, Pla
     };
     for (i, p) in func.params().iter().enumerate() {
         let dims = shapes[i].clone();
-        let numel: usize = dims.iter().product();
+        let numel = checked_numel(&dims)?;
         let slot = c.bufs.len();
         if c.buf_slot.insert(p.id(), slot).is_some() {
             return Err(PlanError::unsupported("duplicate parameter buffer"));
@@ -415,6 +475,23 @@ pub fn compile(func: &PrimFunc, shapes: &[Vec<usize>]) -> Result<KernelPlan, Pla
 
     let mut body = Vec::new();
     c.lower_stmt(func.body(), &mut body)?;
+
+    // Schedule-gated superinstruction recognition: functions opted in via
+    // the `relax.schedule` attribute (manually through
+    // `crate::schedule::Schedule::into_func` or by the pipeline's
+    // auto-scheduler) get the blocked matmul macro-op plus row-level
+    // sibling fusion of elementwise epilogues into the macro loop.
+    let mut scalar_body = None;
+    let mut has_macros = false;
+    if func.attr("relax.schedule").is_some() {
+        let original = body.clone();
+        let mut changed = c.macroize_stmts(&mut body);
+        changed |= c.fuse_rows(&mut body);
+        has_macros = contains_macro(&body);
+        if changed {
+            scalar_body = Some(original);
+        }
+    }
 
     let work_estimate = body
         .iter()
@@ -435,6 +512,8 @@ pub fn compile(func: &PrimFunc, shapes: &[Vec<usize>]) -> Result<KernelPlan, Pla
             bufs: c.bufs,
             written: c.written,
             work_estimate,
+            has_macros,
+            scalar_body,
         }),
     })
 }
@@ -534,7 +613,7 @@ impl Compiler {
                     }
                     dims.push(v as usize);
                 }
-                let numel: usize = dims.iter().product();
+                let numel = checked_numel(&dims)?;
                 let slot = self.bufs.len();
                 if self.buf_slot.insert(buffer.id(), slot).is_some() {
                     return Err(PlanError::unsupported("shadowed scratch buffer"));
@@ -867,8 +946,14 @@ impl Compiler {
             PStmt::IfEq { then, .. } => then
                 .iter()
                 .fold(0u64, |acc, s| acc.saturating_add(self.stmt_work(s))),
-            PStmt::Store { tape, .. } => 1 + tape.len() as u64,
+            PStmt::Store { tape, .. } => (tape.len() as u64).saturating_add(1),
             PStmt::ZeroScratch { buf } => self.bufs[*buf].numel as u64,
+            // One macro unit per multiply-accumulate: far cheaper than a
+            // scalar tape element, hence the separate
+            // [`PAR_MIN_WORK_MACRO`] cutoff.
+            PStmt::MacroMatmul { nj, nk, .. } => {
+                ((*nj).max(0) as u64).saturating_mul((*nk).max(0) as u64)
+            }
         }
     }
 
@@ -927,10 +1012,306 @@ impl Compiler {
         }
         Some(ParInfo { extent: n })
     }
+
+    // -- superinstruction recognition --------------------------------------
+
+    /// Rewrites every recognizable reduction nest in `stmts` into a
+    /// [`PStmt::MacroMatmul`]; returns whether anything changed.
+    fn macroize_stmts(&self, stmts: &mut [PStmt]) -> bool {
+        let mut changed = false;
+        for s in stmts.iter_mut() {
+            changed |= self.macroize_stmt(s);
+        }
+        changed
+    }
+
+    fn macroize_stmt(&self, s: &mut PStmt) -> bool {
+        if let Some(m) = self.try_macro(s) {
+            *s = m;
+            return true;
+        }
+        match s {
+            PStmt::Loop { body, .. } => self.macroize_stmts(body),
+            PStmt::IfEq { then, .. } => self.macroize_stmts(then),
+            _ => false,
+        }
+    }
+
+    /// Matches the canonical lowered dot nest
+    ///
+    /// ```text
+    /// Loop j { Loop k {
+    ///     IfEq k == 0 { Store Y[..] = ConstF(c) }
+    ///     Store Y[..] = tape[Load Y, Load X, Load W, Mul(1,2), Add(0,3)]
+    /// } }
+    /// ```
+    ///
+    /// with constant trip counts, all accesses flat (proven in bounds),
+    /// `Y` independent of `k`, one multiply operand independent of `j`
+    /// (the stationary operand), a float destination dtype, and operand
+    /// slots distinct from the output slot. Anything else is left to the
+    /// scalar tape.
+    fn try_macro(&self, s: &PStmt) -> Option<PStmt> {
+        let PStmt::Loop {
+            iter: j_iter,
+            extent: ej,
+            body: jbody,
+        } = s
+        else {
+            return None;
+        };
+        let nj = const_of(ej)?;
+        let [PStmt::Loop {
+            iter: k_iter,
+            extent: ek,
+            body: kbody,
+        }] = jbody.as_slice()
+        else {
+            return None;
+        };
+        let nk = const_of(ek)?;
+        if nj < 1 || nk < 1 {
+            return None;
+        }
+        let [PStmt::IfEq { lhs, rhs, then }, PStmt::Store {
+            tape,
+            result,
+            buf: y_buf,
+            access: Access::Flat(y),
+            dtype,
+        }] = kbody.as_slice()
+        else {
+            return None;
+        };
+        // Init guard must be exactly `k == 0`.
+        if *lhs.as_affine()? != Affine::iter(*k_iter) || rhs.as_affine()?.as_const()? != 0 {
+            return None;
+        }
+        let [PStmt::Store {
+            tape: itape,
+            result: ires,
+            buf: ibuf,
+            access: Access::Flat(iy),
+            dtype: idt,
+        }] = then.as_slice()
+        else {
+            return None;
+        };
+        let [TapeOp {
+            dst: d0,
+            op: Op::ConstF(init),
+        }] = itape.as_slice()
+        else {
+            return None;
+        };
+        if ires != d0 || ibuf != y_buf || iy != y || idt != dtype || !dtype.is_float() {
+            return None;
+        }
+        // Update tape: Load Y, Load A, Load B, Mul(A,B), Add(Y,·).
+        let [TapeOp {
+            dst: r0,
+            op:
+                Op::Load {
+                    buf: ly,
+                    access: Access::Flat(ay),
+                },
+        }, TapeOp {
+            dst: r1,
+            op:
+                Op::Load {
+                    buf: b1,
+                    access: Access::Flat(a1),
+                },
+        }, TapeOp {
+            dst: r2,
+            op:
+                Op::Load {
+                    buf: b2,
+                    access: Access::Flat(a2),
+                },
+        }, TapeOp {
+            dst: r3,
+            op: Op::Mul(m1, m2),
+        }, TapeOp {
+            dst: r4,
+            op: Op::Add(s1, s2),
+        }] = tape.as_slice()
+        else {
+            return None;
+        };
+        if ly != y_buf || ay != y || (*m1, *m2) != (*r1, *r2) || (*s1, *s2) != (*r0, *r3) {
+            return None;
+        }
+        if result != r4 || y.coeff(*k_iter) != 0 {
+            return None;
+        }
+        // Pick the stationary operand; keep tape operand order for the
+        // multiply.
+        let (x_buf, x, w_buf, w, x_first) = if a1.coeff(*j_iter) == 0 {
+            (*b1, a1.clone(), *b2, a2.clone(), true)
+        } else if a2.coeff(*j_iter) == 0 {
+            (*b2, a2.clone(), *b1, a1.clone(), false)
+        } else {
+            return None;
+        };
+        // Distinct slots: the blocked loop defers Y stores to block
+        // boundaries, which an operand aliasing Y would observe.
+        if x_buf == *y_buf || w_buf == *y_buf {
+            return None;
+        }
+        Some(PStmt::MacroMatmul {
+            j_iter: *j_iter,
+            k_iter: *k_iter,
+            nj,
+            nk,
+            y_buf: *y_buf,
+            y: y.clone(),
+            x_buf,
+            x,
+            w_buf,
+            w,
+            x_first,
+            init: *init,
+            fallback: Box::new(s.clone()),
+        })
+    }
+
+    // -- sibling row fusion ------------------------------------------------
+
+    /// Merges adjacent top-level loops when one contains a macro-op and
+    /// both walk the same rows of every shared buffer — the elementwise
+    /// epilogue (`Z = act(Y + B)`) then runs inside the matmul's row
+    /// loop, one pass per row. Returns whether anything fused.
+    fn fuse_rows(&self, stmts: &mut Vec<PStmt>) -> bool {
+        let mut changed = false;
+        let mut i = 0;
+        while i + 1 < stmts.len() {
+            if let Some(fused) = self.try_fuse(&stmts[i], &stmts[i + 1]) {
+                stmts[i] = fused;
+                stmts.remove(i + 1);
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        changed
+    }
+
+    /// Row-fusion legality: equal constant trip counts, and every buffer
+    /// written on either side and touched by both sides must be accessed
+    /// only through flat affines with one *identical* outer-iteration
+    /// stride `c > 0` and residual range `[0, c)` on both sides — each
+    /// side's iteration `r` then touches only slice `[c·r, c·(r+1))`, so
+    /// interleaving `A_r; B_r` preserves every cross-statement
+    /// read-after-write of the original `all A; all B` order.
+    fn try_fuse(&self, a: &PStmt, b: &PStmt) -> Option<PStmt> {
+        let PStmt::Loop {
+            iter: ia,
+            extent: ea,
+            body: ba,
+        } = a
+        else {
+            return None;
+        };
+        let PStmt::Loop {
+            iter: ib,
+            extent: eb,
+            body: bb,
+        } = b
+        else {
+            return None;
+        };
+        if const_of(ea)? != const_of(eb)? {
+            return None;
+        }
+        if !contains_macro(ba) && !contains_macro(bb) {
+            return None;
+        }
+        let mut sa = ParScan::default();
+        scan_stmts(ba, &mut sa);
+        let mut sb = ParScan::default();
+        scan_stmts(bb, &mut sb);
+        if sa.zeroes || sb.zeroes {
+            return None;
+        }
+        let wa: HashSet<usize> = sa.stores.iter().map(|(b, _)| *b).collect();
+        let wb: HashSet<usize> = sb.stores.iter().map(|(b, _)| *b).collect();
+        let touched = |s: &ParScan| -> HashSet<usize> {
+            s.stores
+                .iter()
+                .chain(&s.loads)
+                .map(|(b, _)| *b)
+                .chain(s.dyn_bufs.iter().copied())
+                .collect()
+        };
+        let (ta, tb) = (touched(&sa), touched(&sb));
+        let shared: HashSet<usize> = wa
+            .iter()
+            .filter(|b| tb.contains(b))
+            .chain(wb.iter().filter(|b| ta.contains(b)))
+            .copied()
+            .collect();
+        if shared.is_empty() {
+            // No cross-statement dataflow: fusion buys nothing.
+            return None;
+        }
+        if sa
+            .dyn_bufs
+            .iter()
+            .chain(&sb.dyn_bufs)
+            .any(|b| shared.contains(b))
+        {
+            return None;
+        }
+        let mut stride: HashMap<usize, i64> = HashMap::new();
+        for (scan, it) in [(&sa, *ia), (&sb, *ib)] {
+            for (buf, access) in scan.stores.iter().chain(&scan.loads) {
+                if !shared.contains(buf) {
+                    continue;
+                }
+                let Access::Flat(aff) = access else {
+                    return None;
+                };
+                let c = aff.coeff(it);
+                if c <= 0 {
+                    return None;
+                }
+                match stride.get(buf) {
+                    Some(&prev) if prev != c => return None,
+                    _ => {
+                        stride.insert(*buf, c);
+                    }
+                }
+                let (lo, hi) = aff.without(it).range(&self.iter_max)?;
+                if lo < 0 || hi >= c {
+                    return None;
+                }
+            }
+        }
+        // Move B's body under A's counter slot.
+        let mut body = ba.clone();
+        let mut remapped = bb.clone();
+        remap_iter(&mut remapped, *ib, *ia);
+        body.extend(remapped);
+        Some(PStmt::Loop {
+            iter: *ia,
+            extent: ea.clone(),
+            body,
+        })
+    }
 }
 
 fn const_of(e: &IdxExpr) -> Option<i64> {
     e.as_affine().and_then(Affine::as_const)
+}
+
+/// Element count of a buffer, rejecting adversarial shapes whose product
+/// overflows `usize` (a wrapped count would defeat every downstream
+/// bounds proof and the work estimate).
+fn checked_numel(dims: &[usize]) -> Result<usize, PlanError> {
+    dims.iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| PlanError::unsupported("buffer element count overflows usize"))
 }
 
 #[derive(Default)]
@@ -959,8 +1340,108 @@ fn scan_stmts(stmts: &[PStmt], scan: &mut ParScan) {
                     }
                 }
             }
+            // A macro reports the same accesses its scalar nest would:
+            // the full affines still carry the consumed `j`/`k` terms,
+            // so the enclosing loop's disjointness analysis is unchanged.
+            PStmt::MacroMatmul {
+                y_buf,
+                y,
+                x_buf,
+                x,
+                w_buf,
+                w,
+                ..
+            } => {
+                scan.stores.push((*y_buf, Access::Flat(y.clone())));
+                scan.loads.push((*y_buf, Access::Flat(y.clone())));
+                scan.loads.push((*x_buf, Access::Flat(x.clone())));
+                scan.loads.push((*w_buf, Access::Flat(w.clone())));
+            }
         }
     }
+}
+
+/// `true` if any statement (recursively) is a macro-op.
+fn contains_macro(stmts: &[PStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        PStmt::MacroMatmul { .. } => true,
+        PStmt::Loop { body, .. } => contains_macro(body),
+        PStmt::IfEq { then, .. } => contains_macro(then),
+        _ => false,
+    })
+}
+
+/// Moves every reference to counter slot `from` onto slot `to` — used by
+/// row fusion to run the epilogue's body under the matmul loop's counter.
+/// Slots are compile-unique, so `from` cannot collide with a loop bound
+/// inside `stmts`.
+fn remap_iter(stmts: &mut [PStmt], from: usize, to: usize) {
+    let remap_aff = |a: &mut Affine| {
+        let c = a.coeff(from);
+        if c != 0 {
+            *a = a.without(from).add_scaled(&Affine::iter(to), c);
+        }
+    };
+    fn remap_idx(e: &mut IdxExpr, f: &impl Fn(&mut Affine)) {
+        match e {
+            IdxExpr::Aff(a) => f(a),
+            IdxExpr::Add(a, b)
+            | IdxExpr::Sub(a, b)
+            | IdxExpr::Mul(a, b)
+            | IdxExpr::FloorDiv(a, b)
+            | IdxExpr::FloorMod(a, b)
+            | IdxExpr::Min(a, b)
+            | IdxExpr::Max(a, b) => {
+                remap_idx(a, f);
+                remap_idx(b, f);
+            }
+        }
+    }
+    fn remap_access(a: &mut Access, f: &impl Fn(&mut Affine)) {
+        match a {
+            Access::Flat(aff) => f(aff),
+            Access::Checked(idxs) => idxs.iter_mut().for_each(|e| remap_idx(e, f)),
+        }
+    }
+    fn walk(stmts: &mut [PStmt], f: &impl Fn(&mut Affine)) {
+        for s in stmts {
+            match s {
+                PStmt::Loop { extent, body, .. } => {
+                    remap_idx(extent, f);
+                    walk(body, f);
+                }
+                PStmt::IfEq { lhs, rhs, then } => {
+                    remap_idx(lhs, f);
+                    remap_idx(rhs, f);
+                    walk(then, f);
+                }
+                PStmt::Store { tape, access, .. } => {
+                    remap_access(access, f);
+                    for op in tape {
+                        match &mut op.op {
+                            Op::Load { access, .. } => remap_access(access, f),
+                            Op::Idx(e) => remap_idx(e, f),
+                            Op::IdxEq(a, b) | Op::IdxLe(a, b) => {
+                                remap_idx(a, f);
+                                remap_idx(b, f);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                PStmt::ZeroScratch { .. } => {}
+                PStmt::MacroMatmul {
+                    y, x, w, fallback, ..
+                } => {
+                    f(y);
+                    f(x);
+                    f(w);
+                    walk(std::slice::from_mut(&mut **fallback), f);
+                }
+            }
+        }
+    }
+    walk(stmts, &remap_aff);
 }
 
 // ---------------------------------------------------------------------------
@@ -1113,6 +1594,105 @@ impl Machine<'_> {
                 self.views[ctx.storage_of[*buf]]
                     .write(flat, v)
                     .ok_or_else(|| oob(flat, numel))
+            }
+            PStmt::MacroMatmul {
+                j_iter,
+                k_iter,
+                nj,
+                nk,
+                y_buf,
+                y,
+                x_buf,
+                x,
+                w_buf,
+                w,
+                x_first,
+                init,
+                fallback,
+            } => {
+                let (sy, sx, sw) = (
+                    ctx.storage_of[*y_buf],
+                    ctx.storage_of[*x_buf],
+                    ctx.storage_of[*w_buf],
+                );
+                let fast = self.views[sy].writable
+                    && matches!(self.views[sy].data, ViewData::F(_))
+                    && matches!(self.views[sx].data, ViewData::F(_))
+                    && matches!(self.views[sw].data, ViewData::F(_));
+                if !fast {
+                    // Integer views or a read-only output: the scalar
+                    // nest reproduces those semantics (and errors)
+                    // exactly.
+                    return self.exec(ctx, fallback);
+                }
+                // Pin the consumed counters to zero so the affines
+                // evaluate to block bases; outer-loop terms stay live.
+                self.iters[*j_iter] = 0;
+                self.iters[*k_iter] = 0;
+                let (y0, x0, w0) = (y.eval(&self.iters), x.eval(&self.iters), w.eval(&self.iters));
+                let (yj, xk) = (y.coeff(*j_iter), x.coeff(*k_iter));
+                let (wj, wk) = (w.coeff(*j_iter), w.coeff(*k_iter));
+                let dt = self.views[sy].dtype;
+                let (ViewData::F(ys), ViewData::F(xs), ViewData::F(ws)) = (
+                    &self.views[sy].data,
+                    &self.views[sx].data,
+                    &self.views[sw].data,
+                ) else {
+                    unreachable!("fast path checked above");
+                };
+                let (y_len, x_len, w_len) = (
+                    ctx.plan.bufs[*y_buf].numel,
+                    ctx.plan.bufs[*x_buf].numel,
+                    ctx.plan.bufs[*w_buf].numel,
+                );
+                let cell = |s: &[AtomicU64], flat: i64, numel: usize| {
+                    if flat < 0 {
+                        return Err(InterpError::NegativeIndex(flat));
+                    }
+                    s.get(flat as usize)
+                        .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+                        .ok_or_else(|| oob(flat as usize, numel))
+                };
+                // Register-blocked loop: `k` outer, a block of `j`
+                // inner, accumulators in registers. Per output cell the
+                // multiply-accumulate sequence is still `k`-ascending
+                // with a round to the destination dtype after every
+                // step, so each cell sees the exact rounding chain of
+                // the scalar tape's store/load round-trip.
+                const BJ: i64 = 64;
+                let mut acc = [0.0f64; BJ as usize];
+                let init_r = round_to_dtype(*init, dt);
+                let mut jb = 0i64;
+                while jb < *nj {
+                    let bw = (*nj - jb).min(BJ);
+                    acc[..bw as usize].fill(init_r);
+                    for k in 0..*nk {
+                        let xf = cell(xs, x0 + xk * k, x_len)?;
+                        let wb = w0 + wk * k + wj * jb;
+                        for t in 0..bw {
+                            let wf = cell(ws, wb + wj * t, w_len)?;
+                            // Not identical branches: multiply operand
+                            // order decides which NaN payload propagates,
+                            // and the tape's order must be preserved.
+                            #[allow(clippy::if_same_then_else)]
+                            let p = if *x_first { xf * wf } else { wf * xf };
+                            let t = t as usize;
+                            acc[t] = round_to_dtype(acc[t] + p, dt);
+                        }
+                    }
+                    let yb = y0 + yj * jb;
+                    for t in 0..bw {
+                        let flat = yb + yj * t;
+                        if flat < 0 {
+                            return Err(InterpError::NegativeIndex(flat));
+                        }
+                        ys.get(flat as usize)
+                            .ok_or_else(|| oob(flat as usize, y_len))?
+                            .store(acc[t as usize].to_bits(), Ordering::Relaxed);
+                    }
+                    jb += bw;
+                }
+                Ok(())
             }
         }
     }
@@ -1310,11 +1890,29 @@ impl KernelPlan {
     }
 
     /// `true` if a multi-threaded [`KernelPlan::run`] would actually take
-    /// the parallel path: some top-level loop is provably chunkable *and*
-    /// the plan clears the [`PAR_MIN_WORK`] cutoff. Small plans report
-    /// `parallel() == false` and run serial at any thread count.
+    /// the parallel path on a multi-core host: some top-level loop is
+    /// provably chunkable *and* the plan clears its work cutoff
+    /// ([`PAR_MIN_WORK`], or [`PAR_MIN_WORK_MACRO`] for scheduled plans).
+    /// Small plans report `parallel() == false` and run serial at any
+    /// thread count.
     pub fn parallel(&self) -> bool {
-        self.parallelizable() && self.inner.work_estimate >= PAR_MIN_WORK
+        self.parallelizable() && self.inner.work_estimate >= self.min_work()
+    }
+
+    /// `true` if schedule-gated macro-op recognition rewrote this plan —
+    /// its hot loops execute as blocked superinstructions instead of the
+    /// scalar op tape.
+    pub fn scheduled(&self) -> bool {
+        self.inner.has_macros
+    }
+
+    /// The parallelism cutoff this plan's [`KernelPlan::run`] applies.
+    fn min_work(&self) -> u64 {
+        if self.inner.has_macros {
+            PAR_MIN_WORK_MACRO
+        } else {
+            PAR_MIN_WORK
+        }
     }
 
     /// Executes the plan on `args` (inputs then outputs, the calling
@@ -1330,7 +1928,7 @@ impl KernelPlan {
     /// The same errors, with the same payloads, as the reference
     /// interpreter on the same arguments.
     pub fn run(&self, args: &[NDArray], threads: usize) -> Result<(), InterpError> {
-        self.run_with_cutoff(args, threads, PAR_MIN_WORK)
+        self.run_with_cutoff(args, threads, self.min_work())
     }
 
     /// [`KernelPlan::run`] with an explicit minimum-work cutoff (`0`
@@ -1412,7 +2010,6 @@ impl KernelPlan {
             storage_of,
         });
 
-        let par_launch = threads > 1 && !aliased && inner.work_estimate >= min_work;
         let ctx = RunCtx {
             plan: inner.as_ref(),
             storage_of: &launch.storage_of,
@@ -1422,6 +2019,26 @@ impl KernelPlan {
             iters: vec![0; inner.num_iters],
             regs: vec![Scalar::I(0); inner.num_regs],
         };
+        // Aliased arguments void the macro/fusion slot-distinctness
+        // proofs, not just the parallel chunking: run the original
+        // scalar body serially.
+        if aliased {
+            if let Some(scalar) = &inner.scalar_body {
+                for stmt in scalar {
+                    m.exec(&ctx, stmt)?;
+                }
+                return Ok(());
+            }
+        }
+        // `min_work == 0` is the explicit force-pool escape hatch used by
+        // tests and calibration; a real cutoff additionally gates on the
+        // host's core count — on a 1-core host the hand-off buys nothing.
+        let threads = if min_work == 0 {
+            threads
+        } else {
+            threads.min(pool::available_threads())
+        };
+        let par_launch = threads > 1 && !aliased && inner.work_estimate >= min_work;
         for (idx, (stmt, par)) in inner.body.iter().enumerate() {
             match (stmt, par) {
                 (PStmt::Loop { iter, .. }, Some(p)) if par_launch => {
@@ -1820,5 +2437,261 @@ mod tests {
         let o2 = NDArray::zeros(&[6, 6], DataType::F32);
         interp::run(&f, std::slice::from_ref(&o2)).unwrap();
         assert_eq!(o1.to_f64_vec(), o2.to_f64_vec());
+    }
+
+    // -- schedule-gated macro-op execution ---------------------------------
+
+    fn bits(a: &NDArray) -> Vec<u64> {
+        a.to_f64_vec().into_iter().map(f64::to_bits).collect()
+    }
+
+    fn scheduled_mm(k: i64, m: i64) -> PrimFunc {
+        crate::schedule::auto_schedule(&matmul_func(k, m)).expect("dot pattern detected")
+    }
+
+    #[test]
+    fn scheduled_matmul_macro_is_bitwise_equal() {
+        let shapes = vec![vec![96, 64], vec![64, 64], vec![96, 64]];
+        let plain = compile(&matmul_func(64, 64), &shapes).unwrap();
+        let sched = compile(&scheduled_mm(64, 64), &shapes).unwrap();
+        assert!(!plain.scheduled());
+        assert!(sched.scheduled());
+        // Macro units are whole multiply-accumulates, so the estimate
+        // shrinks by the tape length while the cutoff shrinks with it.
+        assert!(sched.work_estimate() < plain.work_estimate());
+        assert!(sched.parallel());
+
+        let reference = mm_args(96, 64, 64);
+        interp::run(&matmul_func(64, 64), &reference).unwrap();
+
+        let serial = mm_args(96, 64, 64);
+        sched.run(&serial, 1).unwrap();
+        assert_eq!(bits(&serial[2]), bits(&reference[2]));
+
+        let pooled = mm_args(96, 64, 64);
+        sched.run_with_cutoff(&pooled, 3, 0).unwrap();
+        assert_eq!(bits(&pooled[2]), bits(&reference[2]));
+
+        let unsched = mm_args(96, 64, 64);
+        plain.run(&unsched, 1).unwrap();
+        assert_eq!(bits(&unsched[2]), bits(&reference[2]));
+    }
+
+    /// Matmul followed by an elementwise epilogue `Z = tanh(Y + B)` as a
+    /// *sibling* loop nest — row fusion must pull the epilogue into the
+    /// macro loop and stay bitwise equal.
+    fn matmul_epilogue_func(k: i64, m: i64) -> PrimFunc {
+        let n = Var::new("n");
+        let x = Buffer::new("X", vec![n.clone().into(), k.into()], DataType::F32);
+        let w = Buffer::new("W", vec![k.into(), m.into()], DataType::F32);
+        let b = Buffer::new("B", vec![m.into()], DataType::F32);
+        let y = Buffer::new("Y", vec![n.clone().into(), m.into()], DataType::F32);
+        let z = Buffer::new("Z", vec![n.clone().into(), m.into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.clone().into()), ("j", m.into()), ("k", k.into())]);
+        let (i, j, kk) = (iv[0].clone(), iv[1].clone(), iv[2].clone());
+        let init = Stmt::IfEq {
+            lhs: kk.clone().into(),
+            rhs: 0.into(),
+            then: Box::new(Stmt::store(
+                &y,
+                vec![i.clone().into(), j.clone().into()],
+                TirExpr::FloatImm(0.0),
+            )),
+        };
+        let update = Stmt::store(
+            &y,
+            vec![i.clone().into(), j.clone().into()],
+            TirExpr::load(&y, vec![i.clone().into(), j.clone().into()])
+                + TirExpr::load(&x, vec![i.into(), kk.clone().into()])
+                    * TirExpr::load(&w, vec![kk.into(), j.into()]),
+        );
+        let mm = nest.build(Stmt::seq(vec![init, update]));
+        let (ev, enest) = grid(&[("i2", n.into()), ("j2", m.into())]);
+        let (i2, j2) = (ev[0].clone(), ev[1].clone());
+        let ep = enest.build(Stmt::store(
+            &z,
+            vec![i2.clone().into(), j2.clone().into()],
+            TirExpr::Tanh(Box::new(
+                TirExpr::load(&y, vec![i2.into(), j2.clone().into()])
+                    + TirExpr::load(&b, vec![j2.into()]),
+            )),
+        ));
+        PrimFunc::new("mm_act", vec![x, w, b, y, z], 2, Stmt::seq(vec![mm, ep]))
+    }
+
+    fn mm_ep_args(n: usize, k: usize, m: usize) -> Vec<NDArray> {
+        let mut args = mm_args(n, k, m);
+        let b = NDArray::from_f64(
+            &[m],
+            DataType::F32,
+            (0..m).map(|i| (i % 5) as f64 * 0.125 - 0.25).collect(),
+        )
+        .unwrap();
+        args.insert(2, b);
+        args.push(NDArray::zeros(&[n, m], DataType::F32));
+        args
+    }
+
+    #[test]
+    fn scheduled_epilogue_fuses_rows_and_stays_bitwise() {
+        let f = matmul_epilogue_func(64, 64);
+        let g = crate::schedule::auto_schedule(&f).expect("dot pattern detected");
+        let shapes = vec![
+            vec![96, 64],
+            vec![64, 64],
+            vec![64],
+            vec![96, 64],
+            vec![96, 64],
+        ];
+        let plain = compile(&f, &shapes).unwrap();
+        let sched = compile(&g, &shapes).unwrap();
+        assert!(sched.scheduled());
+        // Fusion merged the epilogue into the matmul's row loop: one
+        // top-level statement, still provably chunkable.
+        assert_eq!(sched.inner.body.len(), 1);
+        assert!(sched.parallelizable());
+
+        let reference = mm_ep_args(96, 64, 64);
+        interp::run(&f, &reference).unwrap();
+
+        for (label, args) in [
+            ("serial", mm_ep_args(96, 64, 64)),
+            ("pooled", mm_ep_args(96, 64, 64)),
+        ] {
+            if label == "pooled" {
+                sched.run_with_cutoff(&args, 3, 0).unwrap();
+            } else {
+                sched.run(&args, 1).unwrap();
+            }
+            assert_eq!(bits(&args[3]), bits(&reference[3]), "{label} Y");
+            assert_eq!(bits(&args[4]), bits(&reference[4]), "{label} Z");
+        }
+
+        let unsched = mm_ep_args(96, 64, 64);
+        plain.run(&unsched, 1).unwrap();
+        assert_eq!(bits(&unsched[4]), bits(&reference[4]));
+    }
+
+    #[test]
+    fn scheduled_plan_with_aliased_output_runs_scalar_body() {
+        // Square matmul where the output aliases the left operand: the
+        // blocked executor's deferred stores would be observable, so the
+        // launch must drop to the preserved scalar body and match the
+        // interpreter exactly.
+        let sched = compile(
+            &scheduled_mm(8, 8),
+            &[vec![8, 8], vec![8, 8], vec![8, 8]],
+        )
+        .unwrap();
+        assert!(sched.scheduled());
+
+        let args = mm_args(8, 8, 8);
+        let aliased = vec![args[2].clone(), args[1].clone(), args[2].clone()];
+        sched.run(&aliased, 4).unwrap();
+
+        let reference = mm_args(8, 8, 8);
+        let r_aliased = vec![
+            reference[2].clone(),
+            reference[1].clone(),
+            reference[2].clone(),
+        ];
+        interp::run(&matmul_func(8, 8), &r_aliased).unwrap();
+        assert_eq!(bits(&aliased[2]), bits(&r_aliased[2]));
+    }
+
+    #[test]
+    fn scheduled_plan_on_integer_arrays_uses_scalar_fallback() {
+        // Bind I64 arrays to the F32-declared function: the macro's fast
+        // path needs float views, so it must run its scalar fallback and
+        // agree with the unscheduled plan bit for bit.
+        let shapes = vec![vec![6, 5], vec![5, 4], vec![6, 4]];
+        let plain = compile(&matmul_func(5, 4), &shapes).unwrap();
+        let sched = compile(&scheduled_mm(5, 4), &shapes).unwrap();
+        assert!(sched.scheduled());
+
+        let mk = || {
+            vec![
+                NDArray::from_i64(&[6, 5], DataType::I64, (0..30).map(|v| v % 7 - 3).collect())
+                    .unwrap(),
+                NDArray::from_i64(&[5, 4], DataType::I64, (0..20).map(|v| v % 5 - 2).collect())
+                    .unwrap(),
+                NDArray::zeros(&[6, 4], DataType::I64),
+            ]
+        };
+        let a = mk();
+        sched.run(&a, 1).unwrap();
+        let b = mk();
+        plain.run(&b, 1).unwrap();
+        assert_eq!(bits(&a[2]), bits(&b[2]));
+    }
+
+    #[test]
+    fn work_estimate_saturates_instead_of_wrapping() {
+        // Two nested ~2^40 loops: the naive product of trip counts and
+        // tape ops is ~2^81 and would wrap `u64` far below the cutoff,
+        // silently serializing the kernel. Saturation pins it to MAX.
+        let n = Var::new("n");
+        let y = Buffer::new("Y", vec![n.clone().into()], DataType::F32);
+        let (iv, nest) = grid(&[("i", n.clone().into()), ("j", n.into())]);
+        let body = nest.build(Stmt::store(
+            &y,
+            vec![iv[0].clone().into()],
+            TirExpr::FloatImm(1.0),
+        ));
+        let f = PrimFunc::new("huge", vec![y], 1, body);
+        let plan = compile(&f, &[vec![1usize << 40]]).unwrap();
+        assert_eq!(plan.work_estimate(), u64::MAX);
+        assert!(plan.parallel());
+    }
+
+    #[test]
+    fn single_thread_launches_never_touch_the_pool() {
+        // A plan far above every cutoff, launched with threads == 1: the
+        // pool must never see a job. The submit counter is global, so
+        // tolerate interference from concurrently running tests by
+        // retrying; a genuine pool hand-off from this launch would bump
+        // the counter on *every* attempt.
+        let f = matmul_func(64, 64);
+        let plan = compile(&f, &[vec![96, 64], vec![64, 64], vec![96, 64]]).unwrap();
+        assert!(plan.work_estimate() >= PAR_MIN_WORK);
+        let args = mm_args(96, 64, 64);
+
+        let quiet = |threads: usize| {
+            (0..10).any(|_| {
+                let before = pool::jobs_submitted();
+                plan.run(&args, threads).unwrap();
+                pool::jobs_submitted() == before
+            })
+        };
+        assert!(quiet(1), "threads=1 launch submitted pool jobs");
+        if pool::available_threads() == 1 {
+            // 1-core host: the core-count gate must keep even a
+            // threads=4 launch off the pool.
+            assert!(quiet(4), "1-core host launch submitted pool jobs");
+        }
+    }
+
+    #[test]
+    fn macro_cutoff_keeps_small_scheduled_plans_serial() {
+        // 8 rows: 8·64·64 = 32k macro units, below PAR_MIN_WORK_MACRO.
+        let small = compile(
+            &scheduled_mm(64, 64),
+            &[vec![8, 64], vec![64, 64], vec![8, 64]],
+        )
+        .unwrap();
+        assert!(small.scheduled());
+        assert!(small.work_estimate() < PAR_MIN_WORK_MACRO);
+        assert!(!small.parallel());
+
+        // 96 rows: 393k macro units — below the scalar cutoff but above
+        // the macro cutoff, so the blocked kernel still parallelizes.
+        let large = compile(
+            &scheduled_mm(64, 64),
+            &[vec![96, 64], vec![64, 64], vec![96, 64]],
+        )
+        .unwrap();
+        assert!(large.work_estimate() < PAR_MIN_WORK);
+        assert!(large.work_estimate() >= PAR_MIN_WORK_MACRO);
+        assert!(large.parallel());
     }
 }

@@ -21,9 +21,32 @@
 //! panicking job can never strand the submitting thread.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 use relax_trace::LockSite;
+
+/// Total jobs ever handed to [`WorkerPool::submit`]. Tests read this to
+/// prove a launch did (or did not) touch the pool.
+static JOBS_SUBMITTED: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone count of jobs submitted to the process-wide pool.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn jobs_submitted() -> u64 {
+    JOBS_SUBMITTED.load(Ordering::Relaxed)
+}
+
+/// Number of hardware threads the host actually offers, cached once.
+/// Parallel launches gate on this: on a 1-core host the pool hand-off is
+/// pure overhead, so plans clearing the work cutoff still run serial.
+pub(crate) fn available_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 /// A unit of pool work: owns everything it touches (`'static`), so the
 /// submitting launch shares state with it via `Arc`s.
@@ -62,6 +85,7 @@ impl WorkerPool {
         if n == 0 {
             return;
         }
+        JOBS_SUBMITTED.fetch_add(n as u64, Ordering::Relaxed);
         let mut state = POOL_QUEUE_SITE.lock(&self.state);
         while state.workers < n {
             let idx = state.workers;

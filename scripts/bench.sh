@@ -23,6 +23,14 @@
 # give the scalar-reference vs row-copy kernel pair at several context
 # lengths (the before/after for the inner-loop rewrite).
 #
+# A "kernel_schedule" section carries the schedule-layer ablation:
+# matmul (96x64x64) and the tiny decode step each measured as a scheduled
+# macro-op plan, an unscheduled scalar plan, and the vendor-library
+# stand-in, with per-row "host_threads"; the headline ratio is
+# "matmul_scheduled_vs_unscheduled" under "speedup". The scheduled row is
+# checked bitwise against the unscheduled plan and sanity-checked against
+# the host roofline model (relax-sim) before it is written.
+#
 # The "availability_under_chaos" section reruns the decode workload
 # through the seeded chaos harness at 0%, 1% and 5% fault rates (worker
 # panics, stalls, dropped replies, kernel faults) with retry and

@@ -42,6 +42,14 @@ cargo test -p relax-serve --release -q --test chaos
 echo "==> contention smoke: 8-thread seeded stress, release"
 cargo test -p relax-serve --release -q --test stress8
 
+echo "==> kernel-schedule ablation smoke (release)"
+# Scheduled (macro-op) plans against unscheduled plans and the reference
+# interpreter, bitwise, across every schedule-primitive combination, plus
+# the 32-config pipeline ablation that toggles kernel_schedule with the
+# other pipeline knobs.
+cargo test -p relax-tir --release -q --test schedule_diff
+cargo test --release -q --test pipeline_ablation
+
 echo "==> cargo doc --workspace --no-deps"
 cargo doc --workspace --no-deps -q
 

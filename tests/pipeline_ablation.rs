@@ -1,8 +1,8 @@
 //! Pipeline ablation matrix: the existing MLP module compiled under every
 //! on/off combination of `dispatch_library` / `fusion` / `memory_plan` /
-//! `graph_capture` must produce a verifiable executable and bit-identical
-//! VM outputs — optimizations may only change *how* the answer is
-//! computed, never the answer.
+//! `graph_capture` / `kernel_schedule` must produce a verifiable
+//! executable and bit-identical VM outputs — optimizations may only
+//! change *how* the answer is computed, never the answer.
 
 use std::collections::HashMap;
 
@@ -82,22 +82,23 @@ fn mlp_args() -> Vec<Value> {
 }
 
 #[test]
-fn all_sixteen_configurations_verify_and_agree_bitwise() {
+fn all_thirty_two_configurations_verify_and_agree_bitwise() {
     let args = mlp_args();
     let mut reference: Option<Vec<u64>> = None;
-    for mask in 0..16u32 {
+    for mask in 0..32u32 {
         let opts = CompileOptions {
             dispatch_library: mask & 1 != 0,
             fusion: mask & 2 != 0,
             memory_plan: mask & 4 != 0,
             graph_capture: mask & 8 != 0,
+            kernel_schedule: mask & 16 != 0,
             dispatch_rules: Default::default(),
             shape_bounds: HashMap::new(),
         };
         let exec = compile(mlp_module(), &opts)
-            .unwrap_or_else(|e| panic!("config {mask:04b} failed to compile: {e}"));
+            .unwrap_or_else(|e| panic!("config {mask:05b} failed to compile: {e}"));
         relax_vm::verify(&exec, &relax_vm::registry::Registry::new())
-            .unwrap_or_else(|e| panic!("config {mask:04b} failed verification: {e}"));
+            .unwrap_or_else(|e| panic!("config {mask:05b} failed verification: {e}"));
 
         let mut vm = Vm::new(exec);
         // Three runs so graph-capture replays are exercised too.
@@ -117,13 +118,13 @@ fn all_sixteen_configurations_verify_and_agree_bitwise() {
         assert_eq!(
             this,
             bits(&out_replay),
-            "config {mask:04b}: replay diverged from first run"
+            "config {mask:05b}: replay diverged from first run"
         );
         match &reference {
             None => reference = Some(this),
             Some(want) => assert_eq!(
                 &this, want,
-                "config {mask:04b} output differs bitwise from config 0000"
+                "config {mask:05b} output differs bitwise from config 00000"
             ),
         }
     }
