@@ -10,6 +10,9 @@
 //!   preset) with self- and cross-attention;
 //! - [`llava`]: vision encoder + projector for the LLaVA multimodal
 //!   pipeline;
+//! - [`moe`]: mixture-of-experts dispatch with data-dependent per-expert
+//!   token counts bound through `match_cast` (the ragged-shape stress
+//!   workload), plus its pure-Rust bitwise differential oracle;
 //! - [`nn`]: the builder and shared transformer components, including the
 //!   customized 4-bit quantization decode tensor program of Figure 9.
 //!
@@ -21,10 +24,12 @@
 
 pub mod llama;
 pub mod llava;
+pub mod moe;
 pub mod nn;
 pub mod whisper;
 
 pub use llama::LlamaConfig;
 pub use llava::LlavaConfig;
+pub use moe::MoeConfig;
 pub use nn::{ModelBuilder, ModelError};
 pub use whisper::WhisperConfig;

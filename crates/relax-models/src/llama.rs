@@ -535,6 +535,115 @@ pub fn build_decode_paged(config: &LlamaConfig) -> Result<ModelIr, ModelError> {
     })
 }
 
+/// Builds the **multi-token** paged decode function: like
+/// [`build_decode_paged`] but consuming `(b, s)` token ids with a
+/// symbolic `s` and producing `(b, s, vocab)` logits — one row per fed
+/// position. Speculative decoding feeds the draft proposals through
+/// this function in one step: causal attention over the paged cache
+/// gives row `i` exactly the attended set a sequential single-token
+/// decode would see, so the per-row logits are bitwise-identical to
+/// feeding the same tokens one at a time.
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn build_decode_paged_multi(config: &LlamaConfig) -> Result<ModelIr, ModelError> {
+    let b = SymVar::new("batch");
+    let s = SymVar::new("seq");
+    let h = config.hidden;
+    let hd = config.head_dim;
+    let nh = config.n_heads;
+    let nkv = config.n_kv_heads;
+
+    let mut params: Vec<(String, StructInfo)> = vec![
+        (
+            "tokens".to_string(),
+            StructInfo::tensor(vec![b.clone().into(), s.clone().into()], DataType::I64),
+        ),
+        ("kv_cache".to_string(), StructInfo::Object),
+    ];
+    params.extend(weight_param_specs(config));
+
+    let mut mb = ModelBuilder::begin(IRModule::new(), "decode_paged_multi", params.clone());
+    let tokens = mb.param("tokens")?;
+    let embed = mb.param("embed")?;
+    let mut x = mb.take(embed, tokens)?; // (b, s, h)
+    let mut cache = mb.param("kv_cache")?;
+    let be: PrimExpr = b.clone().into();
+    let se: PrimExpr = s.clone().into();
+
+    for l in 0..config.n_layers {
+        let attn_norm = mb.param(&format!("l{l}.attn_norm"))?;
+        let hn = mb.rms_norm(x.clone(), attn_norm)?;
+        let q = LayerWeights::linear(&mut mb, config, &format!("l{l}.wq"), hn.clone(), h, nh * hd)?;
+        let k = LayerWeights::linear(
+            &mut mb,
+            config,
+            &format!("l{l}.wk"),
+            hn.clone(),
+            h,
+            nkv * hd,
+        )?;
+        let v = LayerWeights::linear(&mut mb, config, &format!("l{l}.wv"), hn, h, nkv * hd)?;
+        let q = mb.reshape(q, vec![be.clone(), se.clone(), nh.into(), hd.into()])?;
+        let q = mb.permute(q, &[0, 2, 1, 3])?;
+        let k = mb.reshape(k, vec![be.clone(), se.clone(), nkv.into(), hd.into()])?;
+        let k = mb.permute(k, &[0, 2, 1, 3])?;
+        let v = mb.reshape(v, vec![be.clone(), se.clone(), nkv.into(), hd.into()])?;
+        let v = mb.permute(v, &[0, 2, 1, 3])?;
+        cache = mb.kv_append_paged(cache, k, 2 * l)?;
+        cache = mb.kv_append_paged(cache, v, 2 * l + 1)?;
+        let att = mb.kv_attention_paged(q, cache.clone(), 2 * l, 2 * l + 1, true)?;
+        let att = mb.permute(att, &[0, 2, 1, 3])?;
+        let att = mb.reshape(att, vec![be.clone(), se.clone(), (nh * hd).into()])?;
+        let o = LayerWeights::linear(&mut mb, config, &format!("l{l}.wo"), att, nh * hd, h)?;
+        x = mb.add(x, o)?;
+        let ffn_norm = mb.param(&format!("l{l}.ffn_norm"))?;
+        let hn2 = mb.rms_norm(x.clone(), ffn_norm)?;
+        let gate = LayerWeights::linear(
+            &mut mb,
+            config,
+            &format!("l{l}.w_gate"),
+            hn2.clone(),
+            h,
+            config.intermediate,
+        )?;
+        let gate = mb.silu(gate)?;
+        let up = LayerWeights::linear(
+            &mut mb,
+            config,
+            &format!("l{l}.w_up"),
+            hn2,
+            h,
+            config.intermediate,
+        )?;
+        let act = mb.mul(gate, up)?;
+        let down = LayerWeights::linear(
+            &mut mb,
+            config,
+            &format!("l{l}.w_down"),
+            act,
+            config.intermediate,
+            h,
+        )?;
+        x = mb.add(x, down)?;
+    }
+    let final_norm = mb.param("final_norm")?;
+    let xn = mb.rms_norm(x, final_norm)?;
+    let logits = LayerWeights::linear(&mut mb, config, "lm_head", xn, h, config.vocab)?;
+    let logits = mb.output(logits.into())?;
+    let cache_out = mb.output(cache.into())?;
+
+    let module = mb.finish(Expr::Tuple(vec![logits.into(), cache_out.into()]))?;
+    Ok(ModelIr {
+        module,
+        func: "decode_paged_multi".into(),
+        params,
+        batch: b,
+        seq: s,
+    })
+}
+
 /// Builds the prefill function: consumes the whole prompt `(b, s)` and
 /// produces the initial per-layer KV caches.
 ///

@@ -263,6 +263,74 @@ impl ModelBuilder {
         })?)
     }
 
+    /// Refines a value's shape through `match_cast`, introducing the
+    /// symbolic variables of `sinfo` with a runtime check — the
+    /// data-dependent-shape idiom of the paper's Figure 3 (an MoE
+    /// gather's row count is only known once the router has run).
+    pub fn match_cast(&mut self, value: Var, sinfo: StructInfo) -> Result<Var, ModelError> {
+        Ok(self.bb.emit_match_cast(value.into(), sinfo)?)
+    }
+
+    /// Per-token expert assignment: argmax of router logits `(t, E)`
+    /// into `(t,)` i64 via the `vm.builtin.moe.route` runtime builtin.
+    pub fn moe_route(&mut self, logits: Var) -> Result<Var, ModelError> {
+        let dims = logits
+            .struct_info()
+            .tensor_dims()
+            .ok_or_else(|| ModelError::BadConfig("router logits need a known shape".into()))?
+            .to_vec();
+        if dims.len() != 2 {
+            return Err(ModelError::BadConfig(
+                "router logits must be rank 2 (tokens, experts)".into(),
+            ));
+        }
+        let out_sinfo = StructInfo::tensor(vec![dims[0].clone()], DataType::I64);
+        Ok(self.bb.emit(Expr::CallDps {
+            func: "vm.builtin.moe.route".into(),
+            args: vec![logits.into()],
+            out_sinfo,
+        })?)
+    }
+
+    /// Gathers the token rows assigned to `expert` into a fresh matrix
+    /// whose row count is **data-dependent**: the annotation is the
+    /// coarse `Tensor(ndim=2)`, to be refined by a `match_cast` that
+    /// binds the runtime count to a fresh symbolic dim.
+    pub fn moe_gather(&mut self, tokens: Var, assign: Var, expert: i64) -> Result<Var, ModelError> {
+        let dtype = tokens.struct_info().tensor_dtype().unwrap_or(DataType::F32);
+        Ok(self.bb.emit(Expr::CallDps {
+            func: "vm.builtin.moe.gather".into(),
+            args: vec![
+                tokens.into(),
+                assign.into(),
+                Expr::ShapeValue(vec![expert.into()]),
+            ],
+            out_sinfo: StructInfo::tensor_ndim(2, dtype),
+        })?)
+    }
+
+    /// Scatters an expert's output rows `(n_e, d)` back to their token
+    /// positions in a `(tokens, d)` matrix (zeros elsewhere).
+    pub fn moe_scatter(
+        &mut self,
+        rows: Var,
+        assign: Var,
+        expert: i64,
+        tokens: PrimExpr,
+        d: PrimExpr,
+    ) -> Result<Var, ModelError> {
+        let dtype = rows.struct_info().tensor_dtype().unwrap_or(DataType::F32);
+        Ok(self.bb.emit(Expr::CallDps {
+            func: "vm.builtin.moe.scatter".into(),
+            args: vec![
+                rows.into(),
+                assign.into(),
+                Expr::ShapeValue(vec![expert.into(), tokens.clone()]),
+            ],
+            out_sinfo: StructInfo::tensor(vec![tokens, d], dtype),
+        })?)
+    }
+
     /// A linear layer with 4-bit quantized weights: the customized
     /// quantization-decode tensor program of Figure 9 followed by a
     /// matmul. `wdata` packs eight 4-bit values per `u32` along the output

@@ -322,11 +322,14 @@ fn lower_function(
                 for a in args {
                     arg_regs.push(ctx.expr_to_reg(a, PASS)?);
                 }
-                // KV-cache builtins are not destination-passing: the VM
-                // dispatches them on first-class handle values and writes
-                // the result (a handle or a view tensor) to a fresh
+                // KV-cache and MoE builtins are not destination-passing:
+                // the VM dispatches them on first-class handle/shape
+                // values and writes the result (a handle or a tensor —
+                // possibly with a data-dependent shape) to a fresh
                 // register, so no output allocation happens here.
-                if callee.starts_with(relax_vm::KV_CACHE_PREFIX) {
+                if callee.starts_with(relax_vm::KV_CACHE_PREFIX)
+                    || callee.starts_with(relax_vm::MOE_PREFIX)
+                {
                     let dst = ctx.fresh();
                     ctx.instrs.push(Instr::CallBuiltin {
                         func: callee.clone(),

@@ -407,7 +407,8 @@ pub fn run_session_chaos(
     let ref_stats = reference_mgr.shutdown();
     // Steps the workload needs end to end; fault occurrences land in
     // this range so they actually fire.
-    let total_steps = (ref_stats.prefills + ref_stats.decodes).max(1);
+    let total_steps =
+        (ref_stats.prefills + ref_stats.decodes + 2 * ref_stats.speculations).max(1);
 
     let mut faulty_cfg = config.manager.clone();
     faulty_cfg.return_kv = true;

@@ -78,6 +78,6 @@ pub use engine::{
 };
 pub use session::{
     SessionConfig, SessionError, SessionManager, SessionModelSpec, SessionOutput, SessionRequest,
-    SessionStats, SessionTicket,
+    SessionStats, SessionTicket, SpeculativeSpec,
 };
 pub use telemetry::{EngineReport, EngineStats, LatencySummary, WorkerExit, WorkerReport};

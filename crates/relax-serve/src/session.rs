@@ -44,7 +44,7 @@ use relax_tir::NDArray;
 use relax_vm::registry::Registry;
 use relax_vm::{
     Executable, FaultInjector, FaultPlan, FaultSite, KvCache, KvCacheConfig, KvPagePool,
-    KvPageStats, SharedPlanCache, Value, Vm, VmError, VmErrorKind,
+    KvPageStats, PlanCacheStats, SharedPlanCache, Value, Vm, VmError, VmErrorKind,
 };
 
 use crate::engine::lock;
@@ -73,6 +73,53 @@ pub struct SessionModelSpec {
     pub weights: Vec<Value>,
     /// Geometry of every session's cache (`batch` must be 1).
     pub cache: KvCacheConfig,
+    /// Speculative decoding: a draft model proposes tokens greedily and
+    /// a multi-token verify pass of the serving model accepts or
+    /// rejects them. `None` decodes one token per step.
+    pub speculative: Option<SpeculativeSpec>,
+}
+
+/// Draft/verify configuration for speculative decoding.
+///
+/// Each speculation step proposes `lookahead` tokens through the draft
+/// model (one single-token paged decode per proposal, on a per-session
+/// draft cache sharing the manager's page pool), then verifies them in
+/// **one** multi-token feed of the serving model (`verify_func`, see
+/// `relax_models::llama::build_decode_paged_multi`). Proposals are
+/// committed up to the first disagreement with the verify model's
+/// greedy choice, plus the verify model's own token at the point of
+/// disagreement; the rejected tail is rolled off both paged caches with
+/// `truncate_to`. Because only verify-chosen tokens are ever committed,
+/// the generated stream is identical to plain autoregressive decoding
+/// of the serving model regardless of draft quality — the draft only
+/// moves throughput.
+#[derive(Clone)]
+pub struct SpeculativeSpec {
+    /// Executable holding the draft model's paged decode function.
+    pub draft: Arc<Executable>,
+    /// Name of the draft decode function (`(1,1)` tokens).
+    pub draft_func: String,
+    /// Draft weight arguments, after the token/cache parameters.
+    pub draft_weights: Vec<Value>,
+    /// Geometry of every session's draft cache (`batch` must be 1).
+    pub draft_cache: KvCacheConfig,
+    /// Executable holding the serving model's multi-token decode.
+    pub verify: Arc<Executable>,
+    /// Name of the multi-token verify function (`(1,s)` tokens,
+    /// `(1,s,vocab)` logits). Runs with the manager's `weights`.
+    pub verify_func: String,
+    /// Tokens proposed per speculation step (≥ 1).
+    pub lookahead: usize,
+    /// Probability that a proposal is deterministically corrupted
+    /// before verification — a knob for exercising rejection paths and
+    /// dialing the acceptance rate in tests/benches. `0.0` leaves the
+    /// draft untouched.
+    pub noise: f64,
+    /// Seed for the corruption hash; together with the session id and
+    /// the absolute token position it makes corruption independent of
+    /// scheduling, so the same request corrupts identically at any
+    /// worker count.
+    pub noise_seed: u64,
 }
 
 /// One generation request: a prompt and a token budget.
@@ -206,6 +253,12 @@ pub struct SessionStats {
     pub worker_panics: u64,
     /// Peak pages in use observed at iteration boundaries.
     pub peak_pages_in_use: u64,
+    /// Speculation steps executed successfully.
+    pub speculations: u64,
+    /// Draft tokens proposed across all speculation steps.
+    pub spec_proposed: u64,
+    /// Draft proposals accepted by the verify model.
+    pub spec_accepted: u64,
 }
 
 #[derive(Default)]
@@ -223,6 +276,9 @@ struct Counters {
     rollbacks: AtomicU64,
     worker_panics: AtomicU64,
     peak_pages_in_use: AtomicU64,
+    speculations: AtomicU64,
+    spec_proposed: AtomicU64,
+    spec_accepted: AtomicU64,
 }
 
 impl Counters {
@@ -250,6 +306,9 @@ impl Counters {
             rollbacks: self.rollbacks.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             peak_pages_in_use: self.peak_pages_in_use.load(Ordering::Relaxed),
+            speculations: self.speculations.load(Ordering::Relaxed),
+            spec_proposed: self.spec_proposed.load(Ordering::Relaxed),
+            spec_accepted: self.spec_accepted.load(Ordering::Relaxed),
         }
     }
 }
@@ -303,6 +362,14 @@ enum StepKind {
     Prefill(Vec<i64>),
     /// Run the paged decode function on this input token.
     Decode(i64),
+    /// Speculate: catch the draft cache up on `draft_feed` (the
+    /// committed tokens it has not seen, ending with the next input
+    /// token), propose `lookahead` draft tokens, verify them in one
+    /// multi-token feed, and commit the agreed prefix.
+    Speculate {
+        draft_feed: Vec<i64>,
+        lookahead: usize,
+    },
 }
 
 struct Job {
@@ -312,6 +379,10 @@ struct Job {
     /// Per-stream lengths before this step; the scheduler rolls the
     /// cache back to these on any failure so no step is half-applied.
     pre_lens: Vec<usize>,
+    /// The session's draft cache (speculative decoding only) and its
+    /// pre-step lengths, rolled back together with the main cache.
+    draft: Option<KvCache>,
+    draft_pre_lens: Vec<usize>,
     /// The session's async span, so worker-side step spans (and the
     /// kernel spans the VM opens under them) nest session → step →
     /// kernel.
@@ -323,6 +394,14 @@ enum StepOutcome {
     Prefilled(usize),
     /// Decode landed; argmax over the logits chose this token.
     Decoded(i64),
+    /// Speculation landed: `committed` tokens (accepted proposals plus
+    /// the verify model's token at the first disagreement) are in the
+    /// cache; the rejected tail is already truncated away.
+    Speculated {
+        committed: Vec<i64>,
+        proposed: u64,
+        accepted: u64,
+    },
     /// The page pool refused an acquire (retryable after eviction).
     PoolExhausted(String),
     /// The worker panicked mid-step and healed itself.
@@ -334,6 +413,7 @@ enum StepOutcome {
 struct JobResult {
     session: u64,
     pre_lens: Vec<usize>,
+    draft_pre_lens: Vec<usize>,
     outcome: StepOutcome,
 }
 
@@ -351,6 +431,8 @@ struct Session {
     submitted: Instant,
     slot: SessionSlot,
     cache: KvCache,
+    /// Draft-model cache on the same shared pool (speculative only).
+    draft: Option<KvCache>,
     /// Prompt/generated tokens already consumed by the model.
     fed: usize,
     generated: Vec<i64>,
@@ -360,14 +442,20 @@ struct Session {
 }
 
 impl Session {
+    /// The committed token at absolute position `pos` (prompt first,
+    /// then the session's own generations).
+    fn token_at(&self, pos: usize) -> i64 {
+        if pos < self.prompt.len() {
+            self.prompt[pos]
+        } else {
+            self.generated[pos - self.prompt.len()]
+        }
+    }
+
     /// The token the next decode step feeds (teacher-forcing through
     /// the prompt, then the session's own generations).
     fn next_token(&self) -> i64 {
-        if self.fed < self.prompt.len() {
-            self.prompt[self.fed]
-        } else {
-            self.generated[self.fed - self.prompt.len()]
-        }
+        self.token_at(self.fed)
     }
 
     fn done(&self) -> bool {
@@ -406,6 +494,8 @@ pub struct SessionManager {
     next_id: AtomicU64,
     scheduler: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    draft_plans: SharedPlanCache,
+    verify_plans: SharedPlanCache,
 }
 
 impl SessionManager {
@@ -433,6 +523,8 @@ impl SessionManager {
         let registry = Arc::new(Registry::new());
         let decode_cache = SharedPlanCache::new(64);
         let prefill_cache = SharedPlanCache::new(64);
+        let draft_cache = SharedPlanCache::new(64);
+        let verify_cache = SharedPlanCache::new(64);
         let (vm_plan, serve_plan) = config.faults.clone().split_serving();
         let serve_faults = Arc::new(Mutex::new(FaultInjector::new(serve_plan)));
         let spec = Arc::new(spec);
@@ -444,6 +536,8 @@ impl SessionManager {
                 registry: registry.clone(),
                 decode_cache: decode_cache.clone(),
                 prefill_cache: prefill_cache.clone(),
+                draft_cache: draft_cache.clone(),
+                verify_cache: verify_cache.clone(),
                 pool: pool.clone(),
                 vm_plan: vm_plan.clone(),
                 serve_faults: serve_faults.clone(),
@@ -476,6 +570,8 @@ impl SessionManager {
             next_id: AtomicU64::new(0),
             scheduler: Some(scheduler),
             workers,
+            draft_plans: draft_cache,
+            verify_plans: verify_cache,
         }
     }
 
@@ -514,6 +610,16 @@ impl SessionManager {
     /// Page-pool accounting snapshot.
     pub fn pool_stats(&self) -> KvPageStats {
         self.shared.pool.stats()
+    }
+
+    /// Plan-cache counters for the speculative executables, aggregated
+    /// across all workers: `(draft, verify)`. The draft sees
+    /// variable-length catch-up feeds and the verify sees
+    /// `lookahead + 1`-token windows, so these are the ragged-shape
+    /// cache populations the `dynamic_workloads` bench reports. Both
+    /// are zero when the manager has no speculative spec.
+    pub fn speculative_plan_stats(&self) -> (PlanCacheStats, PlanCacheStats) {
+        (self.draft_plans.stats(), self.verify_plans.stats())
     }
 
     /// Wall time of every scheduler iteration so far, nanoseconds.
@@ -565,6 +671,8 @@ struct WorkerCtx {
     registry: Arc<Registry>,
     decode_cache: SharedPlanCache,
     prefill_cache: SharedPlanCache,
+    draft_cache: SharedPlanCache,
+    verify_cache: SharedPlanCache,
     pool: Arc<KvPagePool>,
     vm_plan: FaultPlan,
     serve_faults: Arc<Mutex<FaultInjector>>,
@@ -577,6 +685,8 @@ struct WorkerCtx {
 struct WorkerVms {
     decode: Vm,
     prefill: Option<Vm>,
+    draft: Option<Vm>,
+    verify: Option<Vm>,
 }
 
 fn build_vms(ctx: &WorkerCtx) -> WorkerVms {
@@ -592,7 +702,24 @@ fn build_vms(ctx: &WorkerCtx) -> WorkerVms {
         vm.set_kv_pool(ctx.pool.clone());
         vm
     });
-    WorkerVms { decode, prefill }
+    let (draft, verify) = match ctx.spec.speculative.as_ref() {
+        Some(sp) => {
+            let mut d = Vm::from_parts(sp.draft.clone(), ctx.registry.clone(), ctx.draft_cache.clone());
+            d.set_kv_pool(ctx.pool.clone());
+            let mut v =
+                Vm::from_parts(sp.verify.clone(), ctx.registry.clone(), ctx.verify_cache.clone());
+            v.set_kv_pool(ctx.pool.clone());
+            v.inject_faults(ctx.vm_plan.clone());
+            (Some(d), Some(v))
+        }
+        None => (None, None),
+    };
+    WorkerVms {
+        decode,
+        prefill,
+        draft,
+        verify,
+    }
 }
 
 /// Classifies a VM error: page-pool exhaustion is retryable after the
@@ -607,7 +734,10 @@ fn classify(e: VmError) -> StepOutcome {
 }
 
 fn argmax(logits: &NDArray) -> i64 {
-    let vals = logits.to_f64_vec();
+    argmax_slice(&logits.to_f64_vec())
+}
+
+fn argmax_slice(vals: &[f64]) -> i64 {
     let mut best = 0usize;
     let mut best_val = f64::NEG_INFINITY;
     for (i, &v) in vals.iter().enumerate() {
@@ -619,6 +749,163 @@ fn argmax(logits: &NDArray) -> i64 {
     best as i64
 }
 
+/// Deterministically corrupts a draft proposal with probability
+/// `spec.noise`. Keyed by the session id and the proposal's absolute
+/// stream position, so the same request corrupts identically whatever
+/// the worker count or retry history — and since corruption only makes
+/// a proposal *wrong*, it can change throughput but never the committed
+/// stream.
+fn corrupt(spec: &SpeculativeSpec, session: u64, pos: usize, token: i64) -> i64 {
+    if spec.noise <= 0.0 {
+        return token;
+    }
+    let mut z = spec
+        .noise_seed
+        .wrapping_add(session.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((pos as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if ((z % 10_000) as f64) < spec.noise * 10_000.0 {
+        // Nudge to a guaranteed-different id that stays a valid token.
+        if token > 0 {
+            token - 1
+        } else {
+            token + 1
+        }
+    } else {
+        token
+    }
+}
+
+/// One speculation step: draft catch-up + proposals (single-token paged
+/// decodes on the draft cache), a mid-verify fault window, one
+/// multi-token verify feed on the session cache, the commit loop, and
+/// the `truncate_to` rollback of both caches to the committed prefix.
+fn run_speculate(
+    vms: &mut WorkerVms,
+    ctx: &WorkerCtx,
+    job: &Job,
+    draft_feed: &[i64],
+    lookahead: usize,
+) -> StepOutcome {
+    let spec = ctx
+        .spec
+        .speculative
+        .as_ref()
+        .expect("speculate step without a speculative spec");
+    let draft_cache = job.draft.as_ref().expect("speculate step without draft cache");
+    let draft_vm = vms.draft.as_mut().expect("speculate step without draft VM");
+    let k = lookahead.max(1);
+    let fed = job.pre_lens.first().copied().unwrap_or(0);
+
+    // Draft phase: feed the tokens the draft cache is missing, then
+    // its own proposals; every feed past the catch-up prefix yields the
+    // next proposal.
+    let mut proposals: Vec<i64> = Vec::with_capacity(k);
+    for i in 0..draft_feed.len() + k - 1 {
+        let tok = if i < draft_feed.len() {
+            draft_feed[i]
+        } else {
+            proposals[i - draft_feed.len()]
+        };
+        let t = NDArray::from_i64(&[1, 1], DataType::I64, vec![tok]).expect("draft token tensor");
+        let mut args = vec![Value::Tensor(t), Value::KvCache(draft_cache.clone())];
+        args.extend(spec.draft_weights.iter().cloned());
+        match draft_vm.run(&spec.draft_func, &args) {
+            Ok(out) => {
+                if i + 1 >= draft_feed.len() {
+                    match out.as_tuple().and_then(|items| items.first()) {
+                        Some(Value::Tensor(logits)) => {
+                            let pos = fed + 1 + proposals.len();
+                            proposals.push(corrupt(spec, job.session, pos, argmax(logits)));
+                        }
+                        _ => {
+                            return StepOutcome::Failed(VmError::new(VmErrorKind::TypeMismatch {
+                                expected: "tuple of (logits, kv_cache)",
+                                actual: out.kind(),
+                            }))
+                        }
+                    }
+                }
+            }
+            Err(e) => return classify(e),
+        }
+    }
+
+    // Mid-verify fault window: a stall or panic here leaves the draft
+    // cache extended but the verify cache untouched — exactly the
+    // half-speculated state the rollback path must absorb.
+    if let Some(fired) = lock(&ctx.serve_faults).check(FaultSite::WorkerStall) {
+        thread::sleep(fired.stall.unwrap_or(ctx.stall));
+    }
+    if lock(&ctx.serve_faults).check(FaultSite::WorkerPanic).is_some() {
+        panic!("injected worker panic");
+    }
+
+    // Verify phase: one variable-length feed of the next committed
+    // token plus every proposal; row `i` of the logits is bitwise what
+    // a sequential single-token decode would produce at that position.
+    let mut window = Vec::with_capacity(1 + k);
+    window.push(*draft_feed.last().expect("non-empty draft feed"));
+    window.extend(proposals.iter().copied());
+    let t = NDArray::from_i64(&[1, window.len()], DataType::I64, window.clone())
+        .expect("verify token tensor");
+    let mut args = vec![Value::Tensor(t), Value::KvCache(job.cache.clone())];
+    args.extend(ctx.spec.weights.iter().cloned());
+    let verify_vm = vms.verify.as_mut().expect("speculate step without verify VM");
+    let logits = match verify_vm.run(&spec.verify_func, &args) {
+        Ok(out) => match out.as_tuple().and_then(|items| items.first()) {
+            Some(Value::Tensor(l)) => l.clone(),
+            _ => {
+                return StepOutcome::Failed(VmError::new(VmErrorKind::TypeMismatch {
+                    expected: "tuple of (logits, kv_cache)",
+                    actual: out.kind(),
+                }))
+            }
+        },
+        Err(e) => return classify(e),
+    };
+    let vocab = logits.shape().last().copied().unwrap_or(1).max(1);
+    let vals = logits.to_f64_vec();
+    if vals.len() < window.len() * vocab {
+        return StepOutcome::Failed(VmError::new(VmErrorKind::TypeMismatch {
+            expected: "(1, s, vocab) verify logits",
+            actual: "short logits tensor",
+        }));
+    }
+
+    // Commit loop: proposals up to the first disagreement, then the
+    // verify model's own greedy token at that position (so every step
+    // commits at least one token).
+    let mut committed = Vec::with_capacity(k + 1);
+    let mut accepted = 0u64;
+    for i in 0..window.len() {
+        let v = argmax_slice(&vals[i * vocab..(i + 1) * vocab]);
+        committed.push(v);
+        if i + 1 == window.len() || proposals[i] != v {
+            break;
+        }
+        accepted += 1;
+    }
+
+    // Roll the rejected tail off both paged caches.
+    let keep = fed + 1 + accepted as usize;
+    let lens = vec![keep; job.pre_lens.len()];
+    if let Err(e) = job.cache.truncate_to(&lens) {
+        return classify(VmError::new(VmErrorKind::Kernel(e)));
+    }
+    let draft_keep: Vec<usize> = draft_cache.lens().iter().map(|&l| l.min(keep)).collect();
+    if let Err(e) = draft_cache.truncate_to(&draft_keep) {
+        return classify(VmError::new(VmErrorKind::Kernel(e)));
+    }
+    StepOutcome::Speculated {
+        committed,
+        proposed: k as u64,
+        accepted,
+    }
+}
+
 /// Runs one step body. Called inside `catch_unwind`; an injected
 /// `WorkerPanic` fault fires *after* the VM ran — the appends have
 /// landed, the report is lost — which is exactly the mid-iteration
@@ -627,10 +914,11 @@ fn run_step(vms: &mut WorkerVms, ctx: &WorkerCtx, job: &Job) -> StepOutcome {
     let sp = relax_trace::span_under("serve", Some(job.parent), || match &job.kind {
         StepKind::Prefill(tokens) => format!("prefill:{}", tokens.len()),
         StepKind::Decode(_) => "decode".to_string(),
+        StepKind::Speculate { lookahead, .. } => format!("speculate:{lookahead}"),
     });
     let phase = match &job.kind {
         StepKind::Prefill(_) => relax_trace::SessionPhase::Prefill,
-        StepKind::Decode(_) => relax_trace::SessionPhase::Decode,
+        StepKind::Decode(_) | StepKind::Speculate { .. } => relax_trace::SessionPhase::Decode,
     };
     if let Some(fired) = lock(&ctx.serve_faults).check(FaultSite::WorkerStall) {
         thread::sleep(fired.stall.unwrap_or(ctx.stall));
@@ -688,6 +976,10 @@ fn run_step(vms: &mut WorkerVms, ctx: &WorkerCtx, job: &Job) -> StepOutcome {
                 Err(e) => classify(e),
             }
         }
+        StepKind::Speculate {
+            draft_feed,
+            lookahead,
+        } => run_speculate(vms, ctx, job, draft_feed, *lookahead),
     };
     sp.finish_with(|| relax_trace::Payload::Session {
         session: job.session,
@@ -716,6 +1008,7 @@ fn worker_loop(ctx: WorkerCtx) {
         };
         let session = job.session;
         let pre_lens = job.pre_lens.clone();
+        let draft_pre_lens = job.draft_pre_lens.clone();
         let outcome =
             match panic::catch_unwind(AssertUnwindSafe(|| run_step(&mut vms, &ctx, &job))) {
                 Ok(outcome) => outcome,
@@ -740,6 +1033,7 @@ fn worker_loop(ctx: WorkerCtx) {
             .send(JobResult {
                 session,
                 pre_lens,
+                draft_pre_lens,
                 outcome,
             })
             .is_err()
@@ -849,6 +1143,21 @@ fn scheduler_loop(
             for s in &running {
                 let kind = if s.fed == 0 && s.prompt.len() > 1 && spec.prefill.is_some() {
                     StepKind::Prefill(s.prompt[..s.prompt.len() - 1].to_vec())
+                } else if let Some(sp) = spec.speculative.as_ref().filter(|_| {
+                    // Speculate only once every remaining feed produces
+                    // a model-chosen token; teacher-forced prompt
+                    // tokens go through plain decode.
+                    s.fed + 1 >= s.prompt.len()
+                }) {
+                    let d = s
+                        .draft
+                        .as_ref()
+                        .and_then(|c| c.lens().first().copied())
+                        .unwrap_or(0);
+                    StepKind::Speculate {
+                        draft_feed: (d..=s.fed).map(|p| s.token_at(p)).collect(),
+                        lookahead: sp.lookahead.max(1),
+                    }
                 } else {
                     StepKind::Decode(s.next_token())
                 };
@@ -857,6 +1166,8 @@ fn scheduler_loop(
                     kind,
                     cache: s.cache.clone(),
                     pre_lens: s.cache.lens(),
+                    draft: s.draft.clone(),
+                    draft_pre_lens: s.draft.as_ref().map(|c| c.lens()).unwrap_or_default(),
                     parent: s.span,
                 });
                 dispatched += 1;
@@ -918,8 +1229,63 @@ fn scheduler_loop(
                         ));
                     }
                 }
+                StepOutcome::Speculated {
+                    committed,
+                    proposed,
+                    accepted,
+                } => {
+                    s.attempts = 0;
+                    Counters::bump(&shared.counters.speculations);
+                    shared
+                        .counters
+                        .spec_proposed
+                        .fetch_add(proposed, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .spec_accepted
+                        .fetch_add(accepted, Ordering::Relaxed);
+                    let mut pushed = 0usize;
+                    for tok in &committed {
+                        if s.done() {
+                            break;
+                        }
+                        s.generated.push(*tok);
+                        Counters::bump(&shared.counters.tokens);
+                        pushed += 1;
+                    }
+                    s.fed += pushed;
+                    if pushed < committed.len() {
+                        // The budget filled mid-batch: shed the
+                        // overshoot appends so the final cache is
+                        // exactly what a plain decode of the same
+                        // stream would hold.
+                        let keep = vec![s.fed; s.cache.lens().len()];
+                        let _ = s.cache.truncate_to(&keep);
+                        if let Some(d) = &s.draft {
+                            let dk: Vec<usize> =
+                                d.lens().iter().map(|&l| l.min(s.fed)).collect();
+                            let _ = d.truncate_to(&dk);
+                        }
+                    }
+                    if s.done() {
+                        let kv = if config.return_kv {
+                            gather_kv(&s.cache)
+                        } else {
+                            None
+                        };
+                        remove = Some((
+                            Ok(SessionOutput {
+                                session: s.id,
+                                tokens: std::mem::take(&mut s.generated),
+                                kv,
+                            }),
+                            relax_trace::SessionPhase::Retire,
+                            true,
+                        ));
+                    }
+                }
                 StepOutcome::PoolExhausted(detail) => {
-                    rollback(&shared, s, &result.pre_lens);
+                    rollback(&shared, s, &result.pre_lens, &result.draft_pre_lens);
                     s.attempts += 1;
                     pressure = true;
                     if s.attempts > config.max_attempts {
@@ -931,7 +1297,7 @@ fn scheduler_loop(
                     }
                 }
                 StepOutcome::Panicked(msg) => {
-                    rollback(&shared, s, &result.pre_lens);
+                    rollback(&shared, s, &result.pre_lens, &result.draft_pre_lens);
                     s.attempts += 1;
                     if s.attempts > config.max_attempts {
                         remove = Some((
@@ -942,7 +1308,7 @@ fn scheduler_loop(
                     }
                 }
                 StepOutcome::Failed(e) => {
-                    rollback(&shared, s, &result.pre_lens);
+                    rollback(&shared, s, &result.pre_lens, &result.draft_pre_lens);
                     remove = Some((
                         Err(SessionError::Vm(e)),
                         relax_trace::SessionPhase::Fail,
@@ -1009,6 +1375,10 @@ fn admit(
     }
     let deadline = p.submitted + p.request.deadline.unwrap_or(config.default_deadline);
     let cache = KvCache::new(spec.cache, shared.pool.clone());
+    let draft = spec
+        .speculative
+        .as_ref()
+        .map(|sp| KvCache::new(sp.draft_cache, shared.pool.clone()));
     let span = relax_trace::async_begin("serve", "session", || relax_trace::Payload::Session {
         session: p.id,
         phase: relax_trace::SessionPhase::Admit,
@@ -1022,6 +1392,7 @@ fn admit(
         submitted: p.submitted,
         slot: p.slot,
         cache,
+        draft,
         fed: 0,
         generated: Vec::new(),
         attempts: 0,
@@ -1044,7 +1415,7 @@ fn admit(
     running.push(s);
 }
 
-fn rollback(shared: &Shared, s: &Session, pre_lens: &[usize]) {
+fn rollback(shared: &Shared, s: &Session, pre_lens: &[usize], draft_pre_lens: &[usize]) {
     Counters::bump(&shared.counters.rollbacks);
     // `truncate_to` never grows; it only sheds this step's partial
     // appends and releases now-empty tail pages.
@@ -1053,6 +1424,12 @@ fn rollback(shared: &Shared, s: &Session, pre_lens: &[usize]) {
         // drop the whole cache state instead of leaving partials.
         let zeros = vec![0; s.cache.lens().len()];
         let _ = s.cache.truncate_to(&zeros);
+    }
+    if let Some(d) = &s.draft {
+        if draft_pre_lens.is_empty() || d.truncate_to(draft_pre_lens).is_err() {
+            let zeros = vec![0; d.lens().len()];
+            let _ = d.truncate_to(&zeros);
+        }
     }
 }
 

@@ -115,6 +115,7 @@ fn fixture() -> Fixture {
             head_dim: cfg.head_dim as usize,
             dtype: cfg.dtype,
         },
+        speculative: None,
     };
     Fixture {
         cfg,

@@ -491,6 +491,11 @@ fn exec_instrs(
                     let (flops, bytes, out) = kv_cache_builtin(op, &vals)?;
                     report.add_kernel(device, KernelClass::Generated, flops, bytes, !in_replay);
                     regs[*dst] = out;
+                } else if let Some(op) = func.strip_prefix(relax_vm::MOE_PREFIX) {
+                    let vals: Vec<SimValue> = args.iter().map(|r| regs[*r].clone()).collect();
+                    let (flops, bytes, out) = moe_builtin(op, &vals)?;
+                    report.add_kernel(device, KernelClass::Generated, flops, bytes, !in_replay);
+                    regs[*dst] = out;
                 } else {
                     // Host-side builtin: charge the data movement only;
                     // the output is pessimistically as large as the input.
@@ -685,6 +690,72 @@ fn lib_cost(
             let numel: f64 = io_bytes;
             Ok((numel, io_bytes))
         }
+    }
+}
+
+/// Analytical cost and shape-level result of one `vm.builtin.moe.<op>`
+/// builtin. The gather output's leading dim `n_e` is data-dependent
+/// (decided by the router at runtime), so the simulator applies the
+/// worst-case planning rule (§4.2): every expert is costed as if it
+/// received the full token batch. Per-expert times therefore *bound*
+/// the ragged dispatch rather than average it — the same upper bound
+/// the memory planner uses for `match_cast`-refined shapes.
+fn moe_builtin(op: &str, args: &[SimValue]) -> Result<(f64, f64, SimValue), SimError> {
+    let tensor = |i: usize, rank: usize| -> Result<(&Vec<i64>, DataType), SimError> {
+        match args.get(i) {
+            Some(SimValue::Tensor { dims, dtype }) if dims.len() == rank => Ok((dims, *dtype)),
+            other => Err(SimError::Type(format!(
+                "moe.{op}: expected rank-{rank} tensor arg, got {other:?}"
+            ))),
+        }
+    };
+    let shape = |i: usize, rank: usize| -> Result<&[i64], SimError> {
+        match args.get(i) {
+            Some(SimValue::Shape(d)) if d.len() == rank => Ok(d),
+            other => Err(SimError::Type(format!(
+                "moe.{op}: expected rank-{rank} shape arg, got {other:?}"
+            ))),
+        }
+    };
+    match op {
+        // route(logits (t, E)) -> (t,) i64: one strict-`>` sweep over
+        // the expert axis per token.
+        "route" => {
+            let (dims, dtype) = tensor(0, 2)?;
+            let (t, e) = (dims[0].max(0), dims[1].max(0));
+            let out = SimValue::Tensor {
+                dims: vec![t],
+                dtype: DataType::I64,
+            };
+            let bytes = (t * e).max(0) as f64 * dtype.size_bytes() as f64 + out.byte_size();
+            Ok(((t * e) as f64, bytes, out))
+        }
+        // gather(tokens (t, d), assign (t,), shape[e]) -> (n_e, d):
+        // n_e is unknowable here, so bound it by t.
+        "gather" => {
+            let (dims, dtype) = tensor(0, 2)?;
+            shape(2, 1)?;
+            let out = SimValue::Tensor {
+                dims: dims.clone(),
+                dtype,
+            };
+            let assign = dims[0].max(0) as f64 * DataType::I64.size_bytes() as f64;
+            Ok((0.0, 2.0 * out.byte_size() + assign, out))
+        }
+        // scatter(rows (n_e, d), assign (t,), shape[e, t]) -> (t, d):
+        // the output is dense again, `t` comes from the shape operand.
+        "scatter" => {
+            let (dims, dtype) = tensor(0, 2)?;
+            let et = shape(2, 2)?;
+            let t = et[1].max(0);
+            let out = SimValue::Tensor {
+                dims: vec![t, dims[1]],
+                dtype,
+            };
+            let assign = t as f64 * DataType::I64.size_bytes() as f64;
+            Ok((0.0, out.byte_size() * 2.0 + assign, out))
+        }
+        other => Err(SimError::Unknown(format!("vm.builtin.moe.{other}"))),
     }
 }
 

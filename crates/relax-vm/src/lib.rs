@@ -25,6 +25,7 @@ mod exec;
 pub mod fault;
 pub mod kv_cache;
 pub mod memory;
+pub mod moe;
 mod plan_cache;
 pub mod registry;
 mod value;
@@ -35,6 +36,7 @@ pub use exec::{Executable, Instr, Reg, VmFunction};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, FiredFault};
 pub use kv_cache::{KvCache, KvCacheConfig, KV_CACHE_PREFIX};
 pub use memory::{KvPagePool, KvPageStats, KvPoolExhausted};
+pub use moe::MOE_PREFIX;
 pub use plan_cache::{CachedPlan, PlanCacheStats, SharedPlanCache};
 pub use value::Value;
 pub use verify::{verify, VerifyError, Violation};

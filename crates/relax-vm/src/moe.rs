@@ -1,0 +1,267 @@
+//! Mixture-of-experts routing builtins: the runtime half of the
+//! data-dependent dispatch pattern (§2, §4.2).
+//!
+//! An MoE layer routes each token to one expert, so the number of rows
+//! an expert's FFN sees — `n_e` — is decided by the router's argmax at
+//! runtime, not by the compiler. The graph expresses this with a coarse
+//! `Tensor(ndim=2)` gather output refined through `match_cast` into a
+//! fresh symbolic dim, exactly like `unique` in the paper's Figure 3;
+//! these builtins supply the data-dependent kernels behind that shape:
+//!
+//! - `route(logits (t, E)) -> (t,) i64` — per-token argmax (first
+//!   maximum wins, strict `>` comparison, so ties are deterministic).
+//! - `gather(tokens (t, d), assign (t,), shape[e]) -> (n_e, d)` — the
+//!   rows assigned to expert `e`, in token order. `n_e` may be zero.
+//! - `scatter(rows (n_e, d), assign (t,), shape[e, t]) -> (t, d)` —
+//!   the inverse placement: row `i` of `rows` lands at the `i`-th token
+//!   assigned to `e`; unassigned positions are zero, so summing the
+//!   per-expert scatters reassembles the full batch (adding zeros is
+//!   bitwise-exact in f32: `r32(x + 0) == x`).
+//!
+//! Like the KV-cache builtins, these run inside the VM's `CallBuiltin`
+//! handle dispatcher (shape args arrive as first-class `Value::Shape`s)
+//! and are registered in the [`crate::registry::Registry`] only so the
+//! validator can check existence and arity.
+
+use relax_arith::DataType;
+use relax_tir::{NDArray, Scalar};
+
+use crate::registry::KernelError;
+use crate::value::Value;
+
+/// Name prefix of the builtins the VM routes to [`dispatch`] instead of
+/// the tensor-only registry path.
+pub const MOE_PREFIX: &str = "vm.builtin.moe.";
+
+fn kerr(op: &str, detail: impl Into<String>) -> KernelError {
+    KernelError {
+        kernel: format!("{MOE_PREFIX}{op}"),
+        detail: detail.into(),
+    }
+}
+
+fn want_tensor<'a>(op: &str, v: Option<&'a Value>) -> Result<&'a NDArray, KernelError> {
+    match v {
+        Some(Value::Tensor(t)) => Ok(t),
+        Some(other) => Err(kerr(op, format!("expected a tensor, got {}", other.kind()))),
+        None => Err(kerr(op, "missing tensor argument")),
+    }
+}
+
+fn want_shape<'a>(op: &str, v: Option<&'a Value>, dims: usize) -> Result<&'a [i64], KernelError> {
+    match v {
+        Some(Value::Shape(d)) if d.len() == dims => Ok(d),
+        Some(Value::Shape(d)) => Err(kerr(
+            op,
+            format!("expected a shape of {dims} dims, got {}", d.len()),
+        )),
+        Some(other) => Err(kerr(op, format!("expected a shape, got {}", other.kind()))),
+        None => Err(kerr(op, "missing shape argument")),
+    }
+}
+
+fn want_rank<'a>(op: &str, t: &'a NDArray, rank: usize, what: &str) -> Result<&'a [usize], KernelError> {
+    let s = t.shape();
+    if s.len() != rank {
+        return Err(kerr(op, format!("{what} must be rank {rank}, got {s:?}")));
+    }
+    Ok(s)
+}
+
+/// Per-token argmax over the expert axis; strict `>` so the first
+/// maximum wins and ties are deterministic across runs and workers.
+fn route(logits: &NDArray) -> Result<NDArray, KernelError> {
+    const OP: &str = "route";
+    let s = want_rank(OP, logits, 2, "router logits")?;
+    let (t, e) = (s[0], s[1]);
+    if e == 0 {
+        return Err(kerr(OP, "router logits have zero experts"));
+    }
+    let v = logits.to_f64_vec();
+    let out = NDArray::zeros(&[t], DataType::I64);
+    for i in 0..t {
+        let row = &v[i * e..(i + 1) * e];
+        let mut best = 0usize;
+        for (j, &x) in row.iter().enumerate() {
+            if x > row[best] {
+                best = j;
+            }
+        }
+        out.set(i, Scalar::I(best as i64))
+            .map_err(|err| kerr(OP, err.to_string()))?;
+    }
+    Ok(out)
+}
+
+/// Positions (token indices, ascending) assigned to expert `e`.
+fn positions(op: &str, assign: &NDArray, expert: i64) -> Result<Vec<usize>, KernelError> {
+    want_rank(op, assign, 1, "assignment vector")?;
+    if assign.dtype() != DataType::I64 {
+        return Err(kerr(
+            op,
+            format!("assignment dtype {} != i64", assign.dtype()),
+        ));
+    }
+    Ok(assign
+        .to_i64_vec()
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a == expert)
+        .map(|(i, _)| i)
+        .collect())
+}
+
+/// Gathers the rows of `tokens` assigned to one expert. The output row
+/// count `n_e` is data-dependent — the `MatchShape` that follows this
+/// call in lowered code binds it to a fresh symbolic variable.
+fn gather(tokens: &NDArray, assign: &NDArray, expert: i64) -> Result<NDArray, KernelError> {
+    const OP: &str = "gather";
+    let ts = want_rank(OP, tokens, 2, "token matrix")?;
+    let (t, d) = (ts[0], ts[1]);
+    if assign.shape() != [t] {
+        return Err(kerr(
+            OP,
+            format!(
+                "assignment {:?} does not cover {t} tokens",
+                assign.shape()
+            ),
+        ));
+    }
+    let pos = positions(OP, assign, expert)?;
+    let out = NDArray::zeros(&[pos.len(), d], tokens.dtype());
+    for (row, &p) in pos.iter().enumerate() {
+        out.copy_range_from(row * d, tokens, p * d, d)
+            .map_err(|e| kerr(OP, e.to_string()))?;
+    }
+    Ok(out)
+}
+
+/// Scatters expert output rows back to their token positions; rows not
+/// assigned to this expert stay zero.
+fn scatter(rows: &NDArray, assign: &NDArray, expert: i64, tokens: usize) -> Result<NDArray, KernelError> {
+    const OP: &str = "scatter";
+    let rs = want_rank(OP, rows, 2, "expert output")?;
+    let d = rs[1];
+    if assign.shape() != [tokens] {
+        return Err(kerr(
+            OP,
+            format!(
+                "assignment {:?} does not cover {tokens} tokens",
+                assign.shape()
+            ),
+        ));
+    }
+    let pos = positions(OP, assign, expert)?;
+    if pos.len() != rs[0] {
+        return Err(kerr(
+            OP,
+            format!(
+                "expert {expert} produced {} rows for {} assigned tokens",
+                rs[0],
+                pos.len()
+            ),
+        ));
+    }
+    let out = NDArray::zeros(&[tokens, d], rows.dtype());
+    for (row, &p) in pos.iter().enumerate() {
+        out.copy_range_from(p * d, rows, row * d, d)
+            .map_err(|e| kerr(OP, e.to_string()))?;
+    }
+    Ok(out)
+}
+
+/// Executes one `vm.builtin.moe.<op>` builtin on register values.
+/// Called by the VM's `CallBuiltin` arm before the tensor-only registry
+/// path (shape args arrive as `Value::Shape`).
+///
+/// # Errors
+///
+/// Returns a [`KernelError`] on unknown ops or argument mismatches.
+pub fn dispatch(op: &str, args: &[Value]) -> Result<Value, KernelError> {
+    match op {
+        // route(logits) -> assignment
+        "route" => Ok(Value::Tensor(route(want_tensor(op, args.first())?)?)),
+        // gather(tokens, assign, shape[expert]) -> (n_e, d)
+        "gather" => {
+            let tokens = want_tensor(op, args.first())?;
+            let assign = want_tensor(op, args.get(1))?;
+            let d = want_shape(op, args.get(2), 1)?;
+            Ok(Value::Tensor(gather(tokens, assign, d[0])?))
+        }
+        // scatter(rows, assign, shape[expert, tokens]) -> (t, d)
+        "scatter" => {
+            let rows = want_tensor(op, args.first())?;
+            let assign = want_tensor(op, args.get(1))?;
+            let d = want_shape(op, args.get(2), 2)?;
+            let tokens = usize::try_from(d[1])
+                .map_err(|_| kerr(op, format!("negative token count {}", d[1])))?;
+            Ok(Value::Tensor(scatter(rows, assign, d[0], tokens)?))
+        }
+        other => Err(kerr(other, "unknown moe builtin")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f32s(shape: &[usize], vals: Vec<f64>) -> NDArray {
+        NDArray::from_f64(shape, DataType::F32, vals).unwrap()
+    }
+
+    #[test]
+    fn route_is_first_max_argmax() {
+        let logits = f32s(&[3, 3], vec![1., 3., 2., 5., 5., 4., -1., -2., -1.]);
+        let a = route(&logits).unwrap();
+        // Row 1 ties at index 0/1 -> first wins; row 2 ties 0/2 -> 0.
+        assert_eq!(a.to_i64_vec(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_including_empty_expert() {
+        let tokens = f32s(&[4, 2], vec![0., 1., 10., 11., 20., 21., 30., 31.]);
+        let assign = NDArray::from_i64(&[4], DataType::I64, vec![2, 0, 2, 0]).unwrap();
+        let g2 = gather(&tokens, &assign, 2).unwrap();
+        assert_eq!(g2.shape(), &[2, 2]);
+        assert_eq!(g2.to_f64_vec(), vec![0., 1., 20., 21.]);
+        // Expert 1 receives nothing: a genuinely empty gather.
+        let g1 = gather(&tokens, &assign, 1).unwrap();
+        assert_eq!(g1.shape(), &[0, 2]);
+        // Scattering every expert back and summing rebuilds the batch.
+        let mut sum = vec![0.0f64; 8];
+        for e in 0..3 {
+            let ge = gather(&tokens, &assign, e).unwrap();
+            let se = scatter(&ge, &assign, e, 4).unwrap();
+            for (acc, v) in sum.iter_mut().zip(se.to_f64_vec()) {
+                *acc += v;
+            }
+        }
+        assert_eq!(sum, tokens.to_f64_vec());
+    }
+
+    #[test]
+    fn scatter_rejects_row_count_mismatch() {
+        let rows = f32s(&[2, 2], vec![0.; 4]);
+        let assign = NDArray::from_i64(&[3], DataType::I64, vec![0, 1, 0]).unwrap();
+        // Expert 1 has 1 assigned token but 2 rows arrive.
+        assert!(scatter(&rows, &assign, 1, 3).is_err());
+    }
+
+    #[test]
+    fn dispatch_checks_arguments() {
+        assert!(dispatch("nope", &[]).is_err());
+        assert!(dispatch("route", &[Value::Prim(1)]).is_err());
+        let tokens = f32s(&[1, 1], vec![1.0]);
+        let assign = NDArray::from_i64(&[1], DataType::I64, vec![0]).unwrap();
+        let out = dispatch(
+            "gather",
+            &[
+                Value::Tensor(tokens),
+                Value::Tensor(assign),
+                Value::Shape(vec![0]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.as_tensor().unwrap().shape(), &[1, 1]);
+    }
+}

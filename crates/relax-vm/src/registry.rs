@@ -79,6 +79,12 @@ impl Default for Registry {
         r.register_builtin_with_signature("vm.builtin.kv_cache.append_paged", builtin_kv_vm_only, 3);
         r.register_builtin_with_signature("vm.builtin.kv_cache.view", builtin_kv_vm_only, 2);
         r.register_builtin_with_signature("vm.builtin.kv_cache.attention", builtin_kv_vm_only, 3);
+        // The MoE routing builtins likewise run in the VM's handle
+        // dispatcher (their shape args are first-class values); the
+        // registry entries only carry validator-checkable signatures.
+        r.register_builtin_with_signature("vm.builtin.moe.route", builtin_moe_vm_only, 1);
+        r.register_builtin_with_signature("vm.builtin.moe.gather", builtin_moe_vm_only, 3);
+        r.register_builtin_with_signature("vm.builtin.moe.scatter", builtin_moe_vm_only, 3);
         r
     }
 }
@@ -291,6 +297,12 @@ fn lib_rms_norm(inputs: &[NDArray], outputs: &[NDArray]) -> Result<(), String> {
 /// This stub exists so the names carry validator-checkable signatures.
 fn builtin_kv_vm_only(_inputs: &[NDArray]) -> Result<NDArray, String> {
     Err("kv_cache builtins require VM handle dispatch".to_string())
+}
+
+/// Same arrangement for the MoE routing builtins: the VM routes the
+/// `vm.builtin.moe.` prefix to `crate::moe::dispatch` before this path.
+fn builtin_moe_vm_only(_inputs: &[NDArray]) -> Result<NDArray, String> {
+    Err("moe builtins require VM handle dispatch".to_string())
 }
 
 fn kv_append_validate(

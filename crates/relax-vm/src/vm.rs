@@ -12,6 +12,7 @@ use crate::exec::{Executable, Instr, Reg, VmFunction};
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
 use crate::kv_cache::{self, KV_CACHE_PREFIX};
 use crate::memory::{KvPagePool, MemoryStats, PooledAllocator};
+use crate::moe::{self, MOE_PREFIX};
 use crate::plan_cache::{CachedPlan, PlanCacheSession, SharedPlanCache};
 use crate::registry::{KernelError, Registry};
 use crate::value::Value;
@@ -855,6 +856,14 @@ impl Vm {
                     let vals: Result<Vec<Value>, VmError> =
                         args.iter().map(|r| frame.get(*r).cloned()).collect();
                     let out = kv_cache::dispatch(op, &vals?, &self.kv_pool)?;
+                    self.telemetry.builtin_calls += 1;
+                    frame.set(*dst, out)?;
+                } else if let Some(op) = func.strip_prefix(MOE_PREFIX) {
+                    // MoE routing builtins also take shape values (the
+                    // expert index), so they use the handle dispatcher.
+                    let vals: Result<Vec<Value>, VmError> =
+                        args.iter().map(|r| frame.get(*r).cloned()).collect();
+                    let out = moe::dispatch(op, &vals?)?;
                     self.telemetry.builtin_calls += 1;
                     frame.set(*dst, out)?;
                 } else {

@@ -31,6 +31,18 @@
 # checked bitwise against the unscheduled plan and sanity-checked against
 # the host roofline model (relax-sim) before it is written.
 #
+# A "dynamic_workloads" section stresses data-dependent shapes end to
+# end: MoE ragged dispatch (route/gather/expert-FFN/scatter) vs a dense
+# FFN on the same tokens, and speculative decoding (1-layer draft,
+# deep verify model, one variable-length paged verify feed per step)
+# vs plain autoregressive decode on the same session schedule. Each row
+# carries tokens/s, the draft-acceptance rate, and the shared plan
+# cache's hit/miss counters under the ragged shape population; the
+# bench asserts the committed token streams are bitwise equal and that
+# "spec_decode_vs_plain" under "speedup" clears 1x at acceptance >= 0.7.
+# "moe_ragged_vs_dense_ffn" prices the dynamic routing machinery
+# against the static baseline.
+#
 # The "availability_under_chaos" section reruns the decode workload
 # through the seeded chaos harness at 0%, 1% and 5% fault rates (worker
 # panics, stalls, dropped replies, kernel faults) with retry and

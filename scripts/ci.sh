@@ -42,6 +42,17 @@ cargo test -p relax-serve --release -q --test chaos
 echo "==> contention smoke: 8-thread seeded stress, release"
 cargo test -p relax-serve --release -q --test stress8
 
+echo "==> dynamic-shape stress smoke: MoE routing + speculative decoding (release)"
+# The two end-to-end dynamic workloads, differentially tested: the
+# match_cast-mediated MoE dispatch against its pure-Rust oracle across
+# ragged token counts, speculative draft/verify sessions against plain
+# decode (bitwise token streams, rollback on rejection), and the
+# worst-case dry-run costing of the ragged dispatch.
+cargo test --release -q --test moe_diff
+cargo test -p relax-serve --release -q --test spec_decode
+cargo test -p relax-sim --release -q --test moe_cost
+cargo test --release -q --test golden_roundtrip
+
 echo "==> kernel-schedule ablation smoke (release)"
 # Scheduled (macro-op) plans against unscheduled plans and the reference
 # interpreter, bitwise, across every schedule-primitive combination, plus

@@ -11,9 +11,13 @@
 use std::path::PathBuf;
 
 use relax::core::{parse_functions, IRModule};
-use relax::models::llama::{build_decode, LlamaConfig};
+use relax::models::llama::{
+    build_decode, build_decode_paged, build_decode_paged_multi, LlamaConfig,
+};
 use relax::models::llava::{build_vision_encoder, LlavaConfig};
+use relax::models::moe::build_dispatch;
 use relax::models::whisper::{build_decoder_step, WhisperConfig};
+use relax::models::MoeConfig;
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -73,4 +77,31 @@ fn whisper_decoder_step_roundtrips() {
 fn llava_vision_encoder_roundtrips() {
     let ir = build_vision_encoder(&LlavaConfig::tiny()).unwrap();
     check_roundtrip("llava_tiny_vision_encoder", &ir.module);
+}
+
+/// The MoE router + ragged per-expert FFN dispatch: every
+/// data-dependent `match_cast` binding in the printed form must survive
+/// the textual round trip.
+#[test]
+fn moe_dispatch_roundtrips() {
+    let ir = build_dispatch(&MoeConfig::tiny()).unwrap();
+    check_roundtrip("moe_tiny_dispatch", &ir.module);
+}
+
+/// The speculative-decoding pair in one module: a 1-layer draft's paged
+/// decode next to the verify model's variable-length multi-token decode
+/// (symbolic `seq` flowing into the `(batch, seq, vocab)` logits).
+#[test]
+fn spec_decode_draft_verify_roundtrips() {
+    let cfg = LlamaConfig::tiny();
+    let draft_cfg = LlamaConfig {
+        n_layers: 1,
+        ..cfg.clone()
+    };
+    let draft = build_decode_paged(&draft_cfg).unwrap();
+    let mut module = build_decode_paged_multi(&cfg).unwrap().module;
+    for (name, func) in draft.module.functions() {
+        module.add_function(name.clone(), func.clone());
+    }
+    check_roundtrip("spec_decode_draft_verify", &module);
 }
